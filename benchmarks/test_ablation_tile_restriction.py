@@ -1,0 +1,100 @@
+"""Design-choice ablation (§2.1 / §5 "Non-rectangular Tiling") — the cost
+of the tile-size-1 restriction on the 9-point kernel.
+
+The in-place restriction pins the 9-point kernel's tiles to ``1 x T``
+(a cyclic block dependence otherwise — asserted here), which thins the
+sub-domain wavefronts and explains its weak multithreaded showing in
+Figs. 11/12. This bench quantifies that: wavefront widths and simulated
+44-thread efficiency of the restricted 9-point tiling vs the
+unrestricted 5-point tiling of the same volume, plus a measured sweep
+over the legal ``1 x T`` shapes.
+"""
+
+import numpy as np
+import pytest
+
+from repro.baselines import naive
+from repro.bench.experiments import BENCH_VF
+from repro.bench.harness import format_table, save_results, time_callable
+from repro.core import frontend, scheduling
+from repro.core.pipeline import CompileOptions, StencilCompiler
+from repro.core.stencil import gauss_seidel_5pt_2d, gauss_seidel_9pt_2d
+from repro.core.tiling import legalize_tile_sizes
+from repro.machine import XEON_6152, WorkloadProfile, simulate_wavefront_execution
+
+PAPER_DOMAIN = (4000, 4000)
+
+
+def _parallel_efficiency(pattern, tiles) -> float:
+    grid = [max(1, n // t) for n, t in zip(PAPER_DOMAIN, tiles)]
+    deps = pattern.block_stencil_offsets(tiles)
+    offsets, _ = scheduling.compute_parallel_blocks(grid, deps)
+    profile = WorkloadProfile(
+        wavefront_sizes=scheduling.group_sizes(offsets),
+        tile_seconds=1e-5,
+        tile_bytes=1e3,
+        iterations=1,
+    )
+    one = simulate_wavefront_execution(profile, 1, XEON_6152)
+    sim = simulate_wavefront_execution(profile, 44, XEON_6152)
+    return one / sim
+
+
+def _measure_9pt(tiles) -> float:
+    pattern = gauss_seidel_9pt_2d()
+    module = frontend.build_stencil_kernel(
+        pattern, (128, 128), frontend.identity_body(8.0), iterations=2
+    )
+    kernel = StencilCompiler(
+        CompileOptions(tile_sizes=tiles, vectorize=BENCH_VF)
+    ).compile(module)
+    rng = np.random.default_rng(0)
+    x = rng.standard_normal((1, 128, 128))
+    b = rng.standard_normal((1, 128, 128))
+    return time_callable(lambda: kernel(x, b, x.copy()), repeats=2)
+
+
+def test_tile_restriction_ablation(benchmark):
+    p9 = gauss_seidel_9pt_2d()
+    p5 = gauss_seidel_5pt_2d()
+
+    # The restriction is forced: any multi-row tile is illegal for 9pt.
+    assert legalize_tile_sizes(p9, (16, 128)) == [1, 128]
+    assert (0, 1) in p9.block_stencil_offsets([16, 128])  # the cycle
+
+    def run():
+        return {t: _measure_9pt((1, t)) for t in (32, 64, 128)}
+
+    measured_1xt = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    eff_9 = _parallel_efficiency(p9, (1, 128))
+    eff_5 = _parallel_efficiency(p5, (32, 64))
+    rows = [
+        ["9pt, 1x128 (restricted)", f"{eff_9:.1f}x"],
+        ["5pt, 32x64 (unrestricted)", f"{eff_5:.1f}x"],
+    ]
+    print()
+    print(
+        format_table(
+            ["sub-domain shape", "simulated 44-thread scaling"],
+            rows,
+            title="Ablation (§2.1): cost of the tile-size-1 restriction",
+        )
+    )
+    print(
+        format_table(
+            ["1xT tile", "measured seconds (128^2, 2 sweeps)"],
+            [[f"1x{t}", s] for t, s in measured_1xt.items()],
+            title="Legal 9pt tile shapes (measured)",
+        )
+    )
+    save_results(
+        "ablation_tile_restriction",
+        {
+            "scaling_44": {"9pt_1x128": eff_9, "5pt_32x64": eff_5},
+            "measured_1xT": {str(k): v for k, v in measured_1xt.items()},
+        },
+    )
+    # The paper's explanation of Fig. 12: the restricted shape scales
+    # distinctly worse than an unrestricted one.
+    assert eff_5 > eff_9

@@ -1,0 +1,120 @@
+"""Figure 13 — ablation of the transformations on 3D heat Gauss-Seidel.
+
+Four configurations (§4.2):
+
+* Tr1: sub-domain parallelism only;
+* Tr2: + tiling & fusion;
+* Tr3: Tr1 + vectorization;
+* Tr4: everything.
+
+1-thread times are real runs of the compiled configurations at our scale
+(24^3); the thread curves list-schedule the compiler's wavefront schedule
+at the paper's 514^3 / (6,12,256) sub-domain grid over the Xeon 6152
+model. Fused configurations stream each sub-domain once instead of once
+per phase, which is what lets them keep scaling past the bandwidth knee
+(the paper's Tr2-vs-Tr1 / Tr4-vs-Tr3 observation).
+"""
+
+import numpy as np
+import pytest
+
+from repro.bench.experiments import BENCH_VF, hw_per_cell
+from repro.bench.harness import format_series, save_results, time_callable
+from repro.cfdlib.heat import build_heat3d_module, initial_temperature
+from repro.core import scheduling
+from repro.core.pipeline import StencilCompiler, ablation_options
+from repro.machine import XEON_6152, WorkloadProfile, simulate_wavefront_execution
+
+N = 24
+STEPS = 2
+OUR_SUBDOMAINS = (6, 12, 22)
+OUR_TILES = (6, 6, 22)
+VF = 22
+PAPER_N = 514
+PAPER_SUBDOMAINS = (6, 12, 256)
+THREADS = [1, 2, 4, 8, 16, 24, 32, 44]
+CONFIGS = ("Tr1", "Tr2", "Tr3", "Tr4")
+
+
+def _measure_config(tr: str) -> float:
+    module = build_heat3d_module(N, STEPS)
+    options = ablation_options(tr, OUR_SUBDOMAINS, OUR_TILES, vf=VF)
+    kernel = StencilCompiler(options).compile(module, entry="heat")
+    t0 = initial_temperature(N)[None]
+    dt0 = np.zeros_like(t0)
+    return time_callable(lambda: kernel(t0, dt0), repeats=2)
+
+
+def _paper_profile(tr: str, seconds: float, base: float) -> WorkloadProfile:
+    grid = [max(1, -(-PAPER_N // t)) for t in PAPER_SUBDOMAINS]
+    offsets, _ = scheduling.compute_parallel_blocks(
+        grid, [(-1, 0, 0), (0, -1, 0), (0, 0, -1)]
+    )
+    sizes = scheduling.group_sizes(offsets)
+    # Hardware-anchored per-cell cost: Tr1 (scalar, unfused) is the
+    # anchor; every configuration keeps its measured ratio to it.
+    per_cell = hw_per_cell(seconds, base)
+    tile_cells = 1
+    for t in PAPER_SUBDOMAINS:
+        tile_cells *= t
+    fused = tr in ("Tr2", "Tr4")
+    streams = 3.0 if fused else 9.0  # 3 tensors once vs 3 tensors x 3 phases
+    return WorkloadProfile(
+        wavefront_sizes=[int(s) for s in sizes],
+        tile_seconds=per_cell * tile_cells,
+        tile_bytes=tile_cells * streams * 8.0,
+        iterations=50,
+    )
+
+
+def test_fig13_transformation_ablation(benchmark):
+    def run_all():
+        return {tr: _measure_config(tr) for tr in CONFIGS}
+
+    seconds = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    base = seconds["Tr1"]
+    curves = {}
+    for tr in CONFIGS:
+        profile = _paper_profile(tr, seconds[tr], base)
+        one = simulate_wavefront_execution(profile, 1, XEON_6152)
+        curve = {}
+        for p in THREADS:
+            sim = simulate_wavefront_execution(profile, p, XEON_6152)
+            curve[p] = (base / seconds[tr]) * (one / sim)
+        curves[tr] = curve
+    print()
+    print(
+        format_series(
+            "threads",
+            curves,
+            title=(
+                "Figure 13: speedup vs sequential Tr1 "
+                f"(measured at {N}^3, thread scaling simulated at "
+                f"{PAPER_N}^3 / {PAPER_SUBDOMAINS})"
+            ),
+        )
+    )
+    save_results("fig13_ablation", curves)
+
+    # Paper shapes:
+    # vectorization dominates at low thread counts...
+    assert curves["Tr3"][1] > 1.5 * curves["Tr1"][1]
+    assert curves["Tr4"][1] > 1.5 * curves["Tr2"][1]
+    # ... scaling is near-linear early, then hits diminishing returns
+    # (Tr1 saturates a NUMA node's bandwidth first; the fused Tr2 keeps
+    # near-linear scaling to 8 threads).
+    assert curves["Tr1"][4] > 3 * curves["Tr1"][1]
+    assert curves["Tr2"][8] > 6 * curves["Tr2"][1]
+    for tr in CONFIGS:
+        assert curves[tr][44] < 44 * curves[tr][1]
+        assert curves[tr][44] / curves[tr][16] < 44 / 16  # knee exists
+    # The full pipeline wins at the full machine (within noise).
+    assert curves["Tr4"][44] >= 0.9 * max(c[44] for c in curves.values())
+    # Fusion improves *scalability*: the fused configurations keep more
+    # of their speedup when going wide (Tr2 vs Tr1, Tr4 vs Tr3), the
+    # paper's central Fig. 13 observation.
+    def scaling(tr):
+        return curves[tr][44] / curves[tr][1]
+
+    assert scaling("Tr2") > scaling("Tr1")
+    assert scaling("Tr4") > scaling("Tr3")

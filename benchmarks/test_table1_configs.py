@@ -1,0 +1,61 @@
+"""Table 1 — Gauss-Seidel kernel test-case configurations.
+
+Regenerates the configuration table (paper scale and the scaled-down
+sizes this reproduction actually runs) and benchmarks one generated
+kernel per case to anchor the absolute numbers.
+"""
+
+import pytest
+
+from repro.bench.experiments import KERNEL_CASES, build_mlir_kernel, case_inputs
+from repro.bench.harness import format_table, save_results
+
+
+def _dims(t):
+    return " x ".join(str(x) for x in t)
+
+
+def test_table1_configurations(benchmark):
+    rows = []
+    data = {}
+    for case in KERNEL_CASES.values():
+        rows.append(
+            [
+                case.name,
+                _dims(case.paper_domain),
+                case.paper_iterations,
+                _dims(case.domain),
+                case.iterations,
+            ]
+        )
+        data[case.name] = {
+            "paper_domain": case.paper_domain,
+            "paper_iterations": case.paper_iterations,
+            "our_domain": case.domain,
+            "our_iterations": case.iterations,
+        }
+    print()
+    print(
+        format_table(
+            ["Case", "Paper domain", "Paper iters", "Our domain", "Our iters"],
+            rows,
+            title="Table 1: Gauss-Seidel kernel test case configurations",
+        )
+    )
+    save_results("table1_configs", data)
+    # Anchor: one run of the generated 5-point kernel.
+    case = KERNEL_CASES["seidel-2D-5pt"]
+    kernel = build_mlir_kernel(case)
+    x, b = case_inputs(case)
+    y0 = x.copy()
+    benchmark(lambda: kernel(x, b, y0))
+
+
+@pytest.mark.parametrize("name", list(KERNEL_CASES))
+def test_each_case_compiles_and_runs(benchmark, name):
+    case = KERNEL_CASES[name]
+    kernel = build_mlir_kernel(case)
+    x, b = case_inputs(case)
+    y0 = x.copy()
+    result = benchmark(lambda: kernel(x, b, y0))
+    assert result[0].shape == x.shape

@@ -1,0 +1,75 @@
+"""Table 3 — Pluto tile size configurations.
+
+Autotunes the Pluto-like baseline by measurement over a small candidate
+pool (Pluto itself is tuned the same way in the paper) and prints the
+chosen sizes against the paper's.
+"""
+
+import itertools
+
+import numpy as np
+import pytest
+
+from repro.baselines.pluto import PlutoOptions, PlutoStencil
+from repro.bench.experiments import KERNEL_CASES
+from repro.bench.harness import format_table, save_results, time_callable
+
+_POOL_2D = [(8, 8), (8, 16), (16, 16), (16, 32), (32, 32)]
+_POOL_3D = [(4, 8, 8), (4, 8, 16), (4, 16, 16)]
+
+
+def _tune_case(case):
+    pattern = case.pattern_factory()
+    rng = np.random.default_rng(0)
+    # A reduced domain keeps the measured search cheap.
+    domain = tuple(min(n, 64) for n in case.domain)
+    u = rng.standard_normal(domain)
+    b = rng.standard_normal(domain)
+    pool = _POOL_3D if len(domain) == 3 else _POOL_2D
+    best, best_t = None, float("inf")
+    trace = {}
+    for tiles in pool:
+        kernel = PlutoStencil(
+            pattern, case.d, PlutoOptions(variant=2, tile_sizes=tiles)
+        )
+        t = time_callable(lambda: kernel.run(u, b, 1), repeats=2, warmup=0)
+        trace[tiles] = t
+        if t < best_t:
+            best, best_t = tiles, t
+    return best, trace
+
+
+def test_table3_pluto_tile_sizes(benchmark):
+    rows = []
+    data = {}
+
+    def tune_all():
+        return {
+            name: _tune_case(case) for name, case in KERNEL_CASES.items()
+        }
+
+    results = benchmark.pedantic(tune_all, rounds=1, iterations=1)
+    for case in KERNEL_CASES.values():
+        best, trace = results[case.name]
+        rows.append(
+            [
+                case.name,
+                " x ".join(map(str, case.paper_pluto_tiles)),
+                " x ".join(map(str, best)),
+                len(trace),
+            ]
+        )
+        data[case.name] = {
+            "paper": case.paper_pluto_tiles,
+            "tuned": best,
+            "trace": {str(k): v for k, v in trace.items()},
+        }
+    print()
+    print(
+        format_table(
+            ["Case", "Paper tiles (1-10 thr)", "Tuned tiles (ours)", "Tried"],
+            rows,
+            title="Table 3: Pluto tile size configurations (measured tuning)",
+        )
+    )
+    save_results("table3_pluto_tiles", data)

@@ -1,0 +1,83 @@
+#!/usr/bin/env python
+"""The paper's §4.3 end-to-end case: 3D Euler with LU-SGS.
+
+Builds the full implicit solver of Fig. 14 in the cfd dialect — periodic
+ghost refresh, Roe fluxes via three ``cfd.faceIteratorOp``, forward and
+backward Gauss-Seidel sweeps (the backward one using the sign-inverted
+pattern with initial-content reads), pointwise state update — compiles it
+through the whole pipeline, and compares it with both the reference
+transcription and the elsA-like hand-optimized solver on a periodic
+density wave.
+
+Run:  python examples/euler_lusgs.py
+"""
+
+import time
+
+import numpy as np
+
+from repro.baselines.elsa import elsa_solve
+from repro.cfdlib import euler
+from repro.cfdlib.boundary import add_ghost_layers
+from repro.cfdlib.lusgs import (
+    LUSGSConfig,
+    build_lusgs_module,
+    lusgs_reference,
+    stable_dt,
+)
+from repro.cfdlib.mesh import StructuredMesh
+from repro.core.pipeline import CompileOptions, StencilCompiler
+
+
+def main() -> None:
+    n, steps = 12, 2
+    mesh = StructuredMesh((n, n, n))
+    w0 = euler.density_wave((n, n, n), amplitude=0.05)
+    config = LUSGSConfig(mesh=mesh, dt=stable_dt(w0, mesh, cfl=1.0))
+    print(f"3D Euler, periodic box {n}^3, dt={config.dt:.4f}, "
+          f"{steps} implicit steps (Roe flux + LU-SGS)")
+
+    module = build_lusgs_module(config, steps=steps)
+    ops = [op.name for op in module.walk()]
+    print(f"IR: {ops.count('cfd.faceIteratorOp')} faceIterator ops, "
+          f"{ops.count('cfd.stencilOp')} stencil sweeps (Fig. 14 graph)")
+
+    options = CompileOptions(
+        subdomain_sizes=(6, 6, 12),
+        tile_sizes=(3, 3, 12),
+        fuse=True,
+        parallel=True,
+        vectorize=12,
+    )
+    kernel = StencilCompiler(options).compile(module, entry="lusgs")
+
+    start = time.perf_counter()
+    (w_gen,) = kernel(add_ghost_layers(w0))
+    t_gen = time.perf_counter() - start
+    inner = (slice(None),) + (slice(1, -1),) * 3
+
+    start = time.perf_counter()
+    w_elsa = elsa_solve(w0, config, steps=steps)
+    t_elsa = time.perf_counter() - start
+
+    print("reference (pure-Python transcription) ...")
+    w_ref = lusgs_reference(w0, config, steps=steps)
+
+    err_gen = float(np.abs(w_gen[inner] - w_ref).max())
+    err_elsa = float(np.abs(w_elsa - w_ref).max())
+    euler.validate_state(w_gen[inner])
+
+    cells = n**3
+    print(f"\n  generated solver : {t_gen * 1e3:8.1f} ms "
+          f"({t_gen / (steps * cells) * 1e6:.2f} us/cell/step), "
+          f"max err {err_gen:.1e}")
+    print(f"  elsA-like (hand) : {t_elsa * 1e3:8.1f} ms "
+          f"({t_elsa / (steps * cells) * 1e6:.2f} us/cell/step), "
+          f"max err {err_elsa:.1e}")
+    assert err_gen < 1e-8 and err_elsa < 1e-8
+    print("\nOK: the generated implicit solver matches the hand-optimized "
+          "one (the paper's Fig. 15 claim at our scale).")
+
+
+if __name__ == "__main__":
+    main()

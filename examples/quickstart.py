@@ -1,0 +1,67 @@
+#!/usr/bin/env python
+"""Quickstart: compile and run a 2D Gauss-Seidel in-place stencil.
+
+This walks the full path of the paper in ~50 lines:
+
+1. describe the stencil pattern (the L/U split of Eq. 2);
+2. build a ``cfd.stencilOp`` kernel with the frontend;
+3. compile it with the full pipeline — sub-domain wavefronts, cache
+   tiling, fusion, partial vectorization;
+4. run it on NumPy arrays and check it against the textbook sweep.
+
+Run:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro.baselines import naive
+from repro.core import frontend
+from repro.core.pipeline import CompileOptions, StencilCompiler
+from repro.core.stencil import gauss_seidel_5pt_2d
+
+
+def main() -> None:
+    n = 130
+    iterations = 5
+    pattern = gauss_seidel_5pt_2d()
+    print(f"pattern: {pattern}")
+    print(f"  L (current-iteration reads): {pattern.l_offsets}")
+    print(f"  U (previous-iteration reads): {pattern.u_offsets}")
+
+    # The kernel: `iterations` in-place sweeps of
+    #     Y[i,j] = (B[i,j] + Y[i-1,j] + Y[i,j-1] + X[i,j+1] + X[i+1,j]) / 4
+    module = frontend.build_stencil_kernel(
+        pattern, (n, n), frontend.identity_body(4.0), iterations=iterations
+    )
+
+    options = CompileOptions(
+        subdomain_sizes=(32, 64),  # wavefront-parallel sub-domains (§2.3)
+        tile_sizes=(16, 32),       # L2 cache blocking (§2.1)
+        fuse=True,                 # producers recomputed per tile (§2.2)
+        vectorize=32,              # partial vectorization (§2.4)
+        parallel=True,             # cfd.get_parallel_blocks groups (§3.4)
+    )
+    compiler = StencilCompiler(options)
+    kernel = compiler.compile(module)
+    print(f"\npipeline: {compiler.pass_manager.pipeline_description()}")
+    print(f"generated code: {len(kernel.source.splitlines())} lines of Python")
+
+    rng = np.random.default_rng(0)
+    x = rng.standard_normal((1, n, n))
+    b = rng.standard_normal((1, n, n))
+    (y,) = kernel(x, b, x.copy())
+
+    # The ground truth: the plain lexicographic in-place sweep.
+    expected = x[0].copy()
+    for _ in range(iterations):
+        expected = naive.gauss_seidel_sweep_python(
+            expected, b[0], pattern, 4.0
+        )
+    error = float(np.abs(y[0] - expected).max())
+    print(f"\nmax |generated - reference| after {iterations} sweeps: {error:.3e}")
+    assert error < 1e-10
+    print("OK: the optimized kernel reproduces the textbook Gauss-Seidel.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,78 @@
+#!/usr/bin/env python
+"""SOR on a Poisson problem: the convergence claim of the paper's §1.
+
+Gauss-Seidel converges quadratically faster than Jacobi, and SOR with
+the optimal relaxation factor faster still [Greenbaum 1997] — that is
+*why* in-place stencils are worth generating good code for. This example
+solves a 2D Poisson problem three ways using the *generated* kernels
+(Jacobi's out-of-place pattern and SOR's in-place one through the same
+compiler) and prints the iteration counts.
+
+Run:  python examples/sor_poisson.py
+"""
+
+import numpy as np
+
+from repro.cfdlib.solvers import optimal_sor_omega, poisson_residual
+from repro.core import frontend
+from repro.core.pipeline import CompileOptions, StencilCompiler
+from repro.core.stencil import gauss_seidel_5pt_2d, jacobi_5pt_2d
+
+
+def compiled_sweep(pattern, body, n):
+    module = frontend.build_stencil_kernel(pattern, (n, n), body)
+    return StencilCompiler(CompileOptions(vectorize=32)).compile(module)
+
+
+def solve(kernel, b_term, u0, f, h, tol, max_iters=4000):
+    u = u0.copy()
+    for it in range(1, max_iters + 1):
+        (u,) = kernel(u, b_term, u)
+        if it % 10 == 0 and poisson_residual(u[0], f, h) < tol:
+            return u, it
+    return u, max_iters
+
+
+def main() -> None:
+    n = 34
+    h = 1.0 / (n - 1)
+    x = np.linspace(0, 1, n)
+    xx, yy = np.meshgrid(x, x, indexing="ij")
+    f = -2.0 * np.pi**2 * np.sin(np.pi * xx) * np.sin(np.pi * yy)
+    # In the (B + sum neighbours)/d normal form, B = -h^2 f.
+    b_term = (-(h * h) * f)[None]
+    u0 = np.zeros((1, n, n))
+    tol = 1e-8
+    omega = optimal_sor_omega(n - 2)
+
+    runs = {
+        "Jacobi (out-of-place)": compiled_sweep(
+            jacobi_5pt_2d(), frontend.identity_body(4.0), n
+        ),
+        "Gauss-Seidel (in-place)": compiled_sweep(
+            gauss_seidel_5pt_2d(), frontend.identity_body(4.0), n
+        ),
+        f"SOR omega={omega:.3f}": compiled_sweep(
+            gauss_seidel_5pt_2d(), frontend.sor_body(omega, 4.0), n
+        ),
+    }
+
+    print(f"2D Poisson, {n}x{n}, target residual {tol:g}\n")
+    iters = {}
+    for name, kernel in runs.items():
+        u, it = solve(kernel, b_term, u0, f, h, tol)
+        iters[name] = it
+        res = poisson_residual(u[0], f, h)
+        print(f"  {name:26s}: {it:5d} sweeps (residual {res:.2e})")
+
+    jac = iters["Jacobi (out-of-place)"]
+    gs = iters["Gauss-Seidel (in-place)"]
+    print(f"\nGauss-Seidel needed {jac / gs:.1f}x fewer sweeps than Jacobi "
+          "(the asymptotic factor is 2); SOR improves on both — the reason "
+          "the paper targets in-place stencils despite their harder "
+          "parallelization.")
+    assert gs < jac
+
+
+if __name__ == "__main__":
+    main()

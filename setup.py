@@ -1,0 +1,6 @@
+"""Legacy setup shim: enables `pip install -e .` without network access
+(the sandbox has no `wheel` package, so the PEP 517 editable path fails)."""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,24 @@
+"""Reproduction of "Code Generation for In-Place Stencils" (CGO 2023).
+
+A domain-specific code generator for iterative in-place stencils
+(Gauss-Seidel / SOR), built on a pure-Python mini-MLIR:
+
+* :mod:`repro.ir` — SSA IR core (types, attributes, ops, regions,
+  printer/parser, verifier, rewriter, passes);
+* :mod:`repro.dialects` — arith/math/func/scf/tensor/memref/vector/linalg
+  plus the paper's ``cfd`` dialect;
+* :mod:`repro.core` — the paper's contribution: stencil patterns, tiling
+  with the in-place restriction, fusion after tiling, sub-domain wavefront
+  scheduling, partial vectorization, and the compilation pipeline;
+* :mod:`repro.codegen` — reference interpreter and NumPy-emitting backend;
+* :mod:`repro.machine` — Xeon 6152 machine model and thread-scaling
+  simulator;
+* :mod:`repro.cfdlib` — CFD numerics substrate (meshes, Gauss-Seidel/SOR/
+  Jacobi, 3D heat, 3D Euler with Roe flux and LU-SGS);
+* :mod:`repro.baselines` — naive scalar, Pluto-like polyhedral, and
+  elsA-like hand-optimized baselines;
+* :mod:`repro.bench` — experiment harness regenerating every table and
+  figure of the paper's evaluation.
+"""
+
+__version__ = "1.0.0"

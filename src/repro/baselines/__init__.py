@@ -1,0 +1,10 @@
+"""Baseline implementations used by the evaluation.
+
+* :mod:`repro.baselines.naive` — the sequential "C" baseline: direct
+  lexicographic loops, the denominator of every speedup in Figs. 11/12;
+* :mod:`repro.baselines.pluto` — a Pluto-like polyhedral baseline with
+  skewed (parallelogram) wavefront tiling, in the two configurations of
+  §4.1 (C+Pluto 1 and C+Pluto 2);
+* :mod:`repro.baselines.elsa` — an elsA-like hand-optimized LU-SGS solver
+  (the industrial comparator of Fig. 15).
+"""

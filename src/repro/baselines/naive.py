@@ -1,0 +1,169 @@
+"""Naive reference implementations: the sequential baseline.
+
+These direct lexicographic sweeps play the role of the PolyBench C
+kernels compiled with ``clang -O3`` in §4.1 — they define both the
+*semantics* every compiled kernel must reproduce and the *baseline time*
+of every speedup plot.
+
+Two flavors are provided:
+
+* ``*_python``: pure-Python element loops calling a scalar kernel — the
+  byte-for-byte reference used in correctness tests;
+* ``*_rows``: a row-at-a-time variant that still honours the in-place
+  dependences but uses NumPy for the U/B part; used as the timed
+  "scalar C" stand-in where pure Python would be prohibitively slow.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Callable, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.stencil import StencilPattern
+
+#: Scalar payload: (args per access + center, nv each) -> (d, contributions).
+ScalarBody = Callable[[List[float]], Tuple[float, List[float]]]
+
+
+def identity_scalar_body(d: float, nb_var: int = 1) -> ScalarBody:
+    """The pure Gauss-Seidel payload matching
+    :func:`repro.core.frontend.identity_body`: neighbors contribute
+    themselves, the center contributes nothing."""
+
+    def body(args: List[float]) -> Tuple[float, List[float]]:
+        return d, list(args[: len(args) - nb_var]) + [0.0] * nb_var
+
+    return body
+
+
+def stencil_sweep_python(
+    x: np.ndarray,
+    b: np.ndarray,
+    y: np.ndarray,
+    pattern: StencilPattern,
+    body: ScalarBody,
+    nb_var: int = 1,
+) -> np.ndarray:
+    """One in-place sweep: the executable form of Eq. (2).
+
+    ``y`` is updated and returned (the caller passes a copy when the
+    original must be preserved). Visits interior cells in sweep-directed
+    lexicographic order.
+    """
+    space_shape = y.shape[1:]
+    bounds = pattern.interior_bounds(space_shape)
+    ranges = [range(lo, hi) for lo, hi in bounds]
+    if pattern.sweep == -1:
+        ranges = [range(hi - 1, lo - 1, -1) for lo, hi in bounds]
+    accesses = pattern.accesses
+    n_args = (len(accesses) + 1) * nb_var
+    for i in itertools.product(*ranges):
+        args: List[float] = []
+        for offset, tag in accesses:
+            src = y if tag == -1 else x
+            pos = tuple(ii + oi for ii, oi in zip(i, offset))
+            for v in range(nb_var):
+                args.append(float(src[(v,) + pos]))
+        for v in range(nb_var):
+            args.append(float(x[(v,) + i]))
+        d, contributions = body(args)
+        if len(contributions) == n_args - nb_var:
+            contributions = list(contributions) + [0.0] * nb_var
+        for v in range(nb_var):
+            total = float(b[(v,) + i])
+            for a in range(len(accesses) + 1):
+                total += contributions[a * nb_var + v]
+            y[(v,) + i] = total / d
+    return y
+
+
+def gauss_seidel_sweep_python(
+    u: np.ndarray, b: np.ndarray, pattern: StencilPattern, d: float
+) -> np.ndarray:
+    """Classic single-field Gauss-Seidel: ``u[i] = (b[i] + sum(nbrs))/d``
+    truly in place on a rank-k array (no leading variable dimension)."""
+    bounds = pattern.interior_bounds(u.shape)
+    ranges = [range(lo, hi) for lo, hi in bounds]
+    if pattern.sweep == -1:
+        ranges = [range(hi - 1, lo - 1, -1) for lo, hi in bounds]
+    accesses = pattern.accesses
+    for i in itertools.product(*ranges):
+        total = b[i]
+        for offset, _tag in accesses:
+            total += u[tuple(ii + oi for ii, oi in zip(i, offset))]
+        u[i] = total / d
+    return u
+
+
+def gauss_seidel_sweep_rows(
+    u: np.ndarray, b: np.ndarray, pattern: StencilPattern, d: float
+) -> np.ndarray:
+    """Row-at-a-time Gauss-Seidel for 2-D patterns.
+
+    For each row ``i`` (lexicographic), accumulate all accesses that do
+    not touch the current row's yet-unwritten elements with NumPy row
+    slices, then resolve the intra-row recurrence element by element.
+    Bit-equivalent ordering to the scalar sweep is *not* guaranteed (the
+    U/B terms are grouped); agreement is to rounding. Used as the timed
+    scalar baseline.
+    """
+    if pattern.rank != 2:
+        raise ValueError("gauss_seidel_sweep_rows is 2-D only")
+    (lo0, hi0), (lo1, hi1) = pattern.interior_bounds(u.shape)
+    row_accesses = []  # offsets touching the current row, j-offset only
+    other_accesses = []  # offsets resolved with a shifted row slice
+    for (o0, o1), _tag in pattern.accesses:
+        if o0 == 0 and o1 < 0:
+            row_accesses.append(o1)
+        else:
+            other_accesses.append((o0, o1))
+    width = hi1 - lo1
+    for i in range(lo0, hi0):
+        acc = b[i, lo1:hi1].astype(np.float64, copy=True)
+        for o0, o1 in other_accesses:
+            acc += u[i + o0, lo1 + o1 : lo1 + o1 + width]
+        if not row_accesses:
+            u[i, lo1:hi1] = acc / d
+            continue
+        row = u[i]
+        for j in range(lo1, hi1):
+            total = acc[j - lo1]
+            for o1 in row_accesses:
+                total += row[j + o1]
+            row[j] = total / d
+    return u
+
+
+def jacobi_sweep(
+    u: np.ndarray, b: np.ndarray, pattern: StencilPattern, d: float
+) -> np.ndarray:
+    """One out-of-place Jacobi sweep (empty L): fully vectorizable."""
+    if pattern.l_offsets:
+        raise ValueError("jacobi_sweep requires an out-of-place pattern")
+    bounds = pattern.interior_bounds(u.shape)
+    interior = tuple(slice(lo, hi) for lo, hi in bounds)
+    acc = b[interior].astype(np.float64, copy=True)
+    for offset, _tag in pattern.accesses:
+        shifted = tuple(
+            slice(lo + o, hi + o) for (lo, hi), o in zip(bounds, offset)
+        )
+        acc += u[shifted]
+    out = u.copy()
+    out[interior] = acc / d
+    return out
+
+
+def iterate(
+    sweep: Callable[..., np.ndarray],
+    u: np.ndarray,
+    b: np.ndarray,
+    pattern: StencilPattern,
+    d: float,
+    iterations: int,
+) -> np.ndarray:
+    """Apply ``sweep`` repeatedly (each sweep sees the previous result)."""
+    for _ in range(iterations):
+        u = sweep(u, b, pattern, d)
+    return u

@@ -1,0 +1,254 @@
+"""A Pluto-like polyhedral baseline (§4.1).
+
+Pluto parallelizes in-place stencils with *skewed parallelogram tiles*
+aligned with the wavefronts, and its generated code fails to vectorize
+the in-place inner loops (the paper's explanation of Fig. 11's gap).
+This module reproduces both properties:
+
+* a generic **skewed wavefront executor**: the iteration space (optionally
+  including the time dimension, Pluto configuration 1) is skewed until
+  every dependence distance is non-negative, tiled rectangularly in the
+  skewed coordinates, and tiles execute wavefront by wavefront (sum of
+  tile coordinates);
+* cell updates run **scalar** (one Python statement per cell), the analog
+  of unvectorized C in this reproduction's performance model;
+* for the out-of-place Jacobi comparison, a vectorized variant is
+  provided (Pluto's parallelogram tiles do not hamper vectorizing
+  out-of-place stencils, §4.1 last paragraph).
+
+Configuration 1 tiles time + space (scop around the whole kernel);
+configuration 2 tiles space only, once per sweep.
+
+Because Gauss-Seidel is a deterministic dataflow, any dependence-
+respecting execution order yields bit-identical results — correctness of
+the exotic traversals is asserted against the plain lexicographic sweep.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.baselines import naive
+from repro.core.stencil import StencilPattern
+
+
+@dataclass
+class PlutoOptions:
+    """Mirror of ``pluto --parallel --tile`` with the two scop placements
+    of §4.1 (variant 1: time+space; variant 2: space only)."""
+
+    variant: int = 1
+    tile_sizes: Tuple[int, ...] = (16, 16)
+    time_tile: int = 4
+
+    def __post_init__(self) -> None:
+        if self.variant not in (1, 2):
+            raise ValueError("Pluto variant must be 1 or 2")
+
+
+def spatial_skew_factors(pattern: StencilPattern) -> List[int]:
+    """Skews of each spatial dim w.r.t. dim 0 making intra-sweep
+    dependence distances non-negative (Pluto's legality transform).
+
+    The distance of an L offset ``o`` is ``-o``; a negative trailing
+    distance (``o_d > 0`` with ``o_0 < 0``, e.g. the 9-point ``(-1, 1)``)
+    requires skewing dim ``d`` by dim 0.
+    """
+    factors = [0] * pattern.rank
+    for o in pattern.schedule_relevant_offsets():
+        if o[0] < 0:
+            for d in range(1, pattern.rank):
+                if o[d] > 0:
+                    # need f_d * (-o_0) >= o_d
+                    needed = -(-o[d] // -o[0])  # ceil(o_d / -o_0)
+                    factors[d] = max(factors[d], needed)
+    return factors
+
+
+def time_skew_factors(pattern: StencilPattern) -> List[int]:
+    """Skews of each spatial dim w.r.t. time making inter-sweep
+    dependence distances ``(1, -u)`` non-negative: ``g_d = max(0, u_d)``.
+    """
+    factors = []
+    for d in range(pattern.rank):
+        hi = max([0] + [o[d] for o in pattern.u_offsets])
+        factors.append(hi)
+    return factors
+
+
+class PlutoStencil:
+    """Executes an iterative in-place stencil the way Pluto would."""
+
+    def __init__(
+        self,
+        pattern: StencilPattern,
+        d: float,
+        options: PlutoOptions = None,
+    ) -> None:
+        if pattern.sweep != 1:
+            raise ValueError("the Pluto baseline models forward sweeps")
+        self.pattern = pattern
+        self.d = float(d)
+        self.options = options or PlutoOptions()
+        if len(self.options.tile_sizes) != pattern.rank:
+            raise ValueError("tile_sizes rank must match the pattern")
+        #: Filled by :meth:`run`: tiles per wavefront, for the simulator.
+        self.last_wavefront_sizes: List[int] = []
+
+    # ---- public API -------------------------------------------------------
+
+    def run(self, u: np.ndarray, b: np.ndarray, iterations: int) -> np.ndarray:
+        """Apply ``iterations`` in-place sweeps; returns the updated array
+        (the input is not modified)."""
+        u = u.copy()
+        if self.options.variant == 1:
+            self._run_time_space(u, b, iterations)
+        else:
+            for _ in range(iterations):
+                self._run_space(u, b)
+        return u
+
+    # ---- variant 2: space-only skewed tiling ---------------------------------
+
+    def _run_space(self, u: np.ndarray, b: np.ndarray) -> None:
+        pattern = self.pattern
+        bounds = pattern.interior_bounds(u.shape)
+        skews = spatial_skew_factors(pattern)
+        tiles = self.options.tile_sizes
+        lo = [lb for lb, _ in bounds]
+        hi = [ub for _, ub in bounds]
+        # Skewed coordinate d' = x_d + skews[d] * x_0; skewed extents:
+        s_lo = [lo[0]] + [
+            lo[d] + skews[d] * lo[0] for d in range(1, pattern.rank)
+        ]
+        s_hi = [hi[0]] + [
+            hi[d] + skews[d] * (hi[0] - 1) for d in range(1, pattern.rank)
+        ]
+        grid = [
+            max(0, -(-(s_hi[d] - s_lo[d]) // tiles[d]))
+            for d in range(pattern.rank)
+        ]
+        wave_sizes: Dict[int, int] = {}
+        accesses = pattern.accesses
+        d_const = self.d
+        for tile in itertools.product(*(range(g) for g in grid)):
+            wave_sizes[sum(tile)] = wave_sizes.get(sum(tile), 0) + 1
+        self.last_wavefront_sizes = [
+            wave_sizes[w] for w in sorted(wave_sizes)
+        ]
+        for wave in sorted(wave_sizes):
+            for tile in itertools.product(*(range(g) for g in grid)):
+                if sum(tile) != wave:
+                    continue
+                self._execute_space_tile(
+                    u, b, tile, tiles, s_lo, s_hi, skews, lo, hi,
+                    accesses, d_const,
+                )
+
+    def _execute_space_tile(
+        self, u, b, tile, tiles, s_lo, s_hi, skews, lo, hi, accesses, d_const
+    ) -> None:
+        rank = self.pattern.rank
+        ranges = []
+        for d in range(rank):
+            start = s_lo[d] + tile[d] * tiles[d]
+            stop = min(start + tiles[d], s_hi[d])
+            ranges.append(range(start, stop))
+        for skewed in itertools.product(*ranges):
+            x0 = skewed[0]
+            cell = [x0]
+            ok = lo[0] <= x0 < hi[0]
+            for d in range(1, rank):
+                xd = skewed[d] - skews[d] * x0
+                cell.append(xd)
+                ok = ok and lo[d] <= xd < hi[d]
+            if not ok:
+                continue
+            cell_t = tuple(cell)
+            total = b[cell_t]
+            for offset, _tag in accesses:
+                total += u[tuple(c + o for c, o in zip(cell_t, offset))]
+            u[cell_t] = total / d_const
+
+    # ---- variant 1: time + space skewed tiling -----------------------------
+
+    def _run_time_space(
+        self, u: np.ndarray, b: np.ndarray, iterations: int
+    ) -> None:
+        pattern = self.pattern
+        rank = pattern.rank
+        bounds = pattern.interior_bounds(u.shape)
+        lo = [lb for lb, _ in bounds]
+        hi = [ub for _, ub in bounds]
+        g = time_skew_factors(pattern)  # spatial skew per unit time
+        f = spatial_skew_factors(pattern)  # intra-space skew
+        tiles = (self.options.time_tile,) + tuple(self.options.tile_sizes)
+        # Skewed coords: t' = t; x0' = x0 + g0 t;
+        # xd' = (xd + gd t) + f_d * (x0 + g0 t)  for d >= 1.
+        s_lo = [0, lo[0]]
+        s_hi = [iterations, hi[0] + g[0] * (iterations - 1)]
+        for d in range(1, rank):
+            s_lo.append(lo[d] + f[d] * lo[0])
+            s_hi.append(
+                hi[d]
+                + g[d] * (iterations - 1)
+                + f[d] * (hi[0] + g[0] * (iterations - 1) - 1)
+            )
+        grid = [
+            max(0, -(-(s_hi[d] - s_lo[d]) // tiles[d]))
+            for d in range(rank + 1)
+        ]
+        wave_sizes: Dict[int, int] = {}
+        for tile in itertools.product(*(range(x) for x in grid)):
+            wave_sizes[sum(tile)] = wave_sizes.get(sum(tile), 0) + 1
+        self.last_wavefront_sizes = [
+            wave_sizes[w] for w in sorted(wave_sizes)
+        ]
+        accesses = pattern.accesses
+        d_const = self.d
+        for wave in sorted(wave_sizes):
+            for tile in itertools.product(*(range(x) for x in grid)):
+                if sum(tile) != wave:
+                    continue
+                ranges = []
+                for d in range(rank + 1):
+                    start = s_lo[d] + tile[d] * tiles[d]
+                    stop = min(start + tiles[d], s_hi[d])
+                    ranges.append(range(start, stop))
+                for skewed in itertools.product(*ranges):
+                    t = skewed[0]
+                    x0 = skewed[1] - g[0] * t
+                    if not (0 <= t < iterations and lo[0] <= x0 < hi[0]):
+                        continue
+                    cell = [x0]
+                    ok = True
+                    for d in range(1, rank):
+                        xd = skewed[1 + d] - g[d] * t - f[d] * skewed[1]
+                        cell.append(xd)
+                        ok = ok and lo[d] <= xd < hi[d]
+                    if not ok:
+                        continue
+                    cell_t = tuple(cell)
+                    total = b[cell_t]
+                    for offset, _tag in accesses:
+                        total += u[
+                            tuple(c + o for c, o in zip(cell_t, offset))
+                        ]
+                    u[cell_t] = total / d_const
+
+
+def pluto_jacobi(
+    u: np.ndarray,
+    b: np.ndarray,
+    pattern: StencilPattern,
+    d: float,
+    iterations: int,
+) -> np.ndarray:
+    """Pluto on the out-of-place Jacobi stencil: parallelogram tiles do
+    not impede vectorization there, so this runs at full NumPy speed —
+    the §4.1 "about 90% / 110%" comparison point."""
+    return naive.iterate(naive.jacobi_sweep, u.copy(), b, pattern, d, iterations)

@@ -1,0 +1,27 @@
+"""Benchmark harness: experiment definitions and reporting utilities.
+
+* :mod:`repro.bench.harness` — timing, table/series rendering, result
+  persistence;
+* :mod:`repro.bench.experiments` — the scaled-down configurations of
+  every table and figure in the paper's evaluation, and the builders
+  producing compiled kernels / baselines for them.
+
+The ``benchmarks/`` directory contains one pytest-benchmark module per
+table/figure, each printing the regenerated rows/series.
+"""
+
+from repro.bench.harness import (
+    Measurement,
+    format_series,
+    format_table,
+    save_results,
+    time_callable,
+)
+
+__all__ = [
+    "Measurement",
+    "format_series",
+    "format_table",
+    "save_results",
+    "time_callable",
+]

@@ -1,0 +1,110 @@
+"""Timing and reporting utilities shared by all benchmarks."""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence
+
+#: Where benchmark modules persist their regenerated data.
+RESULTS_DIR = Path(__file__).resolve().parents[3] / "benchmarks" / "results"
+
+
+@dataclass
+class Measurement:
+    """A timed quantity: median plus the raw samples."""
+
+    seconds: float
+    samples: List[float] = field(default_factory=list)
+
+    @classmethod
+    def collect(
+        cls, fn: Callable[[], Any], repeats: int = 3, warmup: int = 1
+    ) -> "Measurement":
+        for _ in range(warmup):
+            fn()
+        samples = []
+        for _ in range(repeats):
+            start = time.perf_counter()
+            fn()
+            samples.append(time.perf_counter() - start)
+        samples.sort()
+        return cls(samples[len(samples) // 2], samples)
+
+
+def time_callable(
+    fn: Callable[[], Any], repeats: int = 3, warmup: int = 1
+) -> float:
+    """Median wall-clock seconds of ``fn`` over ``repeats`` runs."""
+    return Measurement.collect(fn, repeats, warmup).seconds
+
+
+def format_table(
+    headers: Sequence[str], rows: Iterable[Sequence[Any]], title: str = ""
+) -> str:
+    """Render an ASCII table (the regenerated paper tables)."""
+    rows = [[_fmt(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    sep = "-+-".join("-" * w for w in widths)
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append(sep)
+    for row in rows:
+        lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def format_series(
+    x_label: str,
+    series: Dict[str, Dict[Any, float]],
+    title: str = "",
+    fmt: str = "{:.3g}",
+) -> str:
+    """Render several named series over a shared x axis (the figures)."""
+    xs = sorted({x for s in series.values() for x in s})
+    headers = [x_label] + list(series)
+    rows = []
+    for x in xs:
+        row = [x]
+        for name in series:
+            value = series[name].get(x)
+            row.append(fmt.format(value) if value is not None else "-")
+        rows.append(row)
+    return format_table(headers, rows, title=title)
+
+
+def save_results(name: str, data: Any) -> Path:
+    """Persist regenerated experiment data as JSON under
+    ``benchmarks/results/``; returns the path."""
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    path = RESULTS_DIR / f"{name}.json"
+    path.write_text(json.dumps(data, indent=2, default=_jsonable))
+    return path
+
+
+def _fmt(cell: Any) -> str:
+    if isinstance(cell, float):
+        return f"{cell:.4g}"
+    return str(cell)
+
+
+def _jsonable(obj: Any):
+    try:
+        import numpy as np
+
+        if isinstance(obj, np.integer):
+            return int(obj)
+        if isinstance(obj, np.floating):
+            return float(obj)
+        if isinstance(obj, np.ndarray):
+            return obj.tolist()
+    except ImportError:  # pragma: no cover
+        pass
+    return str(obj)

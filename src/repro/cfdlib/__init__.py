@@ -1,0 +1,21 @@
+"""CFD numerics substrate.
+
+The physical and numerical machinery the paper's evaluation runs on:
+
+* :mod:`repro.cfdlib.mesh` — structured Cartesian meshes;
+* :mod:`repro.cfdlib.boundary` — periodic / Dirichlet boundary handling;
+* :mod:`repro.cfdlib.solvers` — reference iterative linear solvers
+  (Jacobi, Gauss-Seidel, SOR, symmetric GS) and convergence utilities;
+* :mod:`repro.cfdlib.heat` — the 3D heat equation solved with
+  Gauss-Seidel (use case (d), Fig. 9/10), both as generated IR and as a
+  NumPy reference;
+* :mod:`repro.cfdlib.euler` — the 3D Euler equations: conservative /
+  primitive conversions, ideal-gas EOS, exact fluxes;
+* :mod:`repro.cfdlib.roe` — the Roe approximate Riemann solver [34];
+* :mod:`repro.cfdlib.lusgs` — the LU-SGS implicit solver (§4.3, Fig. 14)
+  as an end-to-end generated program plus its NumPy reference.
+"""
+
+from repro.cfdlib.mesh import StructuredMesh
+
+__all__ = ["StructuredMesh"]

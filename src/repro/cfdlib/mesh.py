@@ -1,0 +1,87 @@
+"""Structured Cartesian meshes.
+
+The paper restricts itself to structured meshes, "where the solution
+vector x can be represented by a multi-dimensional array or tensor" (§1).
+This class holds the geometry: uniform cell spacing per axis, cell
+volumes, face areas — the quantities the implicit solver's diagonal term
+``D = V/dt + sum(rho_A * A)`` needs.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+import numpy as np
+
+
+class StructuredMesh:
+    """A uniform Cartesian mesh of ``shape`` cells over ``extent``.
+
+    Parameters
+    ----------
+    shape:
+        Number of cells per axis, e.g. ``(64, 64, 64)``.
+    extent:
+        Physical length per axis; defaults to the unit box.
+    """
+
+    def __init__(
+        self,
+        shape: Sequence[int],
+        extent: Sequence[float] = None,
+    ) -> None:
+        self.shape: Tuple[int, ...] = tuple(int(n) for n in shape)
+        if any(n < 1 for n in self.shape):
+            raise ValueError(f"mesh needs at least one cell per axis: {shape}")
+        self.rank = len(self.shape)
+        if extent is None:
+            extent = [1.0] * self.rank
+        self.extent: Tuple[float, ...] = tuple(float(e) for e in extent)
+        if len(self.extent) != self.rank:
+            raise ValueError("extent rank must match shape rank")
+        if any(e <= 0 for e in self.extent):
+            raise ValueError("extents must be positive")
+        #: Cell spacing per axis.
+        self.spacing: Tuple[float, ...] = tuple(
+            e / n for e, n in zip(self.extent, self.shape)
+        )
+
+    @property
+    def num_cells(self) -> int:
+        n = 1
+        for s in self.shape:
+            n *= s
+        return n
+
+    @property
+    def cell_volume(self) -> float:
+        v = 1.0
+        for h in self.spacing:
+            v *= h
+        return v
+
+    def face_area(self, axis: int) -> float:
+        """Area of a face normal to ``axis``."""
+        a = 1.0
+        for d, h in enumerate(self.spacing):
+            if d != axis:
+                a *= h
+        return a
+
+    def cell_centers(self, axis: int) -> np.ndarray:
+        """Coordinates of cell centers along one axis."""
+        h = self.spacing[axis]
+        return (np.arange(self.shape[axis]) + 0.5) * h
+
+    def meshgrid(self) -> Tuple[np.ndarray, ...]:
+        """Cell-center coordinate arrays, one per axis (ij indexing)."""
+        axes = [self.cell_centers(d) for d in range(self.rank)]
+        return tuple(np.meshgrid(*axes, indexing="ij"))
+
+    def field(self, nb_var: int = 1, fill: float = 0.0) -> np.ndarray:
+        """An ``(nb_var, *shape)`` field tensor."""
+        return np.full((nb_var,) + self.shape, fill, dtype=np.float64)
+
+    def __repr__(self) -> str:
+        dims = "x".join(str(n) for n in self.shape)
+        return f"StructuredMesh({dims}, extent={list(self.extent)})"

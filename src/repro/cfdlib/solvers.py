@@ -1,0 +1,152 @@
+"""Reference iterative linear solvers and convergence utilities.
+
+These NumPy implementations define the numerics the generated kernels
+must reproduce, and back the paper's motivating claim (§1) that
+Gauss-Seidel/SOR converge quadratically faster than Jacobi on the model
+Poisson problem [19].
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Tuple
+
+import numpy as np
+
+
+@dataclass
+class SolveReport:
+    """Convergence record of an iterative solve."""
+
+    iterations: int
+    residuals: List[float]
+    converged: bool
+
+    @property
+    def final_residual(self) -> float:
+        return self.residuals[-1] if self.residuals else float("nan")
+
+    def convergence_rate(self) -> float:
+        """Geometric-mean per-iteration residual reduction factor."""
+        r = [x for x in self.residuals if x > 0]
+        if len(r) < 2:
+            return float("nan")
+        return (r[-1] / r[0]) ** (1.0 / (len(r) - 1))
+
+
+def poisson_residual(u: np.ndarray, f: np.ndarray, h: float = 1.0) -> float:
+    """L2 norm of the 2-D 5-point Poisson residual on the interior."""
+    lap = (
+        u[:-2, 1:-1] + u[2:, 1:-1] + u[1:-1, :-2] + u[1:-1, 2:]
+        - 4.0 * u[1:-1, 1:-1]
+    ) / (h * h)
+    r = f[1:-1, 1:-1] - lap
+    return float(np.sqrt(np.mean(r * r)))
+
+
+def jacobi_poisson_sweep(u: np.ndarray, f: np.ndarray, h: float = 1.0) -> np.ndarray:
+    """One Jacobi sweep for ``-laplace(u) = -f`` (out of place)."""
+    new = u.copy()
+    new[1:-1, 1:-1] = 0.25 * (
+        u[:-2, 1:-1] + u[2:, 1:-1] + u[1:-1, :-2] + u[1:-1, 2:]
+        - (h * h) * f[1:-1, 1:-1]
+    )
+    return new
+
+
+def gauss_seidel_poisson_sweep(
+    u: np.ndarray, f: np.ndarray, h: float = 1.0, omega: float = 1.0
+) -> np.ndarray:
+    """One (SOR-weighted) Gauss-Seidel sweep, truly in place."""
+    n0, n1 = u.shape
+    h2 = h * h
+    for i in range(1, n0 - 1):
+        for j in range(1, n1 - 1):
+            gs = 0.25 * (
+                u[i - 1, j] + u[i + 1, j] + u[i, j - 1] + u[i, j + 1]
+                - h2 * f[i, j]
+            )
+            u[i, j] = (1.0 - omega) * u[i, j] + omega * gs
+    return u
+
+
+def symmetric_gauss_seidel_sweep(
+    u: np.ndarray, f: np.ndarray, h: float = 1.0
+) -> np.ndarray:
+    """Forward then backward Gauss-Seidel — the SGS/LU-SGS structure."""
+    n0, n1 = u.shape
+    h2 = h * h
+    for i in range(1, n0 - 1):
+        for j in range(1, n1 - 1):
+            u[i, j] = 0.25 * (
+                u[i - 1, j] + u[i + 1, j] + u[i, j - 1] + u[i, j + 1]
+                - h2 * f[i, j]
+            )
+    for i in range(n0 - 2, 0, -1):
+        for j in range(n1 - 2, 0, -1):
+            u[i, j] = 0.25 * (
+                u[i - 1, j] + u[i + 1, j] + u[i, j - 1] + u[i, j + 1]
+                - h2 * f[i, j]
+            )
+    return u
+
+
+def solve_poisson(
+    f: np.ndarray,
+    method: str = "gauss_seidel",
+    max_iterations: int = 500,
+    tolerance: float = 1e-8,
+    omega: float = 1.0,
+    h: float = 1.0,
+    u0: Optional[np.ndarray] = None,
+) -> Tuple[np.ndarray, SolveReport]:
+    """Iterate a sweep until the residual drops below ``tolerance``.
+
+    ``method`` is one of ``jacobi``, ``gauss_seidel``, ``sor``,
+    ``symmetric_gs``. Boundary values of ``u`` stay zero (Dirichlet).
+    """
+    u = np.zeros_like(f) if u0 is None else u0.copy()
+    sweeps: dict = {
+        "jacobi": lambda u: jacobi_poisson_sweep(u, f, h),
+        "gauss_seidel": lambda u: gauss_seidel_poisson_sweep(u.copy(), f, h),
+        "sor": lambda u: gauss_seidel_poisson_sweep(u.copy(), f, h, omega),
+        "symmetric_gs": lambda u: symmetric_gauss_seidel_sweep(u.copy(), f, h),
+    }
+    if method not in sweeps:
+        raise ValueError(f"unknown method {method!r}")
+    sweep = sweeps[method]
+    residuals = [poisson_residual(u, f, h)]
+    converged = False
+    for it in range(1, max_iterations + 1):
+        u = sweep(u)
+        residuals.append(poisson_residual(u, f, h))
+        if residuals[-1] < tolerance:
+            converged = True
+            break
+    return u, SolveReport(it, residuals, converged)
+
+
+def spectral_radius_model_problem(n: int, method: str, omega: float = 1.0) -> float:
+    """Textbook iteration-matrix spectral radii for the n x n Dirichlet
+    Poisson model problem [Greenbaum 1997]:
+
+    * Jacobi: ``cos(pi h)``
+    * Gauss-Seidel: ``cos(pi h)^2``  (the "quadratically faster" claim)
+    * SOR(omega_opt): ``omega_opt - 1``
+    """
+    h = 1.0 / (n + 1)
+    mu = np.cos(np.pi * h)
+    if method == "jacobi":
+        return float(mu)
+    if method == "gauss_seidel":
+        return float(mu**2)
+    if method == "sor":
+        return float(omega - 1.0) if omega > 1.0 else float(mu**2)
+    raise ValueError(f"unknown method {method!r}")
+
+
+def optimal_sor_omega(n: int) -> float:
+    """The optimal SOR relaxation factor for the model problem."""
+    h = 1.0 / (n + 1)
+    mu = np.cos(np.pi * h)
+    return float(2.0 / (1.0 + np.sqrt(1.0 - mu * mu)))

@@ -1,0 +1,16 @@
+"""Execution backends.
+
+* :mod:`repro.codegen.interpreter` — a reference interpreter defining the
+  executable semantics of every dialect (the ground truth all
+  transformations are tested against);
+* :mod:`repro.codegen.python_backend` — the production backend: lowered IR
+  is emitted as Python/NumPy source where ``vector`` ops become array
+  slices (the "vector unit" of this reproduction);
+* :mod:`repro.codegen.executor` — compiles emitted source and provides
+  the callable ``CompiledKernel``.
+"""
+
+from repro.codegen.interpreter import Interpreter, run_function
+from repro.codegen.executor import CompiledKernel, compile_function
+
+__all__ = ["Interpreter", "run_function", "CompiledKernel", "compile_function"]

@@ -1,0 +1,47 @@
+"""Compile emitted Python source and wrap it as a callable kernel."""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List
+
+from repro.codegen.python_backend import emit_module
+from repro.ir.module import ModuleOp
+
+
+class CompiledKernel:
+    """A compiled entry point of a lowered module.
+
+    Calling the kernel returns the tuple of function results. The
+    generated source is kept on ``.source`` for inspection (tests assert
+    on it; EXPERIMENTS.md quotes it).
+    """
+
+    def __init__(self, source: str, namespace: Dict[str, Any], entry: str) -> None:
+        self.source = source
+        self.namespace = namespace
+        self.entry = entry
+        self._fn: Callable = namespace[entry]
+
+    def __call__(self, *args: Any):
+        return self._fn(*args)
+
+    def run(self, *args: Any) -> List[Any]:
+        return list(self._fn(*args))
+
+
+def compile_module(module: ModuleOp) -> Dict[str, Any]:
+    """Emit and exec a module; returns its namespace."""
+    source = emit_module(module)
+    namespace: Dict[str, Any] = {}
+    code = compile(source, "<repro-generated>", "exec")
+    exec(code, namespace)  # noqa: S102 - this is the JIT of the backend
+    namespace["__source__"] = source
+    return namespace
+
+
+def compile_function(module: ModuleOp, entry: str = "kernel") -> CompiledKernel:
+    """Emit the module and return the named function as a kernel."""
+    namespace = compile_module(module)
+    if entry not in namespace:
+        raise KeyError(f"module defines no function {entry!r}")
+    return CompiledKernel(namespace["__source__"], namespace, entry)

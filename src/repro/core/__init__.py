@@ -1,0 +1,45 @@
+"""The paper's contribution: the in-place stencil code generator.
+
+* :mod:`repro.core.stencil` — stencil patterns (the L/U split of Eq. 2);
+* :mod:`repro.core.tiling` — tiling with the in-place tile-size restriction;
+* :mod:`repro.core.fusion` — producer/consumer fusion after tiling;
+* :mod:`repro.core.scheduling` — sub-domain wavefront scheduling (Eq. 3);
+* :mod:`repro.core.vectorization` — partial vectorization (Fig. 2/7);
+* :mod:`repro.core.bufferization` — tensors to buffers;
+* :mod:`repro.core.lowering` — stencil/tiled-loop ops to scf loops;
+* :mod:`repro.core.pipeline` — the end-to-end ``StencilCompiler``;
+* :mod:`repro.core.autotune` — L2-bounded tile-size autotuning.
+"""
+
+from repro.core.stencil import (
+    StencilPattern,
+    gauss_seidel_5pt_2d,
+    gauss_seidel_9pt_2d,
+    gauss_seidel_9pt_2nd_order_2d,
+    gauss_seidel_6pt_3d,
+    jacobi_5pt_2d,
+    sor_5pt_2d,
+)
+
+
+def __getattr__(name):
+    # Lazy: repro.core.pipeline imports the codegen backends, which import
+    # the dialects, which import repro.core.stencil — eager importing here
+    # would close that cycle during interpreter startup (PEP 562).
+    if name in ("CompileOptions", "StencilCompiler"):
+        from repro.core import pipeline
+
+        return getattr(pipeline, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+__all__ = [
+    "StencilPattern",
+    "gauss_seidel_5pt_2d",
+    "gauss_seidel_9pt_2d",
+    "gauss_seidel_9pt_2nd_order_2d",
+    "gauss_seidel_6pt_3d",
+    "jacobi_5pt_2d",
+    "sor_5pt_2d",
+    "CompileOptions",
+    "StencilCompiler",
+]

@@ -1,0 +1,154 @@
+"""Tile-size autotuning (§2.1).
+
+The search space is the set of per-dimension power-of-two-ish tile sizes
+whose working-set footprint — tile volume x ``nbVar`` x live tensors x 8
+bytes — fits in the private cache capacity (L2 on mainstream CPUs, 1 MiB
+on the paper's Xeon 6152). Sizes along dimensions carrying negative
+dependence distances are pinned to 1 by the legalizer before costing.
+
+Two costing modes:
+
+* **measured** — compile and time each candidate on a given workload
+  factory (what the paper does; used by the Table 2 bench);
+* **model** — a closed-form cost favoring long innermost tiles (vector
+  efficiency) and low surface-to-volume ratio (halo overhead), used when
+  measuring is too expensive.
+"""
+
+from __future__ import annotations
+
+import itertools
+import time
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence, Tuple
+
+from repro.core.stencil import StencilPattern
+from repro.core.tiling import legalize_tile_sizes, tile_footprint_bytes
+
+
+@dataclass
+class TuneResult:
+    tile_sizes: Tuple[int, ...]
+    cost: float
+    candidates_tried: int
+    #: (sizes, cost) per evaluated candidate, for the Table 2/3 benches.
+    trace: List[Tuple[Tuple[int, ...], float]]
+
+
+def candidate_tile_sizes(
+    pattern: StencilPattern,
+    space_shape: Sequence[int],
+    nb_var: int = 1,
+    cache_bytes: int = 1 << 20,
+    live_tensors: int = 3,
+    size_pool: Sequence[int] = (1, 2, 4, 8, 16, 32, 64, 128, 256),
+) -> List[Tuple[int, ...]]:
+    """All legalized size vectors within the cache-capacity bound."""
+    pools = []
+    for d, n in enumerate(space_shape):
+        pools.append([s for s in size_pool if s <= max(1, n)])
+    seen = set()
+    out: List[Tuple[int, ...]] = []
+    for combo in itertools.product(*pools):
+        legal = tuple(legalize_tile_sizes(pattern, combo))
+        if legal in seen:
+            continue
+        seen.add(legal)
+        if (
+            tile_footprint_bytes(legal, nb_var, live_tensors)
+            <= cache_bytes
+        ):
+            out.append(legal)
+    return out
+
+
+def model_cost(
+    tile_sizes: Sequence[int],
+    pattern: StencilPattern,
+    vf: int = 8,
+    alpha_halo: float = 1.0,
+    alpha_vector: float = 4.0,
+) -> float:
+    """A simple analytic cost per interior element.
+
+    * halo overhead: recomputation/loads grow with the surface-to-volume
+      ratio, weighted by the pattern halo;
+    * vector efficiency: innermost extents that are not multiples of VF
+      pay the peeled-scalar penalty for the remainder fraction.
+    """
+    volume = 1
+    for t in tile_sizes:
+        volume *= t
+    halos = []
+    for d in range(pattern.rank):
+        lo = max([0] + [-o[d] for o, _ in pattern.accesses])
+        hi = max([0] + [o[d] for o, _ in pattern.accesses])
+        halos.append(lo + hi)
+    surface = 0.0
+    for d, t in enumerate(tile_sizes):
+        inflated = 1.0
+        for e, s in enumerate(tile_sizes):
+            inflated *= (s + halos[e]) if e == d else s
+        surface += inflated - volume
+    halo_term = alpha_halo * surface / volume
+    inner = tile_sizes[-1]
+    remainder = inner % vf
+    vector_term = alpha_vector * (remainder / inner if inner else 1.0)
+    return 1.0 + halo_term + vector_term
+
+
+def autotune(
+    pattern: StencilPattern,
+    space_shape: Sequence[int],
+    nb_var: int = 1,
+    cache_bytes: int = 1 << 20,
+    measure: Optional[Callable[[Tuple[int, ...]], float]] = None,
+    vf: int = 8,
+    max_candidates: Optional[int] = None,
+) -> TuneResult:
+    """Pick tile sizes: measured when ``measure`` is given, modeled
+    otherwise.
+
+    ``measure`` maps a size vector to a time (seconds); the tuner
+    minimizes it. Candidates are pre-sorted by the model so a truncated
+    search (``max_candidates``) still looks at the most promising sizes.
+    """
+    candidates = candidate_tile_sizes(
+        pattern, space_shape, nb_var, cache_bytes
+    )
+    if not candidates:
+        raise ValueError("no tile sizes fit the cache-capacity bound")
+    candidates.sort(key=lambda c: model_cost(c, pattern, vf))
+    if max_candidates is not None:
+        candidates = candidates[:max_candidates]
+    trace: List[Tuple[Tuple[int, ...], float]] = []
+    best: Tuple[int, ...] = candidates[0]
+    best_cost = float("inf")
+    for sizes in candidates:
+        cost = (
+            measure(sizes)
+            if measure is not None
+            else model_cost(sizes, pattern, vf)
+        )
+        trace.append((sizes, cost))
+        if cost < best_cost:
+            best, best_cost = sizes, cost
+    return TuneResult(best, best_cost, len(trace), trace)
+
+
+def timed_measure(
+    kernel_factory: Callable[[Tuple[int, ...]], Callable[[], None]],
+    repeats: int = 3,
+) -> Callable[[Tuple[int, ...]], float]:
+    """Wrap a kernel factory into a best-of-N timing function."""
+
+    def measure(sizes: Tuple[int, ...]) -> float:
+        run = kernel_factory(sizes)
+        best = float("inf")
+        for _ in range(repeats):
+            start = time.perf_counter()
+            run()
+            best = min(best, time.perf_counter() - start)
+        return best
+
+    return measure

@@ -1,0 +1,278 @@
+"""Bufferization: immutable tensors to mutable buffers (§3.3).
+
+The paper lowers ``cfd.tiled_loop`` "to classical (parallel) for loops
+after the MLIR bufferization pass that replaces immutable tensors with
+mutable buffers". This pass performs that replacement on lowered IR:
+
+* ``tensor.empty`` → ``memref.alloc``; ``extract``/``insert`` →
+  ``load``/``store``; ``extract_slice`` → ``subview`` + ``alloc`` +
+  ``copy``; ``insert_slice`` → ``subview`` + ``copy``;
+* loop-carried tensors disappear: an ``scf.for`` (or ``cfd.tiled_loop``)
+  iter-arg chain becomes a single buffer written in place, with a
+  ``memref.copy`` only where the chain breaks ownership;
+* ``vector.transfer_read/write`` keep their form, now on memrefs.
+
+Copy elision uses the same ownership rule as the NumPy backend: a buffer
+may be mutated in place iff its producing value is an op result whose
+single remaining use is the mutating op (function arguments are never
+mutated, preserving the tensor-level caller contract).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.dialects import arith, cfd, memref, scf, tensor, vector
+from repro.ir import Operation, Pass
+from repro.ir.block import Block, Region
+from repro.ir.builder import OpBuilder
+from repro.ir.module import ModuleOp
+from repro.ir.operation import create_operation
+from repro.ir.types import FunctionType, MemRefType, TensorType
+from repro.ir.values import OpResult, Value
+
+
+class BufferizationError(Exception):
+    """Raised when the IR contains constructs this pass cannot bufferize."""
+
+
+def _to_memref(t):
+    if isinstance(t, TensorType):
+        return MemRefType(t.shape, t.element_type)
+    return t
+
+
+class _Bufferizer:
+    def __init__(self) -> None:
+        #: old Value -> new Value (memref for tensors, identity otherwise).
+        self.mapping: Dict[Value, Value] = {}
+        #: ids of new buffer Values this function owns (allocs/copies).
+        self.owned: set = set()
+
+    # ---- ownership -------------------------------------------------------
+
+    def _consume(self, builder: OpBuilder, op: Operation, index: int) -> Value:
+        """A buffer the caller may mutate (copying unless provably dead)."""
+        old = op.operand(index)
+        buf = self.mapping[old]
+        if (
+            id(buf) in self.owned
+            and isinstance(old, OpResult)
+            and old.num_uses == 1
+            and old.owner_block() is op.parent
+        ):
+            return buf
+        fresh = self._alloc_like(builder, buf)
+        memref.CopyOp.build(builder, buf, fresh)
+        return fresh
+
+    def _alloc_like(self, builder: OpBuilder, buf: Value) -> Value:
+        t: MemRefType = buf.type  # type: ignore[assignment]
+        dynamic = [
+            memref.MemDimOp.build(builder, buf, d).result()
+            for d in range(t.rank)
+            if t.shape[d] == -1
+        ]
+        fresh = memref.AllocOp.build(builder, t, dynamic).result()
+        self.owned.add(id(fresh))
+        return fresh
+
+    # ---- driver -----------------------------------------------------------
+
+    def bufferize_function(self, fn) -> None:
+        old_ft: FunctionType = fn.function_type
+        new_ft = FunctionType(
+            [_to_memref(t) for t in old_ft.inputs],
+            [_to_memref(t) for t in old_ft.results],
+        )
+        from repro.ir.attributes import TypeAttr
+
+        fn.attributes["function_type"] = TypeAttr(new_ft)
+        old_body: Block = fn.body
+        new_body = Block(arg_types=new_ft.inputs)
+        for old_arg, new_arg in zip(old_body.arguments, new_body.arguments):
+            self.mapping[old_arg] = new_arg
+        self._emit_block(old_body, new_body)
+        region = fn.regions[0]
+        region.blocks.clear()
+        old_body.parent = None
+        region.append_block(new_body)
+
+    def _emit_block(self, old_block: Block, new_block: Block) -> None:
+        builder = OpBuilder.at_end(new_block)
+        for op in old_block.operations:
+            self._emit_op(builder, op)
+
+    # ---- per-op emission --------------------------------------------------
+
+    def _emit_op(self, builder: OpBuilder, op: Operation) -> None:
+        name = op.name
+        handler = getattr(
+            self, "_emit_" + name.replace(".", "_"), None
+        )
+        if handler is not None:
+            handler(builder, op)
+            return
+        if any(isinstance(o.type, TensorType) for o in op.operands) or any(
+            isinstance(r.type, TensorType) for r in op.results
+        ):
+            raise BufferizationError(f"cannot bufferize {name!r}")
+        # Tensor-free op: clone with remapped operands.
+        clone = builder.create(
+            name,
+            [self.mapping.get(o, o) for o in op.operands],
+            [r.type for r in op.results],
+            dict(op.attributes),
+        )
+        for old_res, new_res in zip(op.results, clone.results):
+            self.mapping[old_res] = new_res
+
+    # tensor ops ------------------------------------------------------------
+
+    def _emit_tensor_empty(self, builder, op) -> None:
+        t = _to_memref(op.result().type)
+        dynamic = [self.mapping.get(o, o) for o in op.operands]
+        buf = memref.AllocOp.build(builder, t, dynamic).result()
+        self.owned.add(id(buf))
+        self.mapping[op.result()] = buf
+
+    def _emit_tensor_dim(self, builder, op) -> None:
+        buf = self.mapping[op.operand(0)]
+        new = memref.MemDimOp.build(builder, buf, op.attributes["dim"].value)
+        self.mapping[op.result()] = new.result()
+
+    def _emit_tensor_extract(self, builder, op) -> None:
+        buf = self.mapping[op.operand(0)]
+        idx = [self.mapping.get(o, o) for o in op.operands[1:]]
+        self.mapping[op.result()] = memref.LoadOp.build(builder, buf, idx).result()
+
+    def _emit_tensor_insert(self, builder, op) -> None:
+        buf = self._consume(builder, op, 1)
+        idx = [self.mapping.get(o, o) for o in op.operands[2:]]
+        memref.StoreOp.build(
+            builder, self.mapping.get(op.operand(0), op.operand(0)), buf, idx
+        )
+        self.mapping[op.result()] = buf
+
+    def _emit_tensor_extract_slice(self, builder, op) -> None:
+        buf = self.mapping[op.operand(0)]
+        rank = (op.num_operands - 1) // 2
+        offs = [self.mapping.get(o, o) for o in op.operands[1 : 1 + rank]]
+        sizes = [self.mapping.get(o, o) for o in op.operands[1 + rank :]]
+        view = memref.SubViewOp.build(builder, buf, offs, sizes).result()
+        fresh = self._alloc_like(builder, view)
+        memref.CopyOp.build(builder, view, fresh)
+        self.mapping[op.result()] = fresh
+
+    def _emit_tensor_insert_slice(self, builder, op) -> None:
+        dest = self._consume(builder, op, 1)
+        rank = (op.num_operands - 2) // 2
+        offs = [self.mapping.get(o, o) for o in op.operands[2 : 2 + rank]]
+        sizes = [self.mapping.get(o, o) for o in op.operands[2 + rank :]]
+        view = memref.SubViewOp.build(builder, dest, offs, sizes).result()
+        memref.CopyOp.build(
+            builder, self.mapping[op.operand(0)], view
+        )
+        self.mapping[op.result()] = dest
+
+    # vector ops --------------------------------------------------------------
+
+    def _emit_vector_transfer_read(self, builder, op) -> None:
+        buf = self.mapping[op.operand(0)]
+        idx = [self.mapping.get(o, o) for o in op.operands[1:]]
+        new = vector.TransferReadOp.build(builder, buf, idx, op.result().type)
+        self.mapping[op.result()] = new.result()
+
+    def _emit_vector_transfer_write(self, builder, op) -> None:
+        vec = self.mapping.get(op.operand(0), op.operand(0))
+        if op.num_results:
+            buf = self._consume(builder, op, 1)
+            idx = [self.mapping.get(o, o) for o in op.operands[2:]]
+            vector.TransferWriteOp.build(builder, vec, buf, idx)
+            self.mapping[op.result()] = buf
+        else:
+            buf = self.mapping[op.operand(1)]
+            idx = [self.mapping.get(o, o) for o in op.operands[2:]]
+            vector.TransferWriteOp.build(builder, vec, buf, idx)
+
+    # control flow ---------------------------------------------------------------
+
+    def _emit_scf_for(self, builder, op: scf.ForOp) -> None:
+        lb, ub, step = (
+            self.mapping.get(op.operand(i), op.operand(i)) for i in range(3)
+        )
+        # Tensor iter-args become buffers living across the loop; other
+        # carried values stay as iter_args.
+        buffer_positions: List[int] = []
+        scalar_positions: List[int] = []
+        buffers: List[Value] = []
+        scalar_inits: List[Value] = []
+        for j, init in enumerate(op.operands[3:]):
+            if isinstance(init.type, TensorType):
+                buffer_positions.append(j)
+                buffers.append(self._consume_for_loop(builder, op, 3 + j))
+            else:
+                scalar_positions.append(j)
+                scalar_inits.append(self.mapping.get(init, init))
+        new_loop = scf.ForOp.build(builder, lb, ub, step, scalar_inits)
+        body_builder = OpBuilder.at_end(new_loop.body)
+        self.mapping[op.body.arguments[0]] = new_loop.induction_var
+        for j, buf in zip(buffer_positions, buffers):
+            self.mapping[op.body.arguments[1 + j]] = buf
+            self.owned.add(id(buf))
+        for j, arg in zip(scalar_positions, new_loop.iter_args):
+            self.mapping[op.body.arguments[1 + j]] = arg
+        term = op.body.terminator
+        for inner in op.body.operations:
+            if inner is term:
+                break
+            self._emit_op(body_builder, inner)
+        # Yield: scalars pass through; buffers must end up in place.
+        scalar_yields = []
+        for j, yielded in enumerate(term.operands):
+            mapped = self.mapping.get(yielded, yielded)
+            if j in buffer_positions:
+                buf = buffers[buffer_positions.index(j)]
+                if mapped is not buf:
+                    memref.CopyOp.build(body_builder, mapped, buf)
+            else:
+                scalar_yields.append(mapped)
+        scf.YieldOp.build(body_builder, scalar_yields)
+        for j, res in enumerate(op.results):
+            if j in buffer_positions:
+                self.mapping[res] = buffers[buffer_positions.index(j)]
+            else:
+                self.mapping[res] = new_loop.results[
+                    scalar_positions.index(j)
+                ]
+
+    def _consume_for_loop(self, builder, op, operand_index) -> Value:
+        """Like :meth:`_consume` but for loop inits: the loop body reads
+        and writes the buffer many times, so stealing additionally
+        requires that no other op uses the initial value."""
+        return self._consume(builder, op, operand_index)
+
+    def _emit_func_return(self, builder, op) -> None:
+        builder.create(
+            "func.return",
+            [self.mapping.get(o, o) for o in op.operands],
+        )
+
+    def _emit_scf_yield(self, builder, op) -> None:  # handled by parents
+        raise BufferizationError("orphan scf.yield")
+
+
+class BufferizePass(Pass):
+    """Replace tensors with buffers across every function of the module.
+
+    Runs after lowering (no ``cfd.stencilOp``/``linalg`` left); functions
+    whose bodies contain ops this pass does not model raise
+    :class:`BufferizationError`.
+    """
+
+    name = "bufferize"
+
+    def run(self, module: ModuleOp) -> None:
+        for op in list(module.body.operations):
+            if op.name == "func.func":
+                _Bufferizer().bufferize_function(op)

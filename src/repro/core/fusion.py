@@ -1,0 +1,345 @@
+"""Producer/consumer fusion after tiling (§2.2, §3.3).
+
+Two rewrites, both operating on ``cfd.tiled_loop``:
+
+* **Producer fusion** — when a loop input (typically the ``B`` tensor of
+  Eq. 2) is produced by a structured operation (``linalg.generic``,
+  ``linalg.fill`` or ``cfd.faceIteratorOp``), the producer is pulled into
+  the loop body and recomputed *per tile* on the tile's halo-inclusive
+  window. Redundant computation occurs across tile boundaries, exactly
+  the recompute-at-tile-level strategy the paper selects for ``B``.
+  Legality: the tile window's core inset (the stencil pattern halo) must
+  cover the producer's own access halo, so every core cell sees fully
+  computed producer values.
+
+* **Consumer fusion** — a *pointwise* ``linalg.generic`` consuming the
+  loop's result (the temperature update of the heat solver, Fig. 10) is
+  pulled in and applied to each tile's core region, its init tensor
+  becoming an extra loop-carried output. Legality: the consumer must be
+  pointwise (zero offsets) and its iteration margins must cover the
+  stencil's write margins so the union of tile cores is exactly its
+  global domain.
+
+Both rewrites preserve wavefront groups and sweep direction.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.dialects import arith, cfd, tensor
+from repro.dialects.linalg import FillOp, GenericOp
+from repro.ir import Operation, Pass
+from repro.ir.builder import OpBuilder
+from repro.ir.rewriter import PatternRewriter, RewritePattern, apply_patterns_greedily
+from repro.ir.types import TensorType
+from repro.ir.values import OpResult, Value
+
+_FUSABLE_PRODUCERS = ("linalg.generic", "linalg.fill", "cfd.faceIteratorOp")
+
+
+def _producer_halo(op: Operation) -> List[Tuple[int, int]]:
+    """Access halo of a fusable producer, per tensor dimension."""
+    if isinstance(op, GenericOp):
+        return op.halo()
+    if op.name == "cfd.faceIteratorOp":
+        rank = op.operand(0).type.rank  # type: ignore[union-attr]
+        axis = op.attributes["axis"].value + 1  # space axis -> tensor dim
+        return [(1, 1) if d == axis else (0, 0) for d in range(rank)]
+    if isinstance(op, FillOp):
+        rank = op.operand(1).type.rank  # type: ignore[union-attr]
+        return [(0, 0)] * rank
+    raise ValueError(f"{op.name} is not a fusable producer")
+
+
+def _find_direct_stencil(loop: cfd.TiledLoopOp) -> Optional[cfd.StencilOp]:
+    for op in loop.body.operations:
+        if isinstance(op, cfd.StencilOp):
+            return op
+    return None
+
+
+def _stencil_halos(stencil: cfd.StencilOp) -> List[Tuple[int, int]]:
+    pattern = stencil.pattern
+    halos = []
+    for d in range(pattern.rank):
+        lo = max([0] + [-o[d] for o, _ in pattern.accesses])
+        hi = max([0] + [o[d] for o, _ in pattern.accesses])
+        halos.append((lo, hi))
+    return halos
+
+
+def _clone_loop(
+    builder: OpBuilder,
+    loop: cfd.TiledLoopOp,
+    new_ins: List[Value],
+    new_outs: List[Value],
+):
+    """A fresh tiled loop with the same control structure; returns the new
+    loop plus a value mapping pre-seeded with the induction variables."""
+    groups = loop.group_operands
+    new_loop = cfd.TiledLoopOp.build(
+        builder,
+        loop.lbs,
+        loop.ubs,
+        loop.steps,
+        new_ins,
+        new_outs,
+        groups=list(groups) if groups else None,
+        reverse=loop.reverse,
+    )
+    mapping = {}
+    for old, new in zip(loop.induction_vars, new_loop.induction_vars):
+        mapping[old] = new
+    return new_loop, mapping
+
+
+class FuseProducerPattern(RewritePattern):
+    """Pull structured producers of loop inputs into the loop body."""
+
+    op_name = "cfd.tiled_loop"
+
+    def match_and_rewrite(self, loop: cfd.TiledLoopOp, rewriter: PatternRewriter):
+        stencil = _find_direct_stencil(loop)
+        if stencil is None:
+            return False
+        for in_index, in_val in enumerate(loop.ins):
+            if not isinstance(in_val, OpResult):
+                continue
+            producer = in_val.op
+            if producer.name not in _FUSABLE_PRODUCERS:
+                continue
+            if producer.parent is not loop.parent:
+                continue
+            if not self._halo_ok(stencil, producer):
+                continue
+            self._fuse(loop, in_index, producer, rewriter)
+            return True
+        return False
+
+    @staticmethod
+    def _halo_ok(stencil: cfd.StencilOp, producer: Operation) -> bool:
+        p_halo = _producer_halo(producer)
+        if any(lo or hi for lo, hi in p_halo[:1]):  # variable dimension
+            return False
+        s_halo = _stencil_halos(stencil)
+        return all(
+            p_lo <= s_lo and p_hi <= s_hi
+            for (p_lo, p_hi), (s_lo, s_hi) in zip(p_halo[1:], s_halo)
+        )
+
+    def _fuse(
+        self,
+        loop: cfd.TiledLoopOp,
+        in_index: int,
+        producer: Operation,
+        rewriter: PatternRewriter,
+    ) -> None:
+        old_ins = loop.ins
+        new_ins = (
+            old_ins[:in_index]
+            + list(producer.operands)
+            + old_ins[in_index + 1 :]
+        )
+        new_loop, mapping = _clone_loop(rewriter, loop, new_ins, loop.outs)
+        k = loop.rank
+        # Map untouched in args and all out args.
+        new_in_args = new_loop.in_args
+        producer_args = new_in_args[in_index : in_index + producer.num_operands]
+        j = 0
+        for i, old_arg in enumerate(loop.in_args):
+            if i == in_index:
+                j += producer.num_operands
+                continue
+            mapping[old_arg] = new_in_args[j]
+            j += 1
+        for old_arg, new_arg in zip(loop.out_args, new_loop.out_args):
+            mapping[old_arg] = new_arg
+        fused_arg = loop.in_args[in_index]
+        body = OpBuilder.at_end(new_loop.body)
+        for op in loop.body.operations:
+            if (
+                op.name == "tensor.extract_slice"
+                and op.operand(0) is fused_arg
+            ):
+                offs = [mapping.get(v, v) for v in op.offsets]
+                sizes = [mapping.get(v, v) for v in op.sizes]
+                static = list(op.result().type.shape)
+                local_operands = []
+                for operand, arg in zip(producer.operands, producer_args):
+                    if isinstance(operand.type, TensorType):
+                        local = tensor.ExtractSliceOp.build(
+                            body, arg, offs, sizes, static_sizes=static
+                        ).result()
+                    else:
+                        local = arg
+                    local_operands.append(local)
+                # A fresh instance on the tile: same payload, the result
+                # type follows the (sliced) init operand.
+                clone = body.create(
+                    producer.name,
+                    local_operands,
+                    [local_operands[-1].type],
+                    dict(producer.attributes),
+                )
+                region_map = dict(zip(producer.operands, local_operands))
+                for p_region in producer.regions:
+                    from repro.ir.block import Block, Region
+
+                    new_region = Region()
+                    for blk in p_region.blocks:
+                        new_blk = Block(
+                            arg_types=[a.type for a in blk.arguments]
+                        )
+                        for oa, na in zip(blk.arguments, new_blk.arguments):
+                            region_map[oa] = na
+                        new_region.append_block(new_blk)
+                    for blk, new_blk in zip(p_region.blocks, new_region.blocks):
+                        for inner in blk.operations:
+                            new_blk.append(inner.clone(region_map))
+                    clone.append_region(new_region)
+                mapping[op.result()] = clone.result()
+            else:
+                body.insert(op.clone(mapping))
+        rewriter.replace_op(loop, list(new_loop.results))
+        if not any(r.has_uses for r in producer.results):
+            producer.erase()
+            rewriter.notify_changed()
+
+
+class FuseConsumerPattern(RewritePattern):
+    """Pull a pointwise ``linalg.generic`` consuming a tiled loop's result
+    into that loop, applied per tile core."""
+
+    op_name = "linalg.generic"
+
+    def match_and_rewrite(self, g: GenericOp, rewriter: PatternRewriter):
+        loop = self._loop_feeding(g)
+        if loop is None:
+            return False
+        stencil = _find_direct_stencil(loop)
+        if stencil is None or not self._legal(g, stencil):
+            return False
+        self._fuse(g, loop, rewriter)
+        return True
+
+    @staticmethod
+    def _loop_feeding(g: GenericOp) -> Optional[cfd.TiledLoopOp]:
+        for v in g.ins:
+            if isinstance(v, OpResult) and isinstance(v.op, cfd.TiledLoopOp):
+                if v.op.parent is g.parent:
+                    return v.op
+        return None
+
+    @staticmethod
+    def _legal(g: GenericOp, stencil: cfd.StencilOp) -> bool:
+        if any(any(c != 0 for c in o) for o in g.offsets):
+            return False  # pointwise only
+        if isinstance(g.out_init, OpResult) and isinstance(
+            g.out_init.op, cfd.TiledLoopOp
+        ):
+            return False
+        margins = g.margins
+        if margins[0] != (0, 0):
+            return False
+        # The union of tile cores is exactly [halo, N - halo): the
+        # consumer's domain must coincide with it, or cells outside the
+        # domain would be overwritten (margins > halo) / cells inside
+        # missed (margins < halo).
+        s_halo = _stencil_halos(stencil)
+        return all(
+            (m_lo, m_hi) == (s_lo, s_hi)
+            for (m_lo, m_hi), (s_lo, s_hi) in zip(margins[1:], s_halo)
+        )
+
+    def _fuse(
+        self, g: GenericOp, loop: cfd.TiledLoopOp, rewriter: PatternRewriter
+    ) -> None:
+        # Extra loop inputs: consumer ins not produced by the loop itself.
+        extra_ins: List[Value] = []
+        for v in g.ins:
+            if not (isinstance(v, OpResult) and v.op is loop):
+                extra_ins.append(v)
+        new_ins = loop.ins + extra_ins
+        new_outs = loop.outs + [g.out_init]
+        # The new loop is created at g's position so every extra input
+        # dominates it; uses of the old loop's results are re-pointed to
+        # the new results (the verifier rejects any use between the two).
+        new_loop, mapping = _clone_loop(rewriter, loop, new_ins, new_outs)
+        for old_arg, new_arg in zip(loop.in_args, new_loop.in_args):
+            mapping[old_arg] = new_arg
+        extra_in_args = new_loop.in_args[len(loop.ins) :]
+        for old_arg, new_arg in zip(loop.out_args, new_loop.out_args):
+            mapping[old_arg] = new_arg
+        consumer_out_arg = new_loop.out_args[-1]
+
+        body = OpBuilder.at_end(new_loop.body)
+        old_yield = loop.body.terminator
+        for op in loop.body.operations:
+            if op is old_yield:
+                break
+            body.insert(op.clone(mapping))
+
+        # Reconstruct the tile core in global coordinates from the cloned
+        # stencil's explicit bounds and its Y-slice window offsets.
+        stencil_new = _find_direct_stencil(new_loop)
+        y_slice_op = stencil_new.y_init.op  # tensor.extract_slice
+        window_offs = y_slice_op.offsets  # [0, w_1, ..., w_k]
+        k = loop.rank
+        nv = stencil_new.nb_var
+        zero = arith.const_index(body, 0)
+        nv_c = arith.const_index(body, nv)
+        core_offs = [zero]
+        core_sizes = [nv_c]
+        for d in range(k):
+            lo_local = stencil_new.bounds_lo[d]
+            hi_local = stencil_new.bounds_hi[d]
+            core_offs.append(arith.addi(body, window_offs[1 + d], lo_local))
+            core_sizes.append(arith.subi(body, hi_local, lo_local))
+        static = [nv] + [-1] * k
+
+        def core_slice(value: Value) -> Value:
+            return tensor.ExtractSliceOp.build(
+                body, value, core_offs, core_sizes, static_sizes=static
+            ).result()
+
+        local_ins: List[Value] = []
+        extra_iter = iter(extra_in_args)
+        for v in g.ins:
+            if isinstance(v, OpResult) and v.op is loop:
+                yielded = old_yield.operand(v.index)
+                local_ins.append(core_slice(mapping[yielded]))
+            else:
+                local_ins.append(core_slice(next(extra_iter)))
+        out_slice = core_slice(consumer_out_arg)
+        local_g = GenericOp.build(body, local_ins, out_slice)
+        g_map = dict(zip(g.body.arguments, local_g.body.arguments))
+        for op in g.body.operations:
+            local_g.body.append(op.clone(g_map))
+        new_out_val = tensor.InsertSliceOp.build(
+            body, local_g.result(), consumer_out_arg, core_offs, core_sizes
+        ).result()
+        yields = [mapping[v] for v in old_yield.operands] + [new_out_val]
+        cfd.CFDYieldOp.build(body, yields)
+
+        rewriter.replace_op(g, [new_loop.results[-1]])
+        for old_res, new_res in zip(loop.results, new_loop.results):
+            old_res.replace_all_uses_with(new_res)
+        loop.erase()
+        rewriter.notify_changed()
+
+
+class FuseProducersPass(Pass):
+    """Greedy producer + consumer fusion over the whole module."""
+
+    name = "fuse-structured-ops"
+
+    def __init__(self, consumers: bool = True) -> None:
+        self.consumers = consumers
+        self.name = f"fuse-structured-ops<consumers={consumers}>"
+
+    def run(self, module) -> None:
+        patterns: List[RewritePattern] = [FuseProducerPattern()]
+        if self.consumers:
+            patterns.append(FuseConsumerPattern())
+        apply_patterns_greedily(module, patterns)

@@ -1,0 +1,384 @@
+"""Lowering of stencil and structured ops to loops (§3.2, Fig. 5).
+
+This module provides the *scalar* lowerings; the partially vectorized
+lowering of ``cfd.stencilOp`` (Fig. 2/7) lives in
+:mod:`repro.core.vectorization`. Both share the bound-computation and
+region-inlining helpers defined here.
+
+The scalar lowering of ``cfd.stencilOp`` produces the canonical form of
+Fig. 5: a k-deep ``scf.for`` nest threading the Y tensor through
+``iter_args``, extracting each stencil access with ``tensor.extract``,
+inlining the payload region, and updating Y with ``tensor.insert``.
+Backward sweeps (``sweep = -1``) iterate a normalized ascending loop and
+map the induction variable through ``idx = hi - 1 - iv``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Set, Tuple
+
+from repro.dialects import arith, cfd, scf, tensor
+from repro.dialects.linalg import FillOp, GenericOp
+from repro.ir import Operation, Pass
+from repro.ir.block import Block
+from repro.ir.builder import OpBuilder
+from repro.ir.rewriter import PatternRewriter, RewritePattern, apply_patterns_greedily
+from repro.ir.types import TensorType
+from repro.ir.values import BlockArgument, Value
+
+
+def space_dim(builder: OpBuilder, value: Value, d: int, lead: int = 1) -> Value:
+    """The size of space dimension ``d`` (tensor dim ``d + lead``)."""
+    t: TensorType = value.type  # type: ignore[assignment]
+    if t.shape[d + lead] != -1:
+        return arith.const_index(builder, t.shape[d + lead])
+    return tensor.DimOp.build(builder, value, d + lead).result()
+
+
+def stencil_write_bounds(
+    builder: OpBuilder, op: cfd.StencilOp
+) -> Tuple[List[Value], List[Value]]:
+    """The ``[lo, hi)`` write bounds of a stencil op, as index values.
+
+    Explicit bounds operands win; otherwise the pattern-derived interior
+    of the (possibly dynamic) tensor shape.
+    """
+    pattern = op.pattern
+    if op.has_bounds:
+        return list(op.bounds_lo), list(op.bounds_hi)
+    los, his = [], []
+    for d in range(pattern.rank):
+        lo = max([0] + [-o[d] for o, _ in pattern.accesses])
+        hi_margin = max([0] + [o[d] for o, _ in pattern.accesses])
+        los.append(arith.const_index(builder, lo))
+        n = space_dim(builder, op.y_init, d)
+        his.append(
+            arith.subi(builder, n, arith.const_index(builder, hi_margin))
+        )
+    return los, his
+
+
+def build_sweep_nest(
+    builder: OpBuilder,
+    los: Sequence[Value],
+    his: Sequence[Value],
+    sweep: int,
+    iter_args: Sequence[Value],
+):
+    """A loop nest over ``[lo, hi)`` per dim, honoring sweep direction.
+
+    Returns ``(outer_op, inner_builder, idx_values, inner_iter_args)``
+    where ``idx_values`` are the (possibly reversed) actual coordinates.
+    The caller emits the innermost body then yields through the pre-wired
+    nest (each loop already yields its child's results).
+    """
+    zero = arith.const_index(builder, 0)
+    one = arith.const_index(builder, 1)
+    loops: List[scf.ForOp] = []
+    idx_values: List[Value] = []
+    current_builder = builder
+    current_args = list(iter_args)
+    for lo, hi in zip(los, his):
+        if sweep == -1:
+            span = arith.subi(current_builder, hi, lo)
+            loop = scf.ForOp.build(current_builder, zero, span, one, current_args)
+            body = OpBuilder.at_end(loop.body)
+            hi_m1 = arith.subi(body, hi, one)
+            idx = arith.subi(body, hi_m1, loop.induction_var)
+        else:
+            loop = scf.ForOp.build(current_builder, lo, hi, one, current_args)
+            body = OpBuilder.at_end(loop.body)
+            idx = loop.induction_var
+        loops.append(loop)
+        idx_values.append(idx)
+        current_args = loop.iter_args
+        current_builder = body
+    for parent, child in zip(loops, loops[1:]):
+        scf.YieldOp.build(OpBuilder.at_end(parent.body), list(child.results))
+    return loops[0], current_builder, idx_values, current_args
+
+
+def inline_region_scalars(
+    builder: OpBuilder, block: Block, args: Sequence[Value]
+) -> List[Value]:
+    """Clone a payload region at the insertion point with bound arguments;
+    returns the values the terminator yields."""
+    mapping: Dict[Value, Value] = dict(zip(block.arguments, args))
+    term = block.terminator
+    for op in block.operations:
+        if op is term:
+            break
+        builder.insert(op.clone(mapping))
+    return [mapping.get(v, v) for v in term.operands]
+
+
+def backward_slice(block: Block, targets: Sequence[Value]) -> Set[int]:
+    """ids of the ops in ``block`` needed to compute ``targets``."""
+    needed: Set[int] = set()
+    work = [v for v in targets]
+    while work:
+        v = work.pop()
+        if isinstance(v, BlockArgument):
+            continue
+        op = getattr(v, "op", None)
+        if op is None or op.parent is not block or id(op) in needed:
+            continue
+        needed.add(id(op))
+        work.extend(op.operands)
+    return needed
+
+
+def slice_depends_on(
+    block: Block, targets: Sequence[Value], args: Set[Value]
+) -> bool:
+    """Whether computing ``targets`` transitively reads any of ``args``."""
+    seen: Set[int] = set()
+    work = list(targets)
+    while work:
+        v = work.pop()
+        if v in args:
+            return True
+        if isinstance(v, BlockArgument):
+            continue
+        op = getattr(v, "op", None)
+        if op is None or op.parent is not block or id(op) in seen:
+            continue
+        seen.add(id(op))
+        work.extend(op.operands)
+    return False
+
+
+def lower_stencil_scalar(op: cfd.StencilOp, rewriter: PatternRewriter) -> None:
+    """Fig. 5: the canonical scalar loop nest for one stencil sweep."""
+    pattern = op.pattern
+    nv = op.nb_var
+    k = pattern.rank
+    los, his = stencil_write_bounds(rewriter, op)
+    outer, body, idx, iter_args = build_sweep_nest(
+        rewriter, los, his, pattern.sweep, [op.y_init]
+    )
+    y = iter_args[0]
+    x, b = op.x, op.b
+
+    def coords(v_const: Value, offset: Sequence[int]) -> List[Value]:
+        out = [v_const]
+        for d in range(k):
+            if offset[d]:
+                c = arith.const_index(body, offset[d])
+                out.append(arith.addi(body, idx[d], c))
+            else:
+                out.append(idx[d])
+        return out
+
+    v_consts = [arith.const_index(body, v) for v in range(nv)]
+    args: List[Value] = []
+    for offset, tag in pattern.accesses:
+        src = y if tag == -1 else x
+        for v in range(nv):
+            args.append(
+                tensor.ExtractOp.build(body, src, coords(v_consts[v], offset)).result()
+            )
+    zero_off = [0] * k
+    for v in range(nv):
+        args.append(
+            tensor.ExtractOp.build(body, x, coords(v_consts[v], zero_off)).result()
+        )
+    yields = inline_region_scalars(body, op.body, args)
+    d_val = yields[0]
+    contribs = yields[1:]
+    n_access = pattern.num_accesses
+    current_y = y
+    for v in range(nv):
+        total = tensor.ExtractOp.build(
+            body, b, coords(v_consts[v], zero_off)
+        ).result()
+        for a in range(n_access + 1):
+            total = arith.addf(body, total, contribs[a * nv + v])
+        val = arith.divf(body, total, d_val)
+        current_y = tensor.InsertOp.build(
+            body, val, current_y, coords(v_consts[v], zero_off)
+        ).result()
+    scf.YieldOp.build(body, [current_y])
+    rewriter.replace_op(op, [outer.result()])
+
+
+def lower_generic_to_loops(op: GenericOp, rewriter: PatternRewriter) -> None:
+    """Scalar loops for ``linalg.generic`` (the no-vectorization path)."""
+    out_t: TensorType = op.out_init.type  # type: ignore[assignment]
+    rank = out_t.rank
+    offsets = op.offsets
+    margins = op.margins
+    los, his = [], []
+    for d in range(rank):
+        lo = max([0] + [-o[d] for o in offsets])
+        hi_margin = max([0] + [o[d] for o in offsets])
+        m_lo, m_hi = margins[d]
+        los.append(arith.const_index(rewriter, max(lo, m_lo)))
+        n = space_dim(rewriter, op.out_init, d, lead=0)
+        his.append(
+            arith.subi(
+                rewriter, n, arith.const_index(rewriter, max(hi_margin, m_hi))
+            )
+        )
+    outer, body, idx, iter_args = build_sweep_nest(
+        rewriter, los, his, 1, [op.out_init]
+    )
+    out = iter_args[0]
+
+    def coords(offset: Sequence[int]) -> List[Value]:
+        result = []
+        for d in range(rank):
+            if offset[d]:
+                c = arith.const_index(body, offset[d])
+                result.append(arith.addi(body, idx[d], c))
+            else:
+                result.append(idx[d])
+        return result
+
+    args = [
+        tensor.ExtractOp.build(body, in_v, coords(off)).result()
+        for in_v, off in zip(op.ins, offsets)
+    ]
+    args.append(
+        tensor.ExtractOp.build(body, out, coords([0] * rank)).result()
+    )
+    yields = inline_region_scalars(body, op.body, args)
+    new_out = tensor.InsertOp.build(
+        body, yields[0], out, coords([0] * rank)
+    ).result()
+    scf.YieldOp.build(body, [new_out])
+    rewriter.replace_op(op, [outer.result()])
+
+
+def lower_fill_to_loops(op: FillOp, rewriter: PatternRewriter) -> None:
+    out_t: TensorType = op.init.type  # type: ignore[assignment]
+    rank = out_t.rank
+    zero = arith.const_index(rewriter, 0)
+    los = [zero] * rank
+    his = [space_dim(rewriter, op.init, d, lead=0) for d in range(rank)]
+    outer, body, idx, iter_args = build_sweep_nest(
+        rewriter, los, his, 1, [op.init]
+    )
+    new_out = tensor.InsertOp.build(
+        body, op.scalar, iter_args[0], idx
+    ).result()
+    scf.YieldOp.build(body, [new_out])
+    rewriter.replace_op(op, [outer.result()])
+
+
+def lower_face_iterator_to_loops(
+    op: cfd.FaceIteratorOp, rewriter: PatternRewriter
+) -> None:
+    """Scalar loops over faces along the op's axis."""
+    x, b_init = op.x, op.b_init
+    nv = op.nb_var
+    axis = op.axis
+    t: TensorType = x.type  # type: ignore[assignment]
+    k = t.rank - 1
+    zero = arith.const_index(rewriter, 0)
+    one = arith.const_index(rewriter, 1)
+    los = [zero] * k
+    his = []
+    for d in range(k):
+        n = space_dim(rewriter, x, d)
+        his.append(arith.subi(rewriter, n, one) if d == axis else n)
+    outer, body, idx, iter_args = build_sweep_nest(
+        rewriter, los, his, 1, [b_init]
+    )
+    b = iter_args[0]
+    one_b = arith.const_index(body, 1)
+    j_idx = [
+        arith.addi(body, idx[d], one_b) if d == axis else idx[d]
+        for d in range(k)
+    ]
+    v_consts = [arith.const_index(body, v) for v in range(nv)]
+    args = [
+        tensor.ExtractOp.build(body, x, [v_consts[v]] + list(idx)).result()
+        for v in range(nv)
+    ]
+    args += [
+        tensor.ExtractOp.build(body, x, [v_consts[v]] + j_idx).result()
+        for v in range(nv)
+    ]
+    fluxes = inline_region_scalars(body, op.body, args)
+    current = b
+    for v in range(nv):
+        left = tensor.ExtractOp.build(
+            body, current, [v_consts[v]] + list(idx)
+        ).result()
+        current = tensor.InsertOp.build(
+            body,
+            arith.subf(body, left, fluxes[v]),
+            current,
+            [v_consts[v]] + list(idx),
+        ).result()
+        right = tensor.ExtractOp.build(
+            body, current, [v_consts[v]] + j_idx
+        ).result()
+        current = tensor.InsertOp.build(
+            body,
+            arith.addf(body, right, fluxes[v]),
+            current,
+            [v_consts[v]] + j_idx,
+        ).result()
+    scf.YieldOp.build(body, [current])
+    rewriter.replace_op(op, [outer.result()])
+
+
+class _LowerStencilScalar(RewritePattern):
+    op_name = "cfd.stencilOp"
+
+    def match_and_rewrite(self, op, rewriter):
+        lower_stencil_scalar(op, rewriter)
+        return True
+
+
+class _LowerGeneric(RewritePattern):
+    op_name = "linalg.generic"
+
+    def match_and_rewrite(self, op, rewriter):
+        lower_generic_to_loops(op, rewriter)
+        return True
+
+
+class _LowerFill(RewritePattern):
+    op_name = "linalg.fill"
+
+    def match_and_rewrite(self, op, rewriter):
+        lower_fill_to_loops(op, rewriter)
+        return True
+
+
+class _LowerFaceIterator(RewritePattern):
+    op_name = "cfd.faceIteratorOp"
+
+    def match_and_rewrite(self, op, rewriter):
+        lower_face_iterator_to_loops(op, rewriter)
+        return True
+
+
+class LowerStencilsPass(Pass):
+    """Lower every ``cfd.stencilOp`` to scalar loops (Fig. 5).
+
+    The vectorizing variant is
+    :class:`repro.core.vectorization.VectorizeStencilsPass`.
+    """
+
+    name = "lower-stencils-scalar"
+
+    def run(self, module) -> None:
+        apply_patterns_greedily(module, [_LowerStencilScalar()])
+
+
+class LowerStructuredPass(Pass):
+    """Lower linalg.generic/fill and cfd.faceIteratorOp to scalar loops —
+    the "no vectorization" ablation configuration. When vectorization is
+    on, these ops are left intact for the backend's whole-array emission.
+    """
+
+    name = "lower-structured-scalar"
+
+    def run(self, module) -> None:
+        apply_patterns_greedily(
+            module, [_LowerGeneric(), _LowerFill(), _LowerFaceIterator()]
+        )

@@ -1,0 +1,163 @@
+"""The end-to-end compilation pipeline: the ``StencilCompiler``.
+
+Assembles the paper's transformations in their canonical order:
+
+1. sub-domain tiling with wavefront groups (§2.3, §3.4);
+2. producer/consumer fusion into the sub-domain loop (§2.2, §3.3);
+3. cache tiling inside each sub-domain (§2.1);
+4. producer fusion into the cache-tile loop (B recomputed per tile);
+5. lowering with partial vectorization (§2.4, §3.5) or scalar lowering;
+6. for the scalar configuration, structured ops (linalg.generic,
+   faceIteratorOp) are also lowered to scalar loops so "no vectorization"
+   means *no* vectorization anywhere, matching the ablation of §4.2.
+
+The four ablation configurations of Fig. 13 map to options as:
+
+========  =========================================================
+ Tr1      ``parallel`` (sub-domain tiling + groups), no fusion, scalar
+ Tr2      Tr1 + ``fuse`` + cache ``tile_sizes``
+ Tr3      Tr1 + ``vectorize``
+ Tr4      everything (the default production pipeline)
+========  =========================================================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence, Tuple
+
+from repro.codegen.executor import CompiledKernel, compile_function
+from repro.core.fusion import FuseProducersPass
+from repro.core.lowering import LowerStencilsPass, LowerStructuredPass
+from repro.core.tiling import TileStencilsPass
+from repro.core.vectorization import VectorizeStencilsPass
+from repro.ir import ModuleOp, PassManager
+
+
+@dataclass
+class CompileOptions:
+    """Configuration of the code-generation strategy.
+
+    Attributes
+    ----------
+    subdomain_sizes:
+        Sub-domain (outer) tile sizes per space dimension; enables the
+        sub-domain level. ``None`` disables it.
+    tile_sizes:
+        Cache-blocking (inner) tile sizes; legalized per stencil pattern
+        (dimensions carrying negative dependence distances are forced to
+        size 1 as in §2.1). ``None`` disables cache tiling.
+    fuse:
+        Pull structured producers (and pointwise consumers) into the
+        tile loops, recomputing ``B`` per tile.
+    vectorize:
+        Vectorization factor ``VF``; ``0`` selects the scalar lowering
+        everywhere (stencils *and* structured ops).
+    parallel:
+        Attach wavefront groups (``cfd.get_parallel_blocks``) to the
+        sub-domain loop so independent sub-domains may run concurrently.
+    verify_each:
+        Run the IR verifier between passes (on by default; benchmarks
+        may disable it to measure pure compile time).
+    """
+
+    subdomain_sizes: Optional[Tuple[int, ...]] = None
+    tile_sizes: Optional[Tuple[int, ...]] = None
+    fuse: bool = False
+    vectorize: int = 8
+    parallel: bool = False
+    verify_each: bool = True
+
+    def describe(self) -> str:
+        parts = []
+        if self.subdomain_sizes:
+            parts.append(
+                f"subdomains={'x'.join(map(str, self.subdomain_sizes))}"
+                + ("+groups" if self.parallel else "")
+            )
+        if self.tile_sizes:
+            parts.append(f"tiles={'x'.join(map(str, self.tile_sizes))}")
+        if self.fuse:
+            parts.append("fuse")
+        parts.append(f"vf={self.vectorize}" if self.vectorize else "scalar")
+        return ",".join(parts)
+
+
+#: The ablation configurations of §4.2 (Fig. 13), parameterized by sizes.
+def ablation_options(
+    name: str,
+    subdomain_sizes: Tuple[int, ...],
+    tile_sizes: Tuple[int, ...],
+    vf: int = 8,
+) -> CompileOptions:
+    """Tr1..Tr4 of Fig. 13."""
+    configs = {
+        "Tr1": CompileOptions(
+            subdomain_sizes=subdomain_sizes, parallel=True, vectorize=0
+        ),
+        "Tr2": CompileOptions(
+            subdomain_sizes=subdomain_sizes,
+            tile_sizes=tile_sizes,
+            fuse=True,
+            parallel=True,
+            vectorize=0,
+        ),
+        "Tr3": CompileOptions(
+            subdomain_sizes=subdomain_sizes, parallel=True, vectorize=vf
+        ),
+        "Tr4": CompileOptions(
+            subdomain_sizes=subdomain_sizes,
+            tile_sizes=tile_sizes,
+            fuse=True,
+            parallel=True,
+            vectorize=vf,
+        ),
+    }
+    if name not in configs:
+        raise ValueError(f"unknown ablation configuration {name!r}")
+    return configs[name]
+
+
+class StencilCompiler:
+    """Drives a module through the full pipeline down to a compiled
+    Python/NumPy kernel."""
+
+    def __init__(self, options: Optional[CompileOptions] = None) -> None:
+        self.options = options or CompileOptions()
+        self.pass_manager: Optional[PassManager] = None
+
+    def build_pipeline(self) -> PassManager:
+        o = self.options
+        pm = PassManager(verify_each=o.verify_each)
+        level = 0
+        if o.subdomain_sizes:
+            pm.add(
+                TileStencilsPass(
+                    o.subdomain_sizes, with_groups=o.parallel, level=level
+                )
+            )
+            level += 1
+            if o.fuse:
+                pm.add(FuseProducersPass())
+        if o.tile_sizes:
+            pm.add(TileStencilsPass(o.tile_sizes, level=level))
+            level += 1
+            if o.fuse:
+                pm.add(FuseProducersPass(consumers=False))
+        if o.vectorize:
+            pm.add(VectorizeStencilsPass(o.vectorize))
+        else:
+            pm.add(LowerStencilsPass())
+            pm.add(LowerStructuredPass())
+        return pm
+
+    def lower(self, module: ModuleOp) -> ModuleOp:
+        """Run the transformation pipeline in place; returns the module."""
+        self.pass_manager = self.build_pipeline()
+        self.pass_manager.run(module)
+        return module
+
+    def compile(self, module: ModuleOp, entry: str = "kernel") -> CompiledKernel:
+        """Lower and compile; the module is consumed (transformed)."""
+        self.lower(module)
+        return compile_function(module, entry)

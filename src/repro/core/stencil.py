@@ -1,0 +1,375 @@
+"""Stencil patterns: the static access structure of Eq. (2).
+
+A :class:`StencilPattern` is a k-dimensional array with entries in
+{-1, 0, 1}:
+
+* ``-1`` — the offset is in **L**: the update reads the *current*
+  iteration's value (an intra-iteration dependence);
+* ``1`` — the offset is in **U**: the update reads the *previous*
+  iteration's value;
+* ``0`` — the offset is not accessed.
+
+The paper restricts L to lexicographically negative offsets so that the
+plain lexicographic traversal is a valid schedule (forward sweep). For the
+LU-SGS backward sweep the signs are inverted and the traversal is
+reversed (§4.3), which this class models with ``sweep = -1``.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence, Tuple
+
+Offset = Tuple[int, ...]
+
+
+def _lex_negative(offset: Offset) -> bool:
+    """True iff ``offset`` is lexicographically smaller than zero."""
+    for c in offset:
+        if c < 0:
+            return True
+        if c > 0:
+            return False
+    return False
+
+
+def _lex_positive(offset: Offset) -> bool:
+    return _lex_negative(tuple(-c for c in offset))
+
+
+class StencilPattern:
+    """A validated in-place stencil pattern.
+
+    Parameters
+    ----------
+    entries:
+        Nested lists of -1/0/1 describing the pattern box, centered: a
+        ``(2*s_1+1) x ... x (2*s_k+1)`` array whose middle element is the
+        center (offset 0), as in Fig. 4 of the paper.
+    sweep:
+        ``1`` for a forward (lexicographic) sweep, ``-1`` for a backward
+        sweep. L offsets must be lexicographically negative for the
+        forward sweep and positive for the backward sweep.
+    allow_initial_reads:
+        Permit L offsets on the *anti*-dependence side. Such reads hit Y
+        cells the traversal has not written yet, observing the tensor's
+        *initial* content — exactly what the backward sweep of symmetric
+        Gauss-Seidel / LU-SGS needs (its "lower" neighbours must yield
+        the forward sweep's result, which is Y's initial value there).
+        Deterministic and well-defined; the scheduler and tiler treat
+        these reads as anti-dependences (the reader must run before the
+        writer).
+    """
+
+    def __init__(
+        self, entries, sweep: int = 1, allow_initial_reads: bool = False
+    ) -> None:
+        if sweep not in (1, -1):
+            raise ValueError(f"sweep must be 1 or -1, got {sweep}")
+        self.entries = entries
+        self.sweep = sweep
+        self.allow_initial_reads = allow_initial_reads
+        self.shape = _shape_of(entries)
+        if any(s % 2 == 0 for s in self.shape):
+            raise ValueError(
+                f"pattern extents must be odd (centered), got {self.shape}"
+            )
+        self.rank = len(self.shape)
+        self.radii: Tuple[int, ...] = tuple(s // 2 for s in self.shape)
+        self.l_offsets: List[Offset] = []
+        self.u_offsets: List[Offset] = []
+        #: All non-zero offsets in row-major pattern order, paired with
+        #: their entry value; this fixes the block-argument order of
+        #: ``cfd.stencilOp``.
+        self.accesses: List[Tuple[Offset, int]] = []
+        for position, value in _enumerate_entries(entries):
+            offset = tuple(p - r for p, r in zip(position, self.radii))
+            if value == 0:
+                continue
+            if value not in (-1, 1):
+                raise ValueError(
+                    f"pattern entries must be -1, 0 or 1; got {value} at {position}"
+                )
+            if all(c == 0 for c in offset):
+                raise ValueError("the center of the pattern must be 0")
+            self.accesses.append((offset, value))
+            if value == -1:
+                self.l_offsets.append(offset)
+            else:
+                self.u_offsets.append(offset)
+        on_dep_side = _lex_negative if sweep == 1 else _lex_positive
+        #: L offsets carrying true intra-iteration dependences.
+        self.dependent_l_offsets: List[Offset] = [
+            o for o in self.l_offsets if on_dep_side(o)
+        ]
+        #: L offsets on the anti-dependence side: reads of initial Y
+        #: content (only with ``allow_initial_reads``).
+        self.initial_l_offsets: List[Offset] = [
+            o for o in self.l_offsets if not on_dep_side(o)
+        ]
+        self._validate_schedule()
+
+    # ---- construction ----------------------------------------------------
+
+    @classmethod
+    def from_offsets(
+        cls,
+        rank: int,
+        l_offsets: Iterable[Offset] = (),
+        u_offsets: Iterable[Offset] = (),
+        sweep: int = 1,
+        allow_initial_reads: bool = False,
+    ) -> "StencilPattern":
+        """Build a pattern box from explicit L and U offset lists."""
+        l_offsets = [tuple(o) for o in l_offsets]
+        u_offsets = [tuple(o) for o in u_offsets]
+        all_offsets = l_offsets + u_offsets
+        if not all_offsets:
+            raise ValueError("a stencil needs at least one offset")
+        for o in all_offsets:
+            if len(o) != rank:
+                raise ValueError(f"offset {o} does not have rank {rank}")
+        radii = [
+            max(max(abs(o[d]) for o in all_offsets), 0) for d in range(rank)
+        ]
+        radii = [max(r, 1) for r in radii]
+        shape = [2 * r + 1 for r in radii]
+
+        def build(level: int, prefix: Tuple[int, ...]):
+            if level == rank:
+                offset = tuple(p - r for p, r in zip(prefix, radii))
+                if offset in l_offsets:
+                    return -1
+                if offset in u_offsets:
+                    return 1
+                return 0
+            return [build(level + 1, prefix + (i,)) for i in range(shape[level])]
+
+        return cls(build(0, ()), sweep=sweep, allow_initial_reads=allow_initial_reads)
+
+    def inverted(self) -> "StencilPattern":
+        """The mirror pattern for the opposite sweep direction (§4.3).
+
+        Every entry moves to the mirrored offset and the sweep direction
+        flips; the L/U roles are preserved relative to the new traversal.
+        """
+        return StencilPattern.from_offsets(
+            self.rank,
+            l_offsets=[tuple(-c for c in o) for o in self.l_offsets],
+            u_offsets=[tuple(-c for c in o) for o in self.u_offsets],
+            sweep=-self.sweep,
+            allow_initial_reads=self.allow_initial_reads,
+        )
+
+    # ---- queries -----------------------------------------------------------
+
+    @property
+    def num_accesses(self) -> int:
+        return len(self.accesses)
+
+    @property
+    def is_in_place(self) -> bool:
+        """True iff the L subset is non-empty (a true Gauss-Seidel)."""
+        return bool(self.l_offsets)
+
+    def interior_bounds(self, space_shape: Sequence[int]) -> List[Tuple[int, int]]:
+        """Per-dimension ``[lo, hi)`` bounds where no access overflows."""
+        if len(space_shape) != self.rank:
+            raise ValueError(
+                f"space rank {len(space_shape)} != pattern rank {self.rank}"
+            )
+        bounds = []
+        for d, n in enumerate(space_shape):
+            lo = max([0] + [-o[d] for o, _ in self.accesses])
+            hi_margin = max([0] + [o[d] for o, _ in self.accesses])
+            bounds.append((lo, n - hi_margin))
+        return bounds
+
+    def schedule_relevant_offsets(self) -> List[Offset]:
+        """Offsets constraining the tile execution order, all mapped onto
+        the dependence side:
+
+        * true dependences: the dependent L offsets themselves;
+        * anti-dependences from initial reads: the reader must execute
+          before the writer, i.e. the *negated* initial-read offset acts
+          as a predecessor edge.
+        """
+        offsets = set(self.dependent_l_offsets)
+        offsets.update(
+            tuple(-c for c in o) for o in self.initial_l_offsets
+        )
+        return sorted(offsets)
+
+    def negative_distance_dims(self) -> List[int]:
+        """Dimensions along which some L dependence distance is negative.
+
+        These are the dimensions whose tile size must be forced to 1
+        (§2.1): a dependence distance is ``-r`` for an L offset ``r``, so
+        a *positive* component of an L offset is a negative distance.
+        For the forward sweep L offsets are lexicographically negative,
+        hence a positive component can only appear after a negative one —
+        e.g. ``(-1, 1)``, the paper's example.
+
+        For the backward sweep, the traversal is reversed so signs flip.
+        Anti-dependences from initial reads count with their negated
+        offsets.
+        """
+        dims = []
+        for d in range(self.rank):
+            for o in self.schedule_relevant_offsets():
+                component = o[d] * self.sweep
+                if component > 0:
+                    dims.append(d)
+                    break
+        return dims
+
+    def block_stencil_offsets(self, tile_sizes: Sequence[int]) -> List[Offset]:
+        """Sub-domain-level dependence offsets derived from L (§2.3, Fig. 1).
+
+        For each corner of a tile and each schedule-relevant offset,
+        determine the relative tile that the accessed element can fall
+        into. Tiles are hyperrectangular with the given sizes, so the
+        set of possible block offsets along dimension d for an element
+        offset ``o_d`` is ``{floor((c + o_d) / T_d) for corners
+        c in {0, T_d - 1}}``. Returns the non-zero block offsets (the
+        block-level L pattern).
+        """
+        if len(tile_sizes) != self.rank:
+            raise ValueError("tile_sizes rank mismatch")
+        blocks = set()
+        for o in self.schedule_relevant_offsets():
+            per_dim: List[List[int]] = []
+            for d, t in enumerate(tile_sizes):
+                lo = (0 + o[d]) // t
+                hi = (t - 1 + o[d]) // t
+                per_dim.append(sorted(set((lo, hi))))
+            for combo in _cartesian(per_dim):
+                if any(c != 0 for c in combo):
+                    blocks.add(tuple(combo))
+        return sorted(blocks)
+
+    def to_nested_lists(self):
+        """The raw -1/0/1 box, for the ``stencil`` attribute."""
+        return _copy_nested(self.entries)
+
+    # ---- validation ----------------------------------------------------------
+
+    def _validate_schedule(self) -> None:
+        """Enforce the paper's lexicographic ordering restriction on L
+        (unless initial reads are explicitly allowed)."""
+        if self.allow_initial_reads:
+            return
+        for o in self.l_offsets:
+            if self.sweep == 1 and not _lex_negative(o):
+                raise ValueError(
+                    f"L offset {o} is not lexicographically negative: the "
+                    "forward lexicographic traversal would read a future value"
+                )
+            if self.sweep == -1 and not _lex_positive(o):
+                raise ValueError(
+                    f"L offset {o} is not lexicographically positive: the "
+                    "backward traversal would read a future value"
+                )
+
+    def __repr__(self) -> str:
+        return (
+            f"StencilPattern(rank={self.rank}, |L|={len(self.l_offsets)}, "
+            f"|U|={len(self.u_offsets)}, sweep={self.sweep})"
+        )
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, StencilPattern)
+            and self.entries == other.entries
+            and self.sweep == other.sweep
+            and self.allow_initial_reads == other.allow_initial_reads
+        )
+
+    def __hash__(self) -> int:
+        return hash((repr(self.entries), self.sweep, self.allow_initial_reads))
+
+
+def _shape_of(entries) -> Tuple[int, ...]:
+    if isinstance(entries, int):
+        return ()
+    entries = list(entries)
+    if not entries:
+        raise ValueError("empty pattern")
+    sub = _shape_of(entries[0])
+    for e in entries[1:]:
+        if _shape_of(e) != sub:
+            raise ValueError("ragged pattern")
+    return (len(entries),) + sub
+
+
+def _enumerate_entries(entries, prefix: Tuple[int, ...] = ()):
+    if isinstance(entries, int):
+        yield prefix, entries
+        return
+    for i, e in enumerate(entries):
+        yield from _enumerate_entries(e, prefix + (i,))
+
+
+def _copy_nested(entries):
+    if isinstance(entries, int):
+        return entries
+    return [_copy_nested(e) for e in entries]
+
+
+def _cartesian(per_dim: List[List[int]]):
+    if not per_dim:
+        yield ()
+        return
+    for head in per_dim[0]:
+        for tail in _cartesian(per_dim[1:]):
+            yield (head,) + tail
+
+
+# ---------------------------------------------------------------------------
+# The patterns used in the paper's evaluation (§4.1, Fig. 8).
+# ---------------------------------------------------------------------------
+
+
+def gauss_seidel_5pt_2d() -> StencilPattern:
+    """(a) 2D Gauss-Seidel, 5 points, order 1: cross in a 3x3 box."""
+    return StencilPattern([[0, -1, 0], [-1, 0, 1], [0, 1, 0]])
+
+
+def gauss_seidel_9pt_2d() -> StencilPattern:
+    """(b) 2D Gauss-Seidel, 9 points, order 1: full 3x3 box.
+
+    Note the L offset (-1, 1): a negative dependence distance along the
+    second dimension, which forces tile size 1 there (§2.1).
+    """
+    return StencilPattern([[-1, -1, -1], [-1, 0, 1], [1, 1, 1]])
+
+
+def gauss_seidel_9pt_2nd_order_2d() -> StencilPattern:
+    """(c) 2D Gauss-Seidel, 9 points, order 2: cross in a 5x5 box
+    (the PolyBench "seidel" access structure, split into L and U)."""
+    return StencilPattern.from_offsets(
+        2,
+        l_offsets=[(-2, 0), (-1, 0), (0, -2), (0, -1)],
+        u_offsets=[(0, 1), (0, 2), (1, 0), (2, 0)],
+    )
+
+
+def gauss_seidel_6pt_3d() -> StencilPattern:
+    """(d) 3D Gauss-Seidel, 6 points, order 1 (the heat-equation solver)."""
+    return StencilPattern.from_offsets(
+        3,
+        l_offsets=[(-1, 0, 0), (0, -1, 0), (0, 0, -1)],
+        u_offsets=[(1, 0, 0), (0, 1, 0), (0, 0, 1)],
+    )
+
+
+def jacobi_5pt_2d() -> StencilPattern:
+    """5-point Jacobi: the out-of-place variant (empty L) used in §4.1."""
+    return StencilPattern.from_offsets(
+        2, u_offsets=[(-1, 0), (0, -1), (0, 1), (1, 0)]
+    )
+
+
+def sor_5pt_2d() -> StencilPattern:
+    """SOR has the same access pattern as Gauss-Seidel; the relaxation
+    factor lives in the stencil body, not the pattern."""
+    return gauss_seidel_5pt_2d()

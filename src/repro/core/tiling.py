@@ -1,0 +1,308 @@
+"""Tiling of in-place stencils (§2.1, §3.3).
+
+Two pieces:
+
+* :func:`legalize_tile_sizes` — the in-place restriction. A rectangular
+  tiling executed in lexicographic tile order is only valid when every
+  ``L`` offset maps to lexicographically negative *block* offsets for
+  every corner alignment (Fig. 1). An L offset with a positive trailing
+  component (a negative dependence distance, e.g. ``(-1, 1)`` in the
+  9-point kernel) would otherwise create a cyclic block dependence; the
+  legalizer forces tile size 1 along an earlier strictly-negative
+  dimension of that offset, which pins the block offset lexicographically
+  negative. This reproduces the paper's ``1 x 128`` choice for the
+  9-point kernel.
+
+* :func:`tile_stencil_op` — rewrite one ``cfd.stencilOp`` into a
+  ``cfd.tiled_loop`` over halo-inclusive data tiles carved with
+  ``tensor.extract_slice``/``insert_slice`` (Fig. 6), each tile running a
+  bounded ``cfd.stencilOp`` that writes exactly its core. Optionally
+  attaches wavefront groups computed by ``cfd.get_parallel_blocks``
+  (§3.4) so the loop can later run its independent tiles in parallel.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+from repro.core.stencil import StencilPattern
+from repro.dialects import arith, cfd, tensor
+from repro.ir import Operation, Pass
+from repro.ir.attributes import IntegerAttr
+from repro.ir.builder import OpBuilder
+from repro.ir.rewriter import PatternRewriter, RewritePattern, apply_patterns_greedily
+from repro.ir.types import TensorType
+from repro.ir.values import Value
+
+
+def legalize_tile_sizes(
+    pattern: StencilPattern, proposed: Sequence[int]
+) -> List[int]:
+    """Clamp tile sizes so lexicographic tile execution stays valid.
+
+    For every effective L offset (sweep-adjusted) with a positive
+    component at some dimension ``m`` (a negative dependence distance),
+    tile size 1 is forced along one strictly-negative earlier dimension —
+    choosing the last such dimension, which preserves larger leading
+    tiles. The result is verified against the derived block offsets.
+    """
+    if len(proposed) != pattern.rank:
+        raise ValueError(
+            f"{len(proposed)} tile sizes for a rank-{pattern.rank} pattern"
+        )
+    sizes = [max(1, int(t)) for t in proposed]
+    effective = [
+        tuple(c * pattern.sweep for c in o)
+        for o in pattern.schedule_relevant_offsets()
+    ]
+    for off in effective:
+        positives = [d for d, c in enumerate(off) if c > 0]
+        if not positives:
+            continue
+        m = positives[0]
+        candidates = [d for d in range(m) if off[d] < 0]
+        if not candidates:  # cannot happen for a validated pattern
+            raise ValueError(f"L offset {off} has no negative leading component")
+        if not any(sizes[d] == 1 for d in candidates):
+            sizes[candidates[-1]] = 1
+    _check_block_legality(pattern, sizes)
+    return sizes
+
+
+def _check_block_legality(
+    pattern: StencilPattern, tile_sizes: Sequence[int]
+) -> None:
+    """Assert all block offsets are on the correct lexicographic side."""
+    for block in pattern.block_stencil_offsets(tile_sizes):
+        effective = tuple(c * pattern.sweep for c in block)
+        first = next((c for c in effective if c != 0), 0)
+        if first >= 0:
+            raise ValueError(
+                f"tile sizes {list(tile_sizes)} are invalid for this "
+                f"pattern: block offset {block} is not lexicographically "
+                "negative (cyclic tile dependence)"
+            )
+
+
+def tile_footprint_bytes(
+    tile_sizes: Sequence[int],
+    nb_var: int,
+    live_tensors: int = 3,
+    dtype_bytes: int = 8,
+) -> int:
+    """The cache-capacity model of §2.1: tile volume x nbVar x live
+    tensors (X, B, Y) x element size. Used by the autotuner to bound
+    candidate tiles by the private L2 size."""
+    volume = 1
+    for t in tile_sizes:
+        volume *= int(t)
+    return volume * nb_var * live_tensors * dtype_bytes
+
+
+def tile_stencil_op(
+    op: cfd.StencilOp,
+    tile_sizes: Sequence[int],
+    with_groups: bool = False,
+    rewriter: Optional[PatternRewriter] = None,
+    halo_extra: Sequence[Tuple[int, int]] = None,
+) -> cfd.TiledLoopOp:
+    """Rewrite ``op`` into a tiled loop of bounded stencil instances.
+
+    ``halo_extra`` adds per-dimension ``(lo, hi)`` window inflation on top
+    of the pattern halo — fusion uses it to make room for producers'
+    access margins. Tile sizes must already be legal (the caller runs
+    :func:`legalize_tile_sizes`).
+    """
+    pattern = op.pattern
+    k = pattern.rank
+    tile_sizes = [int(t) for t in tile_sizes]
+    _check_block_legality(pattern, tile_sizes)
+    if halo_extra is None:
+        halo_extra = [(0, 0)] * k
+    builder = rewriter or OpBuilder.before(op)
+    if rewriter is not None:
+        builder = rewriter
+
+    x, b, y = op.x, op.b, op.y_init
+    nv = op.nb_var
+
+    # Pattern halos per space dimension.
+    halo_lo = [max([0] + [-o[d] for o, _ in pattern.accesses]) for d in range(k)]
+    halo_hi = [max([0] + [o[d] for o, _ in pattern.accesses]) for d in range(k)]
+
+    # Space extents (dynamic-safe via tensor.dim) and write-region bounds.
+    dims: List[Value] = []
+    write_lo: List[Value] = []
+    write_hi: List[Value] = []
+    for d in range(k):
+        n = _space_dim(builder, y, d)
+        dims.append(n)
+        if op.has_bounds:
+            write_lo.append(op.bounds_lo[d])
+            write_hi.append(op.bounds_hi[d])
+        else:
+            write_lo.append(arith.const_index(builder, halo_lo[d]))
+            write_hi.append(
+                arith.subi(builder, n, arith.const_index(builder, halo_hi[d]))
+            )
+
+    steps = [arith.const_index(builder, t) for t in tile_sizes]
+    groups = None
+    if with_groups:
+        block_offsets = pattern.block_stencil_offsets(tile_sizes)
+        if block_offsets:
+            num_blocks = []
+            for d in range(k):
+                span = arith.subi(builder, write_hi[d], write_lo[d])
+                num_blocks.append(_ceil_div(builder, span, steps[d]))
+            gp = cfd.GetParallelBlocksOp.build(builder, num_blocks, block_offsets)
+            groups = [gp.result(0), gp.result(1)]
+
+    loop = cfd.TiledLoopOp.build(
+        builder,
+        write_lo,
+        write_hi,
+        steps,
+        [x, b],
+        [y],
+        groups=groups,
+        reverse=pattern.sweep == -1,
+    )
+    body = OpBuilder.at_end(loop.body)
+    ivs = loop.induction_vars
+    x_arg, b_arg = loop.in_args
+    y_arg = loop.out_args[0]
+
+    zero_b = arith.const_index(body, 0)
+    nv_b = arith.const_index(body, nv)
+
+    # Per-dimension window and core bounds (all index arithmetic).
+    window_lo: List[Value] = []
+    window_size: List[Value] = []
+    core_lo_local: List[Value] = []
+    core_hi_local: List[Value] = []
+    for d in range(k):
+        n = _space_dim(body, y_arg, d)
+        t = arith.const_index(body, tile_sizes[d])
+        h_lo = arith.const_index(body, halo_lo[d] + halo_extra[d][0])
+        h_hi = arith.const_index(body, halo_hi[d] + halo_extra[d][1])
+        w_lo = arith.maxsi(body, arith.subi(body, ivs[d], h_lo), zero_b)
+        core_end = arith.minsi(
+            body, arith.addi(body, ivs[d], t), write_hi[d]
+        )
+        w_hi = arith.minsi(body, arith.addi(body, core_end, h_hi), n)
+        window_lo.append(w_lo)
+        window_size.append(arith.subi(body, w_hi, w_lo))
+        core_lo_local.append(arith.subi(body, ivs[d], w_lo))
+        core_hi_local.append(arith.subi(body, core_end, w_lo))
+
+    slice_offsets = [zero_b] + window_lo
+    slice_sizes = [nv_b] + window_size
+    static = [nv] + [-1] * k
+    x_s = tensor.ExtractSliceOp.build(
+        body, x_arg, slice_offsets, slice_sizes, static_sizes=static
+    ).result()
+    b_s = tensor.ExtractSliceOp.build(
+        body, b_arg, slice_offsets, slice_sizes, static_sizes=static
+    ).result()
+    y_s = tensor.ExtractSliceOp.build(
+        body, y_arg, slice_offsets, slice_sizes, static_sizes=static
+    ).result()
+
+    inner = cfd.StencilOp.build(
+        body,
+        x_s,
+        b_s,
+        y_s,
+        pattern,
+        nv,
+        bounds=core_lo_local + core_hi_local,
+    )
+    _clone_region_into(op, inner)
+    _bump_tiling_level(op, inner)
+
+    y_next = tensor.InsertSliceOp.build(
+        body, inner.result(), y_arg, slice_offsets, slice_sizes
+    ).result()
+    cfd.CFDYieldOp.build(body, [y_next])
+
+    if rewriter is not None:
+        rewriter.replace_op(op, [loop.result()])
+    else:
+        op.result().replace_all_uses_with(loop.result())
+        op.erase()
+    return loop
+
+
+def _space_dim(builder: OpBuilder, value: Value, d: int) -> Value:
+    t: TensorType = value.type  # type: ignore[assignment]
+    if t.shape[d + 1] != -1:
+        return arith.const_index(builder, t.shape[d + 1])
+    return tensor.DimOp.build(builder, value, d + 1).result()
+
+
+def _ceil_div(builder: OpBuilder, a: Value, b: Value) -> Value:
+    one = arith.const_index(builder, 1)
+    return arith.floordivi(
+        builder,
+        arith.subi(builder, arith.addi(builder, a, b), one),
+        b,
+    )
+
+
+def _clone_region_into(src: cfd.StencilOp, dst: cfd.StencilOp) -> None:
+    """Copy the payload region from one stencil op to another."""
+    mapping = {}
+    for old_arg, new_arg in zip(src.body.arguments, dst.body.arguments):
+        mapping[old_arg] = new_arg
+    for inner_op in src.body.operations:
+        dst.body.append(inner_op.clone(mapping))
+
+
+def _bump_tiling_level(src: Operation, dst: Operation) -> None:
+    prev = src.attributes.get("tiling_level")
+    level = prev.value + 1 if isinstance(prev, IntegerAttr) else 1
+    dst.attributes["tiling_level"] = IntegerAttr(level)
+
+
+def tiling_level(op: Operation) -> int:
+    attr = op.attributes.get("tiling_level")
+    return attr.value if isinstance(attr, IntegerAttr) else 0
+
+
+class _TileStencilPattern(RewritePattern):
+    op_name = "cfd.stencilOp"
+
+    def __init__(self, tile_sizes, with_groups, max_level):
+        self.tile_sizes = tile_sizes
+        self.with_groups = with_groups
+        self.max_level = max_level
+
+    def match_and_rewrite(self, op, rewriter):
+        if tiling_level(op) != self.max_level:
+            return False
+        sizes = legalize_tile_sizes(op.pattern, self.tile_sizes)
+        tile_stencil_op(op, sizes, self.with_groups, rewriter=rewriter)
+        return True
+
+
+class TileStencilsPass(Pass):
+    """Tile every ``cfd.stencilOp`` at nesting level ``level`` (0 = not
+    yet tiled) with the given tile sizes, legalized per pattern."""
+
+    def __init__(
+        self,
+        tile_sizes: Sequence[int],
+        with_groups: bool = False,
+        level: int = 0,
+    ) -> None:
+        self.tile_sizes = list(tile_sizes)
+        self.with_groups = with_groups
+        self.level = level
+        self.name = f"tile-stencils<{self.tile_sizes}, groups={with_groups}>"
+
+    def run(self, module) -> None:
+        apply_patterns_greedily(
+            module,
+            [_TileStencilPattern(self.tile_sizes, self.with_groups, self.level)],
+        )

@@ -1,0 +1,33 @@
+"""IR dialects.
+
+Mirrors the MLIR dialects the paper builds on, plus its new ``cfd``
+dialect:
+
+* :mod:`repro.dialects.arith` — integer/float/index arithmetic;
+* :mod:`repro.dialects.math` — libm-style math (sqrt, fma, ...);
+* :mod:`repro.dialects.func` — functions, calls, returns;
+* :mod:`repro.dialects.scf` — structured control flow (for/if/parallel);
+* :mod:`repro.dialects.tensor` — immutable multi-dimensional arrays;
+* :mod:`repro.dialects.memref` — mutable buffers;
+* :mod:`repro.dialects.vector` — VF-sized vector reads/writes and FMAs;
+* :mod:`repro.dialects.linalg` — structured pointwise/shifted-access ops;
+* :mod:`repro.dialects.cfd` — the paper's contribution: ``stencilOp``,
+  ``faceIteratorOp``, ``tiled_loop`` and ``get_parallel_blocks``.
+
+Importing this package registers every operation with the global
+:class:`repro.ir.OpRegistry`.
+"""
+
+from repro.dialects import arith, cfd, func, linalg, math, memref, scf, tensor, vector
+
+__all__ = [
+    "arith",
+    "math",
+    "func",
+    "scf",
+    "tensor",
+    "memref",
+    "vector",
+    "linalg",
+    "cfd",
+]

@@ -1,0 +1,346 @@
+"""The ``arith`` dialect: constants, integer/index and float arithmetic.
+
+Like in MLIR, floating-point operations apply elementwise when their
+operands are vectors, which is what lets the vectorization pass reuse the
+scalar payload unchanged (§3.5 of the paper).
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+from repro.ir.attributes import Attribute, FloatAttr, IntegerAttr, StringAttr
+from repro.ir.builder import OpBuilder
+from repro.ir.operation import Operation, register_op
+from repro.ir.types import (
+    FloatType,
+    IndexType,
+    IntegerType,
+    Type,
+    VectorType,
+    f64,
+    i1,
+    index,
+)
+from repro.ir.values import Value
+
+
+def _element_type(t: Type) -> Type:
+    return t.element_type if isinstance(t, VectorType) else t
+
+
+def _is_float_like(t: Type) -> bool:
+    return isinstance(_element_type(t), FloatType)
+
+
+def _is_int_like(t: Type) -> bool:
+    return isinstance(_element_type(t), (IntegerType, IndexType))
+
+
+@register_op
+class ConstantOp(Operation):
+    """``arith.constant {value = <attr>}``: a compile-time constant."""
+
+    OP_NAME = "arith.constant"
+
+    @classmethod
+    def build(cls, builder: OpBuilder, value: Attribute) -> "ConstantOp":
+        if isinstance(value, IntegerAttr):
+            result_type = value.type
+        elif isinstance(value, FloatAttr):
+            result_type = value.type
+        else:
+            raise TypeError(f"unsupported constant attribute {value!r}")
+        op = builder.create(cls.OP_NAME, [], [result_type], {"value": value})
+        return op  # type: ignore[return-value]
+
+    @property
+    def value(self) -> Union[int, float]:
+        attr = self.attributes["value"]
+        return attr.value  # type: ignore[union-attr]
+
+    def verify_(self) -> None:
+        attr = self.attributes.get("value")
+        if not isinstance(attr, (IntegerAttr, FloatAttr)):
+            raise ValueError("arith.constant needs an integer or float 'value'")
+        if self.result().type != attr.type:
+            raise ValueError("arith.constant result type must match its value")
+
+
+def const_f64(builder: OpBuilder, value: float) -> Value:
+    """Shorthand: build an f64 constant and return its result value."""
+    return ConstantOp.build(builder, FloatAttr(float(value), f64)).result()
+
+
+def const_index(builder: OpBuilder, value: int) -> Value:
+    """Shorthand: build an index constant and return its result value."""
+    return ConstantOp.build(builder, IntegerAttr(int(value), index)).result()
+
+
+class _BinaryOp(Operation):
+    """Shared implementation of same-type binary operations."""
+
+    REQUIRES: str = "any"  # "float", "int" or "any"
+
+    @classmethod
+    def build(cls, builder: OpBuilder, lhs: Value, rhs: Value) -> "_BinaryOp":
+        return builder.create(cls.OP_NAME, [lhs, rhs], [lhs.type])  # type: ignore[return-value]
+
+    @property
+    def lhs(self) -> Value:
+        return self.operand(0)
+
+    @property
+    def rhs(self) -> Value:
+        return self.operand(1)
+
+    def verify_(self) -> None:
+        if self.num_operands != 2 or self.num_results != 1:
+            raise ValueError(f"{self.name} must have 2 operands and 1 result")
+        lhs, rhs = self.operand(0), self.operand(1)
+        if lhs.type != rhs.type or self.result().type != lhs.type:
+            raise ValueError(
+                f"{self.name}: operand/result types disagree "
+                f"({lhs.type}, {rhs.type}) -> {self.result().type}"
+            )
+        if self.REQUIRES == "float" and not _is_float_like(lhs.type):
+            raise ValueError(f"{self.name} requires float operands, got {lhs.type}")
+        if self.REQUIRES == "int" and not _is_int_like(lhs.type):
+            raise ValueError(f"{self.name} requires integer operands, got {lhs.type}")
+
+
+@register_op
+class AddFOp(_BinaryOp):
+    OP_NAME = "arith.addf"
+    REQUIRES = "float"
+
+
+@register_op
+class SubFOp(_BinaryOp):
+    OP_NAME = "arith.subf"
+    REQUIRES = "float"
+
+
+@register_op
+class MulFOp(_BinaryOp):
+    OP_NAME = "arith.mulf"
+    REQUIRES = "float"
+
+
+@register_op
+class DivFOp(_BinaryOp):
+    OP_NAME = "arith.divf"
+    REQUIRES = "float"
+
+
+@register_op
+class MaximumFOp(_BinaryOp):
+    OP_NAME = "arith.maximumf"
+    REQUIRES = "float"
+
+
+@register_op
+class MinimumFOp(_BinaryOp):
+    OP_NAME = "arith.minimumf"
+    REQUIRES = "float"
+
+
+@register_op
+class AddIOp(_BinaryOp):
+    OP_NAME = "arith.addi"
+    REQUIRES = "int"
+
+
+@register_op
+class SubIOp(_BinaryOp):
+    OP_NAME = "arith.subi"
+    REQUIRES = "int"
+
+
+@register_op
+class MulIOp(_BinaryOp):
+    OP_NAME = "arith.muli"
+    REQUIRES = "int"
+
+
+@register_op
+class FloorDivIOp(_BinaryOp):
+    """Floored division; used for VF-divisibility bounds (§3.5)."""
+
+    OP_NAME = "arith.floordivi"
+    REQUIRES = "int"
+
+
+@register_op
+class RemIOp(_BinaryOp):
+    OP_NAME = "arith.remi"
+    REQUIRES = "int"
+
+
+@register_op
+class MinSIOp(_BinaryOp):
+    """Signed minimum; clamps partial-tile sizes at domain boundaries."""
+
+    OP_NAME = "arith.minsi"
+    REQUIRES = "int"
+
+
+@register_op
+class MaxSIOp(_BinaryOp):
+    OP_NAME = "arith.maxsi"
+    REQUIRES = "int"
+
+
+@register_op
+class NegFOp(Operation):
+    OP_NAME = "arith.negf"
+
+    @classmethod
+    def build(cls, builder: OpBuilder, value: Value) -> "NegFOp":
+        return builder.create(cls.OP_NAME, [value], [value.type])  # type: ignore[return-value]
+
+    def verify_(self) -> None:
+        if self.num_operands != 1 or self.num_results != 1:
+            raise ValueError("arith.negf must have 1 operand and 1 result")
+        if not _is_float_like(self.operand(0).type):
+            raise ValueError("arith.negf requires a float operand")
+
+
+#: Comparison predicates accepted by CmpFOp / CmpIOp.
+CMP_PREDICATES = ("eq", "ne", "lt", "le", "gt", "ge")
+
+
+class _CmpOp(Operation):
+    @classmethod
+    def build(cls, builder: OpBuilder, predicate: str, lhs: Value, rhs: Value):
+        if predicate not in CMP_PREDICATES:
+            raise ValueError(f"unknown comparison predicate {predicate!r}")
+        return builder.create(
+            cls.OP_NAME, [lhs, rhs], [i1], {"predicate": StringAttr(predicate)}
+        )
+
+    @property
+    def predicate(self) -> str:
+        return self.attributes["predicate"].value  # type: ignore[union-attr]
+
+    def verify_(self) -> None:
+        pred = self.attributes.get("predicate")
+        if not isinstance(pred, StringAttr) or pred.value not in CMP_PREDICATES:
+            raise ValueError(f"{self.name}: bad or missing predicate")
+        if self.operand(0).type != self.operand(1).type:
+            raise ValueError(f"{self.name}: operand types disagree")
+        if self.result().type != i1:
+            raise ValueError(f"{self.name}: result must be i1")
+
+
+@register_op
+class CmpFOp(_CmpOp):
+    OP_NAME = "arith.cmpf"
+
+
+@register_op
+class CmpIOp(_CmpOp):
+    OP_NAME = "arith.cmpi"
+
+
+@register_op
+class SelectOp(Operation):
+    """``arith.select(cond, a, b)``: ternary select."""
+
+    OP_NAME = "arith.select"
+
+    @classmethod
+    def build(
+        cls, builder: OpBuilder, cond: Value, true_value: Value, false_value: Value
+    ) -> "SelectOp":
+        return builder.create(  # type: ignore[return-value]
+            cls.OP_NAME, [cond, true_value, false_value], [true_value.type]
+        )
+
+    def verify_(self) -> None:
+        if self.num_operands != 3:
+            raise ValueError("arith.select needs 3 operands")
+        if self.operand(0).type != i1:
+            raise ValueError("arith.select condition must be i1")
+        if self.operand(1).type != self.operand(2).type:
+            raise ValueError("arith.select branch types disagree")
+        if self.result().type != self.operand(1).type:
+            raise ValueError("arith.select result type mismatch")
+
+
+@register_op
+class IndexCastOp(Operation):
+    """Cast between index and fixed-width integers (schedule bookkeeping)."""
+
+    OP_NAME = "arith.index_cast"
+
+    @classmethod
+    def build(cls, builder: OpBuilder, value: Value, result_type: Type):
+        return builder.create(cls.OP_NAME, [value], [result_type])
+
+    def verify_(self) -> None:
+        src, dst = self.operand(0).type, self.result().type
+        if not (_is_int_like(src) and _is_int_like(dst)):
+            raise ValueError("arith.index_cast operates on integer-like types")
+
+
+@register_op
+class SIToFPOp(Operation):
+    """Signed integer (or index) to floating point conversion."""
+
+    OP_NAME = "arith.sitofp"
+
+    @classmethod
+    def build(cls, builder: OpBuilder, value: Value, result_type: Type = f64):
+        return builder.create(cls.OP_NAME, [value], [result_type])
+
+    def verify_(self) -> None:
+        if not _is_int_like(self.operand(0).type):
+            raise ValueError("arith.sitofp source must be integer-like")
+        if not _is_float_like(self.result().type):
+            raise ValueError("arith.sitofp result must be float-like")
+
+
+# Builder-style free functions: the fluent API used by the passes.
+def addf(b: OpBuilder, x: Value, y: Value) -> Value:
+    return AddFOp.build(b, x, y).result()
+
+
+def subf(b: OpBuilder, x: Value, y: Value) -> Value:
+    return SubFOp.build(b, x, y).result()
+
+
+def mulf(b: OpBuilder, x: Value, y: Value) -> Value:
+    return MulFOp.build(b, x, y).result()
+
+
+def divf(b: OpBuilder, x: Value, y: Value) -> Value:
+    return DivFOp.build(b, x, y).result()
+
+
+def negf(b: OpBuilder, x: Value) -> Value:
+    return NegFOp.build(b, x).result()
+
+
+def addi(b: OpBuilder, x: Value, y: Value) -> Value:
+    return AddIOp.build(b, x, y).result()
+
+
+def subi(b: OpBuilder, x: Value, y: Value) -> Value:
+    return SubIOp.build(b, x, y).result()
+
+
+def muli(b: OpBuilder, x: Value, y: Value) -> Value:
+    return MulIOp.build(b, x, y).result()
+
+
+def floordivi(b: OpBuilder, x: Value, y: Value) -> Value:
+    return FloorDivIOp.build(b, x, y).result()
+
+
+def minsi(b: OpBuilder, x: Value, y: Value) -> Value:
+    return MinSIOp.build(b, x, y).result()
+
+
+def maxsi(b: OpBuilder, x: Value, y: Value) -> Value:
+    return MaxSIOp.build(b, x, y).result()

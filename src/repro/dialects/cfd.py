@@ -1,0 +1,548 @@
+"""The ``cfd`` dialect — the paper's new operations (§3.2–3.4).
+
+* :class:`StencilOp` — one iteration of an in-place stencil (Eq. 2);
+* :class:`FaceIteratorOp` — finite-volume flux accumulation over faces;
+* :class:`TiledLoopOp` — explicit-operand tiled loop nest with optional
+  groups of parallel iterations;
+* :class:`GetParallelBlocksOp` — wavefront schedule of sub-domains in CSR
+  form;
+* :class:`CFDYieldOp` — region terminator.
+
+Semantics of ``cfd.stencilOp`` (the contract every backend implements):
+
+Let ``X`` (previous iterate), ``B`` (right-hand side) and ``Y`` (output,
+initialized from the ``outs`` operand) be tensors of shape
+``(nv, n_1, ..., n_k)`` and let the pattern define accesses
+``(r_1, tag_1), ..., (r_m, tag_m)`` in row-major pattern order
+(tag -1 = read Y, tag 1 = read X). For every interior cell ``i`` visited
+in (sweep-directed) lexicographic order, the region is invoked with block
+arguments::
+
+    w[a*nv + v] = Y[v, i + r_a]  if tag_a == -1 else X[v, i + r_a]
+    w[m*nv + v] = X[v, i]        (the center element)
+
+and must yield ``1 + (m+1)*nv`` values: ``d`` followed by per-access,
+per-variable contributions ``c[a, v]`` (center contributions last). The
+update then is::
+
+    Y[v, i] = (B[v, i] + sum_a c[a, v]) / d
+
+Boundary cells keep their initial value (the degenerate variant of Eq. 2
+is the identity in this reproduction; boundary conditions are applied by
+the surrounding solver).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.core.stencil import StencilPattern
+from repro.ir.attributes import (
+    BoolAttr,
+    DenseIntElementsAttr,
+    IntegerAttr,
+)
+from repro.ir.block import Block, Region
+from repro.ir.builder import OpBuilder
+from repro.ir.operation import Operation, register_op
+from repro.ir.types import TensorType, f64, index
+from repro.ir.values import Value
+
+
+@register_op
+class CFDYieldOp(Operation):
+    """Terminator of cfd regions."""
+
+    OP_NAME = "cfd.yield"
+
+    @classmethod
+    def build(cls, builder: OpBuilder, values: Sequence[Value] = ()) -> "CFDYieldOp":
+        return builder.create(cls.OP_NAME, list(values))  # type: ignore[return-value]
+
+
+@register_op
+class StencilOp(Operation):
+    """``cfd.stencilOp ins(X, B) outs(Y)`` — see the module docstring.
+
+    Optional *write bounds*: ``2k`` extra index operands
+    ``(lo_1..lo_k, hi_1..hi_k)`` restricting the updated cells to
+    ``[lo, hi)`` in the operand tensors' (local) coordinates. Tiling
+    produces such bounded instances so a tile updates exactly its core
+    while reading into its halo. Without bounds, the write region is the
+    pattern-derived interior of the tensor shape.
+    """
+
+    OP_NAME = "cfd.stencilOp"
+
+    @classmethod
+    def build(
+        cls,
+        builder: OpBuilder,
+        x: Value,
+        b: Value,
+        y_init: Value,
+        pattern: StencilPattern,
+        nb_var: int = 1,
+        bounds: Optional[Sequence[Value]] = None,
+    ) -> "StencilOp":
+        n_args = (pattern.num_accesses + 1) * nb_var
+        region = Region([Block(arg_types=[f64] * n_args)])
+        operands = [x, b, y_init]
+        has_bounds = bounds is not None
+        if has_bounds:
+            if len(bounds) != 2 * pattern.rank:
+                raise ValueError(
+                    f"bounds must hold 2*rank = {2 * pattern.rank} values"
+                )
+            operands += list(bounds)
+        op = builder.create(
+            cls.OP_NAME,
+            operands,
+            [y_init.type],
+            {
+                "stencil": DenseIntElementsAttr(pattern.to_nested_lists()),
+                "nbVar": IntegerAttr(nb_var),
+                "sweep": IntegerAttr(pattern.sweep),
+                "has_bounds": BoolAttr(has_bounds),
+                "allow_initial_reads": BoolAttr(pattern.allow_initial_reads),
+            },
+            regions=[region],
+        )
+        return op  # type: ignore[return-value]
+
+    @property
+    def has_bounds(self) -> bool:
+        attr = self.attributes.get("has_bounds")
+        return bool(attr.value) if isinstance(attr, BoolAttr) else False
+
+    @property
+    def bounds_lo(self) -> List[Value]:
+        if not self.has_bounds:
+            return []
+        k = self.space_rank
+        return self.operands[3 : 3 + k]
+
+    @property
+    def bounds_hi(self) -> List[Value]:
+        if not self.has_bounds:
+            return []
+        k = self.space_rank
+        return self.operands[3 + k : 3 + 2 * k]
+
+    # ---- accessors ---------------------------------------------------------
+
+    @property
+    def x(self) -> Value:
+        return self.operand(0)
+
+    @property
+    def b(self) -> Value:
+        return self.operand(1)
+
+    @property
+    def y_init(self) -> Value:
+        return self.operand(2)
+
+    @property
+    def nb_var(self) -> int:
+        return self.attributes["nbVar"].value  # type: ignore[union-attr]
+
+    @property
+    def sweep(self) -> int:
+        attr = self.attributes.get("sweep")
+        return attr.value if isinstance(attr, IntegerAttr) else 1
+
+    @property
+    def pattern(self) -> StencilPattern:
+        stencil = self.attributes["stencil"]
+        initial = self.attributes.get("allow_initial_reads")
+        return StencilPattern(
+            stencil.to_nested_lists(),  # type: ignore[union-attr]
+            sweep=self.sweep,
+            allow_initial_reads=bool(initial.value)
+            if isinstance(initial, BoolAttr)
+            else False,
+        )
+
+    @property
+    def body(self) -> Block:
+        return self.regions[0].entry_block
+
+    @property
+    def space_rank(self) -> int:
+        return self.pattern.rank
+
+    def verify_(self) -> None:
+        stencil_attr = self.attributes.get("stencil")
+        rank = len(stencil_attr.shape) if isinstance(
+            stencil_attr, DenseIntElementsAttr
+        ) else 0
+        expected_operands = 3 + (2 * rank if self.has_bounds else 0)
+        if self.num_operands != expected_operands or self.num_results != 1:
+            raise ValueError(
+                "cfd.stencilOp takes (X, B, Y_init [, bounds]) and returns Y"
+            )
+        if self.has_bounds:
+            for v in self.operands[3:]:
+                if v.type != index:
+                    raise ValueError("cfd.stencilOp bounds must be index-typed")
+        stencil = self.attributes.get("stencil")
+        if not isinstance(stencil, DenseIntElementsAttr):
+            raise ValueError("cfd.stencilOp needs a dense 'stencil' attribute")
+        nb_var_attr = self.attributes.get("nbVar")
+        if not isinstance(nb_var_attr, IntegerAttr) or nb_var_attr.value < 1:
+            raise ValueError("cfd.stencilOp needs a positive 'nbVar'")
+        pattern = self.pattern  # validates the L/U lexicographic restriction
+        nv = nb_var_attr.value
+        for i, operand in enumerate(self.operands[:3]):
+            t = operand.type
+            if not isinstance(t, TensorType):
+                raise ValueError(f"cfd.stencilOp operand #{i} must be a tensor")
+            if t.rank != pattern.rank + 1:
+                raise ValueError(
+                    f"cfd.stencilOp operand #{i} rank {t.rank} != "
+                    f"pattern rank + 1 ({pattern.rank + 1})"
+                )
+            if t.shape[0] not in (nv, -1):
+                raise ValueError(
+                    f"cfd.stencilOp operand #{i}: leading dim must be nbVar={nv}"
+                )
+        if self.result().type != self.operand(2).type:
+            raise ValueError("cfd.stencilOp result type must match Y_init")
+        expected_args = (pattern.num_accesses + 1) * nv
+        body = self.regions[0].entry_block
+        if len(body.arguments) != expected_args:
+            raise ValueError(
+                f"cfd.stencilOp body must have {expected_args} arguments "
+                f"((accesses + 1) * nbVar), found {len(body.arguments)}"
+            )
+        term = body.terminator
+        if term is None or term.name != "cfd.yield":
+            raise ValueError("cfd.stencilOp body must end with cfd.yield")
+        expected_yields = 1 + expected_args
+        if len(term.operands) != expected_yields:
+            raise ValueError(
+                f"cfd.stencilOp body must yield {expected_yields} values "
+                f"(d + one contribution per argument), found {len(term.operands)}"
+            )
+
+
+@register_op
+class FaceIteratorOp(Operation):
+    """``cfd.faceIteratorOp ins(X) outs(B) {axis}`` — flux over faces.
+
+    For every pair of cells ``(i, i + e_axis)`` sharing a face, the region
+    receives ``2*nv`` arguments (the left then the right cell's fields)
+    and yields ``nv`` flux values ``F``. The op accumulates::
+
+        B[v, i]          -= F[v]
+        B[v, i + e_axis] += F[v]
+
+    computing each face flux once and distributing it to both adjacent
+    cells, exactly the redundancy-avoiding design of §3.2.
+    """
+
+    OP_NAME = "cfd.faceIteratorOp"
+
+    @classmethod
+    def build(
+        cls,
+        builder: OpBuilder,
+        x: Value,
+        b_init: Value,
+        axis: int,
+        nb_var: int = 1,
+    ) -> "FaceIteratorOp":
+        region = Region([Block(arg_types=[f64] * (2 * nb_var))])
+        op = builder.create(
+            cls.OP_NAME,
+            [x, b_init],
+            [b_init.type],
+            {"axis": IntegerAttr(axis), "nbVar": IntegerAttr(nb_var)},
+            regions=[region],
+        )
+        return op  # type: ignore[return-value]
+
+    @property
+    def x(self) -> Value:
+        return self.operand(0)
+
+    @property
+    def b_init(self) -> Value:
+        return self.operand(1)
+
+    @property
+    def axis(self) -> int:
+        return self.attributes["axis"].value  # type: ignore[union-attr]
+
+    @property
+    def nb_var(self) -> int:
+        return self.attributes["nbVar"].value  # type: ignore[union-attr]
+
+    @property
+    def body(self) -> Block:
+        return self.regions[0].entry_block
+
+    def verify_(self) -> None:
+        if self.num_operands != 2 or self.num_results != 1:
+            raise ValueError("cfd.faceIteratorOp takes (X, B_init) -> B")
+        nv_attr = self.attributes.get("nbVar")
+        axis_attr = self.attributes.get("axis")
+        if not isinstance(nv_attr, IntegerAttr) or nv_attr.value < 1:
+            raise ValueError("cfd.faceIteratorOp needs a positive 'nbVar'")
+        x_t = self.operand(0).type
+        if not isinstance(x_t, TensorType):
+            raise ValueError("cfd.faceIteratorOp X must be a tensor")
+        if not isinstance(axis_attr, IntegerAttr) or not (
+            0 <= axis_attr.value < x_t.rank - 1
+        ):
+            raise ValueError("cfd.faceIteratorOp 'axis' must be a space axis")
+        body = self.regions[0].entry_block
+        if len(body.arguments) != 2 * nv_attr.value:
+            raise ValueError(
+                "cfd.faceIteratorOp body needs 2*nbVar arguments"
+            )
+        term = body.terminator
+        if term is None or term.name != "cfd.yield":
+            raise ValueError("cfd.faceIteratorOp body must end with cfd.yield")
+        if len(term.operands) != nv_attr.value:
+            raise ValueError("cfd.faceIteratorOp body must yield nbVar fluxes")
+
+
+@register_op
+class TiledLoopOp(Operation):
+    """``cfd.tiled_loop`` — a loop nest with explicit tensor operands.
+
+    Operands (in order): ``lbs (k) + ubs (k) + steps (k) + ins (n) +
+    outs (m) [+ group_offsets + group_indices]``; the trailing pair is
+    present iff ``has_groups`` is true and encodes, in CSR form, groups of
+    loop iterations (linearized grid indices) that may run in parallel,
+    with groups executed in order (§3.4).
+
+    The body block receives ``k`` induction variables, then the ``ins``
+    then the current ``outs`` values, and terminates with ``cfd.yield``
+    of the ``m`` updated outs. Results are the final outs.
+    """
+
+    OP_NAME = "cfd.tiled_loop"
+
+    @classmethod
+    def build(
+        cls,
+        builder: OpBuilder,
+        lbs: Sequence[Value],
+        ubs: Sequence[Value],
+        steps: Sequence[Value],
+        ins: Sequence[Value],
+        outs: Sequence[Value],
+        groups: Optional[Sequence[Value]] = None,
+        reverse: bool = False,
+    ) -> "TiledLoopOp":
+        k = len(lbs)
+        if len(ubs) != k or len(steps) != k:
+            raise ValueError("cfd.tiled_loop bounds/steps rank mismatch")
+        ins, outs = list(ins), list(outs)
+        operands = list(lbs) + list(ubs) + list(steps) + ins + outs
+        has_groups = groups is not None
+        if has_groups:
+            if len(groups) != 2:
+                raise ValueError("groups must be (offsets, indices)")
+            operands += list(groups)
+        arg_types = [index] * k + [v.type for v in ins] + [v.type for v in outs]
+        region = Region([Block(arg_types=arg_types)])
+        op = builder.create(
+            cls.OP_NAME,
+            operands,
+            [v.type for v in outs],
+            {
+                "rank": IntegerAttr(k),
+                "num_ins": IntegerAttr(len(ins)),
+                "num_outs": IntegerAttr(len(outs)),
+                "has_groups": BoolAttr(has_groups),
+                "reverse": BoolAttr(reverse),
+            },
+            regions=[region],
+        )
+        return op  # type: ignore[return-value]
+
+    # ---- accessors -----------------------------------------------------------
+
+    @property
+    def rank(self) -> int:
+        return self.attributes["rank"].value  # type: ignore[union-attr]
+
+    @property
+    def num_ins(self) -> int:
+        return self.attributes["num_ins"].value  # type: ignore[union-attr]
+
+    @property
+    def num_outs(self) -> int:
+        return self.attributes["num_outs"].value  # type: ignore[union-attr]
+
+    @property
+    def has_groups(self) -> bool:
+        attr = self.attributes.get("has_groups")
+        return bool(attr.value) if isinstance(attr, BoolAttr) else False
+
+    @property
+    def reverse(self) -> bool:
+        """Iterate the tile grid in reverse lexicographic order (the
+        backward sweep of LU-SGS, §4.3)."""
+        attr = self.attributes.get("reverse")
+        return bool(attr.value) if isinstance(attr, BoolAttr) else False
+
+    @property
+    def lbs(self) -> List[Value]:
+        return self.operands[: self.rank]
+
+    @property
+    def ubs(self) -> List[Value]:
+        return self.operands[self.rank : 2 * self.rank]
+
+    @property
+    def steps(self) -> List[Value]:
+        return self.operands[2 * self.rank : 3 * self.rank]
+
+    @property
+    def ins(self) -> List[Value]:
+        start = 3 * self.rank
+        return self.operands[start : start + self.num_ins]
+
+    @property
+    def outs(self) -> List[Value]:
+        start = 3 * self.rank + self.num_ins
+        return self.operands[start : start + self.num_outs]
+
+    @property
+    def group_operands(self) -> Optional[List[Value]]:
+        if not self.has_groups:
+            return None
+        return self.operands[-2:]
+
+    @property
+    def body(self) -> Block:
+        return self.regions[0].entry_block
+
+    @property
+    def induction_vars(self) -> List[Value]:
+        return list(self.body.arguments[: self.rank])
+
+    @property
+    def in_args(self) -> List[Value]:
+        return list(self.body.arguments[self.rank : self.rank + self.num_ins])
+
+    @property
+    def out_args(self) -> List[Value]:
+        start = self.rank + self.num_ins
+        return list(self.body.arguments[start : start + self.num_outs])
+
+    def verify_(self) -> None:
+        k, n, m = self.rank, self.num_ins, self.num_outs
+        expected = 3 * k + n + m + (2 if self.has_groups else 0)
+        if self.num_operands != expected:
+            raise ValueError(
+                f"cfd.tiled_loop expects {expected} operands, has {self.num_operands}"
+            )
+        if self.num_results != m:
+            raise ValueError("cfd.tiled_loop results must match outs")
+        for v in self.operands[: 3 * k]:
+            if v.type != index:
+                raise ValueError("cfd.tiled_loop bounds/steps must be index")
+        body = self.regions[0].entry_block
+        if len(body.arguments) != k + n + m:
+            raise ValueError("cfd.tiled_loop body needs k + n + m arguments")
+        term = body.terminator
+        if term is None or term.name != "cfd.yield":
+            raise ValueError("cfd.tiled_loop body must end with cfd.yield")
+        if len(term.operands) != m:
+            raise ValueError("cfd.tiled_loop must yield one value per out")
+        for y, r in zip(term.operands, self.results):
+            if y.type != r.type:
+                raise ValueError("cfd.tiled_loop yield types mismatch results")
+
+
+@register_op
+class GetParallelBlocksOp(Operation):
+    """``cfd.get_parallel_blocks {block_stencil}`` — wavefront groups.
+
+    Operands: the number of sub-domains along each tiled dimension.
+    Results: ``(offsets, indices)`` — a CSR encoding where row ``g``
+    spans ``indices[offsets[g] : offsets[g+1]]`` and lists the linearized
+    sub-domain indices of wavefront group ``g``; groups must execute in
+    order, sub-domains within a group are independent. The schedule is
+    the longest-path optimum of Eq. (3).
+    """
+
+    OP_NAME = "cfd.get_parallel_blocks"
+
+    @classmethod
+    def build(
+        cls,
+        builder: OpBuilder,
+        num_blocks: Sequence[Value],
+        block_offsets: Sequence[Sequence[int]],
+    ) -> "GetParallelBlocksOp":
+        rank = len(num_blocks)
+        pattern_box = _offsets_to_box(rank, block_offsets)
+        result_type = TensorType([-1], index)
+        op = builder.create(
+            cls.OP_NAME,
+            list(num_blocks),
+            [result_type, result_type],
+            {"block_stencil": DenseIntElementsAttr(pattern_box)},
+        )
+        return op  # type: ignore[return-value]
+
+    @property
+    def block_offsets(self) -> List[tuple]:
+        """Decode the block_stencil attribute back to offset tuples."""
+        attr: DenseIntElementsAttr = self.attributes["block_stencil"]  # type: ignore[assignment]
+        shape = attr.shape
+        radii = [s // 2 for s in shape]
+        offsets = []
+        flat = attr.flat()
+        strides = []
+        acc = 1
+        for s in reversed(shape):
+            strides.insert(0, acc)
+            acc *= s
+        for pos in range(len(flat)):
+            if flat[pos] != -1:
+                continue
+            coords = []
+            rem = pos
+            for st in strides:
+                coords.append(rem // st)
+                rem %= st
+            offsets.append(tuple(c - r for c, r in zip(coords, radii)))
+        return offsets
+
+    def verify_(self) -> None:
+        attr = self.attributes.get("block_stencil")
+        if not isinstance(attr, DenseIntElementsAttr):
+            raise ValueError(
+                "cfd.get_parallel_blocks needs a 'block_stencil' attribute"
+            )
+        if any(v not in (0, -1) for v in attr.flat()):
+            raise ValueError("block_stencil entries must be 0 or -1 (§3.4)")
+        if self.num_results != 2:
+            raise ValueError("cfd.get_parallel_blocks returns (offsets, indices)")
+        if self.num_operands != len(attr.shape):
+            raise ValueError(
+                "cfd.get_parallel_blocks needs one size per tiled dimension"
+            )
+
+
+def _offsets_to_box(rank: int, offsets: Sequence[Sequence[int]]) -> list:
+    """Encode block offsets as a centered -1/0 box attribute."""
+    offsets = [tuple(o) for o in offsets]
+    radius = max([1] + [abs(c) for o in offsets for c in o])
+    shape = [2 * radius + 1] * rank
+
+    def build(level: int, prefix: tuple):
+        if level == rank:
+            offset = tuple(p - radius for p in prefix)
+            return -1 if offset in offsets else 0
+        return [build(level + 1, prefix + (i,)) for i in range(shape[level])]
+
+    return build(0, ())

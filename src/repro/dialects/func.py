@@ -1,0 +1,116 @@
+"""The ``func`` dialect: functions, returns and direct calls."""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.ir.attributes import StringAttr, TypeAttr
+from repro.ir.block import Block, Region
+from repro.ir.builder import OpBuilder
+from repro.ir.module import ModuleOp
+from repro.ir.operation import Operation, register_op
+from repro.ir.types import FunctionType, Type
+from repro.ir.values import Value
+
+
+@register_op
+class FuncOp(Operation):
+    """``func.func {sym_name, function_type} { body }``."""
+
+    OP_NAME = "func.func"
+
+    @classmethod
+    def build(
+        cls,
+        builder: OpBuilder,
+        name: str,
+        function_type: FunctionType,
+    ) -> "FuncOp":
+        region = Region([Block(arg_types=function_type.inputs)])
+        op = builder.create(
+            cls.OP_NAME,
+            attributes={
+                "sym_name": StringAttr(name),
+                "function_type": TypeAttr(function_type),
+            },
+            regions=[region],
+        )
+        return op  # type: ignore[return-value]
+
+    @property
+    def sym_name(self) -> str:
+        return self.attributes["sym_name"].value  # type: ignore[union-attr]
+
+    @property
+    def function_type(self) -> FunctionType:
+        return self.attributes["function_type"].type  # type: ignore[union-attr]
+
+    @property
+    def body(self) -> Block:
+        return self.regions[0].entry_block
+
+    @property
+    def arguments(self) -> List[Value]:
+        return list(self.body.arguments)
+
+    def verify_(self) -> None:
+        if not isinstance(self.attributes.get("sym_name"), StringAttr):
+            raise ValueError("func.func needs a sym_name")
+        ft_attr = self.attributes.get("function_type")
+        if not isinstance(ft_attr, TypeAttr) or not isinstance(
+            ft_attr.type, FunctionType
+        ):
+            raise ValueError("func.func needs a function_type")
+        ft = ft_attr.type
+        args = self.regions[0].entry_block.arguments
+        if tuple(a.type for a in args) != ft.inputs:
+            raise ValueError(
+                "func.func entry-block arguments do not match the signature"
+            )
+        term = self.regions[0].entry_block.terminator
+        if term is not None and term.name == "func.return":
+            if tuple(o.type for o in term.operands) != ft.results:
+                raise ValueError("func.return types do not match the signature")
+
+
+@register_op
+class ReturnOp(Operation):
+    OP_NAME = "func.return"
+
+    @classmethod
+    def build(cls, builder: OpBuilder, values: Sequence[Value] = ()) -> "ReturnOp":
+        return builder.create(cls.OP_NAME, list(values))  # type: ignore[return-value]
+
+
+@register_op
+class CallOp(Operation):
+    """``func.call {callee}``: direct call to a symbol in the module."""
+
+    OP_NAME = "func.call"
+
+    @classmethod
+    def build(
+        cls,
+        builder: OpBuilder,
+        callee: str,
+        operands: Sequence[Value],
+        result_types: Sequence[Type],
+    ) -> "CallOp":
+        return builder.create(  # type: ignore[return-value]
+            cls.OP_NAME,
+            list(operands),
+            list(result_types),
+            {"callee": StringAttr(callee)},
+        )
+
+    @property
+    def callee(self) -> str:
+        return self.attributes["callee"].value  # type: ignore[union-attr]
+
+    def resolve(self, module: ModuleOp) -> Optional[FuncOp]:
+        target = module.lookup_symbol(self.callee)
+        return target if isinstance(target, FuncOp) else None
+
+    def verify_(self) -> None:
+        if not isinstance(self.attributes.get("callee"), StringAttr):
+            raise ValueError("func.call needs a callee")

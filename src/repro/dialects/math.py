@@ -1,0 +1,103 @@
+"""The ``math`` dialect: libm-style functions and fused multiply-add.
+
+All operations are elementwise over vectors, like their MLIR namesakes.
+"""
+
+from __future__ import annotations
+
+from repro.ir.builder import OpBuilder
+from repro.ir.operation import Operation, register_op
+from repro.ir.types import FloatType, VectorType
+from repro.ir.values import Value
+
+
+def _is_float_like(t) -> bool:
+    if isinstance(t, VectorType):
+        t = t.element_type
+    return isinstance(t, FloatType)
+
+
+class _UnaryMathOp(Operation):
+    @classmethod
+    def build(cls, builder: OpBuilder, value: Value):
+        return builder.create(cls.OP_NAME, [value], [value.type])
+
+    def verify_(self) -> None:
+        if self.num_operands != 1 or self.num_results != 1:
+            raise ValueError(f"{self.name}: 1 operand, 1 result required")
+        if not _is_float_like(self.operand(0).type):
+            raise ValueError(f"{self.name}: float operand required")
+        if self.result().type != self.operand(0).type:
+            raise ValueError(f"{self.name}: result type must match operand")
+
+
+@register_op
+class SqrtOp(_UnaryMathOp):
+    """Square root — the speed of sound in the Roe flux needs it."""
+
+    OP_NAME = "math.sqrt"
+
+
+@register_op
+class AbsFOp(_UnaryMathOp):
+    """Absolute value — wave-speed magnitudes in upwind fluxes."""
+
+    OP_NAME = "math.absf"
+
+
+@register_op
+class ExpOp(_UnaryMathOp):
+    OP_NAME = "math.exp"
+
+
+@register_op
+class LogOp(_UnaryMathOp):
+    OP_NAME = "math.log"
+
+
+@register_op
+class PowFOp(Operation):
+    OP_NAME = "math.powf"
+
+    @classmethod
+    def build(cls, builder: OpBuilder, base: Value, exponent: Value):
+        return builder.create(cls.OP_NAME, [base, exponent], [base.type])
+
+    def verify_(self) -> None:
+        if self.num_operands != 2:
+            raise ValueError("math.powf needs 2 operands")
+        if self.operand(0).type != self.operand(1).type:
+            raise ValueError("math.powf operand types disagree")
+
+
+@register_op
+class FmaOp(Operation):
+    """``math.fma(a, b, c) = a*b + c`` — the workhorse of Fig. 7."""
+
+    OP_NAME = "math.fma"
+
+    @classmethod
+    def build(cls, builder: OpBuilder, a: Value, b: Value, c: Value):
+        return builder.create(cls.OP_NAME, [a, b, c], [a.type])
+
+    def verify_(self) -> None:
+        if self.num_operands != 3 or self.num_results != 1:
+            raise ValueError("math.fma needs 3 operands and 1 result")
+        t = self.operand(0).type
+        if not _is_float_like(t):
+            raise ValueError("math.fma requires float operands")
+        for i in (1, 2):
+            if self.operand(i).type != t:
+                raise ValueError("math.fma operand types disagree")
+
+
+def sqrt(b: OpBuilder, x: Value) -> Value:
+    return SqrtOp.build(b, x).result()
+
+
+def absf(b: OpBuilder, x: Value) -> Value:
+    return AbsFOp.build(b, x).result()
+
+
+def fma(b: OpBuilder, x: Value, y: Value, z: Value) -> Value:
+    return FmaOp.build(b, x, y, z).result()

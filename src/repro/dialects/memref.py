@@ -1,0 +1,216 @@
+"""The ``memref`` dialect: mutable in-memory buffers.
+
+After bufferization replaces tensors with memrefs, the in-place character
+of the stencil becomes literal: a single buffer is read and written by the
+same loop nest, as in the generated code of Fig. 7.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from repro.ir.attributes import IntegerAttr
+from repro.ir.builder import OpBuilder
+from repro.ir.operation import Operation, register_op
+from repro.ir.types import DYNAMIC, MemRefType, index
+from repro.ir.values import Value
+
+
+@register_op
+class AllocOp(Operation):
+    """``memref.alloc``: allocate a buffer (dynamic sizes as operands)."""
+
+    OP_NAME = "memref.alloc"
+
+    @classmethod
+    def build(
+        cls,
+        builder: OpBuilder,
+        result_type: MemRefType,
+        dynamic_sizes: Sequence[Value] = (),
+    ) -> "AllocOp":
+        return builder.create(  # type: ignore[return-value]
+            cls.OP_NAME, list(dynamic_sizes), [result_type]
+        )
+
+    def verify_(self) -> None:
+        t = self.result().type
+        if not isinstance(t, MemRefType):
+            raise ValueError("memref.alloc must produce a memref")
+        n_dynamic = sum(1 for d in t.shape if d == DYNAMIC)
+        if self.num_operands != n_dynamic:
+            raise ValueError("memref.alloc dynamic size count mismatch")
+
+
+@register_op
+class DeallocOp(Operation):
+    OP_NAME = "memref.dealloc"
+
+    @classmethod
+    def build(cls, builder: OpBuilder, buffer: Value) -> "DeallocOp":
+        return builder.create(cls.OP_NAME, [buffer])  # type: ignore[return-value]
+
+    def verify_(self) -> None:
+        if not isinstance(self.operand(0).type, MemRefType):
+            raise ValueError("memref.dealloc operand must be a memref")
+
+
+@register_op
+class LoadOp(Operation):
+    """``memref.load(buffer, indices...)``."""
+
+    OP_NAME = "memref.load"
+
+    @classmethod
+    def build(
+        cls, builder: OpBuilder, buffer: Value, indices: Sequence[Value]
+    ) -> "LoadOp":
+        elem = buffer.type.element_type  # type: ignore[union-attr]
+        return builder.create(  # type: ignore[return-value]
+            cls.OP_NAME, [buffer] + list(indices), [elem]
+        )
+
+    @property
+    def buffer(self) -> Value:
+        return self.operand(0)
+
+    @property
+    def indices(self) -> List[Value]:
+        return self.operands[1:]
+
+    def verify_(self) -> None:
+        t = self.operand(0).type
+        if not isinstance(t, MemRefType):
+            raise ValueError("memref.load source must be a memref")
+        if self.num_operands - 1 != t.rank:
+            raise ValueError("memref.load index count must equal rank")
+
+
+@register_op
+class StoreOp(Operation):
+    """``memref.store(scalar, buffer, indices...)``."""
+
+    OP_NAME = "memref.store"
+
+    @classmethod
+    def build(
+        cls,
+        builder: OpBuilder,
+        scalar: Value,
+        buffer: Value,
+        indices: Sequence[Value],
+    ) -> "StoreOp":
+        return builder.create(  # type: ignore[return-value]
+            cls.OP_NAME, [scalar, buffer] + list(indices)
+        )
+
+    @property
+    def scalar(self) -> Value:
+        return self.operand(0)
+
+    @property
+    def buffer(self) -> Value:
+        return self.operand(1)
+
+    @property
+    def indices(self) -> List[Value]:
+        return self.operands[2:]
+
+    def verify_(self) -> None:
+        t = self.operand(1).type
+        if not isinstance(t, MemRefType):
+            raise ValueError("memref.store destination must be a memref")
+        if self.operand(0).type != t.element_type:
+            raise ValueError("memref.store scalar must be the element type")
+        if self.num_operands - 2 != t.rank:
+            raise ValueError("memref.store index count must equal rank")
+
+
+@register_op
+class SubViewOp(Operation):
+    """``memref.subview(source, offsets..., sizes...)``: an aliasing view.
+
+    Strides are fixed to 1. The result aliases the source buffer — writes
+    through the view are visible through the source, which is how tiles
+    mutate the global solution after bufferization.
+    """
+
+    OP_NAME = "memref.subview"
+
+    @classmethod
+    def build(
+        cls,
+        builder: OpBuilder,
+        source: Value,
+        offsets: Sequence[Value],
+        sizes: Sequence[Value],
+    ) -> "SubViewOp":
+        src_t: MemRefType = source.type  # type: ignore[assignment]
+        result_type = MemRefType([DYNAMIC] * src_t.rank, src_t.element_type)
+        return builder.create(  # type: ignore[return-value]
+            cls.OP_NAME, [source] + list(offsets) + list(sizes), [result_type]
+        )
+
+    @property
+    def source(self) -> Value:
+        return self.operand(0)
+
+    @property
+    def rank(self) -> int:
+        return (self.num_operands - 1) // 2
+
+    @property
+    def offsets(self) -> List[Value]:
+        return self.operands[1 : 1 + self.rank]
+
+    @property
+    def sizes(self) -> List[Value]:
+        return self.operands[1 + self.rank :]
+
+    def verify_(self) -> None:
+        t = self.operand(0).type
+        if not isinstance(t, MemRefType):
+            raise ValueError("memref.subview source must be a memref")
+        if self.num_operands != 1 + 2 * t.rank:
+            raise ValueError("memref.subview needs rank offsets and rank sizes")
+
+
+@register_op
+class CopyOp(Operation):
+    """``memref.copy(source, dest)``: elementwise buffer copy."""
+
+    OP_NAME = "memref.copy"
+
+    @classmethod
+    def build(cls, builder: OpBuilder, source: Value, dest: Value) -> "CopyOp":
+        return builder.create(cls.OP_NAME, [source, dest])  # type: ignore[return-value]
+
+    def verify_(self) -> None:
+        for i in range(2):
+            if not isinstance(self.operand(i).type, MemRefType):
+                raise ValueError("memref.copy operands must be memrefs")
+
+
+@register_op
+class MemDimOp(Operation):
+    """``memref.dim {dim}``: the size of one dimension."""
+
+    OP_NAME = "memref.dim"
+
+    @classmethod
+    def build(cls, builder: OpBuilder, source: Value, dim: int) -> "MemDimOp":
+        return builder.create(  # type: ignore[return-value]
+            cls.OP_NAME, [source], [index], {"dim": IntegerAttr(dim, index)}
+        )
+
+    @property
+    def dim(self) -> int:
+        return self.attributes["dim"].value  # type: ignore[union-attr]
+
+    def verify_(self) -> None:
+        t = self.operand(0).type
+        if not isinstance(t, MemRefType):
+            raise ValueError("memref.dim source must be a memref")
+        d = self.attributes.get("dim")
+        if not isinstance(d, IntegerAttr) or not (0 <= d.value < t.rank):
+            raise ValueError("memref.dim: dimension out of range")

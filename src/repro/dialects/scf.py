@@ -1,0 +1,238 @@
+"""The ``scf`` dialect: structured control flow.
+
+``scf.for`` carries loop state through ``iter_args`` exactly like MLIR
+(Fig. 5 of the paper): the body block receives the induction variable plus
+the current loop-carried values, and ``scf.yield`` passes the next-iteration
+values; the op's results are the final values.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from repro.ir.block import Block, Region
+from repro.ir.builder import OpBuilder
+from repro.ir.operation import Operation, register_op
+from repro.ir.types import index
+from repro.ir.values import Value
+
+
+@register_op
+class YieldOp(Operation):
+    """Terminator of scf regions, forwarding loop-carried values."""
+
+    OP_NAME = "scf.yield"
+
+    @classmethod
+    def build(cls, builder: OpBuilder, values: Sequence[Value] = ()) -> "YieldOp":
+        return builder.create(cls.OP_NAME, list(values))  # type: ignore[return-value]
+
+
+@register_op
+class ForOp(Operation):
+    """``scf.for(lb, ub, step, iter_args...)`` with one body block.
+
+    Body block arguments: ``[induction_var : index, *iter_args]``.
+    Results: the values yielded by the final iteration (same types as
+    ``iter_args``).
+    """
+
+    OP_NAME = "scf.for"
+
+    @classmethod
+    def build(
+        cls,
+        builder: OpBuilder,
+        lower: Value,
+        upper: Value,
+        step: Value,
+        iter_args: Sequence[Value] = (),
+    ) -> "ForOp":
+        iter_args = list(iter_args)
+        region = Region(
+            [Block(arg_types=[index] + [v.type for v in iter_args])]
+        )
+        op = builder.create(
+            cls.OP_NAME,
+            [lower, upper, step] + iter_args,
+            [v.type for v in iter_args],
+            regions=[region],
+        )
+        return op  # type: ignore[return-value]
+
+    @property
+    def lower(self) -> Value:
+        return self.operand(0)
+
+    @property
+    def upper(self) -> Value:
+        return self.operand(1)
+
+    @property
+    def step(self) -> Value:
+        return self.operand(2)
+
+    @property
+    def iter_operands(self) -> List[Value]:
+        return self.operands[3:]
+
+    @property
+    def body(self) -> Block:
+        return self.regions[0].entry_block
+
+    @property
+    def induction_var(self) -> Value:
+        return self.body.arguments[0]
+
+    @property
+    def iter_args(self) -> List[Value]:
+        return list(self.body.arguments[1:])
+
+    def verify_(self) -> None:
+        if self.num_operands < 3:
+            raise ValueError("scf.for needs lb, ub, step")
+        for i in range(3):
+            if self.operand(i).type != index:
+                raise ValueError("scf.for bounds/step must be index-typed")
+        n_iter = self.num_operands - 3
+        if self.num_results != n_iter:
+            raise ValueError("scf.for results must match iter_args")
+        body = self.regions[0].entry_block
+        if len(body.arguments) != 1 + n_iter:
+            raise ValueError("scf.for body needs iv + iter_args arguments")
+        if body.arguments[0].type != index:
+            raise ValueError("scf.for induction variable must be index")
+        for arg, op in zip(body.arguments[1:], self.operands[3:]):
+            if arg.type != op.type:
+                raise ValueError("scf.for iter_arg types do not match operands")
+        term = body.terminator
+        if term is None or term.name != "scf.yield":
+            raise ValueError("scf.for body must end with scf.yield")
+        if [o.type for o in term.operands] != [r.type for r in self.results]:
+            raise ValueError("scf.yield types do not match scf.for results")
+
+
+@register_op
+class IfOp(Operation):
+    """``scf.if(cond)`` with then/else regions, each ending in scf.yield."""
+
+    OP_NAME = "scf.if"
+
+    @classmethod
+    def build(
+        cls,
+        builder: OpBuilder,
+        cond: Value,
+        result_types: Sequence = (),
+        with_else: bool = True,
+    ) -> "IfOp":
+        regions = [Region([Block()])]
+        if with_else:
+            regions.append(Region([Block()]))
+        return builder.create(  # type: ignore[return-value]
+            cls.OP_NAME, [cond], list(result_types), regions=regions
+        )
+
+    @property
+    def then_block(self) -> Block:
+        return self.regions[0].entry_block
+
+    @property
+    def else_block(self) -> Block:
+        return self.regions[1].entry_block
+
+    def verify_(self) -> None:
+        if self.num_operands != 1:
+            raise ValueError("scf.if takes exactly one condition")
+        if self.num_results and len(self.regions) != 2:
+            raise ValueError("scf.if with results needs an else region")
+        for region in self.regions:
+            term = region.entry_block.terminator
+            if term is None or term.name != "scf.yield":
+                raise ValueError("scf.if regions must end with scf.yield")
+            if [o.type for o in term.operands] != [r.type for r in self.results]:
+                raise ValueError("scf.if yield types do not match results")
+
+
+@register_op
+class ParallelOp(Operation):
+    """``scf.parallel``: a loop nest whose iterations are independent.
+
+    Operands: ``lbs + ubs + steps`` (rank inferred as len/3). Appears only
+    after bufferization — it has no results; the body writes to memrefs.
+    The body block receives one index per dimension.
+    """
+
+    OP_NAME = "scf.parallel"
+
+    @classmethod
+    def build(
+        cls,
+        builder: OpBuilder,
+        lowers: Sequence[Value],
+        uppers: Sequence[Value],
+        steps: Sequence[Value],
+    ) -> "ParallelOp":
+        rank = len(lowers)
+        if len(uppers) != rank or len(steps) != rank:
+            raise ValueError("scf.parallel bounds/steps rank mismatch")
+        region = Region([Block(arg_types=[index] * rank)])
+        return builder.create(  # type: ignore[return-value]
+            cls.OP_NAME,
+            list(lowers) + list(uppers) + list(steps),
+            regions=[region],
+        )
+
+    @property
+    def rank(self) -> int:
+        return self.num_operands // 3
+
+    @property
+    def body(self) -> Block:
+        return self.regions[0].entry_block
+
+    @property
+    def induction_vars(self) -> List[Value]:
+        return list(self.body.arguments)
+
+    def verify_(self) -> None:
+        if self.num_operands % 3 != 0 or self.num_operands == 0:
+            raise ValueError("scf.parallel needs 3*rank operands")
+        if self.num_results:
+            raise ValueError("scf.parallel produces no results")
+        rank = self.num_operands // 3
+        if len(self.regions[0].entry_block.arguments) != rank:
+            raise ValueError("scf.parallel body arguments must match rank")
+
+
+def build_loop_nest(
+    builder: OpBuilder,
+    lowers: Sequence[Value],
+    uppers: Sequence[Value],
+    steps: Sequence[Value],
+    iter_args: Sequence[Value] = (),
+):
+    """Build a perfect nest of ``scf.for`` loops threading ``iter_args``.
+
+    Returns ``(outermost_op, innermost_body_builder, ivs, innermost_iter_args)``
+    where the caller must emit the innermost body and then
+    ``scf.yield`` through each level (the nest is pre-wired: each inner
+    loop's results are yielded by its parent).
+    """
+    ivs: List[Value] = []
+    outer_op = None
+    current_args = list(iter_args)
+    current_builder = builder
+    loops: List[ForOp] = []
+    for lb, ub, st in zip(lowers, uppers, steps):
+        loop = ForOp.build(current_builder, lb, ub, st, current_args)
+        if outer_op is None:
+            outer_op = loop
+        loops.append(loop)
+        ivs.append(loop.induction_var)
+        current_args = loop.iter_args
+        current_builder = OpBuilder.at_end(loop.body)
+    # Pre-wire the yields: each loop yields its child's results.
+    for parent, child in zip(loops, loops[1:]):
+        YieldOp.build(OpBuilder.at_end(parent.body), list(child.results))
+    return outer_op, current_builder, ivs, current_args

@@ -1,0 +1,271 @@
+"""The ``tensor`` dialect: immutable multi-dimensional arrays.
+
+Tensors are SSA values; ``insert``/``insert_slice`` return *new* tensors,
+which is what lets loop-carried stencil updates thread a tensor through
+``scf.for`` iter_args (Fig. 5). ``extract_slice``/``insert_slice`` carve
+hyperrectangular tiles (Fig. 6).
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from repro.ir.attributes import IntegerAttr, index_array_attr
+from repro.ir.builder import OpBuilder
+from repro.ir.operation import Operation, register_op
+from repro.ir.types import DYNAMIC, TensorType, Type, index
+from repro.ir.values import Value
+
+
+@register_op
+class EmptyOp(Operation):
+    """``tensor.empty``: an uninitialized tensor of the given type.
+
+    Dynamic dimensions are provided as index operands, in dimension order.
+    """
+
+    OP_NAME = "tensor.empty"
+
+    @classmethod
+    def build(
+        cls,
+        builder: OpBuilder,
+        result_type: TensorType,
+        dynamic_sizes: Sequence[Value] = (),
+    ) -> "EmptyOp":
+        return builder.create(  # type: ignore[return-value]
+            cls.OP_NAME, list(dynamic_sizes), [result_type]
+        )
+
+    def verify_(self) -> None:
+        t = self.result().type
+        if not isinstance(t, TensorType):
+            raise ValueError("tensor.empty must produce a tensor")
+        n_dynamic = sum(1 for d in t.shape if d == DYNAMIC)
+        if self.num_operands != n_dynamic:
+            raise ValueError(
+                f"tensor.empty: {self.num_operands} dynamic sizes for "
+                f"{n_dynamic} dynamic dimensions"
+            )
+
+
+@register_op
+class DimOp(Operation):
+    """``tensor.dim {dim}``: the size of one dimension, as an index."""
+
+    OP_NAME = "tensor.dim"
+
+    @classmethod
+    def build(cls, builder: OpBuilder, source: Value, dim: int) -> "DimOp":
+        return builder.create(  # type: ignore[return-value]
+            cls.OP_NAME, [source], [index], {"dim": IntegerAttr(dim, index)}
+        )
+
+    @property
+    def dim(self) -> int:
+        return self.attributes["dim"].value  # type: ignore[union-attr]
+
+    def verify_(self) -> None:
+        t = self.operand(0).type
+        if not isinstance(t, TensorType):
+            raise ValueError("tensor.dim source must be a tensor")
+        d = self.attributes.get("dim")
+        if not isinstance(d, IntegerAttr) or not (0 <= d.value < t.rank):
+            raise ValueError("tensor.dim: dimension out of range")
+
+
+@register_op
+class ExtractOp(Operation):
+    """``tensor.extract(source, indices...)``: read one element."""
+
+    OP_NAME = "tensor.extract"
+
+    @classmethod
+    def build(
+        cls, builder: OpBuilder, source: Value, indices: Sequence[Value]
+    ) -> "ExtractOp":
+        elem = source.type.element_type  # type: ignore[union-attr]
+        return builder.create(  # type: ignore[return-value]
+            cls.OP_NAME, [source] + list(indices), [elem]
+        )
+
+    @property
+    def source(self) -> Value:
+        return self.operand(0)
+
+    @property
+    def indices(self) -> List[Value]:
+        return self.operands[1:]
+
+    def verify_(self) -> None:
+        t = self.operand(0).type
+        if not isinstance(t, TensorType):
+            raise ValueError("tensor.extract source must be a tensor")
+        if self.num_operands - 1 != t.rank:
+            raise ValueError("tensor.extract index count must equal rank")
+        if self.result().type != t.element_type:
+            raise ValueError("tensor.extract result must be the element type")
+
+
+@register_op
+class InsertOp(Operation):
+    """``tensor.insert(scalar, dest, indices...)``: a new tensor with one
+    element replaced."""
+
+    OP_NAME = "tensor.insert"
+
+    @classmethod
+    def build(
+        cls,
+        builder: OpBuilder,
+        scalar: Value,
+        dest: Value,
+        indices: Sequence[Value],
+    ) -> "InsertOp":
+        return builder.create(  # type: ignore[return-value]
+            cls.OP_NAME, [scalar, dest] + list(indices), [dest.type]
+        )
+
+    @property
+    def scalar(self) -> Value:
+        return self.operand(0)
+
+    @property
+    def dest(self) -> Value:
+        return self.operand(1)
+
+    @property
+    def indices(self) -> List[Value]:
+        return self.operands[2:]
+
+    def verify_(self) -> None:
+        t = self.operand(1).type
+        if not isinstance(t, TensorType):
+            raise ValueError("tensor.insert destination must be a tensor")
+        if self.operand(0).type != t.element_type:
+            raise ValueError("tensor.insert scalar must be the element type")
+        if self.num_operands - 2 != t.rank:
+            raise ValueError("tensor.insert index count must equal rank")
+        if self.result().type != t:
+            raise ValueError("tensor.insert result type must match destination")
+
+
+class _SliceOpBase(Operation):
+    """Shared offset/size accessors for extract_slice/insert_slice.
+
+    Offsets and sizes are index operands (rank each); strides are fixed to
+    1, which is all the tiling in the paper requires.
+    """
+
+    _N_LEAD = 1  # number of leading non-index operands
+
+    @property
+    def rank(self) -> int:
+        return (self.num_operands - self._N_LEAD) // 2
+
+    @property
+    def offsets(self) -> List[Value]:
+        return self.operands[self._N_LEAD : self._N_LEAD + self.rank]
+
+    @property
+    def sizes(self) -> List[Value]:
+        return self.operands[self._N_LEAD + self.rank :]
+
+
+@register_op
+class ExtractSliceOp(_SliceOpBase):
+    """``tensor.extract_slice(source, offsets..., sizes...)``: a data tile."""
+
+    OP_NAME = "tensor.extract_slice"
+    _N_LEAD = 1
+
+    @classmethod
+    def build(
+        cls,
+        builder: OpBuilder,
+        source: Value,
+        offsets: Sequence[Value],
+        sizes: Sequence[Value],
+        static_sizes: Sequence[int] = None,
+    ) -> "ExtractSliceOp":
+        src_t: TensorType = source.type  # type: ignore[assignment]
+        if static_sizes is None:
+            static_sizes = [DYNAMIC] * src_t.rank
+        result_type = TensorType(static_sizes, src_t.element_type)
+        return builder.create(  # type: ignore[return-value]
+            cls.OP_NAME,
+            [source] + list(offsets) + list(sizes),
+            [result_type],
+        )
+
+    @property
+    def source(self) -> Value:
+        return self.operand(0)
+
+    def verify_(self) -> None:
+        t = self.operand(0).type
+        if not isinstance(t, TensorType):
+            raise ValueError("tensor.extract_slice source must be a tensor")
+        if self.num_operands != 1 + 2 * t.rank:
+            raise ValueError(
+                "tensor.extract_slice needs rank offsets and rank sizes"
+            )
+        rt = self.result().type
+        if not isinstance(rt, TensorType) or rt.rank != t.rank:
+            raise ValueError("tensor.extract_slice result rank mismatch")
+
+
+@register_op
+class InsertSliceOp(_SliceOpBase):
+    """``tensor.insert_slice(tile, dest, offsets..., sizes...)``."""
+
+    OP_NAME = "tensor.insert_slice"
+    _N_LEAD = 2
+
+    @classmethod
+    def build(
+        cls,
+        builder: OpBuilder,
+        tile: Value,
+        dest: Value,
+        offsets: Sequence[Value],
+        sizes: Sequence[Value],
+    ) -> "InsertSliceOp":
+        return builder.create(  # type: ignore[return-value]
+            cls.OP_NAME,
+            [tile, dest] + list(offsets) + list(sizes),
+            [dest.type],
+        )
+
+    @property
+    def tile(self) -> Value:
+        return self.operand(0)
+
+    @property
+    def dest(self) -> Value:
+        return self.operand(1)
+
+    def verify_(self) -> None:
+        t = self.operand(1).type
+        if not isinstance(t, TensorType):
+            raise ValueError("tensor.insert_slice destination must be a tensor")
+        if self.num_operands != 2 + 2 * t.rank:
+            raise ValueError(
+                "tensor.insert_slice needs rank offsets and rank sizes"
+            )
+        if self.result().type != t:
+            raise ValueError("tensor.insert_slice result must match destination")
+
+
+def empty_like(builder: OpBuilder, value: Value) -> Value:
+    """A fresh uninitialized tensor with the shape of ``value``.
+
+    Dynamic dimensions are taken with ``tensor.dim`` from ``value``.
+    """
+    t: TensorType = value.type  # type: ignore[assignment]
+    dynamic_sizes = [
+        DimOp.build(builder, value, i).result()
+        for i in range(t.rank)
+        if t.is_dynamic_dim(i)
+    ]
+    return EmptyOp.build(builder, t, dynamic_sizes).result()

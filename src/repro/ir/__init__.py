@@ -1,0 +1,113 @@
+"""A pure-Python mini-MLIR: the IR substrate of the reproduction.
+
+This package reimplements the subset of MLIR's core IR concepts that the
+paper's code generator relies on:
+
+* a type system (``types``): index, integers, floats, tensors, memrefs and
+  vectors;
+* compile-time attributes (``attributes``): scalars, arrays, strings, types
+  and dense integer elements (used for stencil patterns);
+* SSA values, operations, blocks and regions (``values``, ``operation``,
+  ``block``) with full use-def chains;
+* an operation builder with insertion points (``builder``);
+* a textual printer and parser with round-trip guarantees (``printer``,
+  ``parser``);
+* a structural verifier (``verifier``);
+* a pattern-rewrite driver and a pass manager (``rewriter``,
+  ``pass_manager``).
+
+The design deliberately mirrors MLIR: operations are the only unit of
+semantics, regions attach to operations, blocks use block arguments instead
+of PHI nodes, and dialects register operation classes against a global
+registry keyed by the dotted operation name.
+"""
+
+from repro.ir.types import (
+    Type,
+    IndexType,
+    IntegerType,
+    F32Type,
+    F64Type,
+    ShapedType,
+    TensorType,
+    MemRefType,
+    VectorType,
+    FunctionType,
+    NoneType,
+    index,
+    i1,
+    i32,
+    i64,
+    f32,
+    f64,
+)
+from repro.ir.attributes import (
+    Attribute,
+    IntegerAttr,
+    FloatAttr,
+    BoolAttr,
+    StringAttr,
+    ArrayAttr,
+    DenseIntElementsAttr,
+    TypeAttr,
+)
+from repro.ir.values import Value, OpResult, BlockArgument
+from repro.ir.operation import Operation, OpRegistry, register_op
+from repro.ir.block import Block, Region
+from repro.ir.builder import OpBuilder, InsertionPoint
+from repro.ir.module import ModuleOp
+from repro.ir.printer import print_module, print_op
+from repro.ir.parser import parse_module, IRParseError
+from repro.ir.verifier import verify, IRVerificationError
+from repro.ir.rewriter import RewritePattern, PatternRewriter, apply_patterns_greedily
+from repro.ir.pass_manager import Pass, PassManager
+
+__all__ = [
+    "Type",
+    "IndexType",
+    "IntegerType",
+    "F32Type",
+    "F64Type",
+    "ShapedType",
+    "TensorType",
+    "MemRefType",
+    "VectorType",
+    "FunctionType",
+    "NoneType",
+    "index",
+    "i1",
+    "i32",
+    "i64",
+    "f32",
+    "f64",
+    "Attribute",
+    "IntegerAttr",
+    "FloatAttr",
+    "BoolAttr",
+    "StringAttr",
+    "ArrayAttr",
+    "DenseIntElementsAttr",
+    "TypeAttr",
+    "Value",
+    "OpResult",
+    "BlockArgument",
+    "Operation",
+    "OpRegistry",
+    "register_op",
+    "Block",
+    "Region",
+    "OpBuilder",
+    "InsertionPoint",
+    "ModuleOp",
+    "print_module",
+    "print_op",
+    "parse_module",
+    "IRParseError",
+    "verify",
+    "IRVerificationError",
+    "RewritePattern",
+    "PatternRewriter",
+    "apply_patterns_greedily",
+    "Pass",
+    "PassManager",
+]

@@ -1,0 +1,219 @@
+"""Compile-time attributes.
+
+Attributes carry the static properties of operations: constants, flags,
+names — and, centrally for this reproduction, the *stencil pattern* of
+``cfd.stencilOp``, stored as a :class:`DenseIntElementsAttr` whose entries
+are -1 (the ``L`` subset), 0 (unused) or 1 (the ``U`` subset).
+
+Like types, attributes are immutable value objects with structural
+equality, so they can be freely shared between operations.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple, Union
+
+from repro.ir.types import Type, f64, i1, i64, index as index_type
+
+
+class Attribute:
+    """Base class of all attributes."""
+
+    def __eq__(self, other: object) -> bool:
+        return type(self) is type(other) and self._key() == other._key()
+
+    def __ne__(self, other: object) -> bool:
+        return not self.__eq__(other)
+
+    def __hash__(self) -> int:
+        return hash((type(self).__name__, self._key()))
+
+    def _key(self) -> tuple:
+        return ()
+
+    def __repr__(self) -> str:
+        return str(self)
+
+
+class IntegerAttr(Attribute):
+    """An integer constant with an associated integer (or index) type."""
+
+    def __init__(self, value: int, type: Type = i64) -> None:
+        self.value = int(value)
+        self.type = type
+
+    def _key(self) -> tuple:
+        return (self.value, self.type)
+
+    def __str__(self) -> str:
+        return f"{self.value} : {self.type}"
+
+
+class FloatAttr(Attribute):
+    """A floating-point constant with an associated float type."""
+
+    def __init__(self, value: float, type: Type = f64) -> None:
+        self.value = float(value)
+        self.type = type
+
+    def _key(self) -> tuple:
+        return (self.value, self.type)
+
+    def __str__(self) -> str:
+        return f"{self.value!r} : {self.type}"
+
+
+class BoolAttr(Attribute):
+    """A boolean flag (printed ``true`` / ``false``)."""
+
+    def __init__(self, value: bool) -> None:
+        self.value = bool(value)
+
+    def _key(self) -> tuple:
+        return (self.value,)
+
+    def __str__(self) -> str:
+        return "true" if self.value else "false"
+
+
+class StringAttr(Attribute):
+    """A string, e.g. a function name."""
+
+    def __init__(self, value: str) -> None:
+        self.value = str(value)
+
+    def _key(self) -> tuple:
+        return (self.value,)
+
+    def __str__(self) -> str:
+        escaped = self.value.replace("\\", "\\\\").replace('"', '\\"')
+        return f'"{escaped}"'
+
+
+class ArrayAttr(Attribute):
+    """An ordered list of attributes."""
+
+    def __init__(self, elements: Sequence[Attribute]) -> None:
+        self.elements: Tuple[Attribute, ...] = tuple(elements)
+        for e in self.elements:
+            if not isinstance(e, Attribute):
+                raise TypeError(f"ArrayAttr element {e!r} is not an Attribute")
+
+    def __len__(self) -> int:
+        return len(self.elements)
+
+    def __iter__(self):
+        return iter(self.elements)
+
+    def __getitem__(self, i: int) -> Attribute:
+        return self.elements[i]
+
+    def _key(self) -> tuple:
+        return (self.elements,)
+
+    def __str__(self) -> str:
+        return "[" + ", ".join(str(e) for e in self.elements) + "]"
+
+
+class TypeAttr(Attribute):
+    """An attribute wrapping a type (e.g. a function signature)."""
+
+    def __init__(self, type: Type) -> None:
+        self.type = type
+
+    def _key(self) -> tuple:
+        return (self.type,)
+
+    def __str__(self) -> str:
+        return str(self.type)
+
+
+NestedInts = Union[int, Sequence["NestedInts"]]
+
+
+class DenseIntElementsAttr(Attribute):
+    """A dense, possibly multi-dimensional array of integers.
+
+    This is the storage for stencil-pattern attributes: a rank-k pattern of
+    extent ``(2*s_1+1) x ... x (2*s_k+1)`` with values in {-1, 0, 1}. The
+    nested-list structure is preserved so patterns print the way the paper
+    writes them, e.g. ``dense<[[0,-1,0],[-1,0,1],[0,1,0]]>``.
+    """
+
+    def __init__(self, values: NestedInts) -> None:
+        self.shape = _infer_shape(values)
+        self.values = _freeze(values)
+
+    def to_nested_lists(self) -> NestedInts:
+        """Return the values as plain nested Python lists."""
+        return _thaw(self.values)
+
+    def flat(self) -> Tuple[int, ...]:
+        """All values, flattened in row-major order."""
+        out: list = []
+        _flatten(self.values, out)
+        return tuple(out)
+
+    def _key(self) -> tuple:
+        return (self.shape, self.values)
+
+    def __str__(self) -> str:
+        return f"dense<{_render(self.values)}>"
+
+
+def _infer_shape(values: NestedInts) -> Tuple[int, ...]:
+    if isinstance(values, int):
+        return ()
+    values = list(values)
+    if not values:
+        return (0,)
+    sub = _infer_shape(values[0])
+    for v in values[1:]:
+        if _infer_shape(v) != sub:
+            raise ValueError("ragged nested list in DenseIntElementsAttr")
+    return (len(values),) + sub
+
+
+def _freeze(values: NestedInts):
+    if isinstance(values, int):
+        return int(values)
+    return tuple(_freeze(v) for v in values)
+
+
+def _thaw(values):
+    if isinstance(values, int):
+        return values
+    return [_thaw(v) for v in values]
+
+
+def _flatten(values, out: list) -> None:
+    if isinstance(values, int):
+        out.append(values)
+        return
+    for v in values:
+        _flatten(v, out)
+
+
+def _render(values) -> str:
+    if isinstance(values, int):
+        return str(values)
+    return "[" + ", ".join(_render(v) for v in values) + "]"
+
+
+def int_attr(value: int) -> IntegerAttr:
+    """Shorthand for an i64 IntegerAttr."""
+    return IntegerAttr(value, i64)
+
+
+def index_attr(value: int) -> IntegerAttr:
+    """Shorthand for an index-typed IntegerAttr."""
+    return IntegerAttr(value, index_type)
+
+
+def bool_attr(value: bool) -> BoolAttr:
+    return BoolAttr(value)
+
+
+def index_array_attr(values: Sequence[int]) -> ArrayAttr:
+    """An ArrayAttr of index-typed integers (tile sizes, offsets...)."""
+    return ArrayAttr([index_attr(v) for v in values])

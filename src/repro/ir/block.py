@@ -1,0 +1,127 @@
+"""Blocks and regions.
+
+A :class:`Region` is an ordered list of :class:`Block`s attached to an
+operation; a block is an ordered list of operations plus a list of typed
+block arguments (the functional-SSA replacement for PHI nodes). All the
+IR in this reproduction is structured — control flow is expressed with
+``scf`` region-carrying ops — so regions practically hold a single block.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Iterator, List, Optional, Sequence
+
+from repro.ir.types import Type
+from repro.ir.values import BlockArgument
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.ir.operation import Operation
+
+
+class Block:
+    """A straight-line sequence of operations with block arguments."""
+
+    def __init__(self, arg_types: Sequence[Type] = ()) -> None:
+        self.arguments: List[BlockArgument] = [
+            BlockArgument(t, self, i) for i, t in enumerate(arg_types)
+        ]
+        self.operations: List["Operation"] = []
+        #: The region containing this block, if inserted.
+        self.parent: Optional["Region"] = None
+
+    # ---- arguments ------------------------------------------------------
+
+    def add_argument(self, type: Type) -> BlockArgument:
+        arg = BlockArgument(type, self, len(self.arguments))
+        self.arguments.append(arg)
+        return arg
+
+    def erase_argument(self, index: int) -> None:
+        arg = self.arguments[index]
+        if arg.has_uses:
+            raise ValueError(f"cannot erase block argument #{index}: still used")
+        del self.arguments[index]
+        for i, a in enumerate(self.arguments):
+            a.index = i
+
+    # ---- operations -----------------------------------------------------
+
+    def append(self, op: "Operation") -> "Operation":
+        if op.parent is not None:
+            raise ValueError(f"{op.name} is already inserted in a block")
+        op.parent = self
+        self.operations.append(op)
+        return op
+
+    def insert(self, index: int, op: "Operation") -> "Operation":
+        if op.parent is not None:
+            raise ValueError(f"{op.name} is already inserted in a block")
+        op.parent = self
+        self.operations.insert(index, op)
+        return op
+
+    def insert_before(self, anchor: "Operation", op: "Operation") -> "Operation":
+        return self.insert(self.index_of(anchor), op)
+
+    def insert_after(self, anchor: "Operation", op: "Operation") -> "Operation":
+        return self.insert(self.index_of(anchor) + 1, op)
+
+    def remove_op(self, op: "Operation") -> None:
+        self.operations.remove(op)
+        op.parent = None
+
+    def index_of(self, op: "Operation") -> int:
+        for i, o in enumerate(self.operations):
+            if o is op:
+                return i
+        raise ValueError(f"{op.name} is not in this block")
+
+    @property
+    def terminator(self) -> Optional["Operation"]:
+        """The last operation, by convention the terminator (if any)."""
+        return self.operations[-1] if self.operations else None
+
+    def __iter__(self) -> Iterator["Operation"]:
+        return iter(self.operations)
+
+    def __len__(self) -> int:
+        return len(self.operations)
+
+
+class Region:
+    """An ordered list of blocks owned by an operation."""
+
+    def __init__(self, blocks: Sequence[Block] = ()) -> None:
+        self.blocks: List[Block] = []
+        #: The operation owning this region, if attached.
+        self.parent: Optional["Operation"] = None
+        for b in blocks:
+            self.append_block(b)
+
+    def append_block(self, block: Block) -> Block:
+        if block.parent is not None:
+            raise ValueError("block is already inserted in a region")
+        block.parent = self
+        self.blocks.append(block)
+        return block
+
+    @property
+    def entry_block(self) -> Block:
+        if not self.blocks:
+            raise ValueError("region has no blocks")
+        return self.blocks[0]
+
+    @property
+    def empty(self) -> bool:
+        return not self.blocks
+
+    def __iter__(self) -> Iterator[Block]:
+        return iter(self.blocks)
+
+    def __len__(self) -> int:
+        return len(self.blocks)
+
+
+def single_block_region(arg_types: Sequence[Type] = ()) -> Region:
+    """Create a region holding one empty block with the given arguments."""
+    return Region([Block(arg_types=arg_types)])

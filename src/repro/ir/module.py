@@ -1,0 +1,43 @@
+"""The top-level module operation.
+
+A :class:`ModuleOp` is an operation holding one region with one block, in
+which functions (and any other top-level ops) live. It is the unit that
+passes, the printer, the parser and the verifier operate on.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional
+
+from repro.ir.block import Block, Region
+from repro.ir.operation import Operation, register_op
+
+
+@register_op
+class ModuleOp(Operation):
+    """Top-level container: ``module { ... }``."""
+
+    OP_NAME = "builtin.module"
+
+    @classmethod
+    def create(cls) -> "ModuleOp":
+        op = Operation.__new__(cls)
+        Operation.__init__(op, cls.OP_NAME, regions=[Region([Block()])])
+        return op
+
+    @property
+    def body(self) -> Block:
+        return self.regions[0].entry_block
+
+    def ops(self) -> Iterator[Operation]:
+        return iter(self.body.operations)
+
+    def lookup_symbol(self, name: str) -> Optional[Operation]:
+        """Find a top-level op whose ``sym_name`` attribute equals ``name``."""
+        from repro.ir.attributes import StringAttr
+
+        for op in self.body.operations:
+            sym = op.attributes.get("sym_name")
+            if isinstance(sym, StringAttr) and sym.value == name:
+                return op
+        return None

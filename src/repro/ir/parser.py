@@ -1,0 +1,421 @@
+"""Parser for the textual IR emitted by :mod:`repro.ir.printer`.
+
+The grammar is the printer's canonical generic form:
+
+.. code-block:: text
+
+    op      ::= (value-ids `=`)? op-name `(` value-ids? `)` attr-dict?
+                region-list? `:` `(` types? `)` `->` `(` types? `)`
+    region  ::= `{` block+ `}`
+    block   ::= `^bb` `(` (value-id `:` type)* `)` `:` op*
+    attr    ::= int (`:` type)? | float (`:` type)? | bool | string
+              | `[` attrs `]` | `dense` `<` nested-ints `>` | type
+
+``parse_module(print_module(m))`` reproduces ``m`` up to value identity;
+round-tripping is part of the test suite.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List, Optional, Tuple
+
+from repro.ir.attributes import (
+    ArrayAttr,
+    Attribute,
+    BoolAttr,
+    DenseIntElementsAttr,
+    FloatAttr,
+    IntegerAttr,
+    StringAttr,
+    TypeAttr,
+)
+from repro.ir.block import Block, Region
+from repro.ir.operation import Operation, create_operation
+from repro.ir.types import (
+    DYNAMIC,
+    F32Type,
+    F64Type,
+    FunctionType,
+    IndexType,
+    IntegerType,
+    MemRefType,
+    NoneType,
+    TensorType,
+    Type,
+    VectorType,
+)
+from repro.ir.values import Value
+
+
+class IRParseError(Exception):
+    """Raised on malformed textual IR, with line/column context."""
+
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<ws>\s+)
+  | (?P<string>"(?:[^"\\]|\\.)*")
+  | (?P<valueid>%[A-Za-z0-9_]+)
+  | (?P<caret>\^bb)
+  | (?P<arrow>->)
+  | (?P<number>-?\d+\.\d+(?:[eE][+-]?\d+)?|-?\d+[eE][+-]?\d+|-?\d+|-?inf|nan)
+  | (?P<ident>[A-Za-z_][A-Za-z0-9_.]*)
+  | (?P<punct>[(){}\[\]<>:,=?])
+    """,
+    re.VERBOSE,
+)
+
+
+class _Token:
+    __slots__ = ("kind", "text", "pos")
+
+    def __init__(self, kind: str, text: str, pos: int) -> None:
+        self.kind = kind
+        self.text = text
+        self.pos = pos
+
+    def __repr__(self) -> str:
+        return f"{self.kind}:{self.text!r}"
+
+
+def _tokenize(text: str) -> List[_Token]:
+    tokens: List[_Token] = []
+    pos = 0
+    while pos < len(text):
+        m = _TOKEN_RE.match(text, pos)
+        if m is None:
+            line = text.count("\n", 0, pos) + 1
+            raise IRParseError(f"unexpected character {text[pos]!r} at line {line}")
+        pos = m.end()
+        kind = m.lastgroup or ""
+        if kind == "ws":
+            continue
+        tokens.append(_Token(kind, m.group(), m.start()))
+    tokens.append(_Token("eof", "", len(text)))
+    return tokens
+
+
+class _Scope:
+    """A lexical scope of SSA value names, chained to its parent."""
+
+    def __init__(self, parent: Optional["_Scope"] = None) -> None:
+        self.parent = parent
+        self.values: Dict[str, Value] = {}
+
+    def define(self, name: str, value: Value) -> None:
+        self.values[name] = value
+
+    def lookup(self, name: str) -> Optional[Value]:
+        scope: Optional[_Scope] = self
+        while scope is not None:
+            if name in scope.values:
+                return scope.values[name]
+            scope = scope.parent
+        return None
+
+
+class _Parser:
+    def __init__(self, text: str) -> None:
+        self.text = text
+        self.tokens = _tokenize(text)
+        self.i = 0
+
+    # ---- token helpers ---------------------------------------------------
+
+    def peek(self) -> _Token:
+        return self.tokens[self.i]
+
+    def next(self) -> _Token:
+        tok = self.tokens[self.i]
+        self.i += 1
+        return tok
+
+    def error(self, message: str) -> IRParseError:
+        tok = self.peek()
+        line = self.text.count("\n", 0, tok.pos) + 1
+        return IRParseError(f"line {line}: {message} (got {tok.text!r})")
+
+    def expect(self, text: str) -> _Token:
+        tok = self.next()
+        if tok.text != text:
+            self.i -= 1
+            raise self.error(f"expected {text!r}")
+        return tok
+
+    def accept(self, text: str) -> bool:
+        if self.peek().text == text:
+            self.i += 1
+            return True
+        return False
+
+    # ---- types -----------------------------------------------------------
+
+    def parse_type(self) -> Type:
+        tok = self.peek()
+        if tok.text == "(":
+            return self.parse_function_type()
+        if tok.kind != "ident":
+            raise self.error("expected a type")
+        self.next()
+        name = tok.text
+        if name == "index":
+            return IndexType()
+        if name == "none":
+            return NoneType()
+        if name == "f32":
+            return F32Type()
+        if name == "f64":
+            return F64Type()
+        if re.fullmatch(r"i\d+", name):
+            return IntegerType(int(name[1:]))
+        if name in ("tensor", "memref", "vector"):
+            body = self.capture_angle_brackets()
+            shape, elem = self.split_shaped_body(body)
+            if name == "tensor":
+                return TensorType(shape, elem)
+            if name == "memref":
+                return MemRefType(shape, elem)
+            return VectorType(shape, elem)
+        raise self.error(f"unknown type {name!r}")
+
+    def parse_function_type(self) -> FunctionType:
+        self.expect("(")
+        inputs: List[Type] = []
+        if not self.accept(")"):
+            inputs.append(self.parse_type())
+            while self.accept(","):
+                inputs.append(self.parse_type())
+            self.expect(")")
+        self.expect("->")
+        results: List[Type] = []
+        if self.accept("("):
+            if not self.accept(")"):
+                results.append(self.parse_type())
+                while self.accept(","):
+                    results.append(self.parse_type())
+                self.expect(")")
+        else:
+            results.append(self.parse_type())
+        return FunctionType(inputs, results)
+
+    def capture_angle_brackets(self) -> str:
+        """Capture the raw text of a balanced ``<...>`` group."""
+        open_tok = self.expect("<")
+        depth = 1
+        start = open_tok.pos + 1
+        while depth:
+            tok = self.next()
+            if tok.kind == "eof":
+                raise self.error("unterminated '<'")
+            if tok.text == "<":
+                depth += 1
+            elif tok.text == ">":
+                depth -= 1
+        end = self.tokens[self.i - 1].pos
+        return self.text[start:end]
+
+    @staticmethod
+    def split_shaped_body(body: str) -> Tuple[List[int], Type]:
+        """Split ``4x?xf64`` into the shape ``[4, -1]`` and element type."""
+        parts = body.strip().split("x")
+        shape: List[int] = []
+        elem_parts: List[str] = []
+        for i, part in enumerate(parts):
+            part = part.strip()
+            if part == "?":
+                shape.append(DYNAMIC)
+            elif re.fullmatch(r"\d+", part):
+                shape.append(int(part))
+            else:
+                elem_parts = parts[i:]
+                break
+        else:
+            raise IRParseError(f"shaped type {body!r} lacks an element type")
+        elem = _Parser("x".join(elem_parts)).parse_type()
+        return shape, elem
+
+    # ---- attributes -------------------------------------------------------
+
+    def parse_attribute(self) -> Attribute:
+        tok = self.peek()
+        if tok.kind == "string":
+            self.next()
+            raw = tok.text[1:-1]
+            return StringAttr(raw.replace('\\"', '"').replace("\\\\", "\\"))
+        if tok.text in ("true", "false"):
+            self.next()
+            return BoolAttr(tok.text == "true")
+        if tok.text == "[":
+            self.next()
+            elements: List[Attribute] = []
+            if not self.accept("]"):
+                elements.append(self.parse_attribute())
+                while self.accept(","):
+                    elements.append(self.parse_attribute())
+                self.expect("]")
+            return ArrayAttr(elements)
+        if tok.text == "dense":
+            self.next()
+            body = self.capture_angle_brackets()
+            return DenseIntElementsAttr(_parse_nested_ints(body))
+        if tok.kind == "number":
+            self.next()
+            is_float = any(c in tok.text for c in ".eE") or tok.text in (
+                "inf",
+                "-inf",
+                "nan",
+            )
+            value_text = tok.text
+            type_: Optional[Type] = None
+            if self.accept(":"):
+                type_ = self.parse_type()
+            if is_float or isinstance(type_, (F32Type, F64Type)):
+                return FloatAttr(float(value_text), type_ or F64Type())
+            return IntegerAttr(int(value_text), type_ or IntegerType(64))
+        # Anything else must be a type attribute, e.g. `(f64) -> f64`.
+        return TypeAttr(self.parse_type())
+
+    def parse_attr_dict(self) -> Dict[str, Attribute]:
+        attrs: Dict[str, Attribute] = {}
+        self.expect("{")
+        if self.accept("}"):
+            return attrs
+        while True:
+            name_tok = self.next()
+            if name_tok.kind != "ident":
+                raise self.error("expected attribute name")
+            self.expect("=")
+            attrs[name_tok.text] = self.parse_attribute()
+            if self.accept("}"):
+                return attrs
+            self.expect(",")
+
+    # ---- operations, regions, blocks ---------------------------------------
+
+    def parse_op(self, scope: _Scope) -> Operation:
+        result_names: List[str] = []
+        if self.peek().kind == "valueid":
+            result_names.append(self.next().text)
+            while self.accept(","):
+                result_names.append(self.next().text)
+            self.expect("=")
+        name_tok = self.next()
+        if name_tok.kind != "ident":
+            raise self.error("expected operation name")
+        self.expect("(")
+        operand_names: List[str] = []
+        if not self.accept(")"):
+            while True:
+                tok = self.next()
+                if tok.kind != "valueid":
+                    raise self.error("expected operand %id")
+                operand_names.append(tok.text)
+                if self.accept(")"):
+                    break
+                self.expect(",")
+        attrs: Dict[str, Attribute] = {}
+        if self.peek().text == "{":
+            attrs = self.parse_attr_dict()
+        regions: List[Region] = []
+        if self.peek().text == "(" and self.tokens[self.i + 1].text == "{":
+            self.next()  # "("
+            regions.append(self.parse_region(scope))
+            while self.accept(","):
+                regions.append(self.parse_region(scope))
+            self.expect(")")
+        self.expect(":")
+        fn_type = self.parse_function_type()
+        operands: List[Value] = []
+        for op_name in operand_names:
+            value = scope.lookup(op_name[1:])
+            if value is None:
+                raise self.error(f"use of undefined value {op_name}")
+            operands.append(value)
+        op = create_operation(
+            name_tok.text, operands, fn_type.results, attrs, regions
+        )
+        if len(result_names) != len(op.results):
+            raise self.error(
+                f"{name_tok.text}: {len(result_names)} result names for "
+                f"{len(op.results)} results"
+            )
+        for res_name, res in zip(result_names, op.results):
+            scope.define(res_name[1:], res)
+            if not res_name[1:].isdigit():
+                res.name_hint = res_name[1:]
+        return op
+
+    def parse_region(self, outer: _Scope) -> Region:
+        self.expect("{")
+        region = Region()
+        while self.peek().kind == "caret":
+            region.append_block(self.parse_block(outer))
+        self.expect("}")
+        if region.empty:
+            raise self.error("region without blocks")
+        return region
+
+    def parse_block(self, outer: _Scope) -> Block:
+        scope = _Scope(outer)
+        self.next()  # ^bb
+        self.expect("(")
+        block = Block()
+        if not self.accept(")"):
+            while True:
+                tok = self.next()
+                if tok.kind != "valueid":
+                    raise self.error("expected block argument %id")
+                self.expect(":")
+                arg = block.add_argument(self.parse_type())
+                scope.define(tok.text[1:], arg)
+                if not tok.text[1:].isdigit():
+                    arg.name_hint = tok.text[1:]
+                if self.accept(")"):
+                    break
+                self.expect(",")
+        self.expect(":")
+        while self.peek().text not in ("}",) and self.peek().kind not in (
+            "caret",
+            "eof",
+        ):
+            block.append(self.parse_op(scope))
+        return block
+
+
+def _parse_nested_ints(body: str):
+    body = body.strip()
+    tokens = re.findall(r"-?\d+|\[|\]|,", body)
+
+    def parse(pos: int):
+        tok = tokens[pos]
+        if tok == "[":
+            items = []
+            pos += 1
+            if tokens[pos] == "]":
+                return items, pos + 1
+            while True:
+                item, pos = parse(pos)
+                items.append(item)
+                if tokens[pos] == "]":
+                    return items, pos + 1
+                if tokens[pos] != ",":
+                    raise IRParseError(f"malformed dense literal: {body!r}")
+                pos += 1
+        return int(tok), pos + 1
+
+    value, end = parse(0)
+    if end != len(tokens):
+        raise IRParseError(f"trailing tokens in dense literal: {body!r}")
+    return value
+
+
+def parse_module(text: str) -> Operation:
+    """Parse textual IR; the top-level op must be a ``builtin.module``."""
+    parser = _Parser(text)
+    op = parser.parse_op(_Scope())
+    if parser.peek().kind != "eof":
+        raise parser.error("trailing input after module")
+    if op.name != "builtin.module":
+        raise IRParseError(f"expected builtin.module at top level, got {op.name}")
+    return op

@@ -1,0 +1,64 @@
+"""Compiler passes and the pass manager.
+
+A :class:`Pass` transforms a module in place; the :class:`PassManager`
+runs a pipeline of them, optionally verifying the IR between passes and
+recording wall-clock timings (useful for the compile-time numbers in
+EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, List, Sequence
+
+from repro.ir.operation import Operation
+from repro.ir.verifier import verify
+
+
+class Pass:
+    """Base class: subclasses set ``name`` and implement :meth:`run`."""
+
+    name: str = "<unnamed>"
+
+    def run(self, module: Operation) -> None:
+        raise NotImplementedError
+
+    def __repr__(self) -> str:
+        return f"Pass({self.name})"
+
+
+class PassManager:
+    """Runs a pipeline of passes over a module.
+
+    With ``verify_each=True`` (the default) the structural verifier runs
+    after every pass, so a pass that corrupts use-def chains fails fast
+    with the pass name attached.
+    """
+
+    def __init__(self, passes: Sequence[Pass] = (), verify_each: bool = True) -> None:
+        self.passes: List[Pass] = list(passes)
+        self.verify_each = verify_each
+        #: Wall-clock seconds per pass, filled by :meth:`run`.
+        self.timings: Dict[str, float] = {}
+
+    def add(self, pass_: Pass) -> "PassManager":
+        self.passes.append(pass_)
+        return self
+
+    def run(self, module: Operation) -> None:
+        for pass_ in self.passes:
+            start = time.perf_counter()
+            pass_.run(module)
+            self.timings[pass_.name] = (
+                self.timings.get(pass_.name, 0.0) + time.perf_counter() - start
+            )
+            if self.verify_each:
+                try:
+                    verify(module)
+                except Exception as exc:
+                    raise RuntimeError(
+                        f"IR verification failed after pass {pass_.name!r}: {exc}"
+                    ) from exc
+
+    def pipeline_description(self) -> str:
+        return " -> ".join(p.name for p in self.passes)

@@ -1,0 +1,124 @@
+"""Textual IR printer.
+
+Prints the canonical generic form, one op per line::
+
+    %0 = arith.addf(%arg0, %1) : (f64, f64) -> f64
+    %2 = scf.for(%lb, %ub, %step, %init) ({
+    ^bb0(%iv: index, %acc: f64):
+      ...
+      scf.yield(%3) : (f64) -> ()
+    }) : (index, index, index, f64) -> f64
+
+Every printed module parses back with :mod:`repro.ir.parser`; the
+round-trip property is exercised by the test suite.
+"""
+
+from __future__ import annotations
+
+import io
+from typing import Dict, Optional, TextIO
+
+from repro.ir.block import Block, Region
+from repro.ir.operation import Operation
+from repro.ir.values import Value
+
+_INDENT = "  "
+
+
+class _NameManager:
+    """Assigns unique printable names to SSA values, honoring hints."""
+
+    def __init__(self) -> None:
+        self._names: Dict[int, str] = {}
+        self._used: set = set()
+        self._counter = 0
+
+    def name_of(self, value: Value) -> str:
+        key = id(value)
+        name = self._names.get(key)
+        if name is not None:
+            return name
+        hint = value.name_hint
+        if hint:
+            candidate = hint
+            suffix = 0
+            while candidate in self._used:
+                suffix += 1
+                candidate = f"{hint}_{suffix}"
+            name = candidate
+        else:
+            while str(self._counter) in self._used:
+                self._counter += 1
+            name = str(self._counter)
+            self._counter += 1
+        self._names[key] = name
+        self._used.add(name)
+        return name
+
+
+class Printer:
+    """Stateful printer; create one per module to keep numbering stable."""
+
+    def __init__(self, stream: Optional[TextIO] = None) -> None:
+        self.stream = stream or io.StringIO()
+        self.names = _NameManager()
+
+    def value_name(self, value: Value) -> str:
+        return "%" + self.names.name_of(value)
+
+    def print_op(self, op: Operation, indent: int = 0) -> None:
+        pad = _INDENT * indent
+        parts = []
+        if op.results:
+            parts.append(", ".join(self.value_name(r) for r in op.results))
+            parts.append(" = ")
+        parts.append(op.name)
+        parts.append("(")
+        parts.append(", ".join(self.value_name(o) for o in op.operands))
+        parts.append(")")
+        if op.attributes:
+            attr_items = ", ".join(
+                f"{k} = {v}" for k, v in sorted(op.attributes.items())
+            )
+            parts.append(" {" + attr_items + "}")
+        self.stream.write(pad + "".join(parts))
+        if op.regions:
+            self.stream.write(" (")
+            for i, region in enumerate(op.regions):
+                if i:
+                    self.stream.write(", ")
+                self.print_region(region, indent)
+            self.stream.write(")")
+        operand_types = ", ".join(str(o.type) for o in op.operands)
+        result_types = ", ".join(str(r.type) for r in op.results)
+        self.stream.write(f" : ({operand_types}) -> ({result_types})\n")
+
+    def print_region(self, region: Region, indent: int) -> None:
+        self.stream.write("{\n")
+        for block in region.blocks:
+            self.print_block(block, indent + 1)
+        self.stream.write(_INDENT * indent + "}")
+
+    def print_block(self, block: Block, indent: int) -> None:
+        pad = _INDENT * (indent - 1)
+        args = ", ".join(
+            f"{self.value_name(a)}: {a.type}" for a in block.arguments
+        )
+        self.stream.write(f"{pad}^bb({args}):\n")
+        for op in block.operations:
+            self.print_op(op, indent)
+
+    def getvalue(self) -> str:
+        return self.stream.getvalue()  # type: ignore[union-attr]
+
+
+def print_op(op: Operation) -> str:
+    """Render a single operation (and its regions) to a string."""
+    p = Printer()
+    p.print_op(op)
+    return p.getvalue()
+
+
+def print_module(module: Operation) -> str:
+    """Render a module to its textual form."""
+    return print_op(module)

@@ -1,0 +1,98 @@
+"""Pattern rewriting: the mechanism behind every lowering in this repo.
+
+A :class:`RewritePattern` matches one operation and, through a
+:class:`PatternRewriter`, replaces it with new IR.
+:func:`apply_patterns_greedily` runs a worklist driver until no pattern
+applies anywhere under the root — the moral equivalent of MLIR's greedy
+pattern-rewrite driver.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.ir.builder import InsertionPoint, OpBuilder
+from repro.ir.operation import Operation
+from repro.ir.values import Value
+
+
+class PatternRewriter(OpBuilder):
+    """An :class:`OpBuilder` that also erases/replaces matched ops.
+
+    The driver positions the insertion point right before the matched op,
+    so patterns can emit replacement IR and then call
+    :meth:`replace_op` / :meth:`erase_op`.
+    """
+
+    def __init__(self) -> None:
+        super().__init__(None)
+        self.changed = False
+
+    def notify_changed(self) -> None:
+        self.changed = True
+
+    def replace_op(self, op: Operation, new_values: Sequence[Value]) -> None:
+        """Replace all results of ``op`` with ``new_values`` and erase it."""
+        if len(new_values) != len(op.results):
+            raise ValueError(
+                f"replace_op: {len(new_values)} replacement values for "
+                f"{len(op.results)} results of {op.name}"
+            )
+        for res, new in zip(op.results, new_values):
+            res.replace_all_uses_with(new)
+        op.erase()
+        self.notify_changed()
+
+    def erase_op(self, op: Operation) -> None:
+        op.erase()
+        self.notify_changed()
+
+
+class RewritePattern:
+    """Base class: override :meth:`match_and_rewrite`.
+
+    Return ``True`` when the op was rewritten (the driver restarts from the
+    new state), ``False`` when the pattern does not apply.
+    """
+
+    #: Restrict the pattern to one op name; ``None`` matches any op.
+    op_name: Optional[str] = None
+
+    def match_and_rewrite(self, op: Operation, rewriter: PatternRewriter) -> bool:
+        raise NotImplementedError
+
+    def __repr__(self) -> str:
+        return type(self).__name__
+
+
+def apply_patterns_greedily(
+    root: Operation,
+    patterns: Sequence[RewritePattern],
+    max_iterations: int = 1000,
+) -> bool:
+    """Apply ``patterns`` everywhere under ``root`` until fixpoint.
+
+    Returns ``True`` if anything changed. Raises if the rewrite does not
+    converge within ``max_iterations`` sweeps (a looping pattern bug).
+    """
+    rewriter = PatternRewriter()
+    changed_any = False
+    for _ in range(max_iterations):
+        changed_this_sweep = False
+        for op in list(root.walk()):
+            if op is not root and not root.is_ancestor_of(op):
+                continue  # detached by an earlier rewrite this sweep
+            for pattern in patterns:
+                if pattern.op_name is not None and op.name != pattern.op_name:
+                    continue
+                if op is not root:
+                    rewriter.set_insertion_point(InsertionPoint.before(op))
+                if pattern.match_and_rewrite(op, rewriter):
+                    changed_this_sweep = True
+                    changed_any = True
+                    break  # op may be gone; move to the next worklist entry
+        if not changed_this_sweep:
+            return changed_any
+    raise RuntimeError(
+        f"pattern rewriting did not converge in {max_iterations} sweeps"
+    )

@@ -1,0 +1,196 @@
+"""The type system of the mini-MLIR.
+
+Types are immutable, hashable value objects. Two types compare equal when
+they denote the same type, which lets client code use ``==`` freely, exactly
+like MLIR's uniqued types.
+
+The dynamic-dimension sentinel is ``DYNAMIC`` (printed ``?``), mirroring
+``ShapedType::kDynamic`` in MLIR.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Tuple
+
+#: Sentinel for a dynamic dimension in a shaped type (printed as ``?``).
+DYNAMIC = -1
+
+
+class Type:
+    """Base class of all types. Subclasses must be immutable and hashable."""
+
+    def __eq__(self, other: object) -> bool:
+        return type(self) is type(other) and self._key() == other._key()
+
+    def __ne__(self, other: object) -> bool:
+        return not self.__eq__(other)
+
+    def __hash__(self) -> int:
+        return hash((type(self).__name__, self._key()))
+
+    def _key(self) -> tuple:
+        """Uniquing key: subclasses with parameters must override."""
+        return ()
+
+    def __repr__(self) -> str:
+        return str(self)
+
+
+class NoneType(Type):
+    """The unit type: the "result" of ops that produce no value."""
+
+    def __str__(self) -> str:
+        return "none"
+
+
+class IndexType(Type):
+    """Platform-sized integer used for loop induction variables and sizes."""
+
+    def __str__(self) -> str:
+        return "index"
+
+
+class IntegerType(Type):
+    """Fixed-width integer type, e.g. ``i1``, ``i32``, ``i64``."""
+
+    def __init__(self, width: int) -> None:
+        if width <= 0:
+            raise ValueError(f"integer width must be positive, got {width}")
+        self.width = width
+
+    def _key(self) -> tuple:
+        return (self.width,)
+
+    def __str__(self) -> str:
+        return f"i{self.width}"
+
+
+class FloatType(Type):
+    """Base class for floating-point types."""
+
+    width: int = 0
+
+
+class F32Type(FloatType):
+    """IEEE-754 binary32."""
+
+    width = 32
+
+    def __str__(self) -> str:
+        return "f32"
+
+
+class F64Type(FloatType):
+    """IEEE-754 binary64 — the element type of every CFD field."""
+
+    width = 64
+
+    def __str__(self) -> str:
+        return "f64"
+
+
+class ShapedType(Type):
+    """Base class of types with a shape and an element type."""
+
+    def __init__(self, shape: Sequence[int], element_type: Type) -> None:
+        shape = tuple(int(d) for d in shape)
+        for d in shape:
+            if d < 0 and d != DYNAMIC:
+                raise ValueError(f"invalid dimension {d} in shape {shape}")
+        self.shape: Tuple[int, ...] = shape
+        self.element_type = element_type
+
+    @property
+    def rank(self) -> int:
+        return len(self.shape)
+
+    def has_static_shape(self) -> bool:
+        return all(d != DYNAMIC for d in self.shape)
+
+    def is_dynamic_dim(self, i: int) -> bool:
+        return self.shape[i] == DYNAMIC
+
+    def num_elements(self) -> int:
+        """Total element count; requires a fully static shape."""
+        if not self.has_static_shape():
+            raise ValueError(f"{self} has dynamic dimensions")
+        n = 1
+        for d in self.shape:
+            n *= d
+        return n
+
+    def _key(self) -> tuple:
+        return (self.shape, self.element_type)
+
+    def _shape_str(self) -> str:
+        dims = "x".join("?" if d == DYNAMIC else str(d) for d in self.shape)
+        return f"{dims}x" if self.shape else ""
+
+
+class TensorType(ShapedType):
+    """Immutable multi-dimensional array value (SSA semantics)."""
+
+    def __str__(self) -> str:
+        return f"tensor<{self._shape_str()}{self.element_type}>"
+
+
+class MemRefType(ShapedType):
+    """Mutable in-memory buffer with a row-major layout."""
+
+    def __str__(self) -> str:
+        return f"memref<{self._shape_str()}{self.element_type}>"
+
+
+class VectorType(ShapedType):
+    """Hardware-vector type; always statically shaped."""
+
+    def __init__(self, shape: Sequence[int], element_type: Type) -> None:
+        super().__init__(shape, element_type)
+        if not self.has_static_shape():
+            raise ValueError("vector types must have a static shape")
+
+    def __str__(self) -> str:
+        return f"vector<{self._shape_str()}{self.element_type}>"
+
+
+class FunctionType(Type):
+    """A function signature: ``(inputs) -> results``."""
+
+    def __init__(self, inputs: Sequence[Type], results: Sequence[Type]) -> None:
+        self.inputs: Tuple[Type, ...] = tuple(inputs)
+        self.results: Tuple[Type, ...] = tuple(results)
+
+    def _key(self) -> tuple:
+        return (self.inputs, self.results)
+
+    def __str__(self) -> str:
+        ins = ", ".join(str(t) for t in self.inputs)
+        if len(self.results) == 1:
+            return f"({ins}) -> {self.results[0]}"
+        outs = ", ".join(str(t) for t in self.results)
+        return f"({ins}) -> ({outs})"
+
+
+def tensor_of(shape: Sequence[int], element_type: Optional[Type] = None) -> TensorType:
+    """Convenience constructor: ``tensor_of([2, 3])`` is a 2x3 f64 tensor."""
+    return TensorType(shape, element_type or f64)
+
+
+def memref_of(shape: Sequence[int], element_type: Optional[Type] = None) -> MemRefType:
+    """Convenience constructor for f64 memrefs."""
+    return MemRefType(shape, element_type or f64)
+
+
+def vector_of(length: int, element_type: Optional[Type] = None) -> VectorType:
+    """Convenience constructor for 1-D f64 vectors (the common VF case)."""
+    return VectorType([length], element_type or f64)
+
+
+# Singleton instances for the common types; compare with ``==`` or ``is``.
+none = NoneType()
+index = IndexType()
+i1 = IntegerType(1)
+i32 = IntegerType(32)
+i64 = IntegerType(64)
+f32 = F32Type()
+f64 = F64Type()

@@ -1,0 +1,100 @@
+"""SSA values and their use-def chains.
+
+A :class:`Value` is either the result of an operation (:class:`OpResult`)
+or an argument of a block (:class:`BlockArgument`). Every value tracks its
+uses as ``(operation, operand_index)`` pairs, which is what makes rewrites
+(``replace_all_uses_with``) constant-bookkeeping operations.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, List, Optional, Tuple
+
+from repro.ir.types import Type
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.ir.block import Block
+    from repro.ir.operation import Operation
+
+
+class Use:
+    """A single use of a value: operand ``operand_index`` of ``owner``."""
+
+    __slots__ = ("owner", "operand_index")
+
+    def __init__(self, owner: "Operation", operand_index: int) -> None:
+        self.owner = owner
+        self.operand_index = operand_index
+
+    def __repr__(self) -> str:
+        return f"Use({self.owner.name}, #{self.operand_index})"
+
+
+class Value:
+    """Base class for SSA values."""
+
+    def __init__(self, type: Type) -> None:
+        self.type = type
+        self.uses: List[Use] = []
+        #: Optional name hint used by the printer (e.g. ``%X`` over ``%3``).
+        self.name_hint: Optional[str] = None
+
+    @property
+    def has_uses(self) -> bool:
+        return bool(self.uses)
+
+    @property
+    def num_uses(self) -> int:
+        return len(self.uses)
+
+    def users(self) -> List["Operation"]:
+        """Distinct operations using this value, in first-use order."""
+        seen: List["Operation"] = []
+        for use in self.uses:
+            if use.owner not in seen:
+                seen.append(use.owner)
+        return seen
+
+    def replace_all_uses_with(self, other: "Value") -> None:
+        """Redirect every use of ``self`` to ``other``."""
+        if other is self:
+            return
+        for use in list(self.uses):
+            use.owner.set_operand(use.operand_index, other)
+
+    def owner_block(self) -> Optional["Block"]:
+        """The block this value is defined in (None if detached)."""
+        raise NotImplementedError
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}<{self.type}>"
+
+
+class OpResult(Value):
+    """Result number ``index`` of operation ``op``."""
+
+    def __init__(self, type: Type, op: "Operation", index: int) -> None:
+        super().__init__(type)
+        self.op = op
+        self.index = index
+
+    def owner_block(self) -> Optional["Block"]:
+        return self.op.parent
+
+    def __repr__(self) -> str:
+        return f"OpResult<{self.type}> of {self.op.name}#{self.index}"
+
+
+class BlockArgument(Value):
+    """Argument number ``index`` of ``block`` (functional-SSA PHI node)."""
+
+    def __init__(self, type: Type, block: "Block", index: int) -> None:
+        super().__init__(type)
+        self.block = block
+        self.index = index
+
+    def owner_block(self) -> Optional["Block"]:
+        return self.block
+
+    def __repr__(self) -> str:
+        return f"BlockArgument<{self.type}>#{self.index}"

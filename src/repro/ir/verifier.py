@@ -1,0 +1,85 @@
+"""Structural IR verification.
+
+Checks, for every operation reachable from the root:
+
+* use-def coherence: each operand's recorded uses actually point back at
+  the using operation;
+* SSA dominance inside blocks: a value defined by an operation may only be
+  used by later operations of the same block or inside blocks nested in
+  regions that the definition dominates (values from enclosing ops are
+  visible in nested regions, as in MLIR);
+* results are not used from outside the region structure that can see
+  them;
+* op-specific invariants via :meth:`Operation.verify_`.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Set
+
+from repro.ir.block import Block
+from repro.ir.operation import Operation
+from repro.ir.values import BlockArgument, OpResult, Value
+
+
+class IRVerificationError(Exception):
+    """Raised when the IR violates a structural invariant."""
+
+
+def verify(root: Operation) -> None:
+    """Verify ``root`` and everything nested under it; raise on failure."""
+    _verify_op(root, visible=set())
+
+
+def _verify_op(op: Operation, visible: Set[int]) -> None:
+    for i, operand in enumerate(op.operands):
+        if id(operand) not in visible:
+            raise IRVerificationError(
+                f"{op.name}: operand #{i} ({operand!r}) does not dominate its use"
+            )
+        if not any(
+            u.owner is op and u.operand_index == i for u in operand.uses
+        ):
+            raise IRVerificationError(
+                f"{op.name}: use-def chain of operand #{i} is corrupt"
+            )
+    try:
+        op.verify_()
+    except IRVerificationError:
+        raise
+    except Exception as exc:  # surface op verifier failures uniformly
+        raise IRVerificationError(f"{op.name}: {exc}") from exc
+    for region in op.regions:
+        for block in region.blocks:
+            _verify_block(block, visible, op)
+
+
+def _verify_block(block: Block, visible: Set[int], parent_op: Operation) -> None:
+    if block.parent is None or block.parent.parent is not parent_op:
+        raise IRVerificationError(
+            f"block inside {parent_op.name} has a corrupt parent link"
+        )
+    inner = set(visible)
+    for arg in block.arguments:
+        if not isinstance(arg, BlockArgument) or arg.block is not block:
+            raise IRVerificationError("block argument has a corrupt owner link")
+        inner.add(id(arg))
+    for op in block.operations:
+        if op.parent is not block:
+            raise IRVerificationError(f"{op.name}: corrupt parent-block link")
+        _verify_op(op, inner)
+        for res in op.results:
+            if not isinstance(res, OpResult) or res.op is not op:
+                raise IRVerificationError(f"{op.name}: corrupt result link")
+            inner.add(id(res))
+
+
+def collect_values(op: Operation) -> Set[Value]:
+    """All values defined at or under ``op`` (results + block arguments)."""
+    out: Set[Value] = set()
+    for nested in op.walk():
+        out.update(nested.results)
+        for region in nested.regions:
+            for block in region.blocks:
+                out.update(block.arguments)
+    return out

@@ -1,0 +1,26 @@
+"""Machine model and thread-scaling simulator.
+
+The paper's evaluation machine — a dual-socket Xeon 6152 with 44 cores
+over 4 NUMA nodes — is not available in this environment (one core), so
+the multi-threaded points of Figs. 11/12/13/15 are produced by an
+analytic simulator: the compiler's *actual* CSR wavefront schedule is
+list-scheduled over ``p`` workers with per-group barrier costs and a
+NUMA-aware memory-bandwidth ceiling, calibrated with measured
+single-thread tile times. See DESIGN.md ("Substitutions").
+"""
+
+from repro.machine.model import MachineModel, XEON_6152, LOCAL_SINGLE_CORE
+from repro.machine.simulator import (
+    WorkloadProfile,
+    simulate_wavefront_execution,
+    speedup_curve,
+)
+
+__all__ = [
+    "MachineModel",
+    "XEON_6152",
+    "LOCAL_SINGLE_CORE",
+    "WorkloadProfile",
+    "simulate_wavefront_execution",
+    "speedup_curve",
+]

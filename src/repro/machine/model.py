@@ -1,0 +1,72 @@
+"""Machine descriptions.
+
+The :data:`XEON_6152` preset matches §4's evaluation platform: a
+dual-socket Intel Xeon Gold 6152 @ 2.10 GHz, 22 cores per socket in
+sub-NUMA clustering (2 NUMA nodes of 11 cores each per socket), two
+AVX-512 units per core, 32 KB L1D and 1 MB L2 per core, 32 MB L3 and one
+memory controller per NUMA node.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class MachineModel:
+    """The parameters the thread-scaling simulator needs."""
+
+    name: str
+    cores: int
+    numa_nodes: int
+    l1_bytes: int
+    l2_bytes: int
+    l3_bytes_per_numa: int
+    #: Sustainable DRAM bandwidth per NUMA node, bytes/second.
+    mem_bw_per_numa: float
+    #: Cost of one synchronization barrier across ``p`` threads, seconds
+    #: (scaled by log2(p) in the simulator).
+    barrier_seconds: float
+    #: Throughput penalty factor for remote-NUMA traffic (>= 1).
+    remote_penalty: float = 1.6
+
+    @property
+    def cores_per_numa(self) -> int:
+        return self.cores // self.numa_nodes
+
+    def numa_nodes_used(self, threads: int) -> int:
+        """Threads fill NUMA nodes in order (compact pinning)."""
+        if threads <= 0:
+            raise ValueError("threads must be positive")
+        return min(
+            self.numa_nodes, -(-threads // self.cores_per_numa)
+        )
+
+    def bandwidth_available(self, threads: int) -> float:
+        """Aggregate DRAM bandwidth reachable by ``threads`` workers."""
+        return self.numa_nodes_used(threads) * self.mem_bw_per_numa
+
+
+#: The paper's platform (§4): 2 x Xeon Gold 6152, 44 cores, 4 NUMA nodes.
+XEON_6152 = MachineModel(
+    name="2x Intel Xeon Gold 6152 @ 2.10GHz",
+    cores=44,
+    numa_nodes=4,
+    l1_bytes=32 * 1024,
+    l2_bytes=1024 * 1024,
+    l3_bytes_per_numa=32 * 1024 * 1024,
+    mem_bw_per_numa=30e9,  # ~120 GB/s aggregate over 4 nodes
+    barrier_seconds=4e-6,
+)
+
+#: This reproduction's environment: a single-core container.
+LOCAL_SINGLE_CORE = MachineModel(
+    name="single-core container",
+    cores=1,
+    numa_nodes=1,
+    l1_bytes=32 * 1024,
+    l2_bytes=1024 * 1024,
+    l3_bytes_per_numa=32 * 1024 * 1024,
+    mem_bw_per_numa=20e9,
+    barrier_seconds=1e-6,
+)

@@ -1,0 +1,143 @@
+"""Thread-scaling simulator.
+
+Executes a *wavefront schedule* analytically: group ``g`` holds
+``sizes[g]`` independent tiles of known single-thread cost; with ``p``
+workers a group takes ``ceil(sizes[g] / p)`` rounds of tile work, and
+every group boundary pays a barrier (the per-iteration synchronization
+§4.2 blames for the scaling knees). Tile cost itself inflates when the
+aggregate bandwidth demand of the active workers exceeds the NUMA
+capacity reachable at that thread count, and when threads span several
+NUMA nodes (remote traffic), reproducing the Fig. 13 saturation shape.
+
+The single-thread tile cost is *measured* (a real run on this machine);
+only the scaling is modeled.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence
+
+from repro.machine.model import MachineModel
+
+
+@dataclass
+class WorkloadProfile:
+    """What the simulator needs to know about one kernel configuration.
+
+    Attributes
+    ----------
+    wavefront_sizes:
+        Tiles per wavefront group, in execution order, for ONE sweep /
+        iteration (from the compiler's CSR schedule or a baseline's
+        tiling).
+    tile_seconds:
+        Measured single-thread wall-clock per tile.
+    tile_bytes:
+        Memory traffic per tile (working set streamed from memory);
+        drives the bandwidth-saturation model.
+    iterations:
+        How many times the schedule executes (time steps / sweeps).
+    """
+
+    wavefront_sizes: List[int]
+    tile_seconds: float
+    tile_bytes: float
+    iterations: int = 1
+
+    @property
+    def total_tiles(self) -> int:
+        return sum(self.wavefront_sizes) * self.iterations
+
+
+def _bandwidth_factor(
+    machine: MachineModel, threads: int, active: int, profile: WorkloadProfile
+) -> float:
+    """Tile-time inflation from memory-bandwidth contention."""
+    if profile.tile_seconds <= 0:
+        return 1.0
+    demand = active * profile.tile_bytes / profile.tile_seconds
+    capacity = machine.bandwidth_available(threads)
+    factor = max(1.0, demand / capacity)
+    # Remote-NUMA traffic: a fraction of accesses crosses nodes once
+    # threads span more than one node.
+    nodes = machine.numa_nodes_used(threads)
+    if nodes > 1:
+        remote_fraction = 0.5 * (1.0 - 1.0 / nodes)
+        factor *= 1.0 + remote_fraction * (machine.remote_penalty - 1.0)
+    return factor
+
+
+def simulate_wavefront_execution(
+    profile: WorkloadProfile, threads: int, machine: MachineModel
+) -> float:
+    """Predicted wall-clock seconds for the whole run at ``threads``."""
+    if threads < 1:
+        raise ValueError("threads must be >= 1")
+    barrier = (
+        machine.barrier_seconds * max(1.0, math.log2(threads))
+        if threads > 1
+        else 0.0
+    )
+    per_iteration = 0.0
+    for size in profile.wavefront_sizes:
+        active = min(threads, size)
+        rounds = -(-size // threads)
+        tile_time = profile.tile_seconds * _bandwidth_factor(
+            machine, threads, active, profile
+        )
+        per_iteration += rounds * tile_time
+        if threads > 1:
+            per_iteration += barrier
+    return per_iteration * profile.iterations
+
+
+def speedup_curve(
+    profile: WorkloadProfile,
+    machine: MachineModel,
+    thread_counts: Sequence[int],
+    baseline_seconds: float = None,
+) -> Dict[int, float]:
+    """Speedup (relative to ``baseline_seconds``, default the 1-thread
+    simulated time) for each thread count."""
+    if baseline_seconds is None:
+        baseline_seconds = simulate_wavefront_execution(profile, 1, machine)
+    return {
+        p: baseline_seconds / simulate_wavefront_execution(profile, p, machine)
+        for p in thread_counts
+    }
+
+
+def cell_time_curve(
+    profile: WorkloadProfile,
+    machine: MachineModel,
+    thread_counts: Sequence[int],
+    num_cells: int,
+) -> Dict[int, float]:
+    """The paper's Fig. 15 metric::
+
+        t_cell = threads * elapsed / (iterations * cells)
+
+    per thread count (seconds; the figure uses microseconds).
+    """
+    out = {}
+    for p in thread_counts:
+        elapsed = simulate_wavefront_execution(profile, p, machine)
+        out[p] = p * elapsed / (profile.iterations * num_cells)
+    return out
+
+
+def profile_from_schedule(
+    offsets, tile_seconds: float, tile_bytes: float, iterations: int = 1
+) -> WorkloadProfile:
+    """Build a profile straight from a CSR schedule's offsets array."""
+    import numpy as np
+
+    sizes = list(np.diff(np.asarray(offsets)))
+    return WorkloadProfile(
+        wavefront_sizes=[int(s) for s in sizes],
+        tile_seconds=tile_seconds,
+        tile_bytes=tile_bytes,
+        iterations=iterations,
+    )

@@ -1,0 +1,109 @@
+"""Tests for the L2-bounded tile-size autotuner (§2.1)."""
+
+import pytest
+
+from repro.core.autotune import (
+    autotune,
+    candidate_tile_sizes,
+    model_cost,
+    timed_measure,
+)
+from repro.core.stencil import (
+    gauss_seidel_5pt_2d,
+    gauss_seidel_6pt_3d,
+    gauss_seidel_9pt_2d,
+)
+from repro.core.tiling import tile_footprint_bytes
+
+
+class TestCandidates:
+    def test_all_candidates_fit_cache(self):
+        cands = candidate_tile_sizes(
+            gauss_seidel_5pt_2d(), (512, 512), cache_bytes=64 * 1024
+        )
+        assert cands
+        for c in cands:
+            assert tile_footprint_bytes(c, nb_var=1) <= 64 * 1024
+
+    def test_all_candidates_legal(self):
+        cands = candidate_tile_sizes(gauss_seidel_9pt_2d(), (256, 256))
+        assert cands
+        # The in-place restriction: every 9pt candidate has leading size 1.
+        assert all(c[0] == 1 for c in cands)
+
+    def test_candidates_bounded_by_domain(self):
+        cands = candidate_tile_sizes(gauss_seidel_5pt_2d(), (16, 16))
+        assert all(c[0] <= 16 and c[1] <= 16 for c in cands)
+
+    def test_nb_var_shrinks_pool(self):
+        small = candidate_tile_sizes(
+            gauss_seidel_6pt_3d(), (64, 64, 64), nb_var=5,
+            cache_bytes=256 * 1024,
+        )
+        large = candidate_tile_sizes(
+            gauss_seidel_6pt_3d(), (64, 64, 64), nb_var=1,
+            cache_bytes=256 * 1024,
+        )
+        assert len(small) < len(large)
+
+
+class TestModelCost:
+    def test_prefers_vf_multiple_innermost(self):
+        p = gauss_seidel_5pt_2d()
+        aligned = model_cost((32, 64), p, vf=8)
+        ragged = model_cost((32, 60), p, vf=8)
+        assert aligned < ragged
+
+    def test_penalizes_thin_tiles(self):
+        p = gauss_seidel_5pt_2d()
+        # Same volume, higher surface-to-volume for the thin shape.
+        assert model_cost((2, 128), p, vf=8) > model_cost((16, 16), p, vf=8)
+
+
+class TestAutotune:
+    def test_model_based_choice_is_legal_and_cached(self):
+        result = autotune(gauss_seidel_9pt_2d(), (512, 512))
+        assert result.tile_sizes[0] == 1
+        assert result.candidates_tried == len(result.trace)
+        assert result.cost == min(c for _, c in result.trace)
+
+    def test_measured_mode_picks_minimum(self):
+        costs = {}
+
+        def fake_measure(sizes):
+            # Pretend (4, 8) is the fastest.
+            cost = 0.1 if sizes == (4, 8) else 1.0
+            costs[sizes] = cost
+            return cost
+
+        result = autotune(
+            gauss_seidel_5pt_2d(), (8, 8), measure=fake_measure
+        )
+        assert result.tile_sizes == (4, 8)
+        assert result.cost == 0.1
+
+    def test_max_candidates_truncates(self):
+        result = autotune(
+            gauss_seidel_5pt_2d(), (256, 256), max_candidates=5
+        )
+        assert result.candidates_tried == 5
+
+    def test_no_candidates_raises(self):
+        with pytest.raises(ValueError, match="cache"):
+            autotune(
+                gauss_seidel_5pt_2d(), (64, 64), cache_bytes=8
+            )
+
+    def test_timed_measure_runs_kernel(self):
+        calls = []
+
+        def factory(sizes):
+            def run():
+                calls.append(sizes)
+
+            return run
+
+        measure = timed_measure(factory, repeats=2)
+        t = measure((4, 4))
+        assert t >= 0
+        assert calls == [(4, 4)] * 2

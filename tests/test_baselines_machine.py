@@ -1,0 +1,231 @@
+"""Tests for the Pluto/elsA baselines and the machine simulator."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import naive
+from repro.baselines.elsa import elsa_solve, elsa_sweeps, subdomain_wavefront_sizes
+from repro.baselines.pluto import (
+    PlutoOptions,
+    PlutoStencil,
+    pluto_jacobi,
+    spatial_skew_factors,
+    time_skew_factors,
+)
+from repro.cfdlib import euler
+from repro.cfdlib.boundary import add_ghost_layers, apply_periodic
+from repro.cfdlib.lusgs import (
+    LUSGSConfig,
+    compute_rhs,
+    lusgs_reference,
+    lusgs_sweeps_reference,
+    stable_dt,
+)
+from repro.cfdlib.mesh import StructuredMesh
+from repro.core.stencil import (
+    gauss_seidel_5pt_2d,
+    gauss_seidel_9pt_2d,
+    gauss_seidel_9pt_2nd_order_2d,
+    jacobi_5pt_2d,
+)
+from repro.machine import (
+    LOCAL_SINGLE_CORE,
+    XEON_6152,
+    WorkloadProfile,
+    simulate_wavefront_execution,
+    speedup_curve,
+)
+from repro.machine.simulator import cell_time_curve, profile_from_schedule
+
+
+def _fields(shape, seed=0):
+    rng = np.random.default_rng(seed)
+    return rng.standard_normal(shape), rng.standard_normal(shape)
+
+
+class TestSkewFactors:
+    def test_5pt_no_skew(self):
+        assert spatial_skew_factors(gauss_seidel_5pt_2d()) == [0, 0]
+        assert time_skew_factors(gauss_seidel_5pt_2d()) == [1, 1]
+
+    def test_9pt_needs_spatial_skew(self):
+        assert spatial_skew_factors(gauss_seidel_9pt_2d()) == [0, 1]
+
+    def test_second_order_time_skew(self):
+        assert time_skew_factors(gauss_seidel_9pt_2nd_order_2d()) == [2, 2]
+
+
+class TestPlutoCorrectness:
+    @pytest.mark.parametrize(
+        "pattern_fn",
+        [gauss_seidel_5pt_2d, gauss_seidel_9pt_2d, gauss_seidel_9pt_2nd_order_2d],
+    )
+    @pytest.mark.parametrize("variant", [1, 2])
+    def test_matches_reference(self, pattern_fn, variant):
+        pattern = pattern_fn()
+        u, b = _fields((13, 14), seed=3)
+        d = float(pattern.num_accesses)
+        iterations = 3
+        expected = naive.iterate(
+            naive.gauss_seidel_sweep_python, u.copy(), b, pattern, d, iterations
+        )
+        kernel = PlutoStencil(
+            pattern, d, PlutoOptions(variant=variant, tile_sizes=(4, 5))
+        )
+        actual = kernel.run(u, b, iterations)
+        np.testing.assert_allclose(actual, expected, rtol=1e-12)
+        assert kernel.last_wavefront_sizes
+        assert sum(kernel.last_wavefront_sizes) > 0
+
+    def test_3d_heat_pattern(self):
+        from repro.core.stencil import gauss_seidel_6pt_3d
+
+        pattern = gauss_seidel_6pt_3d()
+        u, b = _fields((7, 8, 7), seed=5)
+        expected = naive.iterate(
+            naive.gauss_seidel_sweep_python, u.copy(), b, pattern, 6.0, 2
+        )
+        kernel = PlutoStencil(
+            pattern, 6.0, PlutoOptions(variant=2, tile_sizes=(3, 3, 3))
+        )
+        actual = kernel.run(u, b, 2)
+        np.testing.assert_allclose(actual, expected, rtol=1e-12)
+
+    def test_variant1_single_wavefront_structure(self):
+        pattern = gauss_seidel_5pt_2d()
+        u, b = _fields((10, 10), seed=7)
+        kernel = PlutoStencil(
+            pattern, 4.0, PlutoOptions(variant=1, tile_sizes=(4, 4), time_tile=2)
+        )
+        kernel.run(u, b, 4)
+        sizes = kernel.last_wavefront_sizes
+        # A wavefront profile rises then falls (diamond shape).
+        assert max(sizes) >= sizes[0]
+        assert max(sizes) >= sizes[-1]
+
+    def test_jacobi_variant(self):
+        pattern = jacobi_5pt_2d()
+        u, b = _fields((12, 12), seed=9)
+        expected = naive.iterate(naive.jacobi_sweep, u.copy(), b, pattern, 4.0, 3)
+        actual = pluto_jacobi(u, b, pattern, 4.0, 3)
+        np.testing.assert_allclose(actual, expected, rtol=1e-13)
+
+    def test_bad_options(self):
+        with pytest.raises(ValueError):
+            PlutoOptions(variant=3)
+        with pytest.raises(ValueError):
+            PlutoStencil(gauss_seidel_5pt_2d(), 4.0, PlutoOptions(tile_sizes=(4,)))
+
+
+class TestElsa:
+    @pytest.fixture(scope="class")
+    def case(self):
+        mesh = StructuredMesh((5, 5, 5))
+        w0 = euler.density_wave((5, 5, 5), amplitude=0.05)
+        dt = stable_dt(w0, mesh, cfl=1.0)
+        return LUSGSConfig(mesh=mesh, dt=dt), w0
+
+    def test_sweeps_match_reference(self, case):
+        config, w0 = case
+        w = add_ghost_layers(w0)
+        apply_periodic(w)
+        rhs = compute_rhs(w, config)
+        expected = lusgs_sweeps_reference(w, rhs, config)
+        actual = elsa_sweeps(w, rhs, config)
+        np.testing.assert_allclose(actual, expected, rtol=1e-11)
+
+    def test_solve_matches_reference(self, case):
+        config, w0 = case
+        expected = lusgs_reference(w0, config, steps=2)
+        actual = elsa_solve(w0, config, steps=2)
+        np.testing.assert_allclose(actual, expected, rtol=1e-10)
+
+    def test_wavefront_sizes(self):
+        sizes = subdomain_wavefront_sizes([8, 8, 8], [4, 4, 4])
+        assert sum(sizes) == 8
+        assert sizes[0] == 1  # origin block alone in the first group
+
+
+class TestMachineModel:
+    def test_xeon_preset(self):
+        assert XEON_6152.cores == 44
+        assert XEON_6152.numa_nodes == 4
+        assert XEON_6152.cores_per_numa == 11
+        assert XEON_6152.l2_bytes == 1 << 20
+
+    def test_numa_occupancy(self):
+        assert XEON_6152.numa_nodes_used(1) == 1
+        assert XEON_6152.numa_nodes_used(11) == 1
+        assert XEON_6152.numa_nodes_used(12) == 2
+        assert XEON_6152.numa_nodes_used(44) == 4
+
+    def test_bandwidth_grows_with_nodes(self):
+        assert XEON_6152.bandwidth_available(44) == pytest.approx(
+            4 * XEON_6152.mem_bw_per_numa
+        )
+
+
+class TestSimulator:
+    def _profile(self, compute_bound=True):
+        # 16-group diagonal schedule, 1..16..1 diamond.
+        sizes = list(range(1, 17)) + list(range(15, 0, -1))
+        tile_bytes = 1e3 if compute_bound else 1e8
+        return WorkloadProfile(
+            wavefront_sizes=sizes,
+            tile_seconds=1e-4,
+            tile_bytes=tile_bytes,
+            iterations=10,
+        )
+
+    def test_single_thread_time_is_work(self):
+        p = self._profile()
+        t = simulate_wavefront_execution(p, 1, XEON_6152)
+        assert t == pytest.approx(p.total_tiles * p.tile_seconds)
+
+    def test_speedup_monotonic_until_parallelism_limit(self):
+        p = self._profile()
+        curve = speedup_curve(p, XEON_6152, [1, 2, 4, 8])
+        assert curve[1] == pytest.approx(1.0)
+        assert curve[2] > 1.5
+        assert curve[4] > curve[2]
+        assert curve[8] > curve[4]
+
+    def test_speedup_bounded_by_max_group(self):
+        p = self._profile()
+        curve = speedup_curve(p, XEON_6152, [16, 44])
+        # Max group has 16 tiles: no more than ~16x even at 44 threads
+        # (critical path), with barrier costs pushing it lower.
+        assert curve[44] <= 16.0
+
+    def test_bandwidth_bound_kernel_scales_worse(self):
+        compute = speedup_curve(self._profile(True), XEON_6152, [8])
+        memory = speedup_curve(self._profile(False), XEON_6152, [8])
+        assert memory[8] < compute[8]
+
+    def test_bandwidth_recovers_across_numa_nodes(self):
+        """Fig. 13's discussion: total bandwidth grows when spreading
+        over more NUMA nodes."""
+        p = self._profile(compute_bound=False)
+        curve = speedup_curve(p, XEON_6152, [11, 44])
+        assert curve[44] > curve[11]
+
+    def test_cell_time_curve(self):
+        p = self._profile()
+        t = cell_time_curve(p, XEON_6152, [1, 2], num_cells=10_000)
+        assert t[1] > 0
+        # Perfect scaling keeps t_cell flat; overheads can only raise it.
+        assert t[2] >= t[1] * 0.99
+
+    def test_profile_from_schedule(self):
+        from repro.core import scheduling
+
+        offsets, _ = scheduling.compute_parallel_blocks(
+            (4, 4), [(-1, 0), (0, -1)]
+        )
+        p = profile_from_schedule(offsets, 1e-5, 1e4, iterations=3)
+        assert p.wavefront_sizes == [1, 2, 3, 4, 3, 2, 1]
+        assert p.total_tiles == 16 * 3
+
+    def test_invalid_threads(self):
+        with pytest.raises(ValueError):
+            simulate_wavefront_execution(self._profile(), 0, XEON_6152)

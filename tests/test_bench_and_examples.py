@@ -1,0 +1,109 @@
+"""Tests for the bench harness and smoke tests for the examples."""
+
+import json
+import runpy
+import sys
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.bench.harness import (
+    Measurement,
+    format_series,
+    format_table,
+    save_results,
+    time_callable,
+)
+
+EXAMPLES = Path(__file__).resolve().parents[1] / "examples"
+
+
+class TestHarness:
+    def test_measurement_median(self):
+        values = iter([0.0, 0.0, 0.0])
+
+        m = Measurement.collect(lambda: next(values, None), repeats=3)
+        assert len(m.samples) == 3
+        assert m.seconds == sorted(m.samples)[1]
+
+    def test_time_callable_positive(self):
+        assert time_callable(lambda: sum(range(100)), repeats=2) >= 0
+
+    def test_format_table_alignment(self):
+        text = format_table(
+            ["name", "value"],
+            [["a", 1.23456], ["long-name", 2]],
+            title="T",
+        )
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "name" in lines[1] and "value" in lines[1]
+        assert "1.235" in text  # 4 significant digits
+        assert "long-name" in text
+
+    def test_format_series_missing_points(self):
+        text = format_series(
+            "x", {"a": {1: 1.0, 2: 2.0}, "b": {1: 3.0}}
+        )
+        assert "-" in text  # b has no x=2 point
+        assert "a" in text and "b" in text
+
+    def test_save_results_roundtrip(self, tmp_path, monkeypatch):
+        import repro.bench.harness as harness
+
+        monkeypatch.setattr(harness, "RESULTS_DIR", tmp_path)
+        path = save_results(
+            "unit_test", {"x": np.int64(3), "y": np.float64(1.5),
+                          "z": np.arange(3)}
+        )
+        data = json.loads(path.read_text())
+        assert data == {"x": 3, "y": 1.5, "z": [0, 1, 2]}
+
+
+class TestExperimentRegistry:
+    def test_cases_are_consistent(self):
+        from repro.bench.experiments import KERNEL_CASES
+
+        for case in KERNEL_CASES.values():
+            pattern = case.pattern_factory()
+            assert len(case.domain) == pattern.rank
+            assert len(case.mlir_tiles) == pattern.rank
+            assert len(case.paper_subdomains) == pattern.rank
+            assert case.iterations >= 1
+            # Domains are chosen so the interior is a VF multiple
+            # (no peeled remainder in the benchmarks).
+            interior = case.domain[-1] - 2 * pattern.radii[-1]
+            assert interior % case.vf == 0
+
+    def test_build_and_run_one_case(self):
+        from repro.bench.experiments import (
+            KERNEL_CASES,
+            build_mlir_kernel,
+            case_inputs,
+        )
+
+        case = KERNEL_CASES["seidel-2D-5pt"]
+        kernel = build_mlir_kernel(case)
+        x, b = case_inputs(case)
+        (y,) = kernel(x, b, x.copy())
+        assert y.shape == x.shape
+        assert np.isfinite(y).all()
+
+    def test_hw_anchor_preserves_ratios(self):
+        from repro.bench.experiments import HW_SCALAR_CELL_SECONDS, hw_per_cell
+
+        assert hw_per_cell(1.0, 1.0) == HW_SCALAR_CELL_SECONDS
+        assert hw_per_cell(0.5, 1.0) == 0.5 * HW_SCALAR_CELL_SECONDS
+
+
+@pytest.mark.parametrize(
+    "script",
+    ["quickstart.py", "sor_poisson.py", "inspect_pipeline.py"],
+)
+def test_example_runs(script, capsys):
+    """The fast examples run end to end (the heavier heat/Euler examples
+    are covered by their library tests and the benchmark suite)."""
+    runpy.run_path(str(EXAMPLES / script), run_name="__main__")
+    out = capsys.readouterr().out
+    assert out  # every example prints a report

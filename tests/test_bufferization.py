@@ -1,0 +1,107 @@
+"""Tests for the bufferization pass (tensors -> memrefs, §3.3)."""
+
+import numpy as np
+import pytest
+
+from repro.codegen.interpreter import run_function
+from repro.core import frontend
+from repro.core.bufferization import BufferizationError, BufferizePass
+from repro.core.lowering import LowerStencilsPass
+from repro.core.stencil import gauss_seidel_5pt_2d, gauss_seidel_6pt_3d
+from repro.core.vectorization import VectorizeStencilsPass
+from repro.ir import PassManager, verify
+from repro.ir.printer import print_module
+from repro.ir.types import MemRefType
+
+
+def _fields(shape, seed=0):
+    rng = np.random.default_rng(seed)
+    return rng.standard_normal(shape), rng.standard_normal(shape)
+
+
+def _bufferized(pattern, shape, vectorize, iterations=1):
+    module = frontend.build_stencil_kernel(
+        pattern, shape[1:], frontend.identity_body(float(pattern.num_accesses)),
+        iterations=iterations,
+    )
+    passes = [
+        VectorizeStencilsPass(4) if vectorize else LowerStencilsPass(),
+        BufferizePass(),
+    ]
+    PassManager(passes).run(module)
+    return module
+
+
+class TestBufferization:
+    @pytest.mark.parametrize("vectorize", [False, True], ids=["scalar", "vector"])
+    def test_semantics_preserved(self, vectorize):
+        pattern = gauss_seidel_5pt_2d()
+        shape = (1, 9, 13)
+        module = _bufferized(pattern, shape, vectorize)
+        reference = frontend.build_stencil_kernel(
+            pattern, shape[1:], frontend.identity_body(4.0)
+        )
+        x, b = _fields(shape, 3)
+        (expected,) = run_function(reference, "kernel", x, b, x.copy())
+        (actual,) = run_function(module, "kernel", x, b, x.copy())
+        np.testing.assert_allclose(actual, expected, rtol=1e-12)
+
+    def test_no_tensor_ops_remain(self):
+        module = _bufferized(gauss_seidel_5pt_2d(), (1, 8, 8), True)
+        text = print_module(module)
+        assert "tensor." not in text
+        assert "memref.load" in text or "memref.store" in text
+        verify(module)
+
+    def test_signature_is_memref(self):
+        module = _bufferized(gauss_seidel_5pt_2d(), (1, 8, 8), False)
+        fn = module.body.operations[0]
+        assert all(
+            isinstance(t, MemRefType) for t in fn.function_type.inputs
+        )
+        assert all(
+            isinstance(t, MemRefType) for t in fn.function_type.results
+        )
+
+    def test_3d_iterated(self):
+        pattern = gauss_seidel_6pt_3d()
+        shape = (1, 6, 6, 7)
+        module = _bufferized(pattern, shape, True, iterations=2)
+        reference = frontend.build_stencil_kernel(
+            pattern, shape[1:], frontend.identity_body(6.0), iterations=2
+        )
+        x, b = _fields(shape, 5)
+        (expected,) = run_function(reference, "kernel", x, b, x.copy())
+        (actual,) = run_function(module, "kernel", x, b, x.copy())
+        np.testing.assert_allclose(actual, expected, rtol=1e-12)
+
+    def test_caller_arrays_preserved(self):
+        """Function arguments are never mutated (the tensor contract)."""
+        module = _bufferized(gauss_seidel_5pt_2d(), (1, 8, 8), True)
+        x, b = _fields((1, 8, 8), 7)
+        x0, b0 = x.copy(), b.copy()
+        y0 = x.copy()
+        y0_orig = y0.copy()
+        run_function(module, "kernel", x, b, y0)
+        np.testing.assert_array_equal(x, x0)
+        np.testing.assert_array_equal(b, b0)
+        np.testing.assert_array_equal(y0, y0_orig)
+
+    def test_loop_carried_buffer_is_in_place(self):
+        """The iterated kernel must not allocate one buffer per element
+        insert: at most a handful of allocs (one per sweep plus slices)."""
+        module = _bufferized(
+            gauss_seidel_5pt_2d(), (1, 8, 8), False, iterations=3
+        )
+        text = print_module(module)
+        assert text.count("memref.alloc") <= 4
+
+    def test_unsupported_op_raises(self):
+        # An unlowered stencil op cannot be bufferized.
+        module = frontend.build_stencil_kernel(
+            gauss_seidel_5pt_2d(), (8, 8), frontend.identity_body(4.0)
+        )
+        with pytest.raises(
+            (BufferizationError, RuntimeError), match="bufferize"
+        ):
+            PassManager([BufferizePass()]).run(module)

@@ -1,0 +1,324 @@
+"""Unit tests for the cfd dialect ops and the StencilPattern model."""
+
+import pytest
+
+from repro.core.stencil import (
+    StencilPattern,
+    gauss_seidel_5pt_2d,
+    gauss_seidel_6pt_3d,
+    gauss_seidel_9pt_2d,
+    gauss_seidel_9pt_2nd_order_2d,
+    jacobi_5pt_2d,
+)
+from repro.dialects import arith, cfd, tensor
+from repro.ir import IRVerificationError, ModuleOp, OpBuilder, verify
+from repro.ir.parser import parse_module
+from repro.ir.printer import print_module
+from repro.ir.types import TensorType, f64
+
+
+@pytest.fixture()
+def module():
+    return ModuleOp.create()
+
+
+@pytest.fixture()
+def builder(module):
+    return OpBuilder.at_end(module.body)
+
+
+def _build_gs5(builder, shape=(1, 8, 8)):
+    """A 5-point Gauss-Seidel stencilOp with identity contributions."""
+    t = TensorType(list(shape), f64)
+    x = tensor.EmptyOp.build(builder, t).result()
+    b = tensor.EmptyOp.build(builder, t).result()
+    y = tensor.EmptyOp.build(builder, t).result()
+    pattern = gauss_seidel_5pt_2d()
+    op = cfd.StencilOp.build(builder, x, b, y, pattern)
+    bb = OpBuilder.at_end(op.body)
+    d = arith.const_f64(bb, 4.0)
+    zero = arith.const_f64(bb, 0.0)
+    args = list(op.body.arguments)
+    # contributions: neighbors pass through, center contributes nothing
+    cfd.CFDYieldOp.build(bb, [d] + args[:-1] + [zero])
+    return op
+
+
+class TestStencilOp:
+    def test_build_shape(self, module, builder):
+        op = _build_gs5(builder)
+        assert op.nb_var == 1
+        assert op.sweep == 1
+        assert op.space_rank == 2
+        # 4 accesses + 1 center, nv = 1
+        assert len(op.body.arguments) == 5
+        verify(module)
+
+    def test_pattern_roundtrip(self, module, builder):
+        op = _build_gs5(builder)
+        p = op.pattern
+        assert p.l_offsets == [(-1, 0), (0, -1)]
+        assert sorted(p.u_offsets) == [(0, 1), (1, 0)]
+
+    def test_print_parse_roundtrip(self, module, builder):
+        _build_gs5(builder)
+        text = print_module(module)
+        assert "cfd.stencilOp" in text
+        assert "dense<[[0, -1, 0], [-1, 0, 1], [0, 1, 0]]>" in text
+        reparsed = parse_module(text)
+        assert print_module(reparsed) == text
+        verify(reparsed)
+        op = reparsed.body.operations[3]
+        assert isinstance(op, cfd.StencilOp)
+        assert op.pattern.l_offsets == [(-1, 0), (0, -1)]
+
+    def test_wrong_yield_count_rejected(self, module, builder):
+        t = TensorType([1, 8, 8], f64)
+        x = tensor.EmptyOp.build(builder, t).result()
+        b = tensor.EmptyOp.build(builder, t).result()
+        y = tensor.EmptyOp.build(builder, t).result()
+        op = cfd.StencilOp.build(builder, x, b, y, gauss_seidel_5pt_2d())
+        bb = OpBuilder.at_end(op.body)
+        cfd.CFDYieldOp.build(bb, [arith.const_f64(bb, 1.0)])
+        with pytest.raises(IRVerificationError, match="yield"):
+            verify(module)
+
+    def test_rank_mismatch_rejected(self, module, builder):
+        t = TensorType([1, 8], f64)  # rank 2, but pattern rank 2 needs rank 3
+        x = tensor.EmptyOp.build(builder, t).result()
+        b = tensor.EmptyOp.build(builder, t).result()
+        y = tensor.EmptyOp.build(builder, t).result()
+        op = cfd.StencilOp.build(builder, x, b, y, gauss_seidel_5pt_2d())
+        bb = OpBuilder.at_end(op.body)
+        args = list(op.body.arguments)
+        cfd.CFDYieldOp.build(
+            bb, [arith.const_f64(bb, 1.0)] + args
+        )
+        with pytest.raises(IRVerificationError, match="rank"):
+            verify(module)
+
+    def test_multivar_arg_count(self, module, builder):
+        t = TensorType([2, 8, 8], f64)
+        x = tensor.EmptyOp.build(builder, t).result()
+        b = tensor.EmptyOp.build(builder, t).result()
+        y = tensor.EmptyOp.build(builder, t).result()
+        op = cfd.StencilOp.build(
+            builder, x, b, y, gauss_seidel_5pt_2d(), nb_var=2
+        )
+        # (4 accesses + 1 center) * 2 vars
+        assert len(op.body.arguments) == 10
+        bb = OpBuilder.at_end(op.body)
+        cfd.CFDYieldOp.build(
+            bb, [arith.const_f64(bb, 1.0)] + list(op.body.arguments)
+        )
+        verify(module)
+
+
+class TestFaceIteratorOp:
+    def test_build(self, module, builder):
+        t = TensorType([1, 8, 8], f64)
+        x = tensor.EmptyOp.build(builder, t).result()
+        b = tensor.EmptyOp.build(builder, t).result()
+        op = cfd.FaceIteratorOp.build(builder, x, b, axis=0)
+        assert op.axis == 0
+        assert len(op.body.arguments) == 2
+        bb = OpBuilder.at_end(op.body)
+        flux = arith.subf(bb, op.body.arguments[1], op.body.arguments[0])
+        cfd.CFDYieldOp.build(bb, [flux])
+        verify(module)
+
+    def test_axis_bounds(self, module, builder):
+        t = TensorType([1, 8, 8], f64)
+        x = tensor.EmptyOp.build(builder, t).result()
+        b = tensor.EmptyOp.build(builder, t).result()
+        op = cfd.FaceIteratorOp.build(builder, x, b, axis=2)  # only 0..1 valid
+        bb = OpBuilder.at_end(op.body)
+        cfd.CFDYieldOp.build(bb, [op.body.arguments[0]])
+        with pytest.raises(IRVerificationError, match="axis"):
+            verify(module)
+
+
+class TestTiledLoopOp:
+    def test_build_and_accessors(self, module, builder):
+        t = TensorType([1, 16, 16], f64)
+        x = tensor.EmptyOp.build(builder, t).result()
+        y = tensor.EmptyOp.build(builder, t).result()
+        zero = arith.const_index(builder, 0)
+        n = arith.const_index(builder, 16)
+        four = arith.const_index(builder, 4)
+        loop = cfd.TiledLoopOp.build(
+            builder, [zero, zero], [n, n], [four, four], [x], [y]
+        )
+        assert loop.rank == 2
+        assert loop.num_ins == 1
+        assert loop.num_outs == 1
+        assert not loop.has_groups
+        assert loop.ins == [x]
+        assert loop.outs == [y]
+        assert len(loop.induction_vars) == 2
+        assert loop.in_args[0].type == t
+        bb = OpBuilder.at_end(loop.body)
+        cfd.CFDYieldOp.build(bb, [loop.out_args[0]])
+        verify(module)
+
+    def test_with_groups(self, module, builder):
+        from repro.ir.types import index as index_t
+
+        t = TensorType([1, 16, 16], f64)
+        x = tensor.EmptyOp.build(builder, t).result()
+        y = tensor.EmptyOp.build(builder, t).result()
+        zero = arith.const_index(builder, 0)
+        n = arith.const_index(builder, 16)
+        four = arith.const_index(builder, 4)
+        nb = arith.const_index(builder, 4)
+        gp = cfd.GetParallelBlocksOp.build(
+            builder, [nb, nb], [(-1, 0), (0, -1)]
+        )
+        loop = cfd.TiledLoopOp.build(
+            builder,
+            [zero, zero],
+            [n, n],
+            [four, four],
+            [x],
+            [y],
+            groups=[gp.result(0), gp.result(1)],
+        )
+        assert loop.has_groups
+        offsets, indices = loop.group_operands
+        assert offsets is gp.result(0)
+        assert indices is gp.result(1)
+        bb = OpBuilder.at_end(loop.body)
+        cfd.CFDYieldOp.build(bb, [loop.out_args[0]])
+        verify(module)
+
+    def test_yield_arity_enforced(self, module, builder):
+        t = TensorType([1, 8, 8], f64)
+        x = tensor.EmptyOp.build(builder, t).result()
+        y = tensor.EmptyOp.build(builder, t).result()
+        zero = arith.const_index(builder, 0)
+        loop = cfd.TiledLoopOp.build(
+            builder, [zero], [zero], [zero], [x], [y]
+        )
+        OpBuilder.at_end(loop.body).create("cfd.yield", [])
+        with pytest.raises(IRVerificationError, match="yield"):
+            verify(module)
+
+
+class TestGetParallelBlocks:
+    def test_block_offsets_roundtrip(self, module, builder):
+        n = arith.const_index(builder, 4)
+        op = cfd.GetParallelBlocksOp.build(
+            builder, [n, n], [(-1, 0), (0, -1), (-1, -1)]
+        )
+        assert sorted(op.block_offsets) == [(-1, -1), (-1, 0), (0, -1)]
+        verify(module)
+
+    def test_rejects_positive_entries(self, module, builder):
+        from repro.ir.attributes import DenseIntElementsAttr
+
+        n = arith.const_index(builder, 4)
+        op = cfd.GetParallelBlocksOp.build(builder, [n, n], [(-1, 0)])
+        op.attributes["block_stencil"] = DenseIntElementsAttr(
+            [[0, 1, 0], [0, 0, 0], [0, 0, 0]]
+        )
+        with pytest.raises(IRVerificationError, match="0 or -1"):
+            verify(module)
+
+
+class TestStencilPattern:
+    def test_five_point(self):
+        p = gauss_seidel_5pt_2d()
+        assert p.rank == 2
+        assert p.is_in_place
+        assert p.num_accesses == 4
+        assert p.radii == (1, 1)
+        assert p.negative_distance_dims() == []
+
+    def test_nine_point_negative_distance(self):
+        p = gauss_seidel_9pt_2d()
+        assert p.num_accesses == 8
+        # (-1, 1) in L gives a negative dependence distance along dim 1.
+        assert p.negative_distance_dims() == [1]
+
+    def test_second_order(self):
+        p = gauss_seidel_9pt_2nd_order_2d()
+        assert p.radii == (2, 2)
+        assert len(p.l_offsets) == 4
+        assert len(p.u_offsets) == 4
+        assert p.negative_distance_dims() == []
+
+    def test_heat_3d(self):
+        p = gauss_seidel_6pt_3d()
+        assert p.rank == 3
+        assert p.num_accesses == 6
+        assert p.interior_bounds([8, 8, 8]) == [(1, 7), (1, 7), (1, 7)]
+
+    def test_jacobi_not_in_place(self):
+        p = jacobi_5pt_2d()
+        assert not p.is_in_place
+        assert p.l_offsets == []
+
+    def test_invalid_l_offset_rejected(self):
+        # (1, 0) is lexicographically positive: invalid for a forward sweep.
+        with pytest.raises(ValueError, match="lexicographically"):
+            StencilPattern.from_offsets(2, l_offsets=[(1, 0)])
+
+    def test_backward_sweep_validation(self):
+        # For a backward sweep, L offsets must be lexicographically positive.
+        StencilPattern.from_offsets(2, l_offsets=[(1, 0)], sweep=-1)
+        with pytest.raises(ValueError, match="lexicographically"):
+            StencilPattern.from_offsets(2, l_offsets=[(-1, 0)], sweep=-1)
+
+    def test_inverted_mirrors_pattern(self):
+        p = gauss_seidel_5pt_2d()
+        q = p.inverted()
+        assert q.sweep == -1
+        assert sorted(q.l_offsets) == [(0, 1), (1, 0)]
+        assert sorted(q.u_offsets) == [(-1, 0), (0, -1)]
+        # Double inversion is the identity.
+        assert p.inverted().inverted() == p
+
+    def test_center_must_be_zero(self):
+        with pytest.raises(ValueError, match="center"):
+            StencilPattern([[0, 0, 0], [0, -1, 0], [0, 0, 0]])
+
+    def test_even_extent_rejected(self):
+        with pytest.raises(ValueError, match="odd"):
+            StencilPattern([[0, -1], [0, 1]])
+
+    def test_entry_values_validated(self):
+        with pytest.raises(ValueError, match="-1, 0 or 1"):
+            StencilPattern([[0, 2, 0], [0, 0, 0], [0, 0, 0]])
+
+    def test_interior_bounds_asymmetric(self):
+        p = StencilPattern.from_offsets(
+            2, l_offsets=[(-2, 0)], u_offsets=[(0, 1)]
+        )
+        assert p.interior_bounds([10, 10]) == [(2, 10), (0, 9)]
+
+    def test_block_stencil_offsets_5pt(self):
+        p = gauss_seidel_5pt_2d()
+        # Tiles of 4x4: L offsets (-1,0) and (0,-1) map to block offsets
+        # (-1,0)/(0,0) and (0,-1)/(0,0); nonzero ones only.
+        assert p.block_stencil_offsets([4, 4]) == [(-1, 0), (0, -1)]
+
+    def test_block_stencil_offsets_9pt_diagonal(self):
+        p = gauss_seidel_9pt_2d()
+        # With the legal 1 x T tile shape (§2.1), the (-1, 1) L offset
+        # produces block offsets (-1, 0) and (-1, 1) — all lex-negative.
+        blocks = p.block_stencil_offsets([1, 4])
+        assert (-1, 1) in blocks
+        assert (-1, 0) in blocks
+        assert all(next(c for c in b if c != 0) < 0 for b in blocks)
+
+    def test_block_stencil_offsets_9pt_illegal_tile_detected(self):
+        # Tiles spanning several rows expose a lexicographically positive
+        # block offset (0, 1): a dependence cycle. The tiling legalizer
+        # must avoid such shapes.
+        p = gauss_seidel_9pt_2d()
+        blocks = p.block_stencil_offsets([4, 1])
+        assert (0, 1) in blocks
+
+    def test_eq_and_hash(self):
+        assert gauss_seidel_5pt_2d() == gauss_seidel_5pt_2d()
+        assert gauss_seidel_5pt_2d() != gauss_seidel_9pt_2d()

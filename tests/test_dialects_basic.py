@@ -1,0 +1,395 @@
+"""Unit tests for arith/math/func/scf/tensor/memref/vector/linalg dialects."""
+
+import pytest
+
+from repro.dialects import arith, func, linalg, math, memref, scf, tensor, vector
+from repro.ir import (
+    Block,
+    FloatAttr,
+    IntegerAttr,
+    ModuleOp,
+    OpBuilder,
+    IRVerificationError,
+    verify,
+)
+from repro.ir.attributes import StringAttr
+from repro.ir.types import (
+    FunctionType,
+    MemRefType,
+    TensorType,
+    VectorType,
+    f64,
+    i1,
+    index,
+)
+
+
+@pytest.fixture()
+def module():
+    return ModuleOp.create()
+
+
+@pytest.fixture()
+def builder(module):
+    return OpBuilder.at_end(module.body)
+
+
+class TestArith:
+    def test_constants(self, module, builder):
+        c = arith.const_f64(builder, 3.5)
+        assert c.type == f64
+        i = arith.const_index(builder, 7)
+        assert i.type == index
+        verify(module)
+
+    def test_binary_float_ops(self, module, builder):
+        a = arith.const_f64(builder, 1.0)
+        b = arith.const_f64(builder, 2.0)
+        for fn in (arith.addf, arith.subf, arith.mulf, arith.divf):
+            assert fn(builder, a, b).type == f64
+        verify(module)
+
+    def test_index_arith(self, module, builder):
+        a = arith.const_index(builder, 10)
+        b = arith.const_index(builder, 3)
+        assert arith.floordivi(builder, a, b).type == index
+        assert arith.minsi(builder, a, b).type == index
+        verify(module)
+
+    def test_float_op_rejects_index(self, module, builder):
+        a = arith.const_index(builder, 1)
+        arith.AddFOp.build(builder, a, a)
+        with pytest.raises(IRVerificationError, match="float"):
+            verify(module)
+
+    def test_mixed_types_rejected(self, module, builder):
+        a = arith.const_f64(builder, 1.0)
+        b = arith.const_index(builder, 1)
+        op = builder.create("arith.addf", [a, b], [f64])
+        with pytest.raises(IRVerificationError):
+            verify(module)
+
+    def test_vector_elementwise_allowed(self, module, builder):
+        vt = VectorType([8], f64)
+        v = builder.create("test.vec", result_types=[vt]).result()
+        s = arith.addf(builder, v, v)
+        assert s.type == vt
+        verify(module)
+
+    def test_cmp_and_select(self, module, builder):
+        a = arith.const_f64(builder, 1.0)
+        b = arith.const_f64(builder, 2.0)
+        cond = arith.CmpFOp.build(builder, "lt", a, b).result()
+        assert cond.type == i1
+        sel = arith.SelectOp.build(builder, cond, a, b).result()
+        assert sel.type == f64
+        verify(module)
+
+    def test_bad_predicate_rejected(self, builder):
+        a = arith.const_f64(builder, 1.0)
+        with pytest.raises(ValueError, match="predicate"):
+            arith.CmpFOp.build(builder, "sharper", a, a)
+
+    def test_constant_type_result_must_match(self, module, builder):
+        op = builder.create(
+            "arith.constant", [], [index], {"value": FloatAttr(1.0)}
+        )
+        with pytest.raises(IRVerificationError):
+            verify(module)
+
+
+class TestMath:
+    def test_unary_ops(self, module, builder):
+        x = arith.const_f64(builder, 4.0)
+        assert math.sqrt(builder, x).type == f64
+        assert math.absf(builder, x).type == f64
+        verify(module)
+
+    def test_fma(self, module, builder):
+        x = arith.const_f64(builder, 2.0)
+        assert math.fma(builder, x, x, x).type == f64
+        verify(module)
+
+    def test_fma_arity(self, module, builder):
+        x = arith.const_f64(builder, 2.0)
+        builder.create("math.fma", [x, x], [f64])
+        with pytest.raises(IRVerificationError):
+            verify(module)
+
+
+class TestFunc:
+    def test_func_and_return(self, module, builder):
+        ft = FunctionType([f64, f64], [f64])
+        fn = func.FuncOp.build(builder, "add", ft)
+        body_builder = OpBuilder.at_end(fn.body)
+        s = arith.addf(body_builder, fn.arguments[0], fn.arguments[1])
+        func.ReturnOp.build(body_builder, [s])
+        assert fn.sym_name == "add"
+        assert module.lookup_symbol("add") is fn
+        verify(module)
+
+    def test_return_type_mismatch(self, module, builder):
+        ft = FunctionType([f64], [f64])
+        fn = func.FuncOp.build(builder, "bad", ft)
+        func.ReturnOp.build(OpBuilder.at_end(fn.body), [])
+        with pytest.raises(IRVerificationError, match="signature"):
+            verify(module)
+
+    def test_call(self, module, builder):
+        ft = FunctionType([f64], [f64])
+        fn = func.FuncOp.build(builder, "id", ft)
+        func.ReturnOp.build(OpBuilder.at_end(fn.body), [fn.arguments[0]])
+        main = func.FuncOp.build(builder, "main", FunctionType([f64], [f64]))
+        mb = OpBuilder.at_end(main.body)
+        call = func.CallOp.build(mb, "id", [main.arguments[0]], [f64])
+        func.ReturnOp.build(mb, [call.result()])
+        assert call.callee == "id"
+        assert call.resolve(module) is fn
+        verify(module)
+
+
+class TestScf:
+    def test_for_loop_with_iter_args(self, module, builder):
+        lb = arith.const_index(builder, 0)
+        ub = arith.const_index(builder, 10)
+        step = arith.const_index(builder, 1)
+        init = arith.const_f64(builder, 0.0)
+        loop = scf.ForOp.build(builder, lb, ub, step, [init])
+        bb = OpBuilder.at_end(loop.body)
+        acc = loop.iter_args[0]
+        one = arith.const_f64(bb, 1.0)
+        scf.YieldOp.build(bb, [arith.addf(bb, acc, one)])
+        assert loop.induction_var.type == index
+        assert loop.result().type == f64
+        verify(module)
+
+    def test_for_missing_yield_rejected(self, module, builder):
+        lb = arith.const_index(builder, 0)
+        loop = scf.ForOp.build(builder, lb, lb, lb, [])
+        with pytest.raises(IRVerificationError, match="yield"):
+            verify(module)
+
+    def test_build_loop_nest(self, module, builder):
+        zero = arith.const_index(builder, 0)
+        ten = arith.const_index(builder, 10)
+        one = arith.const_index(builder, 1)
+        init = arith.const_f64(builder, 0.0)
+        outer, inner_builder, ivs, args = scf.build_loop_nest(
+            builder, [zero, zero], [ten, ten], [one, one], [init]
+        )
+        c = arith.const_f64(inner_builder, 1.0)
+        scf.YieldOp.build(inner_builder, [arith.addf(inner_builder, args[0], c)])
+        assert len(ivs) == 2
+        assert outer.result().type == f64
+        verify(module)
+
+    def test_if_op(self, module, builder):
+        a = arith.const_f64(builder, 1.0)
+        cond = arith.CmpFOp.build(builder, "gt", a, a).result()
+        if_op = scf.IfOp.build(builder, cond, [f64])
+        tb = OpBuilder.at_end(if_op.then_block)
+        scf.YieldOp.build(tb, [arith.const_f64(tb, 1.0)])
+        eb = OpBuilder.at_end(if_op.else_block)
+        scf.YieldOp.build(eb, [arith.const_f64(eb, 2.0)])
+        verify(module)
+
+    def test_parallel_op(self, module, builder):
+        zero = arith.const_index(builder, 0)
+        n = arith.const_index(builder, 8)
+        one = arith.const_index(builder, 1)
+        par = scf.ParallelOp.build(builder, [zero, zero], [n, n], [one, one])
+        assert par.rank == 2
+        assert len(par.induction_vars) == 2
+        verify(module)
+
+
+class TestTensor:
+    def test_empty_extract_insert(self, module, builder):
+        t = TensorType([4, 4], f64)
+        buf = tensor.EmptyOp.build(builder, t).result()
+        i = arith.const_index(builder, 1)
+        x = tensor.ExtractOp.build(builder, buf, [i, i]).result()
+        assert x.type == f64
+        updated = tensor.InsertOp.build(builder, x, buf, [i, i]).result()
+        assert updated.type == t
+        verify(module)
+
+    def test_empty_dynamic_sizes(self, module, builder):
+        t = TensorType([1, -1], f64)
+        n = arith.const_index(builder, 16)
+        buf = tensor.EmptyOp.build(builder, t, [n]).result()
+        assert str(buf.type) == "tensor<1x?xf64>"
+        verify(module)
+
+    def test_empty_missing_dynamic_size_rejected(self, module, builder):
+        t = TensorType([1, -1], f64)
+        builder.create("tensor.empty", [], [t])
+        with pytest.raises(IRVerificationError, match="dynamic"):
+            verify(module)
+
+    def test_dim(self, module, builder):
+        t = TensorType([4, 8], f64)
+        buf = tensor.EmptyOp.build(builder, t).result()
+        d = tensor.DimOp.build(builder, buf, 1)
+        assert d.dim == 1
+        assert d.result().type == index
+        verify(module)
+
+    def test_slice_roundtrip_types(self, module, builder):
+        t = TensorType([16, 16], f64)
+        buf = tensor.EmptyOp.build(builder, t).result()
+        off = arith.const_index(builder, 4)
+        size = arith.const_index(builder, 8)
+        tile = tensor.ExtractSliceOp.build(
+            builder, buf, [off, off], [size, size]
+        )
+        assert tile.rank == 2
+        assert [o for o in tile.offsets] == [off, off]
+        back = tensor.InsertSliceOp.build(
+            builder, tile.result(), buf, [off, off], [size, size]
+        )
+        assert back.result().type == t
+        verify(module)
+
+    def test_extract_wrong_arity(self, module, builder):
+        t = TensorType([4, 4], f64)
+        buf = tensor.EmptyOp.build(builder, t).result()
+        i = arith.const_index(builder, 0)
+        builder.create("tensor.extract", [buf, i], [f64])
+        with pytest.raises(IRVerificationError, match="rank"):
+            verify(module)
+
+    def test_empty_like_dynamic(self, module, builder):
+        t = TensorType([1, -1, -1], f64)
+        n = arith.const_index(builder, 8)
+        src = tensor.EmptyOp.build(builder, t, [n, n]).result()
+        like = tensor.empty_like(builder, src)
+        assert like.type == t
+        verify(module)
+
+
+class TestMemref:
+    def test_alloc_load_store(self, module, builder):
+        t = MemRefType([8], f64)
+        buf = memref.AllocOp.build(builder, t).result()
+        i = arith.const_index(builder, 3)
+        v = memref.LoadOp.build(builder, buf, [i]).result()
+        memref.StoreOp.build(builder, v, buf, [i])
+        memref.DeallocOp.build(builder, buf)
+        verify(module)
+
+    def test_subview(self, module, builder):
+        t = MemRefType([16, 16], f64)
+        buf = memref.AllocOp.build(builder, t).result()
+        o = arith.const_index(builder, 2)
+        s = arith.const_index(builder, 4)
+        view = memref.SubViewOp.build(builder, buf, [o, o], [s, s])
+        assert view.rank == 2
+        verify(module)
+
+    def test_copy_requires_memrefs(self, module, builder):
+        t = TensorType([4], f64)
+        buf = tensor.EmptyOp.build(builder, t).result()
+        builder.create("memref.copy", [buf, buf])
+        with pytest.raises(IRVerificationError, match="memref"):
+            verify(module)
+
+
+class TestVector:
+    def test_transfer_read_write_tensor(self, module, builder):
+        t = TensorType([4, 32], f64)
+        vt = VectorType([8], f64)
+        buf = tensor.EmptyOp.build(builder, t).result()
+        i = arith.const_index(builder, 0)
+        v = vector.TransferReadOp.build(builder, buf, [i, i], vt)
+        assert v.vector_length == 8
+        w = vector.TransferWriteOp.build(builder, v.result(), buf, [i, i])
+        assert w.result().type == t
+        verify(module)
+
+    def test_transfer_write_memref_no_result(self, module, builder):
+        t = MemRefType([32], f64)
+        vt = VectorType([8], f64)
+        buf = memref.AllocOp.build(builder, t).result()
+        i = arith.const_index(builder, 0)
+        v = vector.TransferReadOp.build(builder, buf, [i], vt)
+        w = vector.TransferWriteOp.build(builder, v.result(), buf, [i])
+        assert w.num_results == 0
+        verify(module)
+
+    def test_broadcast_extract(self, module, builder):
+        vt = VectorType([4], f64)
+        s = arith.const_f64(builder, 5.0)
+        v = vector.BroadcastOp.build(builder, s, vt).result()
+        lane = vector.VectorExtractOp.build(builder, v, 2)
+        assert lane.position == 2
+        assert lane.result().type == f64
+        verify(module)
+
+    def test_extract_position_bounds(self, module, builder):
+        vt = VectorType([4], f64)
+        s = arith.const_f64(builder, 5.0)
+        v = vector.BroadcastOp.build(builder, s, vt).result()
+        builder.create(
+            "vector.extract", [v], [f64], {"position": IntegerAttr(9)}
+        )
+        with pytest.raises(IRVerificationError, match="range"):
+            verify(module)
+
+    def test_vector_fma(self, module, builder):
+        vt = VectorType([8], f64)
+        s = arith.const_f64(builder, 1.0)
+        v = vector.BroadcastOp.build(builder, s, vt).result()
+        r = vector.VectorFMAOp.build(builder, v, v, v)
+        assert r.result().type == vt
+        verify(module)
+
+
+class TestLinalg:
+    def test_generic_pointwise(self, module, builder):
+        t = TensorType([8, 8], f64)
+        a = tensor.EmptyOp.build(builder, t).result()
+        init = tensor.EmptyOp.build(builder, t).result()
+        g = linalg.GenericOp.build(builder, [a], init)
+        bb = OpBuilder.at_end(g.body)
+        two = arith.const_f64(bb, 2.0)
+        linalg.LinalgYieldOp.build(bb, [arith.mulf(bb, g.body.arguments[0], two)])
+        assert g.offsets == [(0, 0)]
+        assert g.iteration_bounds([8, 8]) == [(0, 8), (0, 8)]
+        verify(module)
+
+    def test_generic_shifted_bounds(self, module, builder):
+        t = TensorType([8, 8], f64)
+        a = tensor.EmptyOp.build(builder, t).result()
+        init = tensor.EmptyOp.build(builder, t).result()
+        g = linalg.GenericOp.build(
+            builder, [a, a, a], init, offsets=[(-1, 0), (0, 0), (1, 0)]
+        )
+        bb = OpBuilder.at_end(g.body)
+        args = g.body.arguments
+        s = arith.addf(bb, args[0], args[2])
+        linalg.LinalgYieldOp.build(bb, [arith.addf(bb, s, args[1])])
+        assert g.iteration_bounds([8, 8]) == [(1, 7), (0, 8)]
+        verify(module)
+
+    def test_fill(self, module, builder):
+        t = TensorType([4], f64)
+        init = tensor.EmptyOp.build(builder, t).result()
+        zero = arith.const_f64(builder, 0.0)
+        filled = linalg.FillOp.build(builder, zero, init)
+        assert filled.result().type == t
+        verify(module)
+
+    def test_generic_offset_count_mismatch(self, module, builder):
+        t = TensorType([4], f64)
+        a = tensor.EmptyOp.build(builder, t).result()
+        init = tensor.EmptyOp.build(builder, t).result()
+        g = linalg.GenericOp.build(builder, [a], init, offsets=[(0,)])
+        g.attributes["num_ins"] = IntegerAttr(1)
+        from repro.ir.attributes import ArrayAttr
+
+        g.attributes["offsets"] = ArrayAttr([])
+        bb = OpBuilder.at_end(g.body)
+        linalg.LinalgYieldOp.build(bb, [g.body.arguments[0]])
+        with pytest.raises(IRVerificationError, match="offset"):
+            verify(module)

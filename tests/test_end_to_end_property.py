@@ -1,0 +1,92 @@
+"""End-to-end property test: random pattern x random pipeline config,
+compiled output vs the pure-Python reference sweep."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines import naive
+from repro.core import frontend
+from repro.core.pipeline import CompileOptions, StencilCompiler
+from repro.core.stencil import StencilPattern
+
+
+def _lex_pool(rank, reach, negative):
+    import itertools
+
+    pool = []
+    for o in itertools.product(range(-reach, reach + 1), repeat=rank):
+        first = next((c for c in o if c != 0), 0)
+        if (first < 0) == negative and first != 0:
+            pool.append(o)
+    return pool
+
+
+@st.composite
+def _random_program(draw):
+    rank = 2
+    l_offsets = draw(
+        st.lists(
+            st.sampled_from(_lex_pool(rank, 2, True)),
+            min_size=0,
+            max_size=3,
+            unique=True,
+        )
+    )
+    u_offsets = draw(
+        st.lists(
+            st.sampled_from(_lex_pool(rank, 2, False)),
+            min_size=1,
+            max_size=3,
+            unique=True,
+        )
+    )
+    pattern = StencilPattern.from_offsets(
+        rank, l_offsets=l_offsets, u_offsets=u_offsets
+    )
+    shape = (
+        draw(st.integers(6, 14)),
+        draw(st.integers(6, 18)),
+    )
+    options = CompileOptions(
+        subdomain_sizes=draw(
+            st.sampled_from([None, (4, 4), (5, 8)])
+        ),
+        tile_sizes=draw(st.sampled_from([None, (2, 4), (3, 5)])),
+        fuse=draw(st.booleans()),
+        parallel=draw(st.booleans()),
+        vectorize=draw(st.sampled_from([0, 2, 4, 8])),
+    )
+    seed = draw(st.integers(0, 10_000))
+    return pattern, shape, options, seed
+
+
+class TestEndToEndProperty:
+    @given(_random_program())
+    @settings(max_examples=25, deadline=None)
+    def test_compiled_matches_reference(self, program):
+        pattern, shape, options, seed = program
+        d = float(pattern.num_accesses)
+        module = frontend.build_stencil_kernel(
+            pattern, shape, frontend.identity_body(d)
+        )
+        kernel = StencilCompiler(options).compile(module)
+        rng = np.random.default_rng(seed)
+        x = rng.standard_normal((1,) + shape)
+        b = rng.standard_normal((1,) + shape)
+        (actual,) = kernel(x, b, x.copy())
+        expected = naive.stencil_sweep_python(
+            x, b, x.copy(), pattern, naive.identity_scalar_body(d)
+        )
+        np.testing.assert_allclose(actual, expected, rtol=1e-10, atol=1e-12)
+
+
+def test_lazy_core_exports():
+    """`repro.core` exposes the compiler lazily (PEP 562)."""
+    import repro.core as core
+
+    assert core.StencilCompiler.__name__ == "StencilCompiler"
+    assert core.CompileOptions.__name__ == "CompileOptions"
+    with pytest.raises(AttributeError):
+        core.not_a_thing

@@ -1,0 +1,303 @@
+"""Tests for producer/consumer fusion after tiling."""
+
+import numpy as np
+import pytest
+
+from repro.codegen.interpreter import run_function
+from repro.core import frontend
+from repro.core.fusion import FuseProducersPass
+from repro.core.stencil import gauss_seidel_5pt_2d, gauss_seidel_6pt_3d
+from repro.core.tiling import TileStencilsPass
+from repro.dialects import arith, cfd, func, linalg, scf, tensor
+from repro.ir import ModuleOp, OpBuilder, PassManager, verify
+from repro.ir.printer import print_module
+from repro.ir.types import FunctionType, TensorType, f64
+
+
+def _build_producer_kernel(shape, with_face_iterator=False):
+    """B = structured-producer(X); Y = stencil(X, B, X)."""
+    pattern = gauss_seidel_5pt_2d()
+    module = ModuleOp.create()
+    b = OpBuilder.at_end(module.body)
+    t = TensorType(list(shape), f64)
+    fn = func.FuncOp.build(b, "kernel", FunctionType([t, t], [t]))
+    fb = OpBuilder.at_end(fn.body)
+    x, b_init = fn.arguments
+    if with_face_iterator:
+        prod = cfd.FaceIteratorOp.build(fb, x, b_init, axis=0)
+        pb = OpBuilder.at_end(prod.body)
+        left, right = prod.body.arguments
+        cfd.CFDYieldOp.build(pb, [arith.subf(pb, right, left)])
+    else:
+        # B = 0.1 * (x shifted by (0, -1, 0)) + b_init, a shifted generic.
+        prod = linalg.GenericOp.build(
+            fb, [x], b_init, offsets=[(0, -1, 0)]
+        )
+        pb = OpBuilder.at_end(prod.body)
+        xa, binit_a = prod.body.arguments
+        c = arith.const_f64(pb, 0.1)
+        linalg.LinalgYieldOp.build(
+            pb, [arith.addf(pb, arith.mulf(pb, c, xa), binit_a)]
+        )
+    st = cfd.StencilOp.build(fb, x, prod.result(), x, pattern)
+    frontend.attach_body(st, frontend.identity_body(4.0))
+    func.ReturnOp.build(fb, [st.result()])
+    return module
+
+
+def _build_consumer_kernel(shape):
+    """Y = stencil(X, B, X); OUT = pointwise(Y + T) with margins=halo."""
+    pattern = gauss_seidel_5pt_2d()
+    module = ModuleOp.create()
+    b = OpBuilder.at_end(module.body)
+    t = TensorType(list(shape), f64)
+    fn = func.FuncOp.build(b, "kernel", FunctionType([t, t, t], [t, t]))
+    fb = OpBuilder.at_end(fn.body)
+    x, b_in, t_in = fn.arguments
+    st = cfd.StencilOp.build(fb, x, b_in, x, pattern)
+    frontend.attach_body(st, frontend.identity_body(4.0))
+    upd = linalg.GenericOp.build(
+        fb, [st.result()], t_in, margins=[(0, 0), (1, 1), (1, 1)]
+    )
+    ub = OpBuilder.at_end(upd.body)
+    dy, t_old = upd.body.arguments
+    linalg.LinalgYieldOp.build(ub, [arith.addf(ub, dy, t_old)])
+    func.ReturnOp.build(fb, [st.result(), upd.result()])
+    return module
+
+
+def _fields(shape, seed=0, n=2):
+    rng = np.random.default_rng(seed)
+    return [rng.standard_normal(shape) for _ in range(n)]
+
+
+class TestProducerFusion:
+    @pytest.mark.parametrize("with_face", [False, True])
+    def test_fused_matches_unfused(self, with_face):
+        shape = (1, 10, 11)
+        reference = _build_producer_kernel(shape, with_face)
+        fused = _build_producer_kernel(shape, with_face)
+        pm = PassManager(
+            [TileStencilsPass((4, 4)), FuseProducersPass()]
+        )
+        pm.run(fused)
+        verify(fused)
+        x, b0 = _fields(shape, seed=3)
+        (expected,) = run_function(reference, "kernel", x, b0)
+        (actual,) = run_function(fused, "kernel", x, b0)
+        np.testing.assert_allclose(actual, expected, rtol=1e-13)
+
+    def test_producer_moved_inside_loop(self):
+        module = _build_producer_kernel((1, 8, 8))
+        PassManager([TileStencilsPass((4, 4)), FuseProducersPass()]).run(module)
+        fn = module.body.operations[0]
+        top_level = [op.name for op in fn.body.operations]
+        assert "linalg.generic" not in top_level
+        loops = [op for op in module.walk() if op.name == "cfd.tiled_loop"]
+        assert len(loops) == 1
+        inner = [op.name for op in loops[0].body.operations]
+        assert "linalg.generic" in inner
+
+    def test_fill_producer(self):
+        pattern = gauss_seidel_5pt_2d()
+        shape = (1, 9, 9)
+        module = ModuleOp.create()
+        b = OpBuilder.at_end(module.body)
+        t = TensorType(list(shape), f64)
+        fn = func.FuncOp.build(b, "kernel", FunctionType([t], [t]))
+        fb = OpBuilder.at_end(fn.body)
+        x = fn.arguments[0]
+        empty = tensor.EmptyOp.build(fb, t).result()
+        c = arith.const_f64(fb, 0.25)
+        filled = linalg.FillOp.build(fb, c, empty)
+        st = cfd.StencilOp.build(fb, x, filled.result(), x, pattern)
+        frontend.attach_body(st, frontend.identity_body(4.0))
+        func.ReturnOp.build(fb, [st.result()])
+        reference_out = run_function(module.clone(), "kernel", *_fields(shape, 5, 1))
+        PassManager([TileStencilsPass((3, 3)), FuseProducersPass()]).run(module)
+        verify(module)
+        fused_out = run_function(module, "kernel", *_fields(shape, 5, 1))
+        np.testing.assert_allclose(fused_out[0], reference_out[0], rtol=1e-13)
+
+    def test_wide_producer_not_fused(self):
+        """A producer whose halo exceeds the stencil halo must stay out."""
+        pattern = gauss_seidel_5pt_2d()  # halo 1
+        shape = (1, 12, 12)
+        module = ModuleOp.create()
+        b = OpBuilder.at_end(module.body)
+        t = TensorType(list(shape), f64)
+        fn = func.FuncOp.build(b, "kernel", FunctionType([t, t], [t]))
+        fb = OpBuilder.at_end(fn.body)
+        x, b_init = fn.arguments
+        prod = linalg.GenericOp.build(
+            fb, [x], b_init, offsets=[(0, -3, 0)]  # halo 3 > stencil halo 1
+        )
+        pb = OpBuilder.at_end(prod.body)
+        linalg.LinalgYieldOp.build(pb, [prod.body.arguments[0]])
+        st = cfd.StencilOp.build(fb, x, prod.result(), x, pattern)
+        frontend.attach_body(st, frontend.identity_body(4.0))
+        func.ReturnOp.build(fb, [st.result()])
+        reference = module.clone()
+        PassManager([TileStencilsPass((4, 4)), FuseProducersPass()]).run(module)
+        fn2 = module.body.operations[0]
+        assert any(op.name == "linalg.generic" for op in fn2.body.operations)
+        x_v, b_v = _fields(shape, 7)
+        (expected,) = run_function(reference, "kernel", x_v, b_v)
+        (actual,) = run_function(module, "kernel", x_v, b_v)
+        np.testing.assert_allclose(actual, expected, rtol=1e-13)
+
+
+class TestConsumerFusion:
+    def test_fused_matches_unfused(self):
+        shape = (1, 10, 10)
+        reference = _build_consumer_kernel(shape)
+        fused = _build_consumer_kernel(shape)
+        PassManager([TileStencilsPass((4, 4)), FuseProducersPass()]).run(fused)
+        verify(fused)
+        x, b0, t0 = _fields(shape, seed=9, n=3)
+        expected = run_function(reference, "kernel", x, b0, t0)
+        actual = run_function(fused, "kernel", x, b0, t0)
+        for e, a in zip(expected, actual):
+            np.testing.assert_allclose(a, e, rtol=1e-13)
+
+    def test_consumer_moved_inside(self):
+        module = _build_consumer_kernel((1, 8, 8))
+        PassManager([TileStencilsPass((4, 4)), FuseProducersPass()]).run(module)
+        fn = module.body.operations[0]
+        top_level = [op.name for op in fn.body.operations]
+        assert "linalg.generic" not in top_level
+        loop = next(op for op in module.walk() if op.name == "cfd.tiled_loop")
+        assert loop.num_outs == 2
+
+    def test_wrong_margins_not_fused(self):
+        """Margins that do not match the stencil write region stay out."""
+        shape = (1, 10, 10)
+        pattern = gauss_seidel_5pt_2d()
+        module = ModuleOp.create()
+        b = OpBuilder.at_end(module.body)
+        t = TensorType(list(shape), f64)
+        fn = func.FuncOp.build(b, "kernel", FunctionType([t, t, t], [t]))
+        fb = OpBuilder.at_end(fn.body)
+        x, b_in, t_in = fn.arguments
+        st = cfd.StencilOp.build(fb, x, b_in, x, pattern)
+        frontend.attach_body(st, frontend.identity_body(4.0))
+        upd = linalg.GenericOp.build(fb, [st.result()], t_in)  # margins 0
+        ub = OpBuilder.at_end(upd.body)
+        dy, t_old = upd.body.arguments
+        linalg.LinalgYieldOp.build(ub, [arith.addf(ub, dy, t_old)])
+        func.ReturnOp.build(fb, [upd.result()])
+        reference = module.clone()
+        PassManager([TileStencilsPass((4, 4)), FuseProducersPass()]).run(module)
+        fn2 = module.body.operations[0]
+        assert any(op.name == "linalg.generic" for op in fn2.body.operations)
+        args = _fields(shape, 13, 3)
+        (expected,) = run_function(reference, "kernel", *args)
+        (actual,) = run_function(module, "kernel", *args)
+        np.testing.assert_allclose(actual, expected, rtol=1e-13)
+
+
+class TestHeatLikePipeline:
+    """RHS producer + stencil + pointwise consumer in a time loop,
+    tiled at two levels with wavefront groups and fully fused — the
+    structure of the paper's (d) use case (Fig. 9/10)."""
+
+    def _build(self, n, steps):
+        pattern = gauss_seidel_6pt_3d()
+        shape = (1, n, n, n)
+        module = ModuleOp.create()
+        b = OpBuilder.at_end(module.body)
+        t = TensorType(list(shape), f64)
+        fn = func.FuncOp.build(b, "heat", FunctionType([t, t], [t]))
+        fb = OpBuilder.at_end(fn.body)
+        t0, dt0 = fn.arguments
+        lb = arith.const_index(fb, 0)
+        ub = arith.const_index(fb, steps)
+        one = arith.const_index(fb, 1)
+        time_loop = scf.ForOp.build(fb, lb, ub, one, [t0, dt0])
+        tb = OpBuilder.at_end(time_loop.body)
+        t_cur, dt_cur = time_loop.iter_args
+        # RHS = laplacian(T)
+        zero = arith.const_f64(tb, 0.0)
+        rhs_init = linalg.FillOp.build(
+            tb, zero, tensor.empty_like(tb, t_cur)
+        ).result()
+        offsets = [
+            (0, 0, 0, 0),
+            (0, -1, 0, 0), (0, 1, 0, 0),
+            (0, 0, -1, 0), (0, 0, 1, 0),
+            (0, 0, 0, -1), (0, 0, 0, 1),
+        ]
+        rhs = linalg.GenericOp.build(
+            tb, [t_cur] * 7, rhs_init, offsets=offsets
+        )
+        rb = OpBuilder.at_end(rhs.body)
+        args = rhs.body.arguments
+        six = arith.const_f64(rb, 6.0)
+        total = args[1]
+        for a in args[2:7]:
+            total = arith.addf(rb, total, a)
+        lap = arith.subf(rb, total, arith.mulf(rb, six, args[0]))
+        linalg.LinalgYieldOp.build(rb, [lap])
+        # Gauss-Seidel on dT
+        st = cfd.StencilOp.build(
+            tb, dt_cur, rhs.result(), dt_cur, gauss_seidel_6pt_3d()
+        )
+
+        def gs_body(builder, sargs):
+            lam = arith.const_f64(builder, 0.1)
+            d = arith.const_f64(builder, 1.0 / 0.1)
+            z = arith.const_f64(builder, 0.0)
+            return d, list(sargs[:-1]) + [z]
+
+        frontend.attach_body(st, gs_body)
+        # T update (margins = stencil halo)
+        upd = linalg.GenericOp.build(
+            tb, [st.result()], t_cur,
+            margins=[(0, 0), (1, 1), (1, 1), (1, 1)],
+        )
+        ub_ = OpBuilder.at_end(upd.body)
+        dy, told = upd.body.arguments
+        linalg.LinalgYieldOp.build(ub_, [arith.addf(ub_, dy, told)])
+        scf.YieldOp.build(tb, [upd.result(), st.result()])
+        func.ReturnOp.build(fb, [time_loop.result(0)])
+        return module
+
+    def test_full_pipeline_semantics(self):
+        n, steps = 8, 2
+        reference = self._build(n, steps)
+        optimized = self._build(n, steps)
+        pm = PassManager(
+            [
+                TileStencilsPass((4, 4, 4), with_groups=True, level=0),
+                FuseProducersPass(),
+                TileStencilsPass((2, 2, 4), level=1),
+                FuseProducersPass(),
+            ]
+        )
+        pm.run(optimized)
+        verify(optimized)
+        rng = np.random.default_rng(21)
+        t0 = rng.standard_normal((1, n, n, n))
+        dt0 = np.zeros((1, n, n, n))
+        (expected,) = run_function(reference, "heat", t0, dt0)
+        (actual,) = run_function(optimized, "heat", t0, dt0)
+        np.testing.assert_allclose(actual, expected, rtol=1e-12)
+
+    def test_pipeline_ir_shape(self):
+        module = self._build(6, 1)
+        pm = PassManager(
+            [
+                TileStencilsPass((3, 3, 3), with_groups=True, level=0),
+                FuseProducersPass(),
+                TileStencilsPass((2, 2, 3), level=1),
+                FuseProducersPass(),
+            ]
+        )
+        pm.run(module)
+        text = print_module(module)
+        assert text.count("cfd.tiled_loop") >= 2
+        assert "cfd.get_parallel_blocks" in text
+        loops = [op for op in module.walk() if op.name == "cfd.tiled_loop"]
+        outer = loops[0]
+        # Consumer fused: outer loop carries dT and T outputs.
+        assert outer.num_outs == 2

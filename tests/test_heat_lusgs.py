@@ -1,0 +1,206 @@
+"""End-to-end tests: generated heat and LU-SGS solvers vs references."""
+
+import numpy as np
+import pytest
+
+from repro.cfdlib import euler
+from repro.cfdlib.boundary import add_ghost_layers
+from repro.cfdlib.heat import (
+    build_heat3d_module,
+    heat3d_reference,
+    initial_temperature,
+)
+from repro.cfdlib.lusgs import (
+    LUSGSConfig,
+    backward_pattern,
+    build_lusgs_module,
+    compute_rhs,
+    forward_pattern,
+    lusgs_reference,
+    lusgs_sweeps_reference,
+    stable_dt,
+)
+from repro.cfdlib.mesh import StructuredMesh
+from repro.codegen.interpreter import run_function
+from repro.core.pipeline import CompileOptions, StencilCompiler
+from repro.ir import verify
+
+
+class TestHeat3D:
+    def test_ir_matches_reference(self):
+        n, steps = 8, 2
+        module = build_heat3d_module(n, steps)
+        verify(module)
+        t0 = initial_temperature(n)
+        dt0 = np.zeros((n, n, n))
+        (result,) = run_function(
+            module, "heat", t0[None], dt0[None]
+        )
+        expected, _ = heat3d_reference(t0, dt0, steps)
+        np.testing.assert_allclose(result[0], expected, rtol=1e-12)
+
+    def test_compiled_matches_reference(self):
+        n, steps = 10, 2
+        module = build_heat3d_module(n, steps)
+        options = CompileOptions(
+            subdomain_sizes=(5, 5, 5),
+            tile_sizes=(3, 3, 5),
+            fuse=True,
+            parallel=True,
+            vectorize=4,
+        )
+        kernel = StencilCompiler(options).compile(module, entry="heat")
+        t0 = initial_temperature(n, seed=1)
+        dt0 = np.zeros((n, n, n))
+        (result,) = kernel(t0[None], dt0[None])
+        expected, _ = heat3d_reference(t0, dt0, steps)
+        np.testing.assert_allclose(result[0], expected, rtol=1e-11)
+
+    def test_heat_diffuses(self):
+        """Physics: the implicit step damps the dominant mode."""
+        n, steps = 12, 4
+        t0 = initial_temperature(n, seed=2)
+        expected, _ = heat3d_reference(t0, np.zeros_like(t0), steps)
+        # Total 'energy' of interior fluctuations must not grow.
+        assert np.var(expected[1:-1] * 1.0) <= np.var(t0[1:-1]) * 1.01
+
+
+class TestLUSGSPatterns:
+    def test_forward_pattern_shape(self):
+        p = forward_pattern()
+        assert p.rank == 3
+        assert len(p.l_offsets) == 3
+        assert not p.u_offsets
+        assert p.sweep == 1
+
+    def test_backward_pattern_initial_reads(self):
+        p = backward_pattern()
+        assert p.sweep == -1
+        assert sorted(p.dependent_l_offsets) == [(0, 0, 1), (0, 1, 0), (1, 0, 0)]
+        assert sorted(p.initial_l_offsets) == [
+            (-1, 0, 0), (0, -1, 0), (0, 0, -1),
+        ]
+        # Anti-dependences fold onto the dependence side for scheduling.
+        assert sorted(p.schedule_relevant_offsets()) == [
+            (0, 0, 1), (0, 1, 0), (1, 0, 0),
+        ]
+
+
+@pytest.fixture(scope="module")
+def small_case():
+    mesh = StructuredMesh((5, 5, 5), extent=(1.0, 1.0, 1.0))
+    w0 = euler.density_wave((5, 5, 5), amplitude=0.05)
+    dt = stable_dt(w0, mesh, cfl=1.0)
+    return LUSGSConfig(mesh=mesh, dt=dt), w0
+
+
+class TestLUSGSReference:
+    def test_uniform_flow_is_steady(self):
+        mesh = StructuredMesh((4, 4, 4))
+        w0 = euler.uniform_flow((4, 4, 4), velocity=(0.4, 0.2, 0.1))
+        config = LUSGSConfig(mesh=mesh, dt=0.01)
+        w = lusgs_reference(w0, config, steps=2)
+        np.testing.assert_allclose(w, w0, rtol=1e-12)
+
+    def test_rhs_is_conservative(self, small_case):
+        config, w0 = small_case
+        w = add_ghost_layers(w0)
+        from repro.cfdlib.boundary import apply_periodic
+
+        apply_periodic(w)
+        rhs = compute_rhs(w, config)
+        # On a periodic box every face flux cancels: interior + ghost
+        # contributions sum to zero per variable.
+        inner = (slice(None),) + (slice(1, -1),) * 3
+        # Fold the ghost contributions onto their periodic images.
+        total = rhs[inner].sum(axis=(1, 2, 3))
+        ghost_total = rhs.sum(axis=(1, 2, 3)) - total
+        np.testing.assert_allclose(total + ghost_total, 0.0, atol=1e-10)
+
+    def test_sweeps_reduce_implicit_residual(self, small_case):
+        """One forward+backward sweep must reduce || (D+L+U) dW - RHS ||
+        relative to dW = 0 (it is an approximate linear solve)."""
+        config, w0 = small_case
+        w = add_ghost_layers(w0)
+        from repro.cfdlib.boundary import apply_periodic
+        from repro.cfdlib.lusgs import diagonal_and_radii
+
+        apply_periodic(w)
+        rhs = compute_rhs(w, config)
+        dw = lusgs_sweeps_reference(w, rhs, config)
+        d_arr, coeffs = diagonal_and_radii(w, config)
+        inner = (slice(None),) + (slice(1, -1),) * 3
+        # Residual of the linearized system on the interior.
+        res = rhs.copy()
+        res -= d_arr * dw
+        for axis, c in enumerate(coeffs):
+            lo = [slice(None)] * 4
+            hi = [slice(None)] * 4
+            lo[axis + 1] = slice(0, -2)
+            hi[axis + 1] = slice(2, None)
+            mid = [slice(None)] * 4
+            mid[axis + 1] = slice(1, -1)
+            res[tuple(mid)] += c[tuple(mid[1:])] * (
+                dw[tuple(lo)] + dw[tuple(hi)]
+            )
+        res0 = np.linalg.norm(rhs[inner])
+        res1 = np.linalg.norm(res[inner])
+        assert res1 < res0
+
+    def test_density_stays_positive(self, small_case):
+        config, w0 = small_case
+        w = lusgs_reference(w0, config, steps=3)
+        euler.validate_state(w)
+
+
+class TestLUSGSGenerated:
+    def test_interpreted_matches_reference(self, small_case):
+        config, w0 = small_case
+        module = build_lusgs_module(config, steps=1)
+        verify(module)
+        w_padded = add_ghost_layers(w0)
+        (result,) = run_function(module, "lusgs", w_padded)
+        expected = lusgs_reference(w0, config, steps=1)
+        inner = (slice(None),) + (slice(1, -1),) * 3
+        np.testing.assert_allclose(result[inner], expected, rtol=1e-10)
+
+    def test_compiled_matches_reference(self, small_case):
+        config, w0 = small_case
+        module = build_lusgs_module(config, steps=2)
+        options = CompileOptions(
+            subdomain_sizes=(4, 4, 4),
+            tile_sizes=(2, 2, 4),
+            fuse=True,
+            parallel=True,
+            vectorize=4,
+        )
+        kernel = StencilCompiler(options).compile(module, entry="lusgs")
+        (result,) = kernel(add_ghost_layers(w0))
+        expected = lusgs_reference(w0, config, steps=2)
+        inner = (slice(None),) + (slice(1, -1),) * 3
+        np.testing.assert_allclose(result[inner], expected, rtol=1e-9)
+
+    def test_compiled_scalar_config(self, small_case):
+        config, w0 = small_case
+        module = build_lusgs_module(config, steps=1)
+        kernel = StencilCompiler(CompileOptions(vectorize=0)).compile(
+            module, entry="lusgs"
+        )
+        (result,) = kernel(add_ghost_layers(w0))
+        expected = lusgs_reference(w0, config, steps=1)
+        inner = (slice(None),) + (slice(1, -1),) * 3
+        np.testing.assert_allclose(result[inner], expected, rtol=1e-10)
+
+    def test_fig14_graph_ops_present(self, small_case):
+        """Fig. 14: the LU-SGS graph uses faceIterator, two stencils with
+        opposite sweeps, and the pointwise update."""
+        config, _ = small_case
+        module = build_lusgs_module(config, steps=1)
+        names = [op.name for op in module.walk()]
+        assert names.count("cfd.faceIteratorOp") == 3
+        stencils = [
+            op for op in module.walk() if op.name == "cfd.stencilOp"
+        ]
+        assert len(stencils) == 2
+        assert {s.sweep for s in stencils} == {1, -1}
+        assert any(op.name == "linalg.generic" for op in module.walk())

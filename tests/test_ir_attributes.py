@@ -1,0 +1,118 @@
+"""Unit tests for attributes, including the stencil-pattern storage."""
+
+import pytest
+
+from repro.ir.attributes import (
+    ArrayAttr,
+    BoolAttr,
+    DenseIntElementsAttr,
+    FloatAttr,
+    IntegerAttr,
+    StringAttr,
+    TypeAttr,
+    index_array_attr,
+    int_attr,
+)
+from repro.ir.types import FunctionType, f32, f64, i64, index
+
+
+class TestScalarAttrs:
+    def test_integer_attr(self):
+        a = IntegerAttr(42)
+        assert a.value == 42
+        assert a.type == i64
+        assert str(a) == "42 : i64"
+
+    def test_index_typed_integer_attr(self):
+        a = IntegerAttr(3, index)
+        assert str(a) == "3 : index"
+
+    def test_float_attr(self):
+        a = FloatAttr(1.5)
+        assert a.value == 1.5
+        assert a.type == f64
+        assert str(a) == "1.5 : f64"
+
+    def test_float_attr_f32(self):
+        assert FloatAttr(2.0, f32) != FloatAttr(2.0, f64)
+
+    def test_bool_attr(self):
+        assert str(BoolAttr(True)) == "true"
+        assert str(BoolAttr(False)) == "false"
+        assert BoolAttr(True) == BoolAttr(True)
+        assert BoolAttr(True) != BoolAttr(False)
+
+    def test_string_attr_escaping(self):
+        a = StringAttr('he said "hi"')
+        assert str(a) == '"he said \\"hi\\""'
+
+    def test_type_attr(self):
+        a = TypeAttr(FunctionType([f64], [f64]))
+        assert str(a) == "(f64) -> f64"
+
+    def test_equality_and_hash(self):
+        assert IntegerAttr(1) == IntegerAttr(1)
+        assert IntegerAttr(1) != IntegerAttr(2)
+        assert IntegerAttr(1) != FloatAttr(1.0)
+        assert hash(IntegerAttr(1)) == hash(IntegerAttr(1))
+
+
+class TestArrayAttr:
+    def test_iteration_and_indexing(self):
+        a = ArrayAttr([int_attr(1), int_attr(2)])
+        assert len(a) == 2
+        assert a[0] == int_attr(1)
+        assert [e.value for e in a] == [1, 2]
+
+    def test_rejects_non_attributes(self):
+        with pytest.raises(TypeError):
+            ArrayAttr([1, 2])  # type: ignore[list-item]
+
+    def test_index_array_attr(self):
+        a = index_array_attr([4, 8])
+        assert all(e.type == index for e in a)
+        assert [e.value for e in a] == [4, 8]
+
+
+class TestDenseIntElements:
+    def test_stencil_pattern_5pt(self):
+        # The 5-point Gauss-Seidel pattern from Fig. 4 (left).
+        pattern = [[0, -1, 0], [-1, 0, 1], [0, 1, 0]]
+        a = DenseIntElementsAttr(pattern)
+        assert a.shape == (3, 3)
+        assert a.to_nested_lists() == pattern
+        assert a.flat() == (0, -1, 0, -1, 0, 1, 0, 1, 0)
+        assert str(a) == "dense<[[0, -1, 0], [-1, 0, 1], [0, 1, 0]]>"
+
+    def test_3d_pattern(self):
+        pattern = [
+            [[0, 0, 0], [0, -1, 0], [0, 0, 0]],
+            [[0, -1, 0], [-1, 0, 1], [0, 1, 0]],
+            [[0, 0, 0], [0, 1, 0], [0, 0, 0]],
+        ]
+        a = DenseIntElementsAttr(pattern)
+        assert a.shape == (3, 3, 3)
+        assert a.to_nested_lists() == pattern
+
+    def test_scalar(self):
+        a = DenseIntElementsAttr(7)
+        assert a.shape == ()
+        assert a.flat() == (7,)
+
+    def test_ragged_rejected(self):
+        with pytest.raises(ValueError):
+            DenseIntElementsAttr([[1, 2], [3]])
+
+    def test_structural_equality(self):
+        a = DenseIntElementsAttr([[1, 0], [0, 1]])
+        b = DenseIntElementsAttr([[1, 0], [0, 1]])
+        c = DenseIntElementsAttr([[1, 0], [1, 1]])
+        assert a == b
+        assert a != c
+        assert hash(a) == hash(b)
+
+    def test_values_are_immutable_copies(self):
+        source = [[1, 2], [3, 4]]
+        a = DenseIntElementsAttr(source)
+        source[0][0] = 99
+        assert a.to_nested_lists() == [[1, 2], [3, 4]]

@@ -1,0 +1,202 @@
+"""Round-trip tests for the textual printer and parser."""
+
+import pytest
+
+from repro.ir.attributes import (
+    ArrayAttr,
+    BoolAttr,
+    DenseIntElementsAttr,
+    FloatAttr,
+    IntegerAttr,
+    StringAttr,
+    TypeAttr,
+)
+from repro.ir.block import single_block_region
+from repro.ir.builder import OpBuilder
+from repro.ir.module import ModuleOp
+from repro.ir.parser import IRParseError, parse_module
+from repro.ir.printer import print_module, print_op
+from repro.ir.types import FunctionType, TensorType, f64, index
+
+
+def _roundtrip(module):
+    """print -> parse -> print must be a fixed point."""
+    text1 = print_module(module)
+    reparsed = parse_module(text1)
+    text2 = print_module(reparsed)
+    assert text1 == text2
+    return reparsed
+
+
+def _simple_module():
+    module = ModuleOp.create()
+    builder = OpBuilder.at_end(module.body)
+    func = builder.create(
+        "func.func",
+        attributes={
+            "sym_name": StringAttr("f"),
+            "function_type": TypeAttr(FunctionType([f64], [f64])),
+        },
+        regions=[single_block_region(arg_types=[f64])],
+    )
+    body = func.region(0).entry_block
+    inner = OpBuilder.at_end(body)
+    c = inner.create(
+        "arith.constant", attributes={"value": FloatAttr(2.5)}, result_types=[f64]
+    )
+    s = inner.create("arith.addf", [body.arguments[0], c.result()], [f64])
+    inner.create("func.return", [s.result()])
+    return module
+
+
+class TestPrinter:
+    def test_simple_module_shape(self):
+        text = print_module(_simple_module())
+        assert "builtin.module()" in text
+        assert "func.func()" in text
+        assert "arith.addf(" in text
+        assert ": (f64, f64) -> (f64)" in text
+        assert 'sym_name = "f"' in text
+
+    def test_name_hints_win(self):
+        module = ModuleOp.create()
+        builder = OpBuilder.at_end(module.body)
+        op = builder.create("test.def", result_types=[f64])
+        op.result().name_hint = "X"
+        builder.create("test.use", [op.result()])
+        text = print_module(module)
+        assert "%X = test.def()" in text
+        assert "test.use(%X)" in text
+
+    def test_duplicate_hints_disambiguated(self):
+        module = ModuleOp.create()
+        builder = OpBuilder.at_end(module.body)
+        a = builder.create("test.a", result_types=[f64])
+        b = builder.create("test.b", result_types=[f64])
+        a.result().name_hint = "X"
+        b.result().name_hint = "X"
+        text = print_module(module)
+        assert "%X = test.a()" in text
+        assert "%X_1 = test.b()" in text
+
+    def test_print_single_op(self):
+        module = _simple_module()
+        func = module.body.operations[0]
+        text = print_op(func)
+        assert text.startswith("func.func()")
+
+
+class TestRoundTrip:
+    def test_simple_module(self):
+        reparsed = _roundtrip(_simple_module())
+        func = reparsed.body.operations[0]
+        assert func.name == "func.func"
+        assert len(func.region(0).entry_block.operations) == 3
+
+    def test_all_attribute_kinds(self):
+        module = ModuleOp.create()
+        builder = OpBuilder.at_end(module.body)
+        builder.create(
+            "test.attrs",
+            attributes={
+                "i": IntegerAttr(-7),
+                "idx": IntegerAttr(3, index),
+                "f": FloatAttr(0.125),
+                "fneg": FloatAttr(-2.0),
+                "fsci": FloatAttr(1e-9),
+                "b": BoolAttr(True),
+                "s": StringAttr('quote " inside'),
+                "arr": ArrayAttr([IntegerAttr(1), FloatAttr(2.0)]),
+                "nested": ArrayAttr([ArrayAttr([IntegerAttr(0)])]),
+                "pattern": DenseIntElementsAttr([[0, -1, 0], [-1, 0, 1], [0, 1, 0]]),
+                "ft": TypeAttr(FunctionType([f64, index], [f64])),
+                "tt": TypeAttr(TensorType([1, 4, 4], f64)),
+            },
+        )
+        reparsed = _roundtrip(module)
+        attrs = reparsed.body.operations[0].attributes
+        assert attrs["i"] == IntegerAttr(-7)
+        assert attrs["idx"] == IntegerAttr(3, index)
+        assert attrs["f"] == FloatAttr(0.125)
+        assert attrs["fsci"] == FloatAttr(1e-9)
+        assert attrs["b"] == BoolAttr(True)
+        assert attrs["s"] == StringAttr('quote " inside')
+        assert attrs["pattern"].to_nested_lists() == [
+            [0, -1, 0],
+            [-1, 0, 1],
+            [0, 1, 0],
+        ]
+        assert attrs["ft"] == TypeAttr(FunctionType([f64, index], [f64]))
+        assert attrs["tt"] == TypeAttr(TensorType([1, 4, 4], f64))
+
+    def test_nested_regions(self):
+        module = ModuleOp.create()
+        builder = OpBuilder.at_end(module.body)
+        outer = builder.create(
+            "scf.for",
+            result_types=[f64],
+            regions=[single_block_region(arg_types=[index, f64])],
+        )
+        inner_block = outer.region(0).entry_block
+        ib = OpBuilder.at_end(inner_block)
+        add = ib.create(
+            "arith.addf", [inner_block.arguments[1], inner_block.arguments[1]], [f64]
+        )
+        ib.create("scf.yield", [add.result()])
+        reparsed = _roundtrip(module)
+        loop = reparsed.body.operations[0]
+        assert loop.name == "scf.for"
+        args = loop.region(0).entry_block.arguments
+        assert [a.type for a in args] == [index, f64]
+        yield_op = loop.region(0).entry_block.operations[-1]
+        assert yield_op.name == "scf.yield"
+
+    def test_multi_result_op(self):
+        module = ModuleOp.create()
+        builder = OpBuilder.at_end(module.body)
+        pair = builder.create("test.pair", result_types=[index, index])
+        builder.create("test.use", [pair.result(1), pair.result(0)])
+        reparsed = _roundtrip(module)
+        use = reparsed.body.operations[1]
+        definer = reparsed.body.operations[0]
+        assert use.operand(0) is definer.result(1)
+        assert use.operand(1) is definer.result(0)
+
+    def test_dynamic_tensor_types(self):
+        module = ModuleOp.create()
+        builder = OpBuilder.at_end(module.body)
+        builder.create(
+            "test.t", result_types=[TensorType([1, -1, -1], f64)]
+        )
+        reparsed = _roundtrip(module)
+        t = reparsed.body.operations[0].result().type
+        assert str(t) == "tensor<1x?x?xf64>"
+
+
+class TestParseErrors:
+    def test_undefined_value(self):
+        text = "builtin.module() ({\n^bb():\ntest.use(%nope) : (f64) -> ()\n}) : () -> ()\n"
+        with pytest.raises(IRParseError, match="undefined value"):
+            parse_module(text)
+
+    def test_top_level_must_be_module(self):
+        with pytest.raises(IRParseError, match="builtin.module"):
+            parse_module("func.func() : () -> ()\n")
+
+    def test_garbage_rejected(self):
+        with pytest.raises(IRParseError):
+            parse_module("@@@@")
+
+    def test_result_count_mismatch(self):
+        text = (
+            "builtin.module() ({\n^bb():\n"
+            "%a, %b = test.op() : () -> (f64)\n"
+            "}) : () -> ()\n"
+        )
+        with pytest.raises(IRParseError, match="result names"):
+            parse_module(text)
+
+    def test_trailing_input(self):
+        module_text = print_module(ModuleOp.create())
+        with pytest.raises(IRParseError, match="trailing"):
+            parse_module(module_text + "test.op() : () -> ()\n")

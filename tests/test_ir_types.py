@@ -1,0 +1,121 @@
+"""Unit tests for the type system."""
+
+import pytest
+
+from repro.ir.types import (
+    DYNAMIC,
+    F32Type,
+    F64Type,
+    FunctionType,
+    IndexType,
+    IntegerType,
+    MemRefType,
+    NoneType,
+    TensorType,
+    VectorType,
+    f32,
+    f64,
+    i1,
+    i32,
+    i64,
+    index,
+    memref_of,
+    tensor_of,
+    vector_of,
+)
+
+
+class TestScalarTypes:
+    def test_singletons_equal_fresh_instances(self):
+        assert index == IndexType()
+        assert f64 == F64Type()
+        assert f32 == F32Type()
+        assert i64 == IntegerType(64)
+
+    def test_distinct_types_unequal(self):
+        assert f64 != f32
+        assert i32 != i64
+        assert index != i64
+        assert f64 != index
+
+    def test_integer_width_validation(self):
+        with pytest.raises(ValueError):
+            IntegerType(0)
+        with pytest.raises(ValueError):
+            IntegerType(-8)
+
+    def test_hashable_and_usable_as_dict_key(self):
+        table = {f64: "double", i1: "bool", index: "idx"}
+        assert table[F64Type()] == "double"
+        assert table[IntegerType(1)] == "bool"
+
+    def test_str(self):
+        assert str(f64) == "f64"
+        assert str(i32) == "i32"
+        assert str(index) == "index"
+        assert str(NoneType()) == "none"
+
+
+class TestShapedTypes:
+    def test_tensor_str_and_shape(self):
+        t = TensorType([2, 3], f64)
+        assert str(t) == "tensor<2x3xf64>"
+        assert t.rank == 2
+        assert t.has_static_shape()
+        assert t.num_elements() == 6
+
+    def test_dynamic_dims(self):
+        t = TensorType([1, DYNAMIC, DYNAMIC], f64)
+        assert str(t) == "tensor<1x?x?xf64>"
+        assert not t.has_static_shape()
+        assert t.is_dynamic_dim(1)
+        assert not t.is_dynamic_dim(0)
+        with pytest.raises(ValueError):
+            t.num_elements()
+
+    def test_invalid_negative_dim(self):
+        with pytest.raises(ValueError):
+            TensorType([2, -3], f64)
+
+    def test_memref_vs_tensor_unequal(self):
+        assert TensorType([4], f64) != MemRefType([4], f64)
+
+    def test_vector_requires_static_shape(self):
+        with pytest.raises(ValueError):
+            VectorType([DYNAMIC], f64)
+        v = VectorType([8], f64)
+        assert str(v) == "vector<8xf64>"
+
+    def test_rank0_tensor(self):
+        t = TensorType([], f64)
+        assert t.rank == 0
+        assert str(t) == "tensor<f64>"
+        assert t.num_elements() == 1
+
+    def test_equality_is_structural(self):
+        assert TensorType([2, 2], f64) == TensorType([2, 2], f64)
+        assert TensorType([2, 2], f64) != TensorType([2, 2], f32)
+        assert TensorType([2, 2], f64) != TensorType([2, 3], f64)
+
+    def test_convenience_constructors_default_f64(self):
+        assert tensor_of([5]).element_type == f64
+        assert memref_of([5]).element_type == f64
+        assert vector_of(8) == VectorType([8], f64)
+
+
+class TestFunctionType:
+    def test_single_result_str(self):
+        ft = FunctionType([f64, f64], [f64])
+        assert str(ft) == "(f64, f64) -> f64"
+
+    def test_multi_result_str(self):
+        ft = FunctionType([index], [index, index])
+        assert str(ft) == "(index) -> (index, index)"
+
+    def test_no_result_str(self):
+        ft = FunctionType([f64], [])
+        assert str(ft) == "(f64) -> ()"
+
+    def test_equality(self):
+        assert FunctionType([f64], [f64]) == FunctionType([f64], [f64])
+        assert FunctionType([f64], [f64]) != FunctionType([f32], [f64])

@@ -1,0 +1,149 @@
+"""Tests for scalar lowering to scf loops (Fig. 5 canonical form)."""
+
+import numpy as np
+import pytest
+
+from repro.codegen.interpreter import run_function
+from repro.core import frontend
+from repro.core.fusion import FuseProducersPass
+from repro.core.lowering import LowerStencilsPass, LowerStructuredPass
+from repro.core.stencil import (
+    gauss_seidel_5pt_2d,
+    gauss_seidel_6pt_3d,
+    gauss_seidel_9pt_2d,
+    gauss_seidel_9pt_2nd_order_2d,
+)
+from repro.core.tiling import TileStencilsPass
+from repro.ir import PassManager, verify
+from repro.ir.printer import print_module
+
+
+def _fields(shape, seed=0, n=2):
+    rng = np.random.default_rng(seed)
+    return [rng.standard_normal(shape) for _ in range(n)]
+
+
+def _check(pattern, shape, passes, seed=0, iterations=1, nb_var=1, d=None):
+    d = d if d is not None else float(pattern.num_accesses)
+    reference = frontend.build_stencil_kernel(
+        pattern, shape[1:], frontend.identity_body(d), nb_var=nb_var,
+        iterations=iterations,
+    )
+    lowered = frontend.build_stencil_kernel(
+        pattern, shape[1:], frontend.identity_body(d), nb_var=nb_var,
+        iterations=iterations,
+    )
+    PassManager(passes).run(lowered)
+    assert not any(op.name == "cfd.stencilOp" for op in lowered.walk())
+    x, b = _fields(shape, seed)
+    (expected,) = run_function(reference, "kernel", x, b, x.copy())
+    (actual,) = run_function(lowered, "kernel", x, b, x.copy())
+    np.testing.assert_allclose(actual, expected, rtol=1e-12)
+    verify(lowered)
+    return lowered
+
+
+class TestScalarLowering:
+    @pytest.mark.parametrize(
+        "pattern_fn,shape",
+        [
+            (gauss_seidel_5pt_2d, (1, 9, 10)),
+            (gauss_seidel_9pt_2d, (1, 8, 9)),
+            (gauss_seidel_9pt_2nd_order_2d, (1, 11, 10)),
+            (gauss_seidel_6pt_3d, (1, 6, 7, 6)),
+        ],
+    )
+    def test_matches_reference(self, pattern_fn, shape):
+        lowered = _check(pattern_fn(), shape, [LowerStencilsPass()])
+        text = print_module(lowered)
+        assert "scf.for" in text
+        assert "tensor.extract" in text
+        assert "tensor.insert" in text
+
+    def test_backward_sweep(self):
+        _check(gauss_seidel_5pt_2d().inverted(), (1, 9, 9), [LowerStencilsPass()])
+
+    def test_multivar(self):
+        _check(gauss_seidel_5pt_2d(), (2, 8, 8), [LowerStencilsPass()], nb_var=2)
+
+    def test_after_tiling(self):
+        lowered = _check(
+            gauss_seidel_5pt_2d(),
+            (1, 12, 12),
+            [TileStencilsPass((4, 4)), LowerStencilsPass()],
+        )
+        text = print_module(lowered)
+        assert "cfd.tiled_loop" in text
+
+    def test_after_tiling_with_groups(self):
+        _check(
+            gauss_seidel_5pt_2d(),
+            (1, 10, 10),
+            [TileStencilsPass((3, 3), with_groups=True), LowerStencilsPass()],
+        )
+
+    def test_iterated(self):
+        _check(
+            gauss_seidel_5pt_2d(), (1, 8, 8), [LowerStencilsPass()],
+            iterations=3,
+        )
+
+
+class TestStructuredLowering:
+    def test_heat_like_full_scalar(self):
+        """The producer/consumer pipeline fully lowered to scalar loops."""
+        import tests.test_fusion as tf
+
+        shape = (1, 8, 8)
+        reference = tf._build_producer_kernel(shape)
+        lowered = tf._build_producer_kernel(shape)
+        PassManager(
+            [
+                TileStencilsPass((4, 4)),
+                FuseProducersPass(),
+                LowerStencilsPass(),
+                LowerStructuredPass(),
+            ]
+        ).run(lowered)
+        assert not any(
+            op.name in ("cfd.stencilOp", "linalg.generic")
+            for op in lowered.walk()
+        )
+        x, b0 = _fields(shape, 3)
+        (expected,) = run_function(reference, "kernel", x, b0)
+        (actual,) = run_function(lowered, "kernel", x, b0)
+        np.testing.assert_allclose(actual, expected, rtol=1e-12)
+
+    def test_face_iterator_lowering(self):
+        import tests.test_fusion as tf
+
+        shape = (1, 8, 9)
+        reference = tf._build_producer_kernel(shape, with_face_iterator=True)
+        lowered = tf._build_producer_kernel(shape, with_face_iterator=True)
+        PassManager([LowerStencilsPass(), LowerStructuredPass()]).run(lowered)
+        assert not any(
+            op.name == "cfd.faceIteratorOp" for op in lowered.walk()
+        )
+        x, b0 = _fields(shape, 5)
+        (expected,) = run_function(reference, "kernel", x, b0)
+        (actual,) = run_function(lowered, "kernel", x, b0)
+        np.testing.assert_allclose(actual, expected, rtol=1e-12)
+
+    def test_fill_lowering(self):
+        from repro.dialects import arith, func, linalg, tensor as tdial
+        from repro.ir import ModuleOp, OpBuilder
+        from repro.ir.types import FunctionType, TensorType, f64
+
+        module = ModuleOp.create()
+        b = OpBuilder.at_end(module.body)
+        t = TensorType([4, 5], f64)
+        fn = func.FuncOp.build(b, "f", FunctionType([], [t]))
+        fb = OpBuilder.at_end(fn.body)
+        init = tdial.EmptyOp.build(fb, t).result()
+        c = arith.const_f64(fb, 2.5)
+        filled = linalg.FillOp.build(fb, c, init)
+        func.ReturnOp.build(fb, [filled.result()])
+        PassManager([LowerStructuredPass()]).run(module)
+        assert not any(op.name == "linalg.fill" for op in module.walk())
+        (out,) = run_function(module, "f")
+        np.testing.assert_array_equal(out, np.full((4, 5), 2.5))

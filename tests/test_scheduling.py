@@ -1,0 +1,213 @@
+"""Tests for wavefront scheduling (Eq. 3) and the affine alternative."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import scheduling
+from repro.core.stencil import (
+    StencilPattern,
+    gauss_seidel_5pt_2d,
+    gauss_seidel_9pt_2d,
+    gauss_seidel_6pt_3d,
+)
+
+
+class TestLongestPathSchedule:
+    def test_diagonal_wavefront_2d(self):
+        # Classic Gauss-Seidel block dependences: theta(i, j) = i + j.
+        theta = scheduling.longest_path_schedule((4, 4), [(-1, 0), (0, -1)])
+        expected = np.add.outer(np.arange(4), np.arange(4))
+        assert np.array_equal(theta, expected)
+
+    def test_single_dependence_is_column_schedule(self):
+        theta = scheduling.longest_path_schedule((3, 5), [(-1, 0)])
+        assert np.array_equal(theta, np.tile(np.arange(3)[:, None], (1, 5)))
+
+    def test_3d_diagonal(self):
+        theta = scheduling.longest_path_schedule(
+            (3, 3, 3), [(-1, 0, 0), (0, -1, 0), (0, 0, -1)]
+        )
+        i, j, k = np.meshgrid(np.arange(3), np.arange(3), np.arange(3), indexing="ij")
+        assert np.array_equal(theta, i + j + k)
+
+    def test_diagonal_dependence_offset(self):
+        # Dependence (-1, 1): block (i, j) needs (i-1, j+1) first.
+        theta = scheduling.longest_path_schedule((3, 3), [(-1, 1), (0, -1)])
+        # Row 0: 0, 1, 2. Row 1 element (1,0) depends on (0,1) and nothing
+        # to its left -> theta = 2.
+        assert theta[0, 0] == 0
+        assert theta[1, 0] == theta[0, 1] + 1
+        scheduling.validate_schedule(
+            (3, 3), [(-1, 1), (0, -1)], *scheduling.wavefront_groups(theta)
+        )
+
+    def test_backward_sweep_offsets(self):
+        # Positive (backward-sweep) offsets: processed in reverse order.
+        theta = scheduling.longest_path_schedule((4, 4), [(1, 0), (0, 1)])
+        expected = np.add.outer(np.arange(3, -1, -1), np.arange(3, -1, -1))
+        assert np.array_equal(theta, expected)
+
+    def test_mixed_directions_rejected(self):
+        with pytest.raises(ValueError, match="mix"):
+            scheduling.longest_path_schedule((4, 4), [(-1, 0), (0, 1)])
+
+    def test_self_dependence_rejected(self):
+        with pytest.raises(ValueError, match="itself"):
+            scheduling.longest_path_schedule((4, 4), [(0, 0)])
+
+    def test_no_dependences_all_parallel(self):
+        theta = scheduling.longest_path_schedule((4, 4), [])
+        assert np.array_equal(theta, np.zeros((4, 4), dtype=np.int64))
+        offsets, indices = scheduling.wavefront_groups(theta)
+        assert scheduling.schedule_latency(offsets) == 1
+        assert scheduling.group_sizes(offsets) == [16]
+
+
+class TestWavefrontGroups:
+    def test_csr_structure(self):
+        theta = scheduling.longest_path_schedule((3, 3), [(-1, 0), (0, -1)])
+        offsets, indices = scheduling.wavefront_groups(theta)
+        assert scheduling.schedule_latency(offsets) == 5  # 0..4 diagonals
+        assert scheduling.group_sizes(offsets) == [1, 2, 3, 2, 1]
+        # Group 0 is the origin block.
+        assert list(indices[offsets[0] : offsets[1]]) == [0]
+
+    def test_validate_accepts_valid(self):
+        deps = [(-1, 0), (0, -1)]
+        offsets, indices = scheduling.compute_parallel_blocks((4, 5), deps)
+        scheduling.validate_schedule((4, 5), deps, offsets, indices)
+
+    def test_validate_rejects_wrong_order(self):
+        deps = [(-1, 0)]
+        offsets, indices = scheduling.compute_parallel_blocks((3, 1), deps)
+        # Reverse the groups: dependences now point forward.
+        with pytest.raises(ValueError, match="earlier"):
+            scheduling.validate_schedule((3, 1), deps, offsets, indices[::-1])
+
+    def test_validate_rejects_missing_blocks(self):
+        with pytest.raises(ValueError, match="exactly once"):
+            scheduling.validate_schedule(
+                (2, 2), [], np.array([0, 4]), np.array([0, 1, 2, 2])
+            )
+
+
+def _lex_negative_pool(rank):
+    """All lexicographically negative offsets in [-2, 2]^rank."""
+    import itertools
+
+    pool = []
+    for o in itertools.product(range(-2, 3), repeat=rank):
+        first = next((c for c in o if c != 0), 0)
+        if first < 0:
+            pool.append(o)
+    return pool
+
+
+@st.composite
+def _grid_and_offsets(draw):
+    rank = draw(st.integers(2, 3))
+    grid = tuple(draw(st.integers(1, 5)) for _ in range(rank))
+    offsets = draw(
+        st.lists(
+            st.sampled_from(_lex_negative_pool(rank)),
+            min_size=1,
+            max_size=4,
+            unique=True,
+        )
+    )
+    return grid, sorted(offsets)
+
+
+class TestScheduleProperties:
+    @given(_grid_and_offsets())
+    @settings(max_examples=60, deadline=None)
+    def test_longest_path_schedule_is_always_valid(self, grid_offsets):
+        grid, offsets = grid_offsets
+        csr_offsets, csr_indices = scheduling.compute_parallel_blocks(
+            grid, offsets
+        )
+        scheduling.validate_schedule(grid, offsets, csr_offsets, csr_indices)
+
+    @given(_grid_and_offsets())
+    @settings(max_examples=40, deadline=None)
+    def test_longest_path_is_optimal_latency(self, grid_offsets):
+        """Eq. (3) yields the longest dependence path: every block's theta
+        equals 1 + the max theta of its in-grid predecessors."""
+        grid, offsets = grid_offsets
+        theta = scheduling.longest_path_schedule(grid, offsets)
+        import itertools
+
+        for s in itertools.product(*(range(n) for n in grid)):
+            preds = []
+            for r in offsets:
+                p = tuple(si + ri for si, ri in zip(s, r))
+                if all(0 <= pi < ni for pi, ni in zip(p, grid)):
+                    preds.append(theta[p])
+            assert theta[s] == (max(preds) + 1 if preds else 0)
+
+
+class TestAffineSchedule:
+    def test_5pt_block_schedule_vector(self):
+        n = scheduling.affine_schedule_vector([(-1, 0), (0, -1)], (8, 8))
+        assert n == (1, 1)
+
+    def test_affine_valid_but_possibly_slower(self):
+        # 9-pt Gauss-Seidel with the *legal* tile shape 1 x T (§2.1): a
+        # tile spanning several rows would create a cyclic block
+        # dependence through the (-1, 1) offset.
+        deps = gauss_seidel_9pt_2d().block_stencil_offsets([1, 4])
+        grid = (24, 6)
+        theta_graph = scheduling.longest_path_schedule(grid, deps)
+        theta_affine = scheduling.affine_schedule(grid, deps)
+        # Both must be valid schedules.
+        for theta in (theta_graph, theta_affine):
+            scheduling.validate_schedule(
+                grid, deps, *scheduling.wavefront_groups(theta)
+            )
+        # Graph scheduling is latency-optimal: never more groups.
+        assert theta_graph.max() <= theta_affine.max()
+
+    def test_affine_handles_diagonal(self):
+        n = scheduling.affine_schedule_vector([(-1, 1), (0, -1)], (4, 4))
+        assert -(n[0] * -1 + n[1] * 1) >= 1
+        assert -(n[0] * 0 + n[1] * -1) >= 1
+
+    def test_affine_infeasible_raises(self):
+        with pytest.raises(ValueError, match="no affine schedule"):
+            scheduling.affine_schedule_vector(
+                [(-1, 0), (1, 0)], (4, 4), max_coefficient=2
+            )
+
+    def test_empty_offsets(self):
+        assert scheduling.affine_schedule_vector([], (4, 4)) == (0, 0)
+
+
+class TestBlockStencilDerivation:
+    """Fig. 1: element-level L patterns to block-level dependences."""
+
+    def test_5pt_blocks(self):
+        p = gauss_seidel_5pt_2d()
+        assert p.block_stencil_offsets([8, 8]) == [(-1, 0), (0, -1)]
+
+    def test_heat3d_blocks(self):
+        p = gauss_seidel_6pt_3d()
+        assert p.block_stencil_offsets([4, 4, 4]) == [
+            (-1, 0, 0),
+            (0, -1, 0),
+            (0, 0, -1),
+        ]
+
+    def test_wide_offset_small_tile(self):
+        # An L offset of -2 with tile size 1 reaches two blocks back.
+        p = StencilPattern.from_offsets(2, l_offsets=[(-2, 0)])
+        assert p.block_stencil_offsets([1, 4]) == [(-2, 0)]
+        assert p.block_stencil_offsets([2, 4]) == [(-1, 0)]
+        assert p.block_stencil_offsets([3, 4]) == [(-1, 0)]
+
+    def test_corner_spill(self):
+        # Offset (-1, -1) with 2x2 tiles: corners reach (-1,-1), (-1,0),
+        # (0,-1) blocks.
+        p = StencilPattern.from_offsets(2, l_offsets=[(-1, -1)])
+        assert p.block_stencil_offsets([2, 2]) == [(-1, -1), (-1, 0), (0, -1)]

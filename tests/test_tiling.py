@@ -1,0 +1,217 @@
+"""Tests for tiling: legalization and semantic preservation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.codegen.interpreter import run_function
+from repro.core import frontend
+from repro.core.stencil import (
+    StencilPattern,
+    gauss_seidel_5pt_2d,
+    gauss_seidel_6pt_3d,
+    gauss_seidel_9pt_2d,
+    gauss_seidel_9pt_2nd_order_2d,
+    jacobi_5pt_2d,
+)
+from repro.core.tiling import (
+    TileStencilsPass,
+    legalize_tile_sizes,
+    tile_footprint_bytes,
+    tiling_level,
+)
+from repro.ir import PassManager, verify
+from repro.ir.printer import print_module
+
+
+def _fields(shape, seed=0):
+    rng = np.random.default_rng(seed)
+    return rng.standard_normal(shape), rng.standard_normal(shape)
+
+
+def _run_both(pattern, shape, tile_sizes, with_groups=False, seed=0, d=None,
+              iterations=1):
+    """Interpret the kernel before and after tiling; return both outputs."""
+    d = d if d is not None else float(pattern.num_accesses)
+    reference = frontend.build_stencil_kernel(
+        pattern, shape[1:], frontend.identity_body(d), iterations=iterations
+    )
+    tiled = frontend.build_stencil_kernel(
+        pattern, shape[1:], frontend.identity_body(d), iterations=iterations
+    )
+    pm = PassManager([TileStencilsPass(tile_sizes, with_groups=with_groups)])
+    pm.run(tiled)
+    x, b = _fields(shape, seed)
+    (expected,) = run_function(reference, "kernel", x, b, x.copy())
+    (actual,) = run_function(tiled, "kernel", x, b, x.copy())
+    return expected, actual, tiled
+
+
+class TestLegalization:
+    def test_5pt_unrestricted(self):
+        assert legalize_tile_sizes(gauss_seidel_5pt_2d(), [16, 32]) == [16, 32]
+
+    def test_9pt_forces_leading_dim_to_1(self):
+        # The paper's 1 x 128 shape (Table 2).
+        assert legalize_tile_sizes(gauss_seidel_9pt_2d(), [16, 128]) == [1, 128]
+
+    def test_9pt_second_order_unrestricted(self):
+        p = gauss_seidel_9pt_2nd_order_2d()
+        assert legalize_tile_sizes(p, [64, 256]) == [64, 256]
+
+    def test_heat3d_unrestricted(self):
+        assert legalize_tile_sizes(gauss_seidel_6pt_3d(), [4, 26, 256]) == [
+            4,
+            26,
+            256,
+        ]
+
+    def test_backward_sweep_mirror(self):
+        p = gauss_seidel_9pt_2d().inverted()
+        # Mirrored pattern has L offset (1, -1): still forces dim 0 to 1.
+        assert legalize_tile_sizes(p, [16, 128]) == [1, 128]
+
+    def test_3d_diagonal_restriction(self):
+        p = StencilPattern.from_offsets(
+            3, l_offsets=[(0, -1, 1), (-1, 0, 0)], u_offsets=[(1, 0, 0)]
+        )
+        # (0, -1, 1): positive at dim 2, negative at dim 1 -> size 1 there.
+        assert legalize_tile_sizes(p, [8, 8, 8]) == [8, 1, 8]
+
+    def test_rank_mismatch(self):
+        with pytest.raises(ValueError, match="tile sizes"):
+            legalize_tile_sizes(gauss_seidel_5pt_2d(), [4])
+
+    def test_footprint_model(self):
+        assert tile_footprint_bytes([64, 256], nb_var=1) == 64 * 256 * 3 * 8
+        assert tile_footprint_bytes([4, 26, 128], nb_var=5) == (
+            4 * 26 * 128 * 5 * 3 * 8
+        )
+
+
+class TestTiledSemantics:
+    @pytest.mark.parametrize(
+        "pattern_fn,shape,tiles",
+        [
+            (gauss_seidel_5pt_2d, (1, 12, 13), (4, 5)),
+            (gauss_seidel_5pt_2d, (1, 9, 9), (16, 16)),  # one big tile
+            (gauss_seidel_9pt_2d, (1, 10, 11), (1, 4)),
+            (gauss_seidel_9pt_2nd_order_2d, (1, 12, 12), (3, 4)),
+            (gauss_seidel_6pt_3d, (1, 7, 8, 9), (2, 3, 4)),
+            (jacobi_5pt_2d, (1, 10, 10), (3, 3)),
+        ],
+    )
+    def test_matches_untiled(self, pattern_fn, shape, tiles):
+        expected, actual, tiled = _run_both(pattern_fn(), shape, tiles)
+        np.testing.assert_allclose(actual, expected, rtol=1e-13)
+        verify(tiled)
+
+    def test_tiled_ir_structure(self):
+        _, _, tiled = _run_both(gauss_seidel_5pt_2d(), (1, 10, 10), (4, 4))
+        text = print_module(tiled)
+        assert "cfd.tiled_loop" in text
+        assert "tensor.extract_slice" in text
+        assert "tensor.insert_slice" in text
+        # The inner stencil carries explicit write bounds and a level tag.
+        inner = [op for op in tiled.walk() if op.name == "cfd.stencilOp"]
+        assert len(inner) == 1
+        assert inner[0].has_bounds
+        assert tiling_level(inner[0]) == 1
+
+    def test_with_wavefront_groups(self):
+        expected, actual, tiled = _run_both(
+            gauss_seidel_5pt_2d(), (1, 14, 14), (4, 4), with_groups=True
+        )
+        np.testing.assert_allclose(actual, expected, rtol=1e-13)
+        text = print_module(tiled)
+        assert "cfd.get_parallel_blocks" in text
+
+    def test_groups_on_9pt_legal_tiles(self):
+        expected, actual, _ = _run_both(
+            gauss_seidel_9pt_2d(), (1, 9, 12), (1, 4), with_groups=True
+        )
+        np.testing.assert_allclose(actual, expected, rtol=1e-13)
+
+    def test_two_level_tiling(self):
+        """Sub-domain tiling (with groups) then cache tiling inside."""
+        pattern = gauss_seidel_5pt_2d()
+        module = frontend.build_stencil_kernel(
+            pattern, (16, 16), frontend.identity_body(4.0)
+        )
+        reference = frontend.build_stencil_kernel(
+            pattern, (16, 16), frontend.identity_body(4.0)
+        )
+        pm = PassManager(
+            [
+                TileStencilsPass((8, 8), with_groups=True, level=0),
+                TileStencilsPass((2, 4), level=1),
+            ]
+        )
+        pm.run(module)
+        loops = [op for op in module.walk() if op.name == "cfd.tiled_loop"]
+        assert len(loops) == 2
+        stencils = [op for op in module.walk() if op.name == "cfd.stencilOp"]
+        assert len(stencils) == 1
+        assert tiling_level(stencils[0]) == 2
+        x, b = _fields((1, 16, 16), seed=11)
+        (expected,) = run_function(reference, "kernel", x, b, x.copy())
+        (actual,) = run_function(module, "kernel", x, b, x.copy())
+        np.testing.assert_allclose(actual, expected, rtol=1e-13)
+
+    def test_backward_sweep_tiled(self):
+        pattern = gauss_seidel_5pt_2d().inverted()
+        expected, actual, tiled = _run_both(pattern, (1, 11, 10), (4, 3))
+        np.testing.assert_allclose(actual, expected, rtol=1e-13)
+        loops = [op for op in tiled.walk() if op.name == "cfd.tiled_loop"]
+        assert loops[0].reverse
+
+    def test_multiple_iterations_tiled(self):
+        expected, actual, _ = _run_both(
+            gauss_seidel_5pt_2d(), (1, 10, 10), (4, 4), iterations=3
+        )
+        np.testing.assert_allclose(actual, expected, rtol=1e-12)
+
+    def test_multivar_tiled(self):
+        pattern = gauss_seidel_5pt_2d()
+        reference = frontend.build_stencil_kernel(
+            pattern, (8, 8), frontend.identity_body(4.0), nb_var=3
+        )
+        tiled = frontend.build_stencil_kernel(
+            pattern, (8, 8), frontend.identity_body(4.0), nb_var=3
+        )
+        PassManager([TileStencilsPass((4, 4))]).run(tiled)
+        x, b = _fields((3, 8, 8), seed=13)
+        (expected,) = run_function(reference, "kernel", x, b, x.copy())
+        (actual,) = run_function(tiled, "kernel", x, b, x.copy())
+        np.testing.assert_allclose(actual, expected, rtol=1e-13)
+
+
+@st.composite
+def _tiling_case(draw):
+    pattern = draw(
+        st.sampled_from(
+            [
+                gauss_seidel_5pt_2d(),
+                gauss_seidel_9pt_2d(),
+                gauss_seidel_9pt_2nd_order_2d(),
+            ]
+        )
+    )
+    n0 = draw(st.integers(5, 14))
+    n1 = draw(st.integers(5, 14))
+    t0 = draw(st.integers(1, 8))
+    t1 = draw(st.integers(1, 8))
+    groups = draw(st.booleans())
+    return pattern, (1, n0, n1), (t0, t1), groups
+
+
+class TestTilingProperty:
+    @given(_tiling_case())
+    @settings(max_examples=25, deadline=None)
+    def test_any_tile_size_preserves_semantics(self, case):
+        pattern, shape, tiles, groups = case
+        expected, actual, _ = _run_both(
+            pattern, shape, tiles, with_groups=groups, seed=42
+        )
+        np.testing.assert_allclose(actual, expected, rtol=1e-12)
