@@ -1,0 +1,121 @@
+"""PR1 acceptance bench: midend optimizer + compiled-kernel cache.
+
+Two claims, written to ``results/BENCH_pr1_optimizer.json``:
+
+* **cache**: a warm-cache ``StencilCompiler.compile`` (fingerprint the
+  unlowered module, hit, return) is >= 10x faster than a cold compile
+  (full pass pipeline + emission + exec);
+* **optimizer**: the Tr4 heat-3D kernel compiled at ``opt_level=2`` runs
+  >= 10% faster than at ``opt_level=0``, with bit-identical output.
+"""
+
+import json
+import time
+
+import numpy as np
+
+from repro.bench.harness import RESULTS_DIR, save_results, time_callable
+from repro.codegen.cache import KernelCache, set_default_cache
+from repro.core import frontend
+from repro.core.pipeline import StencilCompiler, ablation_options
+from repro.core.stencil import gauss_seidel_6pt_3d
+
+#: heat-3D at a bench-friendly scale: every level divides evenly
+#: (24 -> 12-sized sub-domains -> 6-sized cache tiles).
+DOMAIN = (24, 24, 24)
+SUBDOMAINS = (12, 12, 12)
+TILES = (6, 6, 6)
+
+
+def _build_module():
+    return frontend.build_stencil_kernel(
+        gauss_seidel_6pt_3d(), DOMAIN, frontend.identity_body(7.0)
+    )
+
+
+def _tr4(opt_level):
+    options = ablation_options("Tr4", SUBDOMAINS, TILES)
+    options.opt_level = opt_level
+    options.use_cache = False
+    return options
+
+
+def _inputs(seed=0):
+    rng = np.random.default_rng(seed)
+    shape = (1,) + DOMAIN
+    return rng.standard_normal(shape), rng.standard_normal(shape)
+
+
+def _save_section(section, data):
+    """Merge one section into BENCH_pr1_optimizer.json (the two tests
+    run independently; each owns one section of the combined report)."""
+    path = RESULTS_DIR / "BENCH_pr1_optimizer.json"
+    combined = json.loads(path.read_text()) if path.is_file() else {}
+    combined[section] = data
+    save_results("BENCH_pr1_optimizer", combined)
+
+
+def test_warm_cache_compile_at_least_10x_faster():
+    previous = set_default_cache(KernelCache())
+    try:
+        options = ablation_options("Tr4", SUBDOMAINS, TILES)
+
+        def compile_once():
+            StencilCompiler(options).compile(_build_module())
+
+        start = time.perf_counter()
+        compile_once()  # cold: full pipeline + emission + exec
+        cold_s = time.perf_counter() - start
+        warm_s = time_callable(compile_once, repeats=5, warmup=1)
+        speedup = cold_s / warm_s
+        _save_section(
+            "kernel_cache",
+            {
+                "cold_compile_ms": cold_s * 1e3,
+                "warm_compile_ms": warm_s * 1e3,
+                "speedup": speedup,
+                "config": options.describe(),
+            },
+        )
+        print(
+            f"\ncompile cold {cold_s * 1e3:.2f} ms, "
+            f"warm {warm_s * 1e3:.3f} ms ({speedup:.0f}x)"
+        )
+        assert speedup >= 10.0
+    finally:
+        set_default_cache(previous)
+
+
+def test_opt_level2_at_least_10pct_faster_and_bit_identical():
+    k0 = StencilCompiler(_tr4(0)).compile(_build_module())
+    k2 = StencilCompiler(_tr4(2)).compile(_build_module())
+    x, b = _inputs()
+
+    (out0,) = k0(x, b, x.copy())
+    (out2,) = k2(x, b, x.copy())
+    assert np.array_equal(out0, out2)  # bit-identical numerics
+
+    y0 = x.copy()
+    t0 = time_callable(lambda: k0(x, b, y0), repeats=5, warmup=2)
+    t2 = time_callable(lambda: k2(x, b, y0), repeats=5, warmup=2)
+    speedup = t0 / t2
+    lines0 = len(k0.source.splitlines())
+    lines2 = len(k2.source.splitlines())
+    _save_section(
+        "optimizer",
+        {
+            "kernel": "heat-3D (Tr4)",
+            "domain": list(DOMAIN),
+            "opt0_ms": t0 * 1e3,
+            "opt2_ms": t2 * 1e3,
+            "speedup": speedup,
+            "source_lines_opt0": lines0,
+            "source_lines_opt2": lines2,
+            "bit_identical": True,
+        },
+    )
+    print(
+        f"\nheat-3D Tr4 run: O0 {t0 * 1e3:.2f} ms -> O2 {t2 * 1e3:.2f} ms "
+        f"({speedup:.2f}x); source {lines0} -> {lines2} lines"
+    )
+    assert speedup >= 1.10  # >= 10% faster

@@ -16,7 +16,6 @@ from typing import List
 
 import numpy as np
 
-from repro.cfdlib import euler
 from repro.cfdlib.boundary import add_ghost_layers, apply_periodic
 from repro.cfdlib.lusgs import LUSGSConfig, compute_rhs, diagonal_and_radii
 

@@ -17,7 +17,7 @@ Two flavors are provided:
 from __future__ import annotations
 
 import itertools
-from typing import Callable, List, Sequence, Tuple
+from typing import Callable, List, Tuple
 
 import numpy as np
 

@@ -6,7 +6,7 @@ import json
 import time
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence
+from typing import Any, Callable, Dict, Iterable, List, Sequence
 
 #: Where benchmark modules persist their regenerated data.
 RESULTS_DIR = Path(__file__).resolve().parents[3] / "benchmarks" / "results"

@@ -41,7 +41,6 @@ from repro.cfdlib.roe import _Expr, emit_roe_flux, roe_flux
 from repro.core.stencil import StencilPattern
 from repro.dialects import arith, cfd, func, linalg, scf, tensor
 from repro.ir import ModuleOp, OpBuilder
-from repro.ir.builder import InsertionPoint
 from repro.ir.types import FunctionType, TensorType, f64
 from repro.ir.values import Value
 

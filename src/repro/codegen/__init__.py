@@ -7,10 +7,32 @@
   is emitted as Python/NumPy source where ``vector`` ops become array
   slices (the "vector unit" of this reproduction);
 * :mod:`repro.codegen.executor` — compiles emitted source and provides
-  the callable ``CompiledKernel``.
+  the callable ``CompiledKernel``;
+* :mod:`repro.codegen.cache` — the content-addressed compiled-kernel
+  cache (in-memory LRU + optional on-disk persistence).
 """
 
 from repro.codegen.interpreter import Interpreter, run_function
 from repro.codegen.executor import CompiledKernel, compile_function
+from repro.codegen.cache import (
+    CacheStats,
+    KernelCache,
+    default_cache,
+    module_fingerprint,
+    set_default_cache,
+)
+from repro.codegen.python_backend import BackendError, EMITTER_VERSION
 
-__all__ = ["Interpreter", "run_function", "CompiledKernel", "compile_function"]
+__all__ = [
+    "Interpreter",
+    "run_function",
+    "CompiledKernel",
+    "compile_function",
+    "CacheStats",
+    "KernelCache",
+    "default_cache",
+    "module_fingerprint",
+    "set_default_cache",
+    "BackendError",
+    "EMITTER_VERSION",
+]

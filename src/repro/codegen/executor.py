@@ -2,10 +2,13 @@
 
 from __future__ import annotations
 
-from typing import Any, Callable, Dict, List
+from typing import TYPE_CHECKING, Any, Callable, Dict, List, Optional
 
-from repro.codegen.python_backend import emit_module
+from repro.codegen.python_backend import BackendError, emit_module
 from repro.ir.module import ModuleOp
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.codegen.cache import KernelCache
 
 
 class CompiledKernel:
@@ -28,6 +31,12 @@ class CompiledKernel:
     def run(self, *args: Any) -> List[Any]:
         return list(self._fn(*args))
 
+    def __repr__(self) -> str:
+        return (
+            f"CompiledKernel(entry={self.entry!r}, "
+            f"source={len(self.source)} chars)"
+        )
+
 
 def compile_module(module: ModuleOp) -> Dict[str, Any]:
     """Emit and exec a module; returns its namespace."""
@@ -39,9 +48,31 @@ def compile_module(module: ModuleOp) -> Dict[str, Any]:
     return namespace
 
 
-def compile_function(module: ModuleOp, entry: str = "kernel") -> CompiledKernel:
-    """Emit the module and return the named function as a kernel."""
+def compile_function(
+    module: ModuleOp,
+    entry: str = "kernel",
+    cache: Optional["KernelCache"] = None,
+    options_key: str = "",
+) -> CompiledKernel:
+    """Emit the module and return the named function as a kernel.
+
+    With ``cache`` set, the lowered module's printed IR (plus ``entry``
+    and ``options_key``) is fingerprinted first and a hit skips emission
+    entirely; ``StencilCompiler.compile`` additionally fingerprints the
+    *unlowered* module so hits skip the pass pipeline too.
+    """
+    fingerprint = None
+    if cache is not None:
+        from repro.codegen.cache import module_fingerprint
+
+        fingerprint = module_fingerprint(module, entry, options_key)
+        kernel = cache.get(fingerprint)
+        if kernel is not None:
+            return kernel
     namespace = compile_module(module)
     if entry not in namespace:
-        raise KeyError(f"module defines no function {entry!r}")
-    return CompiledKernel(namespace["__source__"], namespace, entry)
+        raise BackendError(f"module defines no function {entry!r}")
+    kernel = CompiledKernel(namespace["__source__"], namespace, entry)
+    if cache is not None and fingerprint is not None:
+        cache.put(fingerprint, kernel)
+    return kernel

@@ -17,8 +17,7 @@ returns an aliasing view.
 from __future__ import annotations
 
 import itertools
-import math as pymath
-from typing import Any, Callable, Dict, List, Optional, Sequence
+from typing import Any, Callable, Dict, List, Sequence
 
 import numpy as np
 

@@ -23,20 +23,26 @@ Function arguments are never owned, so caller arrays are never mutated.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Sequence
 
 from repro.dialects.cfd import TiledLoopOp
 from repro.dialects.linalg import GenericOp
-from repro.ir.attributes import IntegerAttr
 from repro.ir.block import Block
 from repro.ir.module import ModuleOp
 from repro.ir.operation import Operation
-from repro.ir.types import MemRefType, TensorType, VectorType
-from repro.ir.values import BlockArgument, OpResult, Value
+from repro.ir.types import MemRefType, TensorType
+from repro.ir.values import Value
+
+
+#: Version of the emission strategy. Part of every kernel-cache
+#: fingerprint: bump it whenever emitted code changes for the same IR, so
+#: persisted cache entries from older emitters are never reused.
+EMITTER_VERSION = "1"
 
 
 class BackendError(Exception):
-    """Raised when the module still contains unlowered operations."""
+    """Raised when the module still contains unlowered operations or
+    lacks the requested entry point."""
 
 
 _BINOPS = {

@@ -20,14 +20,13 @@ mutated, preserving the tensor-level caller contract).
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from typing import Dict, List
 
-from repro.dialects import arith, cfd, memref, scf, tensor, vector
+from repro.dialects import cfd, memref, scf, tensor, vector
 from repro.ir import Operation, Pass
-from repro.ir.block import Block, Region
+from repro.ir.block import Block
 from repro.ir.builder import OpBuilder
 from repro.ir.module import ModuleOp
-from repro.ir.operation import create_operation
 from repro.ir.types import FunctionType, MemRefType, TensorType
 from repro.ir.values import OpResult, Value
 

@@ -19,7 +19,7 @@ from typing import Dict, List, Sequence, Set, Tuple
 
 from repro.dialects import arith, cfd, scf, tensor
 from repro.dialects.linalg import FillOp, GenericOp
-from repro.ir import Operation, Pass
+from repro.ir import Pass
 from repro.ir.block import Block
 from repro.ir.builder import OpBuilder
 from repro.ir.rewriter import PatternRewriter, RewritePattern, apply_patterns_greedily

@@ -23,12 +23,13 @@ The four ablation configurations of Fig. 13 map to options as:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Optional, Tuple
 
 from repro.codegen.executor import CompiledKernel, compile_function
 from repro.core.fusion import FuseProducersPass
 from repro.core.lowering import LowerStencilsPass, LowerStructuredPass
+from repro.core.optimize import optimization_pipeline
 from repro.core.tiling import TileStencilsPass
 from repro.core.vectorization import VectorizeStencilsPass
 from repro.ir import ModuleOp, PassManager
@@ -56,6 +57,15 @@ class CompileOptions:
     parallel:
         Attach wavefront groups (``cfd.get_parallel_blocks``) to the
         sub-domain loop so independent sub-domains may run concurrently.
+    opt_level:
+        Midend optimization level (:mod:`repro.core.optimize`): ``0``
+        disables the optimizer, ``1`` runs constant folding + DCE, ``2``
+        (the default) adds CSE and loop-invariant code motion. All levels
+        produce bit-identical numerics.
+    use_cache:
+        Consult the process-wide compiled-kernel cache
+        (:mod:`repro.codegen.cache`) in :meth:`StencilCompiler.compile`;
+        a hit skips the whole pass pipeline and emission.
     verify_each:
         Run the IR verifier between passes (on by default; benchmarks
         may disable it to measure pure compile time).
@@ -66,6 +76,8 @@ class CompileOptions:
     fuse: bool = False
     vectorize: int = 8
     parallel: bool = False
+    opt_level: int = 2
+    use_cache: bool = True
     verify_each: bool = True
 
     def describe(self) -> str:
@@ -80,6 +92,7 @@ class CompileOptions:
         if self.fuse:
             parts.append("fuse")
         parts.append(f"vf={self.vectorize}" if self.vectorize else "scalar")
+        parts.append(f"O{self.opt_level}")
         return ",".join(parts)
 
 
@@ -149,6 +162,8 @@ class StencilCompiler:
         else:
             pm.add(LowerStencilsPass())
             pm.add(LowerStructuredPass())
+        for opt_pass in optimization_pipeline(o.opt_level):
+            pm.add(opt_pass)
         return pm
 
     def lower(self, module: ModuleOp) -> ModuleOp:
@@ -158,6 +173,25 @@ class StencilCompiler:
         return module
 
     def compile(self, module: ModuleOp, entry: str = "kernel") -> CompiledKernel:
-        """Lower and compile; the module is consumed (transformed)."""
-        self.lower(module)
-        return compile_function(module, entry)
+        """Lower and compile; the module is consumed (transformed).
+
+        With ``options.use_cache`` (the default) the *unlowered* module is
+        fingerprinted against the process-wide kernel cache first: a hit
+        returns the cached kernel without running any pass, so repeated
+        configurations — autotuner sweeps, the Fig. 11-13 benches — skip
+        the pipeline and emission entirely. On a hit the module is
+        returned untransformed.
+        """
+        if not self.options.use_cache:
+            self.lower(module)
+            return compile_function(module, entry)
+        from repro.codegen.cache import default_cache, module_fingerprint
+
+        cache = default_cache()
+        fingerprint = module_fingerprint(module, entry, self.options.describe())
+        kernel = cache.get(fingerprint)
+        if kernel is None:
+            self.lower(module)
+            kernel = compile_function(module, entry)
+            cache.put(fingerprint, kernel)
+        return kernel

@@ -41,7 +41,7 @@ from repro.ir import Pass
 from repro.ir.builder import OpBuilder
 from repro.ir.rewriter import PatternRewriter, RewritePattern, apply_patterns_greedily
 from repro.ir.types import VectorType, f64
-from repro.ir.values import BlockArgument, Value
+from repro.ir.values import Value
 
 #: Region operations that lift elementwise to vectors.
 _VECTORIZABLE_OPS = {

@@ -10,7 +10,7 @@ from __future__ import annotations
 
 from typing import List, Sequence
 
-from repro.ir.attributes import IntegerAttr, index_array_attr
+from repro.ir.attributes import IntegerAttr
 from repro.ir.builder import OpBuilder
 from repro.ir.operation import Operation, register_op
 from repro.ir.types import DYNAMIC, TensorType, Type, index

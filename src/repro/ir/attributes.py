@@ -13,7 +13,7 @@ from __future__ import annotations
 
 from typing import Sequence, Tuple, Union
 
-from repro.ir.types import Type, f64, i1, i64, index as index_type
+from repro.ir.types import Type, f64, i64, index as index_type
 
 
 class Attribute:

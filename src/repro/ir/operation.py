@@ -226,6 +226,101 @@ class Operation:
             new.append_region(new_region)
         return new
 
+    # ---- structural hashing / equivalence --------------------------------
+
+    def structural_key(self) -> tuple:
+        """A hashable key capturing this op's *shallow* structure.
+
+        Two region-free operations with equal keys compute the same value
+        whenever they are side-effect free: the key covers the op name,
+        the identities of the operands, the attribute dictionary and the
+        result types. This is what the CSE pass hashes on.
+        """
+        return (
+            self.name,
+            tuple(id(o) for o in self._operands),
+            tuple(sorted(self.attributes.items(), key=lambda kv: kv[0])),
+            tuple(self.results[i].type for i in range(len(self.results))),
+            len(self.regions),
+        )
+
+    def structural_hash(self) -> int:
+        """A deep structural hash: insensitive to SSA value identity.
+
+        Values are numbered by first occurrence (operands defined outside
+        this op hash by position of first use), so two independently built
+        but isomorphic subtrees hash equal. Collisions are possible, as
+        with any hash; use :meth:`is_structurally_equivalent` to confirm.
+        """
+        numbering: Dict[int, int] = {}
+
+        def value_num(v: Value) -> int:
+            return numbering.setdefault(id(v), len(numbering))
+
+        parts: List[object] = []
+
+        def visit(op: "Operation") -> None:
+            parts.append(op.name)
+            parts.append(tuple(value_num(o) for o in op._operands))
+            parts.append(tuple(sorted(op.attributes.items(), key=lambda kv: kv[0])))
+            parts.append(tuple(r.type for r in op.results))
+            for r in op.results:
+                value_num(r)
+            for region in op.regions:
+                parts.append("region")
+                for block in region.blocks:
+                    parts.append(tuple(a.type for a in block.arguments))
+                    for a in block.arguments:
+                        value_num(a)
+                    for inner in block.operations:
+                        visit(inner)
+
+        visit(self)
+        return hash(tuple(parts))
+
+    def is_structurally_equivalent(
+        self, other: "Operation", value_map: Optional[Dict[Value, Value]] = None
+    ) -> bool:
+        """Deep structural equality up to SSA value renaming.
+
+        ``value_map`` carries the correspondence of already-matched values
+        (e.g. function arguments); it is extended with this op's results
+        and nested block arguments as matching proceeds. Operands defined
+        *outside* the compared ops must be identical (or already mapped).
+        """
+        value_map = value_map if value_map is not None else {}
+        if (
+            self.name != other.name
+            or self.num_operands != other.num_operands
+            or self.num_results != other.num_results
+            or len(self.regions) != len(other.regions)
+            or self.attributes != other.attributes
+        ):
+            return False
+        for mine, theirs in zip(self._operands, other._operands):
+            if value_map.get(mine, mine) is not theirs:
+                return False
+        for mine_r, theirs_r in zip(self.results, other.results):
+            if mine_r.type != theirs_r.type:
+                return False
+            value_map[mine_r] = theirs_r
+        for my_region, other_region in zip(self.regions, other.regions):
+            if len(my_region.blocks) != len(other_region.blocks):
+                return False
+            for my_block, other_block in zip(my_region.blocks, other_region.blocks):
+                if len(my_block.arguments) != len(other_block.arguments):
+                    return False
+                if len(my_block.operations) != len(other_block.operations):
+                    return False
+                for a, b in zip(my_block.arguments, other_block.arguments):
+                    if a.type != b.type:
+                        return False
+                    value_map[a] = b
+                for my_op, other_op in zip(my_block.operations, other_block.operations):
+                    if not my_op.is_structurally_equivalent(other_op, value_map):
+                        return False
+        return True
+
     # ---- verification ---------------------------------------------------
 
     def verify_(self) -> None:

@@ -62,3 +62,21 @@ class PassManager:
 
     def pipeline_description(self) -> str:
         return " -> ".join(p.name for p in self.passes)
+
+    def timing_report(self, title: str = "pass timings") -> str:
+        """Per-pass wall-clock breakdown, slowest first.
+
+        The observability hook used by ``examples/inspect_pipeline.py``,
+        the autotuner and the compile-time benchmarks.
+        """
+        total = sum(self.timings.values())
+        lines = [f"{title} (total {total * 1e3:.2f} ms)"]
+        width = max((len(n) for n in self.timings), default=0)
+        for name, seconds in sorted(
+            self.timings.items(), key=lambda kv: kv[1], reverse=True
+        ):
+            share = 100.0 * seconds / total if total else 0.0
+            lines.append(
+                f"  {name.ljust(width)}  {seconds * 1e3:8.3f} ms  {share:5.1f}%"
+            )
+        return "\n".join(lines)

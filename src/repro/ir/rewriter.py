@@ -9,7 +9,7 @@ pattern-rewrite driver.
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence
+from typing import Optional, Sequence
 
 from repro.ir.builder import InsertionPoint, OpBuilder
 from repro.ir.operation import Operation

@@ -8,7 +8,7 @@ uses as ``(operation, operand_index)`` pairs, which is what makes rewrites
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, List, Optional, Tuple
+from typing import TYPE_CHECKING, List, Optional
 
 from repro.ir.types import Type
 

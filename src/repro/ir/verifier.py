@@ -15,7 +15,7 @@ Checks, for every operation reachable from the root:
 
 from __future__ import annotations
 
-from typing import Optional, Set
+from typing import Set
 
 from repro.ir.block import Block
 from repro.ir.operation import Operation

@@ -16,7 +16,7 @@ only the scaling is modeled.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Sequence
 
 from repro.machine.model import MachineModel

@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.baselines import naive
-from repro.codegen.executor import compile_function, compile_module
+from repro.codegen.executor import compile_function
 from repro.codegen.interpreter import run_function
 from repro.codegen.python_backend import BackendError, emit_module
 from repro.core import frontend

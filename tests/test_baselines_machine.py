@@ -29,7 +29,6 @@ from repro.core.stencil import (
     jacobi_5pt_2d,
 )
 from repro.machine import (
-    LOCAL_SINGLE_CORE,
     XEON_6152,
     WorkloadProfile,
     simulate_wavefront_execution,

@@ -162,7 +162,6 @@ class TestTiledLoopOp:
         verify(module)
 
     def test_with_groups(self, module, builder):
-        from repro.ir.types import index as index_t
 
         t = TensorType([1, 16, 16], f64)
         x = tensor.EmptyOp.build(builder, t).result()

@@ -4,7 +4,6 @@ import pytest
 
 from repro.dialects import arith, func, linalg, math, memref, scf, tensor, vector
 from repro.ir import (
-    Block,
     FloatAttr,
     IntegerAttr,
     ModuleOp,
@@ -12,7 +11,6 @@ from repro.ir import (
     IRVerificationError,
     verify,
 )
-from repro.ir.attributes import StringAttr
 from repro.ir.types import (
     FunctionType,
     MemRefType,

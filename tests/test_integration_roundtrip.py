@@ -2,12 +2,11 @@
 and pipeline/backend interplay on the full solvers."""
 
 import numpy as np
-import pytest
 
 from repro.cfdlib import euler
 from repro.cfdlib.boundary import add_ghost_layers
-from repro.cfdlib.heat import build_heat3d_module, heat3d_reference, initial_temperature
-from repro.cfdlib.lusgs import LUSGSConfig, build_lusgs_module, lusgs_reference, stable_dt
+from repro.cfdlib.heat import build_heat3d_module, initial_temperature
+from repro.cfdlib.lusgs import LUSGSConfig, build_lusgs_module, stable_dt
 from repro.cfdlib.mesh import StructuredMesh
 from repro.codegen.executor import compile_function
 from repro.codegen.interpreter import run_function

@@ -2,7 +2,6 @@
 
 import pytest
 
-from repro.ir.attributes import FloatAttr
 from repro.ir.block import Block, single_block_region
 from repro.ir.builder import OpBuilder
 from repro.ir.module import ModuleOp
