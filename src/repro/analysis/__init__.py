@@ -1,0 +1,80 @@
+"""Static analysis for in-place stencil pipelines.
+
+A standalone audit layer over the compiler: a two-level dependence
+engine (:mod:`~repro.analysis.dependence`), the §2.1 in-place legality
+checks (:mod:`~repro.analysis.legality`), a wavefront race detector
+replaying the ``cfd.get_parallel_blocks`` CSR payload
+(:mod:`~repro.analysis.wavefront`) and structured diagnostics with
+stable ``IP0xx`` codes (:mod:`~repro.analysis.diagnostics`).
+
+Entry points: :func:`analyze_module` for a one-shot walk,
+:class:`AnalysisGate` for pipeline integration via
+``CompileOptions.check_level``, and ``python -m repro.analysis`` as the
+CLI lint driver over the example pipelines.
+"""
+
+from repro.analysis.analyzer import (
+    CHECK_LEVELS,
+    AnalysisError,
+    AnalysisGate,
+    analyze_module,
+    analyze_op,
+)
+from repro.analysis.dependence import (
+    AccessSet,
+    cross_check_stencil,
+    decode_stencil_attr,
+    flow_distance_vectors,
+    lex_sign,
+    lowered_access_set,
+    pattern_access_set,
+    schedule_relevant_offsets,
+    stencil_raw_attrs,
+)
+from repro.analysis.diagnostics import (
+    ERROR_CODES,
+    SEVERITIES,
+    Diagnostic,
+    DiagnosticReport,
+)
+from repro.analysis.legality import (
+    block_offset_range,
+    check_sweep_order,
+    check_tiled_loop,
+    illegal_block_offsets,
+    tile_sizes_legal,
+)
+from repro.analysis.wavefront import (
+    check_csr_schedule,
+    check_get_parallel_blocks,
+    derive_block_offsets,
+)
+
+__all__ = [
+    "AccessSet",
+    "AnalysisError",
+    "AnalysisGate",
+    "CHECK_LEVELS",
+    "Diagnostic",
+    "DiagnosticReport",
+    "ERROR_CODES",
+    "SEVERITIES",
+    "analyze_module",
+    "analyze_op",
+    "block_offset_range",
+    "check_csr_schedule",
+    "check_get_parallel_blocks",
+    "check_sweep_order",
+    "check_tiled_loop",
+    "cross_check_stencil",
+    "decode_stencil_attr",
+    "derive_block_offsets",
+    "flow_distance_vectors",
+    "illegal_block_offsets",
+    "lex_sign",
+    "lowered_access_set",
+    "pattern_access_set",
+    "schedule_relevant_offsets",
+    "stencil_raw_attrs",
+    "tile_sizes_legal",
+]

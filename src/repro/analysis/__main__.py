@@ -1,0 +1,108 @@
+"""The lint driver: ``python -m repro.analysis [paths...]``.
+
+Each path may be an example file, an example stem (``quickstart``) or a
+directory of examples (``examples/``). Every resolved stem is linted by
+rebuilding its corpus pipelines (:mod:`repro.analysis.corpus`) and
+running them with the analysis gate attached after every pass. Exit
+status is 1 when any error-severity diagnostic is produced, 0 otherwise
+(warnings and notes are printed but do not fail the lint).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import List
+
+from repro.analysis.analyzer import AnalysisGate
+from repro.analysis.corpus import build_corpus
+from repro.core.pipeline import StencilCompiler
+
+
+def _resolve_stems(paths: List[str], known: List[str]) -> List[str]:
+    """Map CLI path arguments to corpus stems (sorted, deduplicated)."""
+    if not paths:
+        return list(known)
+    stems = []
+    for raw in paths:
+        p = Path(raw)
+        if p.is_dir():
+            found = sorted(
+                f.stem for f in p.glob("*.py") if f.stem in known
+            )
+            if not found:
+                raise SystemExit(
+                    f"error: no lintable examples under {raw!r} "
+                    f"(known: {', '.join(known)})"
+                )
+            stems.extend(found)
+        else:
+            stem = p.stem
+            if stem not in known:
+                raise SystemExit(
+                    f"error: no lint corpus for {raw!r} "
+                    f"(known: {', '.join(known)})"
+                )
+            stems.append(stem)
+    seen = set()
+    return [s for s in stems if not (s in seen or seen.add(s))]
+
+
+def main(argv: List[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description="In-place legality & wavefront race lint over the "
+        "example pipelines.",
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        help="example files, stems or directories (default: all)",
+    )
+    parser.add_argument(
+        "-q", "--quiet", action="store_true",
+        help="print only the per-entry verdict lines",
+    )
+    args = parser.parse_args(argv)
+
+    corpus = build_corpus()
+    stems = _resolve_stems(args.paths, list(corpus))
+
+    exit_code = 0
+    total = 0
+    for stem in stems:
+        for entry in corpus[stem]:
+            gate = AnalysisGate(fail_fast=False)
+            compiler = StencilCompiler(entry.options)
+            pm = compiler.build_pipeline()
+            pm.gate = gate
+            pm.gate_each = True
+            module = entry.build()
+            gate(module, after_pass=None)  # lint the frontend output too
+            crash = None
+            try:
+                pm.run(module)
+            except Exception as exc:  # a mutant may not even lower
+                crash = exc
+            report = gate.report
+            total += len(report.diagnostics)
+            failed = report.has_errors or crash is not None
+            verdict = "FAIL" if failed else "ok"
+            print(
+                f"[{verdict}] {entry.name}: {entry.description} "
+                f"({entry.options.describe()}) -- {report.summary()}"
+            )
+            if crash is not None:
+                print(f"  pipeline crashed: {crash}")
+            if report.diagnostics and not args.quiet:
+                print(report.render())
+            if failed:
+                exit_code = 1
+    print(f"linted {sum(len(corpus[s]) for s in stems)} pipeline(s) "
+          f"from {len(stems)} example(s): {total} diagnostic(s)")
+    return exit_code
+
+
+if __name__ == "__main__":
+    sys.exit(main())

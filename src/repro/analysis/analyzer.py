@@ -1,0 +1,105 @@
+"""The module-level analyzer and its pipeline gate.
+
+:func:`analyze_module` walks a module and runs every check of the
+package on the ops it applies to:
+
+=========================  ============================================
+ ``cfd.stencilOp``          sweep-order check (``IP001``) and the
+                            two-level dependence cross-check (``IP003``)
+ ``cfd.tiled_loop``         traversal-direction consistency (``IP001``)
+                            and §2.1 tile legality (``IP002``)
+ ``cfd.get_parallel_blocks``  wavefront replay and audit
+                            (``IP004``–``IP009``)
+=========================  ============================================
+
+:class:`AnalysisGate` adapts the analyzer to
+:class:`~repro.ir.pass_manager.PassManager`: installed via
+``CompileOptions.check_level`` it re-analyzes the module after the whole
+pipeline (``"after-pipeline"``) or after every pass
+(``"after-every-pass"``) and raises :class:`AnalysisError` on any
+error-severity finding.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.analysis.dependence import cross_check_stencil
+from repro.analysis.diagnostics import Diagnostic, DiagnosticReport
+from repro.analysis.legality import check_sweep_order, check_tiled_loop
+from repro.analysis.wavefront import check_get_parallel_blocks
+from repro.ir.operation import Operation
+
+#: Valid values of ``CompileOptions.check_level``.
+CHECK_LEVELS = ("off", "after-pipeline", "after-every-pass")
+
+
+def analyze_op(op: Operation, cross_check: bool = True) -> List[Diagnostic]:
+    """All diagnostics for one operation (not recursing into regions)."""
+    if op.name == "cfd.stencilOp":
+        diags = check_sweep_order(op)
+        if cross_check:
+            diags.extend(cross_check_stencil(op))
+        return diags
+    if op.name == "cfd.tiled_loop":
+        return check_tiled_loop(op)
+    if op.name == "cfd.get_parallel_blocks":
+        return check_get_parallel_blocks(op)
+    return []
+
+
+def analyze_module(
+    module: Operation, cross_check: bool = True
+) -> DiagnosticReport:
+    """Run every static check over ``module``.
+
+    ``cross_check=False`` skips the probe-lowering dependence cross-check
+    (the one check that is not a cheap attribute walk); the per-pass gate
+    uses it to keep ``after-every-pass`` overhead proportionate.
+    """
+    report = DiagnosticReport()
+    for op in module.walk():
+        report.extend(analyze_op(op, cross_check=cross_check))
+    return report
+
+
+class AnalysisError(RuntimeError):
+    """Raised by :class:`AnalysisGate` when a module fails analysis."""
+
+    def __init__(self, report: DiagnosticReport, after_pass: Optional[str] = None):
+        self.report = report
+        self.after_pass = after_pass
+        where = f" after pass {after_pass!r}" if after_pass else ""
+        super().__init__(
+            f"static analysis failed{where} ({report.summary()}):\n"
+            + report.render()
+        )
+
+
+class AnalysisGate:
+    """A :class:`PassManager` gate running the analyzer over the module.
+
+    Parameters
+    ----------
+    fail_fast:
+        Raise :class:`AnalysisError` as soon as a call produces an
+        error-severity diagnostic (the pipeline behaviour). ``False``
+        collects everything into :attr:`report` instead (the CLI lint
+        behaviour).
+    cross_check:
+        Forwarded to :func:`analyze_module`. The pipeline's end-of-run
+        call always cross-checks; per-pass calls follow this flag.
+    """
+
+    def __init__(self, fail_fast: bool = True, cross_check: bool = True):
+        self.fail_fast = fail_fast
+        self.cross_check = cross_check
+        self.report = DiagnosticReport()
+
+    def __call__(self, module: Operation, after_pass: Optional[str] = None) -> None:
+        found = analyze_module(module, cross_check=self.cross_check)
+        for diag in found.diagnostics:
+            diag.after_pass = after_pass
+        self.report.extend(found.diagnostics)
+        if self.fail_fast and found.has_errors:
+            raise AnalysisError(found, after_pass=after_pass)

@@ -1,0 +1,108 @@
+"""Best-effort static evaluation of index expressions.
+
+The analyzer needs concrete integers for tile steps and sub-domain grid
+extents. The tiling pass materializes them as ``arith`` index arithmetic
+over constants (``tensor.dim`` folds to a constant for static shapes),
+so a tiny recursive evaluator over the arithmetic ops recovers them.
+Anything it cannot resolve — dynamic shapes, loop-carried values — yields
+``None`` and the caller degrades to an ``IP010`` note instead of a wrong
+answer.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.ir.attributes import IntegerAttr
+from repro.ir.values import OpResult, Value
+
+_BINARY = {
+    "arith.addi": lambda a, b: a + b,
+    "arith.subi": lambda a, b: a - b,
+    "arith.muli": lambda a, b: a * b,
+    "arith.floordivi": lambda a, b: a // b if b else None,
+    "arith.ceildivi": lambda a, b: -(-a // b) if b else None,
+    "arith.remi": lambda a, b: a % b if b else None,
+    "arith.maxsi": max,
+    "arith.minsi": min,
+}
+
+
+def eval_index(value: Value, _memo: Optional[Dict[int, Optional[int]]] = None) -> Optional[int]:
+    """Evaluate an index-typed SSA value to a Python int, or ``None``."""
+    memo = _memo if _memo is not None else {}
+    key = id(value)
+    if key in memo:
+        return memo[key]
+    memo[key] = None  # cycle guard; real IR is acyclic but stay safe
+    result: Optional[int] = None
+    if isinstance(value, OpResult):
+        op = value.op
+        if op.name == "arith.constant":
+            attr = op.attributes.get("value")
+            if isinstance(attr, IntegerAttr):
+                result = attr.value
+        elif op.name == "tensor.dim":
+            src_type = op.operand(0).type
+            dim_attr = op.attributes.get("dim")
+            shape = getattr(src_type, "shape", None)
+            if (
+                isinstance(dim_attr, IntegerAttr)
+                and shape is not None
+                and 0 <= dim_attr.value < len(shape)
+            ):
+                extent = shape[dim_attr.value]
+                result = None if extent == -1 else int(extent)
+        elif op.name in _BINARY and op.num_operands == 2:
+            lhs = eval_index(op.operand(0), memo)
+            rhs = eval_index(op.operand(1), memo)
+            if lhs is not None and rhs is not None:
+                result = _BINARY[op.name](lhs, rhs)
+    memo[key] = result
+    return result
+
+
+def resolve_affine(value: Value):
+    """Peel ``+c`` / ``-c`` constant terms off an index expression.
+
+    Returns ``(root, offset)`` such that ``value == root + offset`` where
+    ``root`` is the first value that is not an add/sub with a constant
+    operand. This is how the lowered-loop dependence engine recovers
+    stencil offsets from raw index arithmetic: reads are emitted as
+    ``addi(idx, const)`` around the write index ``idx`` (for both sweep
+    directions — the backward sweep's ``idx = hi - 1 - iv`` is itself the
+    shared root).
+    """
+    offset = 0
+    current = value
+    while isinstance(current, OpResult):
+        op = current.op
+        if op.name == "arith.addi":
+            lhs_c = _const_of(op.operand(0))
+            rhs_c = _const_of(op.operand(1))
+            if rhs_c is not None and lhs_c is None:
+                offset += rhs_c
+                current = op.operand(0)
+                continue
+            if lhs_c is not None and rhs_c is None:
+                offset += lhs_c
+                current = op.operand(1)
+                continue
+            break
+        if op.name == "arith.subi":
+            rhs_c = _const_of(op.operand(1))
+            if rhs_c is not None and _const_of(op.operand(0)) is None:
+                offset -= rhs_c
+                current = op.operand(0)
+                continue
+            break
+        break
+    return current, offset
+
+
+def _const_of(value: Value) -> Optional[int]:
+    if isinstance(value, OpResult) and value.op.name == "arith.constant":
+        attr = value.op.attributes.get("value")
+        if isinstance(attr, IntegerAttr):
+            return attr.value
+    return None

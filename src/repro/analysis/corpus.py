@@ -1,0 +1,168 @@
+"""The lint corpus: what ``python -m repro.analysis examples/`` checks.
+
+The examples under ``examples/`` are scripts (they benchmark, plot and
+assert numerics), so the lint driver does not execute them. Instead each
+example *stem* maps to a corpus entry that rebuilds the same IR with the
+same compiler configuration — smaller shapes where the original sizes
+only matter for benchmarking — and the driver runs the full pass
+pipeline over it with the analysis gate attached after every pass.
+
+This keeps the CI lint step fast and hermetic while still covering every
+kernel/configuration shape the examples exercise: plain Gauss-Seidel,
+SOR and Jacobi sweeps, the heat3d ablation pipelines and the LU-SGS
+symmetric-sweep solver.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Tuple
+
+from repro.core import frontend
+from repro.core.pipeline import CompileOptions, ablation_options
+from repro.core.stencil import (
+    gauss_seidel_5pt_2d,
+    gauss_seidel_6pt_3d,
+    gauss_seidel_9pt_2d,
+    jacobi_5pt_2d,
+    sor_5pt_2d,
+)
+from repro.ir import ModuleOp
+
+
+@dataclass(frozen=True)
+class CorpusEntry:
+    """One lintable pipeline configuration derived from an example."""
+
+    name: str
+    description: str
+    build: Callable[[], ModuleOp]
+    options: CompileOptions
+    entry: str = "kernel"
+
+
+def _gs5() -> ModuleOp:
+    return frontend.build_stencil_kernel(
+        gauss_seidel_5pt_2d(), (64, 64), frontend.identity_body(4.0),
+        iterations=2,
+    )
+
+
+def _gs9() -> ModuleOp:
+    return frontend.build_stencil_kernel(
+        gauss_seidel_9pt_2d(), (32, 32),
+        frontend.weighted_body([1.0] * 8, 8.0),
+    )
+
+
+def _sor() -> ModuleOp:
+    return frontend.build_stencil_kernel(
+        sor_5pt_2d(), (34, 34), frontend.sor_body(1.5, 4.0)
+    )
+
+
+def _jacobi() -> ModuleOp:
+    return frontend.build_stencil_kernel(
+        jacobi_5pt_2d(), (34, 34), frontend.identity_body(4.0)
+    )
+
+
+def _heat3d() -> ModuleOp:
+    from repro.cfdlib.heat import build_heat3d_module
+
+    return build_heat3d_module(24, 1)
+
+
+def _lusgs() -> ModuleOp:
+    from repro.cfdlib.lusgs import LUSGSConfig, build_lusgs_module
+    from repro.cfdlib.mesh import StructuredMesh
+
+    config = LUSGSConfig(mesh=StructuredMesh((12, 12, 12)), dt=0.01)
+    return build_lusgs_module(config, steps=1)
+
+
+def _symmetric() -> ModuleOp:
+    return frontend.build_symmetric_sweep_kernel(
+        gauss_seidel_6pt_3d(), (16, 16, 16), frontend.identity_body(6.0)
+    )
+
+
+def build_corpus() -> Dict[str, Tuple[CorpusEntry, ...]]:
+    """Example stem -> the pipeline configurations linted for it."""
+    return {
+        "quickstart": (
+            CorpusEntry(
+                "quickstart",
+                "5-point Gauss-Seidel, sub-domains + tiles + fusion",
+                _gs5,
+                CompileOptions(
+                    subdomain_sizes=(32, 64), tile_sizes=(16, 32),
+                    fuse=True, parallel=True,
+                ),
+            ),
+        ),
+        "sor_poisson": (
+            CorpusEntry(
+                "sor_poisson[sor]", "SOR sweep, vectorized",
+                _sor, CompileOptions(vectorize=32),
+            ),
+            CorpusEntry(
+                "sor_poisson[jacobi]", "Jacobi sweep, vectorized",
+                _jacobi, CompileOptions(vectorize=32),
+            ),
+        ),
+        "heat3d_implicit": tuple(
+            CorpusEntry(
+                f"heat3d_implicit[{tr}]",
+                f"3D implicit heat, ablation {tr}",
+                _heat3d,
+                ablation_options(tr, (6, 12, 22), (6, 6, 22), vf=22),
+                entry="heat",
+            )
+            for tr in ("Tr1", "Tr2", "Tr3", "Tr4")
+        ),
+        "euler_lusgs": (
+            CorpusEntry(
+                "euler_lusgs",
+                "3D Euler LU-SGS (symmetric sweeps, Roe flux)",
+                _lusgs,
+                CompileOptions(
+                    subdomain_sizes=(6, 6, 12), tile_sizes=(3, 3, 12),
+                    fuse=True, parallel=True, vectorize=12,
+                ),
+                entry="lusgs",
+            ),
+            CorpusEntry(
+                "euler_lusgs[symmetric]",
+                "forward + backward 6-point sweeps",
+                _symmetric,
+                CompileOptions(
+                    subdomain_sizes=(8, 8, 16), parallel=True, vectorize=0
+                ),
+                entry="symmetric_kernel",
+            ),
+        ),
+        "inspect_pipeline": (
+            CorpusEntry(
+                "inspect_pipeline",
+                "5-point Gauss-Seidel through every pipeline stage",
+                lambda: frontend.build_stencil_kernel(
+                    gauss_seidel_5pt_2d(), (32, 32),
+                    frontend.identity_body(4.0),
+                ),
+                CompileOptions(
+                    subdomain_sizes=(16, 16), tile_sizes=(4, 8),
+                    fuse=True, parallel=True, vectorize=8,
+                ),
+            ),
+            CorpusEntry(
+                "inspect_pipeline[9pt]",
+                "9-point kernel (tile legalization to 1 x T)",
+                _gs9,
+                CompileOptions(
+                    subdomain_sizes=(16, 32), tile_sizes=(16, 16),
+                    fuse=True, parallel=True,
+                ),
+            ),
+        ),
+    }

@@ -1,0 +1,128 @@
+"""Structured diagnostics with stable ``IP0xx`` error codes.
+
+Every finding of the static analyzer is a :class:`Diagnostic`: an error
+code from the table below, a severity, a human-readable message, the
+path of the offending operation inside the module and a short printed IR
+excerpt. Codes are *stable* — tests, CI and downstream tooling match on
+them — so new checks get new codes instead of repurposing old ones.
+
+=======  ==================================================================
+ IP001    sweep-order violation: an L offset is on the wrong
+          lexicographic side for the declared sweep direction (§2.1)
+ IP002    illegal tile sizes: the tiling maps an L dependence to a
+          non-lexicographically-negative block offset (§2.1, Fig. 1)
+ IP003    dependence cross-check mismatch: access offsets recovered from
+          lowered loop index arithmetic disagree with the L/U pattern tags
+ IP004    wavefront race: two sub-domains in the same parallel group are
+          connected by a block-level dependence (Eq. 3, §2.3)
+ IP005    wavefront coverage: a sub-domain is missing from the schedule
+ IP006    wavefront overlap: a sub-domain appears twice, so two scheduled
+          tiles have overlapping write regions
+ IP007    wavefront order: a dependence points at a sub-domain scheduled
+          in a *later* group (predecessor not strictly earlier)
+ IP008    declared block stencil of ``cfd.get_parallel_blocks`` disagrees
+          with the offsets derived from the L pattern and tile sizes
+ IP009    malformed CSR payload (non-monotonic offsets, out-of-range or
+          non-integral indices, mixed-direction dependence offsets)
+ IP010    analysis limitation: a check was skipped because static
+          information (tile sizes, grid extents) could not be resolved
+=======  ==================================================================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+#: severity levels, most severe first.
+SEVERITIES = ("error", "warning", "note")
+
+#: The stable code registry: code -> short title. Never renumber.
+ERROR_CODES = {
+    "IP001": "sweep-order violation",
+    "IP002": "illegal tile sizes across a backward dependence",
+    "IP003": "dependence cross-check mismatch",
+    "IP004": "wavefront race inside a parallel group",
+    "IP005": "wavefront schedule misses a sub-domain",
+    "IP006": "wavefront schedule duplicates a sub-domain (write overlap)",
+    "IP007": "wavefront dependence scheduled in a later group",
+    "IP008": "declared block stencil disagrees with derived offsets",
+    "IP009": "malformed wavefront CSR payload",
+    "IP010": "static information unavailable; check skipped",
+}
+
+
+@dataclass
+class Diagnostic:
+    """One finding of the static analyzer."""
+
+    code: str
+    message: str
+    severity: str = "error"
+    op_path: str = ""
+    excerpt: str = ""
+    #: Name of the pipeline pass after which the finding was produced
+    #: (filled in by the :class:`~repro.analysis.analyzer.AnalysisGate`).
+    after_pass: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if self.code not in ERROR_CODES:
+            raise ValueError(f"unknown diagnostic code {self.code!r}")
+        if self.severity not in SEVERITIES:
+            raise ValueError(f"unknown severity {self.severity!r}")
+
+    @property
+    def title(self) -> str:
+        return ERROR_CODES[self.code]
+
+    @property
+    def is_error(self) -> bool:
+        return self.severity == "error"
+
+    def render(self) -> str:
+        """Multi-line human-readable form (the CLI output format)."""
+        lines = [f"{self.severity}[{self.code}] {self.title}: {self.message}"]
+        if self.op_path:
+            lines.append(f"  at {self.op_path}")
+        if self.after_pass:
+            lines.append(f"  after pass {self.after_pass!r}")
+        if self.excerpt:
+            for row in self.excerpt.splitlines():
+                lines.append(f"  | {row}")
+        return "\n".join(lines)
+
+    def __str__(self) -> str:
+        return self.render()
+
+
+@dataclass
+class DiagnosticReport:
+    """An ordered collection of diagnostics with summary helpers."""
+
+    diagnostics: List[Diagnostic] = field(default_factory=list)
+
+    def extend(self, diags: List[Diagnostic]) -> None:
+        self.diagnostics.extend(diags)
+
+    @property
+    def errors(self) -> List[Diagnostic]:
+        return [d for d in self.diagnostics if d.is_error]
+
+    @property
+    def has_errors(self) -> bool:
+        return any(d.is_error for d in self.diagnostics)
+
+    def codes(self) -> List[str]:
+        return [d.code for d in self.diagnostics]
+
+    def summary(self) -> str:
+        counts = {s: 0 for s in SEVERITIES}
+        for d in self.diagnostics:
+            counts[d.severity] += 1
+        parts = [f"{n} {s}{'s' if n != 1 else ''}" for s, n in counts.items() if n]
+        return ", ".join(parts) if parts else "no diagnostics"
+
+    def render(self) -> str:
+        if not self.diagnostics:
+            return "no diagnostics"
+        return "\n".join(d.render() for d in self.diagnostics)

@@ -57,7 +57,14 @@ def module_fingerprint(
     options_key: str = "",
     backend_version: str = EMITTER_VERSION,
 ) -> str:
-    """The content address of one (module, entry, options, emitter) tuple."""
+    """The content address of one (module, entry, options, emitter) tuple.
+
+    ``options_key`` must identify the *complete* compilation
+    configuration — callers pass ``CompileOptions.cache_key()``, which is
+    built from every option field, not the lossy human-oriented
+    ``describe()`` string — otherwise two configurations that lower
+    differently would alias to one cached kernel.
+    """
     digest = hashlib.sha256()
     for part in (print_module(module), entry, options_key, backend_version):
         digest.update(part.encode("utf-8"))

@@ -88,6 +88,11 @@ def _clone_loop(
         groups=list(groups) if groups else None,
         reverse=loop.reverse,
     )
+    # Preserve everything beyond the structural attributes build() sets —
+    # in particular the stencil/tile_sizes copies the tiling pass stamps
+    # for the static analyzer.
+    for key, attr in loop.attributes.items():
+        new_loop.attributes.setdefault(key, attr)
     mapping = {}
     for old, new in zip(loop.induction_vars, new_loop.induction_vars):
         mapping[old] = new

@@ -23,6 +23,7 @@ The four ablation configurations of Fig. 13 map to options as:
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass
 from typing import Optional, Tuple
 
@@ -69,6 +70,13 @@ class CompileOptions:
     verify_each:
         Run the IR verifier between passes (on by default; benchmarks
         may disable it to measure pure compile time).
+    check_level:
+        Static-analysis gating (:mod:`repro.analysis`): ``"off"`` (the
+        default) runs no semantic checks, ``"after-pipeline"`` analyzes
+        the lowered module once at the end of the pass pipeline, and
+        ``"after-every-pass"`` re-analyzes after each pass (the setting
+        the lint CLI and the mutation tests use). Any error-severity
+        diagnostic raises :class:`~repro.analysis.analyzer.AnalysisError`.
     """
 
     subdomain_sizes: Optional[Tuple[int, ...]] = None
@@ -79,6 +87,7 @@ class CompileOptions:
     opt_level: int = 2
     use_cache: bool = True
     verify_each: bool = True
+    check_level: str = "off"
 
     def describe(self) -> str:
         parts = []
@@ -94,6 +103,23 @@ class CompileOptions:
         parts.append(f"vf={self.vectorize}" if self.vectorize else "scalar")
         parts.append(f"O{self.opt_level}")
         return ",".join(parts)
+
+    def cache_key(self) -> str:
+        """The options component of the kernel-cache fingerprint.
+
+        Built mechanically from *every* dataclass field except
+        ``use_cache`` (which selects whether the cache is consulted but
+        cannot change what is compiled), so a newly added option can
+        never silently alias two distinct configurations to one cached
+        kernel. ``describe()`` stays human-oriented and lossy; this is
+        the lossless form.
+        """
+        parts = []
+        for f in dataclasses.fields(self):
+            if f.name == "use_cache":
+                continue
+            parts.append(f"{f.name}={getattr(self, f.name)!r}")
+        return ";".join(parts)
 
 
 #: The ablation configurations of §4.2 (Fig. 13), parameterized by sizes.
@@ -141,7 +167,23 @@ class StencilCompiler:
 
     def build_pipeline(self) -> PassManager:
         o = self.options
-        pm = PassManager(verify_each=o.verify_each)
+        gate = None
+        if o.check_level != "off":
+            # Imported lazily: repro.analysis depends on the lowering and
+            # tiling passes this module also imports.
+            from repro.analysis.analyzer import CHECK_LEVELS, AnalysisGate
+
+            if o.check_level not in CHECK_LEVELS:
+                raise ValueError(
+                    f"unknown check_level {o.check_level!r}; "
+                    f"expected one of {CHECK_LEVELS}"
+                )
+            gate = AnalysisGate(fail_fast=True)
+        pm = PassManager(
+            verify_each=o.verify_each,
+            gate=gate,
+            gate_each=o.check_level == "after-every-pass",
+        )
         level = 0
         if o.subdomain_sizes:
             pm.add(
@@ -188,7 +230,7 @@ class StencilCompiler:
         from repro.codegen.cache import default_cache, module_fingerprint
 
         cache = default_cache()
-        fingerprint = module_fingerprint(module, entry, self.options.describe())
+        fingerprint = module_fingerprint(module, entry, self.options.cache_key())
         kernel = cache.get(fingerprint)
         if kernel is None:
             self.lower(module)

@@ -28,7 +28,7 @@ from typing import List, Optional, Sequence, Tuple
 from repro.core.stencil import StencilPattern
 from repro.dialects import arith, cfd, tensor
 from repro.ir import Operation, Pass
-from repro.ir.attributes import IntegerAttr
+from repro.ir.attributes import DenseIntElementsAttr, IntegerAttr
 from repro.ir.builder import OpBuilder
 from repro.ir.rewriter import PatternRewriter, RewritePattern, apply_patterns_greedily
 from repro.ir.types import TensorType
@@ -168,6 +168,7 @@ def tile_stencil_op(
         groups=groups,
         reverse=pattern.sweep == -1,
     )
+    _stamp_analysis_attrs(op, loop, tile_sizes)
     body = OpBuilder.at_end(loop.body)
     ivs = loop.induction_vars
     x_arg, b_arg = loop.in_args
@@ -257,6 +258,19 @@ def _clone_region_into(src: cfd.StencilOp, dst: cfd.StencilOp) -> None:
         mapping[old_arg] = new_arg
     for inner_op in src.body.operations:
         dst.body.append(inner_op.clone(mapping))
+
+
+def _stamp_analysis_attrs(
+    src: cfd.StencilOp, loop: cfd.TiledLoopOp, tile_sizes: Sequence[int]
+) -> None:
+    """Leave copies of the stencil attributes (and the tile sizes) on the
+    tiled loop, so the static analyzer (:mod:`repro.analysis`) can audit
+    tile legality and wavefront groups even after the inner stencil op
+    has been lowered away."""
+    for key in ("stencil", "nbVar", "sweep", "allow_initial_reads"):
+        if key in src.attributes:
+            loop.attributes[key] = src.attributes[key]
+    loop.attributes["tile_sizes"] = DenseIntElementsAttr(list(tile_sizes))
 
 
 def _bump_tiling_level(src: Operation, dst: Operation) -> None:

@@ -420,6 +420,23 @@ class TiledLoopOp(Operation):
         return self.operands[-2:]
 
     @property
+    def stamped_tile_sizes(self) -> Optional[List[int]]:
+        """The ``tile_sizes`` the tiling pass stamped for the static
+        analyzer (:mod:`repro.analysis`), or ``None`` when the loop was
+        built by hand. The analyzer itself audits the *step operands*
+        (what actually executes); this accessor is for introspection."""
+        attr = self.attributes.get("tile_sizes")
+        if isinstance(attr, DenseIntElementsAttr):
+            return [int(v) for v in attr.flat()]
+        return None
+
+    @property
+    def stamped_stencil(self) -> Optional[DenseIntElementsAttr]:
+        """The stencil pattern box stamped by the tiling pass, if any."""
+        attr = self.attributes.get("stencil")
+        return attr if isinstance(attr, DenseIntElementsAttr) else None
+
+    @property
     def body(self) -> Block:
         return self.regions[0].entry_block
 

@@ -1,0 +1,67 @@
+"""Structural locations: naming an operation's place inside a module.
+
+The IR has no source locations (it is built programmatically), so
+diagnostics identify operations *structurally*: the chain of ancestor
+operations with region/block/op indices, e.g.::
+
+    module/func.func[sym=kernel]/r0/b0/op2:cfd.tiled_loop/r0/b0/op14:cfd.stencilOp
+
+Used by the verifier (:mod:`repro.ir.verifier`) and the static analyzer
+(:mod:`repro.analysis`) to anchor error messages, together with a short
+printed excerpt of the offending op.
+"""
+
+from __future__ import annotations
+
+from repro.ir.attributes import StringAttr
+from repro.ir.operation import Operation
+from repro.ir.printer import print_op
+
+
+def _segment(op: Operation) -> str:
+    """One path segment: positional indices plus the op name (and symbol)."""
+    sym = op.attributes.get("sym_name")
+    label = op.name
+    if isinstance(sym, StringAttr):
+        label += f"[sym={sym.value}]"
+    block = op.parent
+    if block is None:
+        return label
+    region = block.parent
+    parent_op = region.parent if region is not None else None
+    try:
+        op_idx = block.index_of(op)
+    except ValueError:  # detached op
+        return label
+    if region is None or parent_op is None:
+        return f"op{op_idx}:{label}"
+    block_idx = next(
+        (i for i, b in enumerate(region.blocks) if b is block), 0
+    )
+    region_idx = next(
+        (i for i, r in enumerate(parent_op.regions) if r is region), 0
+    )
+    return f"r{region_idx}/b{block_idx}/op{op_idx}:{label}"
+
+
+def op_path(op: Operation) -> str:
+    """The region/block path of ``op`` from the enclosing module root."""
+    segments = []
+    current: Operation = op
+    while current is not None:
+        segments.append(_segment(current))
+        current = current.parent_op()
+    return "/".join(reversed(segments))
+
+
+def op_excerpt(op: Operation, max_lines: int = 8) -> str:
+    """A short printed-IR excerpt of ``op`` (truncated for large bodies)."""
+    try:
+        text = print_op(op)
+    except Exception:  # printing must never mask the original error
+        return repr(op)
+    lines = text.rstrip("\n").splitlines()
+    if len(lines) > max_lines:
+        head = max_lines - 1
+        lines = lines[:head] + [f"... ({len(lines) - head} more lines)"]
+    return "\n".join(lines)

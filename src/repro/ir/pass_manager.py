@@ -33,17 +33,47 @@ class PassManager:
     With ``verify_each=True`` (the default) the structural verifier runs
     after every pass, so a pass that corrupts use-def chains fails fast
     with the pass name attached.
+
+    An optional *gate* — any ``callable(module, after_pass=...)``, in
+    practice an :class:`~repro.analysis.analyzer.AnalysisGate` — runs the
+    semantic checks on top of the structural verifier: once after the
+    whole pipeline by default, or after every pass with
+    ``gate_each=True``. Gate time is recorded in :attr:`timings` under
+    ``"analysis-gate"`` so :meth:`timing_report` shows the analysis
+    overhead next to the transformation passes.
     """
 
-    def __init__(self, passes: Sequence[Pass] = (), verify_each: bool = True) -> None:
+    #: The :attr:`timings` key accumulating gate wall-clock time.
+    GATE_TIMING_KEY = "analysis-gate"
+
+    def __init__(
+        self,
+        passes: Sequence[Pass] = (),
+        verify_each: bool = True,
+        gate=None,
+        gate_each: bool = False,
+    ) -> None:
         self.passes: List[Pass] = list(passes)
         self.verify_each = verify_each
+        self.gate = gate
+        self.gate_each = gate_each
         #: Wall-clock seconds per pass, filled by :meth:`run`.
         self.timings: Dict[str, float] = {}
 
     def add(self, pass_: Pass) -> "PassManager":
         self.passes.append(pass_)
         return self
+
+    def _run_gate(self, module: Operation, after_pass) -> None:
+        start = time.perf_counter()
+        try:
+            self.gate(module, after_pass=after_pass)
+        finally:
+            self.timings[self.GATE_TIMING_KEY] = (
+                self.timings.get(self.GATE_TIMING_KEY, 0.0)
+                + time.perf_counter()
+                - start
+            )
 
     def run(self, module: Operation) -> None:
         for pass_ in self.passes:
@@ -59,6 +89,10 @@ class PassManager:
                     raise RuntimeError(
                         f"IR verification failed after pass {pass_.name!r}: {exc}"
                     ) from exc
+            if self.gate is not None and self.gate_each:
+                self._run_gate(module, after_pass=pass_.name)
+        if self.gate is not None and not self.gate_each:
+            self._run_gate(module, after_pass=None)
 
     def pipeline_description(self) -> str:
         return " -> ".join(p.name for p in self.passes)

@@ -26,6 +26,21 @@ class IRVerificationError(Exception):
     """Raised when the IR violates a structural invariant."""
 
 
+def _fail(op: Operation, message: str) -> "IRVerificationError":
+    """An :class:`IRVerificationError` anchored at ``op``.
+
+    The message carries the op's structural path inside the module and a
+    short printed excerpt, so a failure deep inside a lowered nest is
+    findable without bisecting the printout by hand.
+    """
+    from repro.ir.location import op_excerpt, op_path
+
+    lines = [f"{op.name}: {message}", f"  at {op_path(op)}"]
+    excerpt = op_excerpt(op, max_lines=4)
+    lines.extend(f"  | {row}" for row in excerpt.splitlines())
+    return IRVerificationError("\n".join(lines))
+
+
 def verify(root: Operation) -> None:
     """Verify ``root`` and everything nested under it; raise on failure."""
     _verify_op(root, visible=set())
@@ -34,21 +49,19 @@ def verify(root: Operation) -> None:
 def _verify_op(op: Operation, visible: Set[int]) -> None:
     for i, operand in enumerate(op.operands):
         if id(operand) not in visible:
-            raise IRVerificationError(
-                f"{op.name}: operand #{i} ({operand!r}) does not dominate its use"
+            raise _fail(
+                op, f"operand #{i} ({operand!r}) does not dominate its use"
             )
         if not any(
             u.owner is op and u.operand_index == i for u in operand.uses
         ):
-            raise IRVerificationError(
-                f"{op.name}: use-def chain of operand #{i} is corrupt"
-            )
+            raise _fail(op, f"use-def chain of operand #{i} is corrupt")
     try:
         op.verify_()
     except IRVerificationError:
         raise
     except Exception as exc:  # surface op verifier failures uniformly
-        raise IRVerificationError(f"{op.name}: {exc}") from exc
+        raise _fail(op, str(exc)) from exc
     for region in op.regions:
         for block in region.blocks:
             _verify_block(block, visible, op)
@@ -62,15 +75,15 @@ def _verify_block(block: Block, visible: Set[int], parent_op: Operation) -> None
     inner = set(visible)
     for arg in block.arguments:
         if not isinstance(arg, BlockArgument) or arg.block is not block:
-            raise IRVerificationError("block argument has a corrupt owner link")
+            raise _fail(parent_op, "block argument has a corrupt owner link")
         inner.add(id(arg))
     for op in block.operations:
         if op.parent is not block:
-            raise IRVerificationError(f"{op.name}: corrupt parent-block link")
+            raise _fail(op, "corrupt parent-block link")
         _verify_op(op, inner)
         for res in op.results:
             if not isinstance(res, OpResult) or res.op is not op:
-                raise IRVerificationError(f"{op.name}: corrupt result link")
+                raise _fail(op, "corrupt result link")
             inner.add(id(res))
 
 

@@ -1,0 +1,195 @@
+"""The two-level dependence engine: decoding, extraction, cross-check."""
+
+import pytest
+
+from repro.analysis import (
+    AccessSet,
+    cross_check_stencil,
+    decode_stencil_attr,
+    flow_distance_vectors,
+    lex_sign,
+    lowered_access_set,
+    pattern_access_set,
+    schedule_relevant_offsets,
+)
+from repro.analysis.dependence import compare_access_sets, extract_loop_access_set
+from repro.core import frontend
+from repro.core.lowering import LowerStencilsPass
+from repro.core.stencil import (
+    StencilPattern,
+    gauss_seidel_5pt_2d,
+    gauss_seidel_6pt_3d,
+    gauss_seidel_9pt_2d,
+    gauss_seidel_9pt_2nd_order_2d,
+    jacobi_5pt_2d,
+    sor_5pt_2d,
+)
+from repro.ir.attributes import IntegerAttr
+
+ALL_PATTERNS = [
+    gauss_seidel_5pt_2d,
+    gauss_seidel_9pt_2d,
+    gauss_seidel_9pt_2nd_order_2d,
+    gauss_seidel_6pt_3d,
+    jacobi_5pt_2d,
+    sor_5pt_2d,
+]
+
+
+def _stencil_ops(module):
+    return [op for op in module.walk() if op.name == "cfd.stencilOp"]
+
+
+def _build(pattern, nb_var=1):
+    shape = (12,) * pattern.rank
+    return frontend.build_stencil_kernel(
+        pattern, shape, frontend.identity_body(4.0), nb_var=nb_var
+    )
+
+
+class TestLexSign:
+    def test_signs(self):
+        assert lex_sign((0, 0)) == 0
+        assert lex_sign((-1, 5)) == -1
+        assert lex_sign((0, -1)) == -1
+        assert lex_sign((0, 1)) == 1
+        assert lex_sign((1, -9)) == 1
+
+
+class TestDecode:
+    @pytest.mark.parametrize("make", ALL_PATTERNS)
+    def test_matches_stencil_pattern(self, make):
+        """The independent decoder agrees with StencilPattern on every
+        canonical pattern."""
+        pattern = make()
+        module = _build(pattern)
+        (op,) = _stencil_ops(module)
+        rank, l_offsets, u_offsets = decode_stencil_attr(
+            op.attributes["stencil"]
+        )
+        assert rank == pattern.rank
+        assert sorted(l_offsets) == sorted(pattern.l_offsets)
+        assert sorted(u_offsets) == sorted(pattern.u_offsets)
+
+    def test_schedule_relevant_negates_initial_reads(self):
+        # A backward-side L offset under allow_initial_reads contributes
+        # its negation (an anti-dependence on the initial content).
+        offs = schedule_relevant_offsets([(-1, 0), (1, 0)], 1, True)
+        assert offs == [(-1, 0)]
+        offs = schedule_relevant_offsets([(-1, 0), (0, 1)], 1, True)
+        assert sorted(offs) == [(-1, 0), (0, -1)]
+
+    def test_schedule_relevant_drops_wrong_side_without_initial(self):
+        assert schedule_relevant_offsets([(1, 0)], 1, False) == []
+
+    @pytest.mark.parametrize("make", ALL_PATTERNS)
+    def test_flow_distances_lex_positive(self, make):
+        """Every canonical pattern's dependence distances point forward."""
+        pattern = make()
+        for d in flow_distance_vectors(
+            pattern.l_offsets, pattern.sweep, pattern.allow_initial_reads
+        ):
+            assert lex_sign(tuple(c * pattern.sweep for c in d)) > 0
+
+
+class TestCrossCheck:
+    @pytest.mark.parametrize("make", ALL_PATTERNS)
+    @pytest.mark.parametrize("nb_var", [1, 2])
+    def test_canonical_patterns_clean(self, make, nb_var):
+        """The lowering reads exactly the cells the L/U tags promise, for
+        every canonical pattern and both single/multi-variable forms."""
+        module = _build(make(), nb_var=nb_var)
+        (op,) = _stencil_ops(module)
+        assert cross_check_stencil(op) == []
+
+    def test_backward_sweep_clean(self):
+        pattern = gauss_seidel_6pt_3d().inverted()
+        assert pattern.sweep == -1
+        module = _build(pattern)
+        (op,) = _stencil_ops(module)
+        assert cross_check_stencil(op) == []
+
+    def test_symmetric_sweep_kernel_clean(self):
+        module = frontend.build_symmetric_sweep_kernel(
+            gauss_seidel_5pt_2d(), (10, 10), frontend.identity_body(4.0)
+        )
+        ops = _stencil_ops(module)
+        assert len(ops) == 2
+        for op in ops:
+            assert cross_check_stencil(op) == []
+
+    @pytest.mark.parametrize("make", ALL_PATTERNS)
+    def test_lowered_access_set_matches_pattern(self, make):
+        pattern = make()
+        module = _build(pattern)
+        (op,) = _stencil_ops(module)
+        actual = lowered_access_set(op)
+        expected = pattern_access_set(op)
+        assert actual is not None and expected is not None
+        assert actual.y_reads == expected.y_reads
+        assert actual.x_reads == expected.x_reads
+        assert actual.b_reads == expected.b_reads
+
+    def test_mutated_loop_nest_flags_ip003(self):
+        """Corrupting one read offset in an actually-lowered nest is
+        caught by comparing against the pattern tags."""
+        pattern = gauss_seidel_5pt_2d()
+        module = _build(pattern)
+        (op,) = _stencil_ops(module)
+        expected = pattern_access_set(op)
+        LowerStencilsPass().run(module)
+        # Shift one stencil read: change some addi's +/-1 constant to -2.
+        for nest_op in module.walk():
+            if nest_op.name != "arith.addi":
+                continue
+            rhs = nest_op.operand(1)
+            if (
+                rhs.op.name == "arith.constant"
+                and rhs.op.attributes["value"].value == -1
+            ):
+                from repro.dialects import arith
+                from repro.ir import OpBuilder
+
+                builder = OpBuilder.before(nest_op)
+                nest_op.set_operand(1, arith.const_index(builder, -2))
+                break
+        actual = extract_loop_access_set(module)
+        diags = compare_access_sets(expected, actual)
+        assert diags, "mutated nest must disagree with the pattern tags"
+        assert {d.code for d in diags} == {"IP003"}
+        assert all(d.is_error for d in diags)
+
+    def test_compare_reports_missing_and_extra(self):
+        expected = AccessSet(2, y_reads={(-1, 0), (0, -1)})
+        actual = AccessSet(2, y_reads={(-1, 0), (0, 1)})
+        (diag,) = compare_access_sets(expected, actual)
+        assert diag.code == "IP003"
+        assert "(0, -1)" in diag.message and "(0, 1)" in diag.message
+
+    def test_jacobi_has_no_l_reads(self):
+        module = _build(jacobi_5pt_2d())
+        (op,) = _stencil_ops(module)
+        assert pattern_access_set(op).y_reads == set()
+        assert cross_check_stencil(op) == []
+
+    def test_pattern_access_set_requires_stencil_attr(self):
+        module = _build(gauss_seidel_5pt_2d())
+        (op,) = _stencil_ops(module)
+        del op.attributes["stencil"]
+        assert pattern_access_set(op) is None
+        assert cross_check_stencil(op) == []
+
+
+class TestIndependenceFromStencilPattern:
+    def test_decoder_accepts_invalid_patterns(self):
+        """The analyzer must decode mutants StencilPattern would reject
+        at construction time (that is the point of re-deriving)."""
+        module = _build(gauss_seidel_5pt_2d())
+        (op,) = _stencil_ops(module)
+        op.attributes["sweep"] = IntegerAttr(-1)
+        with pytest.raises(ValueError):
+            StencilPattern(
+                op.attributes["stencil"].to_nested_lists(), sweep=-1
+            )
+        rank, l_offsets, _ = decode_stencil_attr(op.attributes["stencil"])
+        assert rank == 2 and sorted(l_offsets) == [(-1, 0), (0, -1)]

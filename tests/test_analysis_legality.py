@@ -1,0 +1,233 @@
+"""The §2.1 in-place legality checker, and its agreement with the
+production legalizer (a property test: the checker and
+``legalize_tile_sizes`` were derived independently, so agreement is
+evidence both encode the paper's restriction)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis import (
+    block_offset_range,
+    check_sweep_order,
+    check_tiled_loop,
+    illegal_block_offsets,
+    tile_sizes_legal,
+)
+from repro.core import frontend
+from repro.core.pipeline import CompileOptions, StencilCompiler
+from repro.core.stencil import (
+    gauss_seidel_5pt_2d,
+    gauss_seidel_6pt_3d,
+    gauss_seidel_9pt_2d,
+    gauss_seidel_9pt_2nd_order_2d,
+    sor_5pt_2d,
+)
+from repro.core.tiling import legalize_tile_sizes
+from repro.ir.attributes import BoolAttr, IntegerAttr
+
+
+def _lowered(pattern, shape, **options):
+    module = frontend.build_stencil_kernel(
+        pattern, shape, frontend.identity_body(4.0)
+    )
+    opts = CompileOptions(use_cache=False, vectorize=0, **options)
+    StencilCompiler(opts).lower(module)
+    return module
+
+
+def _tiled_loops(module):
+    return [op for op in module.walk() if op.name == "cfd.tiled_loop"]
+
+
+class TestBlockOffsetRange:
+    def test_center(self):
+        assert list(block_offset_range(0, 4)) == [0]
+
+    def test_negative_one(self):
+        # An element one to the left can stay in-block or cross one back.
+        assert list(block_offset_range(-1, 4)) == [-1, 0]
+
+    def test_positive_crossing(self):
+        assert list(block_offset_range(1, 1)) == [1]
+        assert list(block_offset_range(1, 4)) == [0, 1]
+
+    def test_size_one_pins_exact(self):
+        for o in (-3, -1, 0, 2):
+            assert list(block_offset_range(o, 1)) == [o]
+
+
+class TestIllegalBlockOffsets:
+    def test_9pt_rectangular_tiles_are_illegal(self):
+        """The paper's example: (-1, 1) crosses forward unless dim 0 has
+        tile size 1 (the 1 x 128 choice)."""
+        p = gauss_seidel_9pt_2d()
+        bad = illegal_block_offsets(p.l_offsets, 1, False, (16, 128))
+        assert ((-1, 1), (0, 1)) in bad
+
+    def test_9pt_paper_tiles_are_legal(self):
+        p = gauss_seidel_9pt_2d()
+        assert illegal_block_offsets(p.l_offsets, 1, False, (1, 128)) == []
+
+    def test_5pt_any_tiles_legal(self):
+        p = gauss_seidel_5pt_2d()
+        for sizes in ((1, 1), (4, 8), (16, 128)):
+            assert illegal_block_offsets(p.l_offsets, 1, False, sizes) == []
+
+    def test_backward_sweep_mirrors(self):
+        p = gauss_seidel_9pt_2d().inverted()
+        assert illegal_block_offsets(p.l_offsets, -1, False, (16, 128))
+        assert not illegal_block_offsets(p.l_offsets, -1, False, (1, 128))
+
+
+PATTERNS_2D = [
+    gauss_seidel_5pt_2d,
+    gauss_seidel_9pt_2d,
+    gauss_seidel_9pt_2nd_order_2d,
+    sor_5pt_2d,
+]
+
+
+class TestCheckerLegalizerAgreement:
+    """Satellite property: a tile-size vector is rejected by the checker
+    iff ``legalize_tile_sizes`` changes it, and legalized vectors always
+    pass the checker."""
+
+    @settings(max_examples=200, deadline=None)
+    @given(
+        make=st.sampled_from(PATTERNS_2D),
+        sizes=st.tuples(
+            st.integers(min_value=1, max_value=9),
+            st.integers(min_value=1, max_value=9),
+        ),
+        invert=st.booleans(),
+    )
+    def test_2d(self, make, sizes, invert):
+        pattern = make().inverted() if invert else make()
+        legalized = legalize_tile_sizes(pattern, sizes)
+        assert (legalized == list(sizes)) == tile_sizes_legal(pattern, sizes)
+        assert tile_sizes_legal(pattern, legalized)
+
+    @settings(max_examples=100, deadline=None)
+    @given(
+        sizes=st.tuples(
+            st.integers(min_value=1, max_value=6),
+            st.integers(min_value=1, max_value=6),
+            st.integers(min_value=1, max_value=6),
+        ),
+        invert=st.booleans(),
+    )
+    def test_3d(self, sizes, invert):
+        pattern = gauss_seidel_6pt_3d()
+        if invert:
+            pattern = pattern.inverted()
+        legalized = legalize_tile_sizes(pattern, sizes)
+        assert (legalized == list(sizes)) == tile_sizes_legal(pattern, sizes)
+        assert tile_sizes_legal(pattern, legalized)
+
+
+class TestCheckSweepOrder:
+    def test_canonical_clean(self):
+        module = frontend.build_stencil_kernel(
+            gauss_seidel_5pt_2d(), (12, 12), frontend.identity_body(4.0)
+        )
+        (op,) = [o for o in module.walk() if o.name == "cfd.stencilOp"]
+        assert check_sweep_order(op) == []
+
+    def test_flipped_sweep_is_ip001(self):
+        module = frontend.build_stencil_kernel(
+            gauss_seidel_5pt_2d(), (12, 12), frontend.identity_body(4.0)
+        )
+        (op,) = [o for o in module.walk() if o.name == "cfd.stencilOp"]
+        op.attributes["sweep"] = IntegerAttr(-1)
+        diags = check_sweep_order(op)
+        assert len(diags) == 2  # both L offsets are on the wrong side
+        assert all(d.code == "IP001" and d.is_error for d in diags)
+        assert all("cfd.stencilOp" in d.op_path for d in diags)
+
+    def test_invalid_sweep_value_is_ip001(self):
+        module = frontend.build_stencil_kernel(
+            gauss_seidel_5pt_2d(), (12, 12), frontend.identity_body(4.0)
+        )
+        (op,) = [o for o in module.walk() if o.name == "cfd.stencilOp"]
+        op.attributes["sweep"] = IntegerAttr(0)
+        (diag,) = check_sweep_order(op)
+        assert diag.code == "IP001" and "neither" in diag.message
+
+    def test_wrong_side_tolerated_with_initial_reads(self):
+        # The LU-SGS structure: L reads on both sides, declared as
+        # initial-content reads (anti-dependences).
+        from repro.core.stencil import StencilPattern
+
+        pattern = StencilPattern.from_offsets(
+            2,
+            l_offsets=[(-1, 0), (0, -1), (0, 1), (1, 0)],
+            allow_initial_reads=True,
+        )
+        module = frontend.build_stencil_kernel(
+            pattern, (12, 12), frontend.identity_body(4.0)
+        )
+        (op,) = [o for o in module.walk() if o.name == "cfd.stencilOp"]
+        assert op.attributes["allow_initial_reads"].value
+        assert check_sweep_order(op) == []
+
+
+class TestCheckTiledLoop:
+    def test_canonical_pipeline_clean(self):
+        module = _lowered(
+            gauss_seidel_9pt_2d(),
+            (24, 24),
+            subdomain_sizes=(12, 12),
+            tile_sizes=(6, 6),
+            parallel=True,
+        )
+        loops = _tiled_loops(module)
+        assert loops, "pipeline must produce tiled loops"
+        for loop in loops:
+            assert check_tiled_loop(loop) == []
+
+    def test_corrupted_step_is_ip002(self):
+        module = _lowered(
+            gauss_seidel_9pt_2d(), (24, 24), subdomain_sizes=(12, 12)
+        )
+        (loop,) = _tiled_loops(module)
+        # The legalizer pinned dim 0 to size 1; un-pin it behind its back.
+        assert loop.steps[0].op.attributes["value"].value == 1
+        loop.steps[0].op.attributes["value"] = IntegerAttr(4)
+        diags = check_tiled_loop(loop)
+        assert any(d.code == "IP002" for d in diags)
+        assert all(d.is_error for d in diags)
+
+    def test_flipped_reverse_is_ip001(self):
+        module = _lowered(
+            gauss_seidel_5pt_2d(), (24, 24), subdomain_sizes=(12, 12)
+        )
+        (loop,) = _tiled_loops(module)
+        loop.attributes["reverse"] = BoolAttr(True)
+        diags = check_tiled_loop(loop)
+        assert [d.code for d in diags] == ["IP001"]
+        assert "reverse" in diags[0].message
+
+    def test_stamped_attrs_survive_lowering_and_fusion(self):
+        module = _lowered(
+            gauss_seidel_5pt_2d(),
+            (24, 24),
+            subdomain_sizes=(12, 12),
+            tile_sizes=(4, 8),
+            fuse=True,
+            parallel=True,
+        )
+        loops = _tiled_loops(module)
+        assert loops
+        for loop in loops:
+            assert loop.stamped_stencil is not None
+            assert loop.stamped_tile_sizes in ([12, 12], [4, 8])
+
+    def test_loop_without_stencil_info_is_skipped(self):
+        module = _lowered(
+            gauss_seidel_5pt_2d(), (24, 24), subdomain_sizes=(12, 12)
+        )
+        (loop,) = _tiled_loops(module)
+        for key in ("stencil", "nbVar", "sweep", "allow_initial_reads",
+                    "tile_sizes"):
+            loop.attributes.pop(key, None)
+        assert check_tiled_loop(loop) == []

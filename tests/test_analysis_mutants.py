@@ -1,0 +1,231 @@
+"""The seeded-mutant corpus: the acceptance gate of the analyzer.
+
+Twelve mutants spanning the three corruption families of the issue —
+illegal tile sizes, wrong sweep order/direction, corrupted CSR
+wavefronts — plus declared-vs-derived mismatches and a lowering-bug
+stand-in. The analyzer must detect 100% of them, each with its stable
+``IP0xx`` code, while producing zero diagnostics on the unmutated
+pipelines (checked both here and in ``test_analysis_pipeline``)."""
+
+import pytest
+
+from repro.analysis import analyze_module, check_csr_schedule
+from repro.analysis.dependence import (
+    compare_access_sets,
+    extract_loop_access_set,
+    pattern_access_set,
+)
+from repro.core import frontend
+from repro.core.lowering import LowerStencilsPass
+from repro.core.pipeline import CompileOptions, StencilCompiler
+from repro.core.scheduling import compute_parallel_blocks
+from repro.core.stencil import gauss_seidel_5pt_2d, gauss_seidel_9pt_2d
+from repro.dialects import arith
+from repro.ir import OpBuilder
+from repro.ir.attributes import BoolAttr, DenseIntElementsAttr, IntegerAttr
+
+
+def _frontend_module(make=gauss_seidel_5pt_2d):
+    return frontend.build_stencil_kernel(
+        make(), (24, 24), frontend.identity_body(4.0)
+    )
+
+
+def _lowered_module(make=gauss_seidel_5pt_2d, subdomains=(12, 12)):
+    module = _frontend_module(make)
+    options = CompileOptions(
+        subdomain_sizes=subdomains, parallel=True, vectorize=0, use_cache=False
+    )
+    StencilCompiler(options).lower(module)
+    return module
+
+
+def _only(module, name):
+    ops = [op for op in module.walk() if op.name == name]
+    assert ops, f"no {name} in module"
+    return ops[0]
+
+
+def _error_codes(module):
+    return sorted(
+        {d.code for d in analyze_module(module).diagnostics if d.is_error}
+    )
+
+
+# --- family 1: wrong sweep order / traversal direction ---------------------
+
+
+def mutant_sweep_flipped():
+    module = _frontend_module()
+    _only(module, "cfd.stencilOp").attributes["sweep"] = IntegerAttr(-1)
+    return _error_codes(module), "IP001"
+
+
+def mutant_sweep_invalid_value():
+    module = _frontend_module()
+    _only(module, "cfd.stencilOp").attributes["sweep"] = IntegerAttr(2)
+    return _error_codes(module), "IP001"
+
+
+def mutant_center_tagged_l():
+    module = _frontend_module()
+    op = _only(module, "cfd.stencilOp")
+    box = op.attributes["stencil"].to_nested_lists()
+    box[1][1] = -1  # the update now reads the cell it writes
+    op.attributes["stencil"] = DenseIntElementsAttr(box)
+    return _error_codes(module), "IP001"
+
+
+def mutant_loop_reverse_flipped():
+    module = _lowered_module()
+    loop = _only(module, "cfd.tiled_loop")
+    loop.attributes["reverse"] = BoolAttr(not loop.reverse)
+    return _error_codes(module), "IP001"
+
+
+# --- family 2: illegal tile sizes ------------------------------------------
+
+
+def mutant_step_unpinned_9pt():
+    module = _lowered_module(gauss_seidel_9pt_2d)
+    loop = _only(module, "cfd.tiled_loop")
+    builder = OpBuilder.before(loop)
+    loop.set_operand(4, arith.const_index(builder, 4))  # steps[0]: 1 -> 4
+    return _error_codes(module), "IP002"
+
+
+def mutant_stencil_widened_behind_tiles():
+    # The loop was tiled for the 5pt pattern; sneak the 9pt L pattern
+    # (with its (-1, 1) offset) into the stamped attributes, as a buggy
+    # rewrite changing a pattern after tiling would.
+    module = _lowered_module(gauss_seidel_5pt_2d, subdomains=(12, 12))
+    loop = _only(module, "cfd.tiled_loop")
+    loop.attributes["stencil"] = DenseIntElementsAttr(
+        [[-1, -1, -1], [-1, 0, 1], [1, 1, 1]]
+    )
+    return _error_codes(module), "IP002"
+
+
+# --- family 3: corrupted CSR wavefronts ------------------------------------
+
+_NB = (3, 3)
+_DEPS = [(-1, 0), (0, -1)]
+
+
+def _csr():
+    offsets, indices = compute_parallel_blocks(_NB, _DEPS)
+    return list(offsets), list(indices)
+
+
+def _csr_codes(offsets, indices):
+    diags = check_csr_schedule(_NB, _DEPS, offsets, indices)
+    return sorted({d.code for d in diags if d.is_error})
+
+
+def mutant_csr_groups_merged():
+    offsets, indices = _csr()
+    del offsets[1]
+    return _csr_codes(offsets, indices), "IP004"
+
+
+def mutant_csr_swapped_across_groups():
+    offsets, indices = _csr()
+    i, j = offsets[1], offsets[2]  # first entry of group 1 and of group 2
+    indices[i], indices[j] = indices[j], indices[i]
+    codes = _csr_codes(offsets, indices)
+    # The dependent moved before its predecessor: flagged as a same-group
+    # race or an order inversion depending on which neighbor moved.
+    return codes, ("IP004", "IP007")
+
+
+def mutant_csr_dropped_subdomain():
+    offsets, indices = _csr()
+    del indices[-1]
+    offsets = [min(o, len(indices)) for o in offsets]
+    return _csr_codes(offsets, indices), "IP005"
+
+
+def mutant_csr_duplicated_subdomain():
+    offsets, indices = _csr()
+    indices.append(indices[0])
+    offsets[-1] += 1
+    return _csr_codes(offsets, indices), "IP006"
+
+
+def mutant_csr_out_of_range():
+    offsets, indices = _csr()
+    indices[0] = 42
+    return _csr_codes(offsets, indices), "IP009"
+
+
+def mutant_get_parallel_blocks_understated():
+    module = _lowered_module()
+    gp = _only(module, "cfd.get_parallel_blocks")
+    gp.attributes["block_stencil"] = DenseIntElementsAttr(
+        [[0, 0, 0], [-1, 0, 0], [0, 0, 0]]
+    )
+    return _error_codes(module), "IP008"
+
+
+# --- family 4: a lowering bug (dependence cross-check) ---------------------
+
+
+def mutant_lowered_read_shifted():
+    module = _frontend_module()
+    op = _only(module, "cfd.stencilOp")
+    expected = pattern_access_set(op)
+    LowerStencilsPass().run(module)
+    for nest_op in module.walk():
+        if nest_op.name != "arith.addi":
+            continue
+        rhs = nest_op.operand(1)
+        if (
+            rhs.op.name == "arith.constant"
+            and rhs.op.attributes["value"].value == -1
+        ):
+            builder = OpBuilder.before(nest_op)
+            nest_op.set_operand(1, arith.const_index(builder, -2))
+            break
+    actual = extract_loop_access_set(module)
+    diags = compare_access_sets(expected, actual)
+    return sorted({d.code for d in diags if d.is_error}), "IP003"
+
+
+MUTANTS = [
+    mutant_sweep_flipped,
+    mutant_sweep_invalid_value,
+    mutant_center_tagged_l,
+    mutant_loop_reverse_flipped,
+    mutant_step_unpinned_9pt,
+    mutant_stencil_widened_behind_tiles,
+    mutant_csr_groups_merged,
+    mutant_csr_swapped_across_groups,
+    mutant_csr_dropped_subdomain,
+    mutant_csr_duplicated_subdomain,
+    mutant_csr_out_of_range,
+    mutant_get_parallel_blocks_understated,
+    mutant_lowered_read_shifted,
+]
+
+
+class TestMutantCorpus:
+    def test_corpus_size(self):
+        assert len(MUTANTS) >= 10
+
+    @pytest.mark.parametrize("mutant", MUTANTS, ids=lambda m: m.__name__)
+    def test_mutant_detected_with_stable_code(self, mutant):
+        codes, expected = mutant()
+        assert codes, f"{mutant.__name__} produced no error diagnostics"
+        expected = (expected,) if isinstance(expected, str) else expected
+        assert set(codes) & set(expected), (
+            f"{mutant.__name__}: expected one of {expected}, got {codes}"
+        )
+
+    def test_zero_false_positives_on_unmutated_modules(self):
+        """The exact modules the mutants corrupt are clean beforehand."""
+        assert _error_codes(_frontend_module()) == []
+        assert _error_codes(_frontend_module(gauss_seidel_9pt_2d)) == []
+        assert _error_codes(_lowered_module()) == []
+        assert _error_codes(_lowered_module(gauss_seidel_9pt_2d)) == []
+        offsets, indices = _csr()
+        assert _csr_codes(offsets, indices) == []

@@ -1,0 +1,192 @@
+"""The wavefront race detector: CSR replay and corruption."""
+
+import pytest
+
+from repro.analysis import (
+    check_csr_schedule,
+    check_get_parallel_blocks,
+    derive_block_offsets,
+)
+from repro.core import frontend
+from repro.core.pipeline import CompileOptions, StencilCompiler
+from repro.core.scheduling import compute_parallel_blocks
+from repro.core.stencil import (
+    gauss_seidel_5pt_2d,
+    gauss_seidel_6pt_3d,
+    gauss_seidel_9pt_2d,
+)
+
+DEPS_2D = [(-1, 0), (0, -1)]
+
+
+def _canonical_csr(num_blocks, deps=None):
+    return compute_parallel_blocks(num_blocks, deps or DEPS_2D)
+
+
+def _codes(diags):
+    return sorted({d.code for d in diags})
+
+
+class TestDeriveBlockOffsets:
+    @pytest.mark.parametrize(
+        "make", [gauss_seidel_5pt_2d, gauss_seidel_9pt_2d, gauss_seidel_6pt_3d]
+    )
+    @pytest.mark.parametrize("tile", [1, 2, 5])
+    def test_agrees_with_stencil_pattern(self, make, tile):
+        """The analyzer's corner-range derivation and StencilPattern's
+        production derivation were written independently; they must agree
+        on every legal tiling of every canonical pattern."""
+        pattern = make()
+        sizes = [tile] * pattern.rank
+        if pattern.negative_distance_dims():
+            sizes[0] = 1  # keep the tiling legal for the 9pt pattern
+        derived = derive_block_offsets(
+            pattern.l_offsets, pattern.sweep, pattern.allow_initial_reads, sizes
+        )
+        assert derived == sorted(pattern.block_stencil_offsets(sizes))
+
+
+class TestCanonicalSchedules:
+    @pytest.mark.parametrize("num_blocks", [(1, 1), (3, 3), (4, 7), (1, 6)])
+    def test_2d_clean(self, num_blocks):
+        offsets, indices = _canonical_csr(num_blocks)
+        assert check_csr_schedule(num_blocks, DEPS_2D, offsets, indices) == []
+
+    def test_3d_clean(self):
+        deps = [(-1, 0, 0), (0, -1, 0), (0, 0, -1)]
+        num_blocks = (3, 4, 2)
+        offsets, indices = compute_parallel_blocks(num_blocks, deps)
+        assert check_csr_schedule(num_blocks, deps, offsets, indices) == []
+
+    def test_backward_deps_clean(self):
+        deps = [(1, 0), (0, 1)]
+        num_blocks = (3, 4)
+        offsets, indices = compute_parallel_blocks(num_blocks, deps)
+        assert check_csr_schedule(num_blocks, deps, offsets, indices) == []
+
+
+class TestCorruptedCSR:
+    """The mutation corpus of the satellite task: every corruption is
+    flagged with its designated code and no other error codes."""
+
+    def setup_method(self):
+        self.num_blocks = (3, 3)
+        self.offsets, self.indices = _canonical_csr(self.num_blocks)
+        self.offsets = list(self.offsets)
+        self.indices = list(self.indices)
+
+    def check(self):
+        return check_csr_schedule(
+            self.num_blocks, DEPS_2D, self.offsets, self.indices
+        )
+
+    def test_merge_first_groups_races(self):
+        # Fusing groups 0 and 1 puts (0,0) next to its dependents.
+        del self.offsets[1]
+        diags = self.check()
+        assert "IP004" in _codes(diags)
+        assert all(d.is_error for d in diags)
+
+    def test_swap_across_groups(self):
+        # Move a group-1 sub-domain into group 2 and vice versa: its
+        # group-2 dependent now shares a group with it (IP004) and/or
+        # depends on a later group (IP007).
+        g1 = slice(self.offsets[1], self.offsets[2])
+        g2 = slice(self.offsets[2], self.offsets[3])
+        a = self.indices[g1][0]
+        b = self.indices[g2][0]
+        i, j = self.indices.index(a), self.indices.index(b)
+        self.indices[i], self.indices[j] = self.indices[j], self.indices[i]
+        codes = _codes(self.check())
+        assert set(codes) & {"IP004", "IP007"}
+        assert "IP009" not in codes
+
+    def test_dropped_subdomain(self):
+        victim = int(self.indices[-1])
+        del self.indices[-1]
+        self.offsets = [min(o, len(self.indices)) for o in self.offsets]
+        diags = self.check()
+        assert "IP005" in _codes(diags)
+        assert str(tuple(divmod(victim, 3))) in "".join(
+            d.message for d in diags if d.code == "IP005"
+        )
+
+    def test_duplicated_subdomain(self):
+        self.indices.append(self.indices[0])
+        self.offsets[-1] += 1
+        diags = self.check()
+        assert "IP006" in _codes(diags)
+        assert "overlap" in [d for d in diags if d.code == "IP006"][0].message
+
+    def test_out_of_range_index(self):
+        self.indices[0] = 99
+        diags = self.check()
+        assert _codes(diags) == ["IP009"]
+
+    def test_negative_index(self):
+        self.indices[2] = -1
+        assert _codes(self.check()) == ["IP009"]
+
+    def test_non_monotonic_offsets(self):
+        self.offsets[1], self.offsets[2] = self.offsets[2], self.offsets[1]
+        assert "IP009" in _codes(self.check())
+
+    def test_offsets_not_starting_at_zero(self):
+        self.offsets[0] = 1
+        assert "IP009" in _codes(self.check())
+
+    def test_truncated_offsets(self):
+        self.offsets[-1] -= 2
+        assert "IP009" in _codes(self.check())
+
+
+class TestOpLevel:
+    def _lowered(self, pattern, shape, subdomains):
+        module = frontend.build_stencil_kernel(
+            pattern, shape, frontend.identity_body(4.0)
+        )
+        options = CompileOptions(
+            subdomain_sizes=subdomains, parallel=True, vectorize=0,
+            use_cache=False,
+        )
+        StencilCompiler(options).lower(module)
+        return module
+
+    def _gp_ops(self, module):
+        return [
+            op for op in module.walk() if op.name == "cfd.get_parallel_blocks"
+        ]
+
+    def test_canonical_clean(self):
+        module = self._lowered(gauss_seidel_5pt_2d(), (24, 24), (12, 12))
+        ops = self._gp_ops(module)
+        assert ops
+        for op in ops:
+            assert check_get_parallel_blocks(op) == []
+
+    def test_corrupted_block_stencil_is_ip008(self):
+        from repro.ir.attributes import DenseIntElementsAttr
+
+        module = self._lowered(gauss_seidel_5pt_2d(), (24, 24), (12, 12))
+        (op,) = self._gp_ops(module)
+        # Declare only one of the two true block dependences.
+        op.attributes["block_stencil"] = DenseIntElementsAttr(
+            [[0, 0, 0], [-1, 0, 0], [0, 0, 0]]
+        )
+        diags = check_get_parallel_blocks(op)
+        codes = _codes(diags)
+        assert "IP008" in codes
+        # The replayed schedule also races along the undeclared (0,-1)
+        # dependence: same anti-diagonal group, dependent neighbors.
+        assert "IP004" in codes
+
+    def test_step_mutation_is_detected(self):
+        from repro.ir.attributes import IntegerAttr
+
+        module = self._lowered(gauss_seidel_9pt_2d(), (24, 24), (12, 12))
+        (op,) = self._gp_ops(module)
+        (loop,) = [o for o in module.walk() if o.name == "cfd.tiled_loop"]
+        assert loop.steps[0].op.attributes["value"].value == 1
+        loop.steps[0].op.attributes["value"] = IntegerAttr(4)
+        codes = _codes(check_get_parallel_blocks(op))
+        assert "IP008" in codes

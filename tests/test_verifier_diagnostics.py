@@ -1,0 +1,107 @@
+"""Verifier error messages: structural op paths and IR excerpts."""
+
+import pytest
+
+from repro.core import frontend
+from repro.core.stencil import gauss_seidel_5pt_2d
+from repro.ir import ModuleOp, Pass, PassManager
+from repro.ir.location import op_excerpt, op_path
+from repro.ir.operation import create_operation
+from repro.ir.types import f64
+from repro.ir.verifier import IRVerificationError, verify
+
+
+def _invalid_module():
+    module = ModuleOp.create()
+    a = create_operation("test.def", result_types=[f64])
+    use = create_operation("test.use", [a.result()])
+    module.body.append(use)  # use before def
+    module.body.append(a)
+    return module
+
+
+class TestOpPath:
+    def test_kernel_stencil_path(self):
+        module = frontend.build_stencil_kernel(
+            gauss_seidel_5pt_2d(), (8, 8), frontend.identity_body(4.0)
+        )
+        (op,) = [o for o in module.walk() if o.name == "cfd.stencilOp"]
+        path = op_path(op)
+        assert path.startswith("builtin.module/")
+        assert "func.func[sym=kernel]" in path
+        assert path.endswith("cfd.stencilOp")
+        assert "/r0/b0/" in path
+
+    def test_detached_op_has_bare_path(self):
+        op = create_operation("test.def", result_types=[f64])
+        assert op_path(op) == "test.def"
+
+    def test_excerpt_truncates(self):
+        module = frontend.build_stencil_kernel(
+            gauss_seidel_5pt_2d(), (8, 8), frontend.identity_body(4.0)
+        )
+        text = op_excerpt(module, max_lines=4)
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert "more lines" in lines[-1]
+
+    def test_excerpt_of_small_op_is_complete(self):
+        op = create_operation("test.def", result_types=[f64])
+        assert "test.def" in op_excerpt(op)
+        assert "more lines" not in op_excerpt(op)
+
+
+class TestVerifierMessages:
+    def test_dominance_error_carries_path_and_excerpt(self):
+        with pytest.raises(IRVerificationError) as info:
+            verify(_invalid_module())
+        message = str(info.value)
+        assert "does not dominate" in message
+        assert "at builtin.module/r0/b0/op0:test.use" in message
+        assert "\n  | " in message  # the printed-IR excerpt
+
+    def test_nested_failure_names_the_function(self):
+        module = frontend.build_stencil_kernel(
+            gauss_seidel_5pt_2d(), (8, 8), frontend.identity_body(4.0)
+        )
+        (op,) = [o for o in module.walk() if o.name == "cfd.stencilOp"]
+        # Corrupt the op's use-def chain behind the API's back.
+        op.operand(0).uses.clear()
+        with pytest.raises(IRVerificationError) as info:
+            verify(module)
+        message = str(info.value)
+        assert "use-def" in message
+        assert "func.func[sym=kernel]" in message
+        assert "cfd.stencilOp" in message
+
+    def test_op_verifier_failure_carries_path(self):
+        module = frontend.build_stencil_kernel(
+            gauss_seidel_5pt_2d(), (8, 8), frontend.identity_body(4.0)
+        )
+        (op,) = [o for o in module.walk() if o.name == "cfd.stencilOp"]
+        # Empty the payload region: the op verifier requires a terminator.
+        for inner in reversed(list(op.body.operations)):
+            inner.erase()
+        with pytest.raises(IRVerificationError) as info:
+            verify(module)
+        assert "func.func[sym=kernel]" in str(info.value)
+
+
+class TestPassManagerNamesFailingPass:
+    def test_failure_names_pass_and_op(self):
+        class Corrupt(Pass):
+            name = "corrupt"
+
+            def run(self, module):
+                a = create_operation("test.def", result_types=[f64])
+                use = create_operation("test.use", [a.result()])
+                module.body.append(use)
+                module.body.append(a)
+
+        pm = PassManager([Corrupt()])
+        with pytest.raises(
+            RuntimeError, match="after pass 'corrupt'"
+        ) as info:
+            pm.run(ModuleOp.create())
+        assert "test.use" in str(info.value)
+        assert "at builtin.module" in str(info.value)
