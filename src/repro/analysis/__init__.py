@@ -4,8 +4,11 @@ A standalone audit layer over the compiler: a two-level dependence
 engine (:mod:`~repro.analysis.dependence`), the §2.1 in-place legality
 checks (:mod:`~repro.analysis.legality`), a wavefront race detector
 replaying the ``cfd.get_parallel_blocks`` CSR payload
-(:mod:`~repro.analysis.wavefront`) and structured diagnostics with
-stable ``IP0xx`` codes (:mod:`~repro.analysis.diagnostics`).
+(:mod:`~repro.analysis.wavefront`), an abstract-interpretation
+memory-safety analyzer proving accesses in bounds and auditing
+bufferization's in-place reuse (:mod:`~repro.analysis.absint`) and
+structured diagnostics with stable ``IP0xx`` codes
+(:mod:`~repro.analysis.diagnostics`).
 
 Entry points: :func:`analyze_module` for a one-shot walk,
 :class:`AnalysisGate` for pipeline integration via
@@ -13,6 +16,11 @@ Entry points: :func:`analyze_module` for a one-shot walk,
 CLI lint driver over the example pipelines.
 """
 
+from repro.analysis.absint import (
+    Interval,
+    MemorySafetyReport,
+    run_memory_safety,
+)
 from repro.analysis.analyzer import (
     CHECK_LEVELS,
     AnalysisError,
@@ -58,6 +66,8 @@ __all__ = [
     "Diagnostic",
     "DiagnosticReport",
     "ERROR_CODES",
+    "Interval",
+    "MemorySafetyReport",
     "SEVERITIES",
     "analyze_module",
     "analyze_op",
@@ -74,6 +84,7 @@ __all__ = [
     "lex_sign",
     "lowered_access_set",
     "pattern_access_set",
+    "run_memory_safety",
     "schedule_relevant_offsets",
     "stencil_raw_attrs",
     "tile_sizes_legal",

@@ -3,21 +3,39 @@
 Each path may be an example file, an example stem (``quickstart``) or a
 directory of examples (``examples/``). Every resolved stem is linted by
 rebuilding its corpus pipelines (:mod:`repro.analysis.corpus`) and
-running them with the analysis gate attached after every pass. Exit
-status is 1 when any error-severity diagnostic is produced, 0 otherwise
-(warnings and notes are printed but do not fail the lint).
+running them with the analysis gate attached after every pass; entries
+whose lowered form bufferizes are additionally bufferized and re-linted,
+which exercises the memory-safety clients (IP013–IP015) on memref-level
+IR. Exit status is 1 when any error-severity diagnostic is produced, 0
+otherwise (warnings and notes are printed but do not fail the lint).
+
+Machine-readable output:
+
+``--json``
+    One JSON object per diagnostic per line (``code``, ``severity``,
+    ``title``, ``message``, ``op_path``, ``after_pass``, ``entry``,
+    ``file``) instead of the human-readable report.
+``--github``
+    GitHub Actions workflow annotations (``::error`` / ``::warning`` /
+    ``::notice``) so findings surface inline on pull requests.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from pathlib import Path
-from typing import List
+from typing import List, Optional
 
 from repro.analysis.analyzer import AnalysisGate
 from repro.analysis.corpus import build_corpus
+from repro.analysis.diagnostics import Diagnostic
+from repro.core.bufferization import BufferizationError, BufferizePass
 from repro.core.pipeline import StencilCompiler
+
+#: diagnostic severity -> GitHub annotation command
+_GITHUB_LEVELS = {"error": "error", "warning": "warning", "note": "notice"}
 
 
 def _resolve_stems(paths: List[str], known: List[str]) -> List[str]:
@@ -49,11 +67,32 @@ def _resolve_stems(paths: List[str], known: List[str]) -> List[str]:
     return [s for s in stems if not (s in seen or seen.add(s))]
 
 
+def _emit_json(diag: Diagnostic, entry_name: str, file: str) -> None:
+    print(json.dumps({
+        "code": diag.code,
+        "severity": diag.severity,
+        "title": diag.title,
+        "message": diag.message,
+        "op_path": diag.op_path,
+        "after_pass": diag.after_pass,
+        "entry": entry_name,
+        "file": file,
+    }, sort_keys=True))
+
+
+def _emit_github(diag: Diagnostic, entry_name: str, file: str) -> None:
+    level = _GITHUB_LEVELS[diag.severity]
+    where = f" (after pass {diag.after_pass!r})" if diag.after_pass else ""
+    # '::' would terminate the annotation command prematurely.
+    message = f"[{entry_name}] {diag.message}{where}".replace("::", ":")
+    print(f"::{level} file={file},title={diag.code} {diag.title}::{message}")
+
+
 def main(argv: List[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.analysis",
-        description="In-place legality & wavefront race lint over the "
-        "example pipelines.",
+        description="In-place legality, wavefront race and memory-safety "
+        "lint over the example pipelines.",
     )
     parser.add_argument(
         "paths",
@@ -64,14 +103,24 @@ def main(argv: List[str] | None = None) -> int:
         "-q", "--quiet", action="store_true",
         help="print only the per-entry verdict lines",
     )
+    parser.add_argument(
+        "--json", action="store_true", dest="as_json",
+        help="emit one JSON object per diagnostic per line",
+    )
+    parser.add_argument(
+        "--github", action="store_true",
+        help="emit GitHub Actions ::error/::warning annotations",
+    )
     args = parser.parse_args(argv)
 
     corpus = build_corpus()
     stems = _resolve_stems(args.paths, list(corpus))
+    machine = args.as_json or args.github
 
     exit_code = 0
     total = 0
     for stem in stems:
+        file = f"examples/{stem}.py"
         for entry in corpus[stem]:
             gate = AnalysisGate(fail_fast=False)
             compiler = StencilCompiler(entry.options)
@@ -80,27 +129,45 @@ def main(argv: List[str] | None = None) -> int:
             pm.gate_each = True
             module = entry.build()
             gate(module, after_pass=None)  # lint the frontend output too
-            crash = None
+            crash: Optional[Exception] = None
             try:
                 pm.run(module)
             except Exception as exc:  # a mutant may not even lower
                 crash = exc
+            if crash is None:
+                # Re-lint at the buffer level when the lowered form is
+                # bufferizable: the uninit-read and clobber checkers only
+                # see memref-level IR.
+                try:
+                    BufferizePass().run(module)
+                except BufferizationError:
+                    pass
+                else:
+                    gate(module, after_pass="bufferize")
             report = gate.report
             total += len(report.diagnostics)
             failed = report.has_errors or crash is not None
             verdict = "FAIL" if failed else "ok"
-            print(
-                f"[{verdict}] {entry.name}: {entry.description} "
-                f"({entry.options.describe()}) -- {report.summary()}"
-            )
-            if crash is not None:
-                print(f"  pipeline crashed: {crash}")
-            if report.diagnostics and not args.quiet:
-                print(report.render())
+            if args.as_json:
+                for diag in report.diagnostics:
+                    _emit_json(diag, entry.name, file)
+            elif args.github:
+                for diag in report.diagnostics:
+                    _emit_github(diag, entry.name, file)
+            if not args.as_json:
+                print(
+                    f"[{verdict}] {entry.name}: {entry.description} "
+                    f"({entry.options.describe()}) -- {report.summary()}"
+                )
+                if crash is not None:
+                    print(f"  pipeline crashed: {crash}")
+                if report.diagnostics and not args.quiet and not machine:
+                    print(report.render())
             if failed:
                 exit_code = 1
-    print(f"linted {sum(len(corpus[s]) for s in stems)} pipeline(s) "
-          f"from {len(stems)} example(s): {total} diagnostic(s)")
+    if not args.as_json:
+        print(f"linted {sum(len(corpus[s]) for s in stems)} pipeline(s) "
+              f"from {len(stems)} example(s): {total} diagnostic(s)")
     return exit_code
 
 

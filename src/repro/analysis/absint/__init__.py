@@ -1,0 +1,82 @@
+"""Abstract interpretation for memory safety (IP011–IP015).
+
+A forward dataflow engine over an interval domain for index arithmetic
+(:mod:`~repro.analysis.absint.engine`,
+:mod:`~repro.analysis.absint.interval`) with three client analyses:
+
+* in-bounds proofs for every load/store/slice/vector transfer
+  (:mod:`~repro.analysis.absint.bounds`, IP011/IP012);
+* uninitialized-read detection over bufferized IR
+  (:mod:`~repro.analysis.absint.memory`, IP013);
+* replay of bufferization's in-place reuse decisions against interval
+  footprints (IP014/IP015).
+
+:func:`run_memory_safety` is the entry point :func:`analyze_module`
+wires into the :class:`~repro.analysis.analyzer.AnalysisGate`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from repro.analysis.absint.bounds import InBoundsChecker
+from repro.analysis.absint.engine import (
+    ENUMERATION_LIMIT,
+    AbsintClient,
+    AbstractEvaluator,
+    run_clients,
+)
+from repro.analysis.absint.interval import (
+    Box,
+    Interval,
+    box_contains,
+    box_join,
+    box_str,
+)
+from repro.analysis.absint.memory import ClobberChecker, UninitReadChecker
+from repro.analysis.diagnostics import Diagnostic
+from repro.ir.operation import Operation
+
+
+@dataclass
+class MemorySafetyReport:
+    """The result of one :func:`run_memory_safety` sweep."""
+
+    diagnostics: List[Diagnostic] = field(default_factory=list)
+    #: id(op) -> statically proven access hull (see ``InBoundsChecker``).
+    proven: Dict[int, Box] = field(default_factory=dict)
+
+
+def run_memory_safety(
+    module: Operation, enumeration_limit: int = ENUMERATION_LIMIT
+) -> MemorySafetyReport:
+    """Run all three absint clients over every function of ``module``."""
+    clients = run_clients(
+        module,
+        lambda: [InBoundsChecker(), UninitReadChecker(), ClobberChecker()],
+        enumeration_limit=enumeration_limit,
+    )
+    report = MemorySafetyReport()
+    for client in clients:
+        report.diagnostics.extend(client.diagnostics())
+        if isinstance(client, InBoundsChecker):
+            report.proven.update(client.proven)
+    return report
+
+
+__all__ = [
+    "AbsintClient",
+    "AbstractEvaluator",
+    "Box",
+    "ClobberChecker",
+    "ENUMERATION_LIMIT",
+    "InBoundsChecker",
+    "Interval",
+    "MemorySafetyReport",
+    "UninitReadChecker",
+    "box_contains",
+    "box_join",
+    "box_str",
+    "run_memory_safety",
+]

@@ -1,0 +1,212 @@
+"""In-bounds proofs (IP011/IP012) and the proven-range record.
+
+For every element access (``tensor.extract``/``insert``,
+``memref.load``/``store``, ``vector.transfer_read``/``write``), slice
+window (``tensor.extract_slice``/``insert_slice``, ``memref.subview``)
+and structured op (bounded ``cfd.stencilOp``, ``linalg.generic``) this
+client evaluates the access footprint in the engine's current context
+and compares it against the accessed value's extents:
+
+* footprint provably inside ``[0, extent)`` → recorded in
+  :attr:`InBoundsChecker.proven` (the hull over all visited contexts, the
+  side the checked interpreter's dynamic oracle is compared against);
+* footprint bounded but escaping, in an exactly-modeled context → an
+  ``IP011`` (element access) or ``IP012`` (slice window) error;
+* anything unresolvable (unbounded interval, dynamic extent, or a loop
+  the engine had to approximate) → an ``IP010`` note, never a silent
+  pass.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.analysis.absint.engine import AbsintClient, AbstractEvaluator
+from repro.analysis.absint.interval import (
+    NEG_INF,
+    Box,
+    Interval,
+    box_join,
+    box_str,
+)
+from repro.analysis.diagnostics import Diagnostic
+from repro.ir.location import op_excerpt, op_path
+from repro.ir.operation import Operation
+from repro.ir.types import TensorType, MemRefType
+
+#: verdicts of one footprint-vs-extent comparison
+_OK, _UNKNOWN, _ESCAPES = range(3)
+
+
+class InBoundsChecker(AbsintClient):
+    """The IP011/IP012 client of the abstract evaluator."""
+
+    def __init__(self) -> None:
+        self._diags: List[Diagnostic] = []
+        self._seen: set = set()
+        #: id(op) -> hull of every proven access footprint of that op, in
+        #: the coordinates of the op's accessed operand.
+        self.proven: Dict[int, Box] = {}
+
+    def diagnostics(self) -> List[Diagnostic]:
+        return list(self._diags)
+
+    # ---- dispatch --------------------------------------------------------
+
+    def on_op(self, op: Operation, engine: AbstractEvaluator) -> None:
+        name = op.name
+        if name == "tensor.extract":
+            self._check_point(op, engine, op.operand(0), op.operands[1:], "read")
+        elif name == "memref.load":
+            self._check_point(op, engine, op.operand(0), op.operands[1:], "read")
+        elif name == "tensor.insert":
+            self._check_point(op, engine, op.operand(1), op.operands[2:], "write")
+        elif name == "memref.store":
+            self._check_point(op, engine, op.operand(1), op.operands[2:], "write")
+        elif name in ("tensor.extract_slice", "memref.subview"):
+            rank = (op.num_operands - 1) // 2
+            self._check_window(
+                op, engine, op.operand(0),
+                op.operands[1 : 1 + rank], op.operands[1 + rank :],
+            )
+        elif name == "tensor.insert_slice":
+            rank = (op.num_operands - 2) // 2
+            self._check_window(
+                op, engine, op.operand(1),
+                op.operands[2 : 2 + rank], op.operands[2 + rank :],
+            )
+        elif name == "vector.transfer_read":
+            self._check_transfer(op, engine, op.operand(0), op.operands[1:],
+                                 op.result().type.shape[0], "read")
+        elif name == "vector.transfer_write":
+            self._check_transfer(op, engine, op.operand(1), op.operands[2:],
+                                 op.operand(0).type.shape[0], "write")
+        elif name == "cfd.stencilOp":
+            self._check_stencil(op, engine)
+        elif name == "linalg.generic":
+            self._check_generic(op, engine)
+
+    # ---- the three footprint shapes --------------------------------------
+
+    def _check_point(self, op, engine, buffer, index_values, what) -> None:
+        box = tuple(engine.eval(v) for v in index_values)
+        self._verdict(op, engine, buffer, box, "IP011",
+                      f"{what} at index {box_str(box)}")
+
+    def _check_window(self, op, engine, buffer, offs, sizes) -> None:
+        offs_iv = [engine.eval(v) for v in offs]
+        sizes_iv = [engine.eval(v) for v in sizes]
+        box = tuple(
+            Interval(o.lo, max(o.lo, o.hi + s.hi - 1))
+            for o, s in zip(offs_iv, sizes_iv)
+        )
+        self._verdict(op, engine, buffer, box, "IP012",
+                      f"slice window {box_str(box)}")
+
+    def _check_transfer(self, op, engine, buffer, index_values, vf, what) -> None:
+        box = [engine.eval(v) for v in index_values]
+        box[-1] = Interval(box[-1].lo, box[-1].hi + vf - 1)
+        self._verdict(op, engine, buffer, tuple(box), "IP011",
+                      f"vector {what} of width {vf} at {box_str(box)}")
+
+    # ---- structured ops --------------------------------------------------
+
+    def _check_stencil(self, op, engine) -> None:
+        if not op.has_bounds:
+            return  # interior bounds are in range by construction
+        pattern = op.pattern
+        k = pattern.rank
+        halo_lo = [max([0] + [-o[d] for o, _ in pattern.accesses]) for d in range(k)]
+        halo_hi = [max([0] + [o[d] for o, _ in pattern.accesses]) for d in range(k)]
+        los = [engine.eval(v) for v in op.bounds_lo]
+        his = [engine.eval(v) for v in op.bounds_hi]
+        if any(h.hi <= l.lo for l, h in zip(los, his)):
+            return  # provably empty core: no cell is updated
+        nv = Interval(0, op.nb_var - 1)
+        write_box = (nv,) + tuple(
+            Interval(l.lo, h.hi - 1) for l, h in zip(los, his)
+        )
+        read_box = (nv,) + tuple(
+            Interval(l.lo - hl, h.hi - 1 + hh)
+            for l, h, hl, hh in zip(los, his, halo_lo, halo_hi)
+        )
+        what = f"halo reads {box_str(read_box)}"
+        self._verdict(op, engine, op.x, read_box, "IP011", what)
+        self._verdict(op, engine, op.y_init, read_box, "IP011", what)
+        self._verdict(op, engine, op.b, write_box, "IP011",
+                      f"rhs reads {box_str(write_box)}")
+
+    def _check_generic(self, op, engine) -> None:
+        out_ext = engine.extent(op.out_init)
+        offsets = op.offsets
+        margins = op.margins
+        rank = len(out_ext)
+        los: List[int] = []
+        his: List[Interval] = []
+        for d in range(rank):
+            lo = max([0] + [-o[d] for o in offsets] + [margins[d][0]])
+            hi_margin = max([0] + [o[d] for o in offsets] + [margins[d][1]])
+            los.append(lo)
+            his.append(out_ext[d] - Interval.point(hi_margin))
+        if any(h.hi <= lo for lo, h in zip(los, his)):
+            return  # provably empty iteration domain
+        for j, (value, off) in enumerate(zip(op.ins, offsets)):
+            box = tuple(
+                Interval(lo + off[d], his[d].hi - 1 + off[d])
+                for d, lo in enumerate(los)
+            )
+            self._verdict(op, engine, value, box, "IP011",
+                          f"input #{j} reads {box_str(box)}")
+
+    # ---- verdicts --------------------------------------------------------
+
+    def _verdict(
+        self,
+        op: Operation,
+        engine: AbstractEvaluator,
+        buffer,
+        box: Box,
+        code: str,
+        what: str,
+    ) -> None:
+        if not isinstance(buffer.type, (TensorType, MemRefType)):
+            return
+        ext = engine.extent(buffer)
+        if len(ext) != len(box):
+            return  # malformed IR; the verifier owns this complaint
+        status = _OK
+        for idx, e in zip(box, ext):
+            if not idx.is_bounded or e.lo == NEG_INF:
+                status = max(status, _UNKNOWN)
+            elif idx.lo < 0 or idx.hi > e.lo - 1:
+                status = max(status, _ESCAPES)
+        if status == _ESCAPES and engine.approx_depth:
+            status = _UNKNOWN  # over-approximated context: not a proof
+        if status == _OK:
+            key = id(op)
+            prior = self.proven.get(key)
+            self.proven[key] = box if prior is None else box_join(prior, box)
+            return
+        extent_str = box_str(ext)
+        if status == _ESCAPES:
+            self._emit(op, code, "error",
+                       f"{what} escapes the allocation of extent {extent_str}")
+        else:
+            self._emit(op, "IP010", "note",
+                       f"in-bounds check skipped: {what} vs extent "
+                       f"{extent_str} could not be resolved statically")
+
+    def _emit(self, op: Operation, code: str, severity: str, message: str) -> None:
+        key = (id(op), code)
+        if key in self._seen:
+            return
+        self._seen.add(key)
+        self._diags.append(
+            Diagnostic(
+                code=code,
+                message=message,
+                severity=severity,
+                op_path=op_path(op),
+                excerpt=op_excerpt(op),
+            )
+        )

@@ -1,0 +1,326 @@
+"""Uninitialized-read (IP013) and bufferization-clobber (IP014/IP015)
+detection over bufferized (memref-level) IR.
+
+Both clients record the *memory events* of a function — reads and writes
+with interval footprints, resolved through ``memref.subview`` aliasing
+chains to their base allocation — in execution order, then analyze the
+event timeline when diagnostics are collected:
+
+* :class:`UninitReadChecker` flags reads from locally allocated buffers
+  that no initializer or producer has written: either no write can
+  precede the read at all, or the read footprint provably reaches cells
+  outside the hull of everything written before it (sound because the
+  hull over-approximates the written set, so escaping the hull means
+  definitely reading unwritten cells). A write "may precede" a read when
+  it is earlier in program order or shares an enclosing loop (a previous
+  iteration may have executed it).
+
+* :class:`ClobberChecker` replays the in-place reuse decisions of
+  :class:`~repro.core.bufferization.BufferizePass` against the
+  footprints. The pass stamps every emitted access with the *serial* of
+  the tensor-level value it materializes (``absint_reads`` /
+  ``absint_writes`` / ``absint_parent``) and every lowered loop with its
+  carry chain (``absint_carries``), which reconstructs the derivation
+  graph of tensor values. A read of value ``v`` from a cell whose last
+  write materialized ``w`` is correct iff ``v`` is ``w`` or derives from
+  it (in-place updates only changed cells ``v`` redefines); if instead
+  ``w`` strictly derives from ``v``, the buffer was reused while ``v``
+  was still live — an IP014 clobber. Unrelated lineages on the same
+  buffer cannot be verified and warn as IP015.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.analysis.absint.engine import AbsintClient, AbstractEvaluator
+from repro.analysis.absint.interval import (
+    Box,
+    Interval,
+    box_contains,
+    box_is_bounded,
+    box_join,
+    box_overlaps,
+    box_str,
+)
+from repro.analysis.diagnostics import Diagnostic
+from repro.ir.attributes import DenseIntElementsAttr, IntegerAttr
+from repro.ir.operation import Operation
+from repro.ir.values import Value
+
+
+@dataclass
+class MemEvent:
+    """One read or write of a base buffer, in base coordinates."""
+
+    kind: str  # "read" | "write"
+    base: int  # id() of the base buffer value
+    box: Box
+    op: Operation
+    scopes: Tuple[int, ...]  # ids of the enclosing loop ops
+    serial: Optional[int] = None  # stamped value serial, if any
+    parent: Optional[int] = None  # stamped parent serial (writes only)
+
+
+class _AliasTracker:
+    """Resolves ``memref.subview`` chains to (base value, offset box)."""
+
+    def __init__(self) -> None:
+        #: id(view value) -> (base value, per-dim offset intervals)
+        self._views: Dict[int, Tuple[Value, Box]] = {}
+
+    def register_subview(self, op: Operation, engine: AbstractEvaluator) -> None:
+        rank = (op.num_operands - 1) // 2
+        offs = tuple(engine.eval(v) for v in op.operands[1 : 1 + rank])
+        base, outer = self.resolve(op.operand(0))
+        if outer is not None:
+            offs = tuple(a + b for a, b in zip(outer, offs))
+        self._views[id(op.result())] = (base, offs)
+
+    def resolve(self, value: Value) -> Tuple[Value, Optional[Box]]:
+        entry = self._views.get(id(value))
+        if entry is None:
+            return value, None
+        return entry
+
+    def translate(
+        self, value: Value, box: Box
+    ) -> Tuple[Value, Box]:
+        """A footprint on ``value`` expressed on its base buffer."""
+        base, offs = self.resolve(value)
+        if offs is None:
+            return value, box
+        return base, tuple(b + o for b, o in zip(box, offs))
+
+
+def _footprints(
+    op: Operation, engine: AbstractEvaluator
+) -> List[Tuple[str, Value, Box]]:
+    """The (kind, accessed value, footprint) list of one memref-level op."""
+    name = op.name
+    if name == "memref.load":
+        return [("read", op.operand(0),
+                 tuple(engine.eval(v) for v in op.operands[1:]))]
+    if name == "memref.store":
+        return [("write", op.operand(1),
+                 tuple(engine.eval(v) for v in op.operands[2:]))]
+    if name == "memref.copy":
+        out: List[Tuple[str, Value, Box]] = []
+        for kind, val in (("read", op.operand(0)), ("write", op.operand(1))):
+            ext = engine.extent(val)
+            out.append((kind, val, tuple(Interval(0, max(0, e.hi - 1)) for e in ext)))
+        return out
+    if name == "vector.transfer_read":
+        box = [engine.eval(v) for v in op.operands[1:]]
+        vf = op.result().type.shape[0]
+        box[-1] = Interval(box[-1].lo, box[-1].hi + vf - 1)
+        return [("read", op.operand(0), tuple(box))]
+    if name == "vector.transfer_write" and op.num_results == 0:
+        box = [engine.eval(v) for v in op.operands[2:]]
+        vf = op.operand(0).type.shape[0]
+        box[-1] = Interval(box[-1].lo, box[-1].hi + vf - 1)
+        return [("write", op.operand(1), tuple(box))]
+    return []
+
+
+class _EventCollector(AbsintClient):
+    """Shared base: accumulates alias-resolved memory events."""
+
+    def __init__(self) -> None:
+        self._aliases = _AliasTracker()
+        self.events: List[MemEvent] = []
+        #: id(alloc result) -> (alloc op, extent box at allocation time)
+        self.local_allocs: Dict[int, Tuple[Operation, Box]] = {}
+        self._diags: List[Diagnostic] = []
+        self._seen: Set[Tuple[int, str]] = set()
+        self._analyzed = False
+
+    def on_op(self, op: Operation, engine: AbstractEvaluator) -> None:
+        name = op.name
+        if name == "memref.subview":
+            self._aliases.register_subview(op, engine)
+            return
+        if name == "memref.alloc":
+            ext = engine.extent(op.result())
+            self.local_allocs[id(op.result())] = (op, ext)
+            return
+        scopes = tuple(id(l) for l in engine.loop_stack)
+        for kind, value, box in _footprints(op, engine):
+            base, tbox = self._aliases.translate(value, box)
+            self.events.append(MemEvent(
+                kind=kind, base=id(base), box=tbox, op=op, scopes=scopes,
+                serial=_stamp(op, "absint_reads" if kind == "read" else "absint_writes"),
+                parent=_stamp(op, "absint_parent") if kind == "write" else None,
+            ))
+        self._extra_op(op, engine)
+
+    def _extra_op(self, op: Operation, engine: AbstractEvaluator) -> None:
+        pass
+
+    def diagnostics(self) -> List[Diagnostic]:
+        if not self._analyzed:
+            self._analyzed = True
+            self._analyze()
+        return list(self._diags)
+
+    def _analyze(self) -> None:
+        raise NotImplementedError
+
+    def _emit(self, op: Operation, code: str, severity: str, message: str) -> None:
+        from repro.ir.location import op_excerpt, op_path
+
+        key = (id(op), code)
+        if key in self._seen:
+            return
+        self._seen.add(key)
+        self._diags.append(Diagnostic(
+            code=code, message=message, severity=severity,
+            op_path=op_path(op), excerpt=op_excerpt(op),
+        ))
+
+
+def _stamp(op: Operation, key: str) -> Optional[int]:
+    attr = op.attributes.get(key)
+    return attr.value if isinstance(attr, IntegerAttr) else None
+
+
+def _may_precede(write: MemEvent, w_index: int, read_index: int,
+                 read: MemEvent) -> bool:
+    if w_index < read_index:
+        return True
+    return bool(set(write.scopes) & set(read.scopes))
+
+
+class UninitReadChecker(_EventCollector):
+    """IP013: reads of locally allocated cells nothing has written."""
+
+    def _analyze(self) -> None:
+        for i, ev in enumerate(self.events):
+            if ev.kind != "read" or ev.base not in self.local_allocs:
+                continue
+            _, ext = self.local_allocs[ev.base]
+            full_box = tuple(Interval(0, max(0, e.lo - 1)) for e in ext)
+            preceding = [
+                w for j, w in enumerate(self.events)
+                if w.kind == "write" and w.base == ev.base
+                and _may_precede(w, j, i, ev)
+            ]
+            if not preceding:
+                self._emit(
+                    ev.op, "IP013", "error",
+                    f"read of {box_str(ev.box)} from a buffer of extent "
+                    f"{box_str(ext)} that no write can precede",
+                )
+                continue
+            if any(
+                box_is_bounded(w.box) and box_contains(w.box, full_box)
+                for w in preceding
+            ):
+                continue  # fully initialized (a whole-buffer copy/fill)
+            hull = preceding[0].box
+            for w in preceding[1:]:
+                hull = box_join(hull, w.box)
+            if not box_is_bounded(ev.box) or not box_is_bounded(hull):
+                continue  # unresolvable; the bounds client already noted it
+            if not box_contains(hull, ev.box):
+                self._emit(
+                    ev.op, "IP013", "error",
+                    f"read of {box_str(ev.box)} reaches outside the written "
+                    f"region {box_str(hull)} of a local buffer that was "
+                    "never fully initialized",
+                )
+
+
+class ClobberChecker(_EventCollector):
+    """IP014/IP015: in-place buffer reuse vs. still-live tensor values."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        #: derivation edges: serial u -> serials derived in place from u.
+        self._edges: Dict[int, Set[int]] = {}
+        self._reach_memo: Dict[Tuple[int, int], bool] = {}
+
+    def _extra_op(self, op: Operation, engine: AbstractEvaluator) -> None:
+        carries = op.attributes.get("absint_carries")
+        if isinstance(carries, DenseIntElementsAttr) and len(carries.shape) == 2:
+            for row in carries.to_nested_lists():
+                init, arg, yielded, result = row
+                self._edge(init, arg)
+                self._edge(yielded, arg)
+                self._edge(yielded, result)
+                # A loop result is the init after zero or more in-place
+                # iterations, so it derives from the init even when the
+                # body never runs (zero-trip loops contribute no stamped
+                # writes to bridge arg -> yielded).
+                self._edge(init, result)
+
+    def _edge(self, src: int, dst: int) -> None:
+        self._edges.setdefault(src, set()).add(dst)
+
+    def _derives(self, src: int, dst: int) -> bool:
+        """Is ``dst`` (transitively) derived in place from ``src``?"""
+        if src == dst:
+            return True
+        key = (src, dst)
+        cached = self._reach_memo.get(key)
+        if cached is not None:
+            return cached
+        seen: Set[int] = set()
+        stack = [src]
+        found = False
+        while stack:
+            node = stack.pop()
+            if node in seen:
+                continue
+            seen.add(node)
+            if node == dst:
+                found = True
+                break
+            stack.extend(self._edges.get(node, ()))
+        self._reach_memo[key] = found
+        return found
+
+    def _analyze(self) -> None:
+        for ev in self.events:  # writes contribute derivation edges
+            if ev.kind == "write" and ev.serial is not None and ev.parent is not None:
+                self._edge(ev.parent, ev.serial)
+        for i, ev in enumerate(self.events):
+            if ev.kind != "read" or ev.serial is None:
+                continue
+            # Overlapping writes that may precede the read, latest first,
+            # up to (and including) the first that fully covers it.
+            for j in range(len(self.events) - 1, -1, -1):
+                w = self.events[j]
+                if (
+                    w.kind != "write"
+                    or w.base != ev.base
+                    or w.serial is None
+                    or not _may_precede(w, j, i, ev)
+                    or not box_overlaps(w.box, ev.box)
+                ):
+                    continue
+                if not self._check_pair(ev, w):
+                    break  # a clobber/warning was emitted
+                if box_is_bounded(w.box) and box_contains(w.box, ev.box):
+                    break  # fully covered: earlier writes are invisible
+
+    def _check_pair(self, read: MemEvent, write: MemEvent) -> bool:
+        v, w = read.serial, write.serial
+        if self._derives(w, v):
+            return True  # reading a descendant of the cell contents: exact
+        if self._derives(v, w):
+            self._emit(
+                read.op, "IP014", "error",
+                f"in-place reuse clobbers a live value: cells "
+                f"{box_str(read.box)} were overwritten by a later in-place "
+                "update of the same buffer before this read",
+            )
+            return False
+        self._emit(
+            read.op, "IP015", "warning",
+            "unverifiable in-place reuse: this read overlaps a write of an "
+            "unrelated value lineage on the same buffer "
+            f"(cells {box_str(read.box)})",
+        )
+        return False

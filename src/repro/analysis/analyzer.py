@@ -28,6 +28,8 @@ from repro.analysis.dependence import cross_check_stencil
 from repro.analysis.diagnostics import Diagnostic, DiagnosticReport
 from repro.analysis.legality import check_sweep_order, check_tiled_loop
 from repro.analysis.wavefront import check_get_parallel_blocks
+from repro.ir.attributes import StringAttr
+from repro.ir.location import op_excerpt, op_path
 from repro.ir.operation import Operation
 
 #: Valid values of ``CompileOptions.check_level``.
@@ -36,30 +38,45 @@ CHECK_LEVELS = ("off", "after-pipeline", "after-every-pass")
 
 def analyze_op(op: Operation, cross_check: bool = True) -> List[Diagnostic]:
     """All diagnostics for one operation (not recursing into regions)."""
+    diags: List[Diagnostic] = []
+    rejected = op.attributes.get("fusion_rejected")
+    if isinstance(rejected, StringAttr):
+        diags.append(Diagnostic(
+            code="IP016",
+            message=rejected.value,
+            severity="note",
+            op_path=op_path(op),
+            excerpt=op_excerpt(op),
+        ))
     if op.name == "cfd.stencilOp":
-        diags = check_sweep_order(op)
+        diags.extend(check_sweep_order(op))
         if cross_check:
             diags.extend(cross_check_stencil(op))
-        return diags
-    if op.name == "cfd.tiled_loop":
-        return check_tiled_loop(op)
-    if op.name == "cfd.get_parallel_blocks":
-        return check_get_parallel_blocks(op)
-    return []
+    elif op.name == "cfd.tiled_loop":
+        diags.extend(check_tiled_loop(op))
+    elif op.name == "cfd.get_parallel_blocks":
+        diags.extend(check_get_parallel_blocks(op))
+    return diags
 
 
 def analyze_module(
-    module: Operation, cross_check: bool = True
+    module: Operation, cross_check: bool = True, memory: bool = True
 ) -> DiagnosticReport:
     """Run every static check over ``module``.
 
     ``cross_check=False`` skips the probe-lowering dependence cross-check
     (the one check that is not a cheap attribute walk); the per-pass gate
     uses it to keep ``after-every-pass`` overhead proportionate.
+    ``memory=False`` additionally skips the abstract-interpretation
+    memory-safety sweep (:mod:`repro.analysis.absint`).
     """
     report = DiagnosticReport()
     for op in module.walk():
         report.extend(analyze_op(op, cross_check=cross_check))
+    if memory:
+        from repro.analysis.absint import run_memory_safety
+
+        report.extend(run_memory_safety(module).diagnostics)
     return report
 
 

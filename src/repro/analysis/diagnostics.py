@@ -26,6 +26,18 @@ them — so new checks get new codes instead of repurposing old ones.
           non-integral indices, mixed-direction dependence offsets)
  IP010    analysis limitation: a check was skipped because static
           information (tile sizes, grid extents) could not be resolved
+ IP011    out-of-bounds access: an element or vector access range proven
+          by the interval engine escapes its allocation
+ IP012    slice window out of range: an ``extract_slice``/``subview``/
+          ``insert_slice`` window exceeds its source buffer
+ IP013    uninitialized read: a read of locally allocated cells that no
+          producer or initializer has written
+ IP014    bufferization clobber: an in-place buffer reuse overwrote a
+          value that a later access still reads
+ IP015    unverifiable in-place reuse: a read overlaps a write of an
+          unrelated value lineage on the same buffer (warning)
+ IP016    fusion opportunity rejected (informational): a producer could
+          not be fused because its halo exceeds the stencil halo
 =======  ==================================================================
 """
 
@@ -49,6 +61,12 @@ ERROR_CODES = {
     "IP008": "declared block stencil disagrees with derived offsets",
     "IP009": "malformed wavefront CSR payload",
     "IP010": "static information unavailable; check skipped",
+    "IP011": "out-of-bounds access (interval proof failed)",
+    "IP012": "slice window exceeds its source buffer",
+    "IP013": "uninitialized read of a local buffer",
+    "IP014": "bufferization reuse clobbers a live value",
+    "IP015": "unverifiable in-place buffer reuse",
+    "IP016": "fusion opportunity rejected",
 }
 
 

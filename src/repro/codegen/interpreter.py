@@ -12,12 +12,22 @@ be mutated in place only when it is the operand's *last* (sole) use and
 the producer lives in the consuming op's own block; otherwise it is
 copied first. Memrefs are plain mutable ``numpy`` arrays and ``subview``
 returns an aliasing view.
+
+``Interpreter(module, checked=True)`` additionally validates every
+element, slice, vector and structured-op access against the accessed
+array's extents *before* performing it (NumPy would silently wrap
+negative indices) and raises :class:`OutOfBoundsError` on escape. Each
+checked op also records the hull of every index range it touched in
+:attr:`Interpreter.access_ranges`, keyed by ``id(op)`` — the dynamic
+oracle the abstract-interpretation analyzer
+(:mod:`repro.analysis.absint`) is tested against: every observed range
+must lie inside the statically proven one.
 """
 
 from __future__ import annotations
 
 import itertools
-from typing import Any, Callable, Dict, List, Sequence
+from typing import Any, Callable, Dict, List, Sequence, Tuple
 
 import numpy as np
 
@@ -35,6 +45,10 @@ class InterpreterError(Exception):
     """Raised on malformed or unsupported IR at execution time."""
 
 
+class OutOfBoundsError(InterpreterError):
+    """A checked-mode access escaped its array (``checked=True`` only)."""
+
+
 #: Handlers: op name -> callable(interpreter, op) evaluating the op.
 _HANDLERS: Dict[str, Callable[["Interpreter", Operation], None]] = {}
 
@@ -50,9 +64,43 @@ def handler(name: str):
 class Interpreter:
     """Executes functions of a module on NumPy/scalar values."""
 
-    def __init__(self, module: ModuleOp) -> None:
+    def __init__(self, module: ModuleOp, checked: bool = False) -> None:
         self.module = module
         self.env: Dict[int, Any] = {}
+        self.checked = checked
+        #: id(op) -> per-dimension [lo, hi] hull of every access the op
+        #: performed, inclusive on both ends (checked mode only).
+        self.access_ranges: Dict[int, List[Tuple[int, int]]] = {}
+
+    def check_access(
+        self,
+        op: Operation,
+        shape: Sequence[int],
+        box: Sequence[Tuple[int, int]],
+    ) -> None:
+        """Checked mode: trap an escaping access, else record its hull.
+
+        ``box`` is the inclusive per-dimension index range the op is
+        about to touch. Validated explicitly because NumPy would wrap a
+        negative index around instead of failing.
+        """
+        if not self.checked:
+            return
+        box = [(int(lo), int(hi)) for lo, hi in box]
+        for d, ((lo, hi), n) in enumerate(zip(box, shape)):
+            if lo < 0 or hi > n - 1:
+                raise OutOfBoundsError(
+                    f"{op.name} accesses [{lo}, {hi}] along dimension {d} "
+                    f"of an array of extent {n}"
+                )
+        hull = self.access_ranges.get(id(op))
+        if hull is None:
+            self.access_ranges[id(op)] = box
+        else:
+            self.access_ranges[id(op)] = [
+                (min(a, lo), max(b, hi))
+                for (a, b), (lo, hi) in zip(hull, box)
+            ]
 
     # ---- environment ----------------------------------------------------
 
@@ -323,6 +371,7 @@ def _tensor_dim(interp, op):
 def _tensor_extract(interp, op):
     arr = interp.get(op.operand(0))
     idx = tuple(int(interp.get(o)) for o in op.operands[1:])
+    interp.check_access(op, arr.shape, [(i, i) for i in idx])
     interp.set(op.result(), float(arr[idx]))
 
 
@@ -330,6 +379,7 @@ def _tensor_extract(interp, op):
 def _tensor_insert(interp, op):
     arr = interp.consume_array(op, 1)
     idx = tuple(int(interp.get(o)) for o in op.operands[2:])
+    interp.check_access(op, arr.shape, [(i, i) for i in idx])
     arr[idx] = interp.get(op.operand(0))
     interp.set(op.result(), arr)
 
@@ -340,6 +390,9 @@ def _tensor_extract_slice(interp, op):
     rank = (op.num_operands - 1) // 2
     offs = [int(interp.get(o)) for o in op.operands[1 : 1 + rank]]
     sizes = [int(interp.get(o)) for o in op.operands[1 + rank :]]
+    interp.check_access(
+        op, arr.shape, [(o, max(o, o + s - 1)) for o, s in zip(offs, sizes)]
+    )
     slices = tuple(slice(o, o + s) for o, s in zip(offs, sizes))
     interp.set(op.result(), arr[slices].copy())
 
@@ -351,6 +404,9 @@ def _tensor_insert_slice(interp, op):
     rank = (op.num_operands - 2) // 2
     offs = [int(interp.get(o)) for o in op.operands[2 : 2 + rank]]
     sizes = [int(interp.get(o)) for o in op.operands[2 + rank :]]
+    interp.check_access(
+        op, dest.shape, [(o, max(o, o + s - 1)) for o, s in zip(offs, sizes)]
+    )
     slices = tuple(slice(o, o + s) for o, s in zip(offs, sizes))
     dest[slices] = tile
     interp.set(op.result(), dest)
@@ -378,6 +434,7 @@ def _dealloc(interp, op):
 def _load(interp, op):
     arr = interp.get(op.operand(0))
     idx = tuple(int(interp.get(o)) for o in op.operands[1:])
+    interp.check_access(op, arr.shape, [(i, i) for i in idx])
     interp.set(op.result(), float(arr[idx]))
 
 
@@ -385,6 +442,7 @@ def _load(interp, op):
 def _store(interp, op):
     arr = interp.get(op.operand(1))
     idx = tuple(int(interp.get(o)) for o in op.operands[2:])
+    interp.check_access(op, arr.shape, [(i, i) for i in idx])
     arr[idx] = interp.get(op.operand(0))
 
 
@@ -394,6 +452,9 @@ def _subview(interp, op):
     rank = (op.num_operands - 1) // 2
     offs = [int(interp.get(o)) for o in op.operands[1 : 1 + rank]]
     sizes = [int(interp.get(o)) for o in op.operands[1 + rank :]]
+    interp.check_access(
+        op, arr.shape, [(o, max(o, o + s - 1)) for o, s in zip(offs, sizes)]
+    )
     slices = tuple(slice(o, o + s) for o, s in zip(offs, sizes))
     interp.set(op.result(), arr[slices])  # an aliasing view, not a copy
 
@@ -422,6 +483,9 @@ def _transfer_read(interp, op):
     idx = [int(interp.get(o)) for o in op.operands[1:]]
     vf = op.result().type.shape[0]
     lead, last = tuple(idx[:-1]), idx[-1]
+    interp.check_access(
+        op, arr.shape, [(i, i) for i in lead] + [(last, last + vf - 1)]
+    )
     interp.set(op.result(), arr[lead + (slice(last, last + vf),)].copy())
 
 
@@ -431,12 +495,16 @@ def _transfer_write(interp, op):
     idx = [int(interp.get(o)) for o in op.operands[2:]]
     lead, last = tuple(idx[:-1]), idx[-1]
     window = lead + (slice(last, last + len(vec)),)
+    box = [(i, i) for i in lead] + [(last, last + len(vec) - 1)]
     if op.num_results:  # tensor destination: functional update
         dest = interp.consume_array(op, 1)
+        interp.check_access(op, dest.shape, box)
         dest[window] = vec
         interp.set(op.result(), dest)
     else:  # memref destination: in-place
-        interp.get(op.operand(1))[window] = vec
+        dest = interp.get(op.operand(1))
+        interp.check_access(op, dest.shape, box)
+        dest[window] = vec
 
 
 @handler("vector.broadcast")
@@ -470,6 +538,13 @@ def _generic(interp, op: GenericOp):
     offsets = op.offsets
     bounds = op.iteration_bounds(out.shape)
     body = op.regions[0].entry_block
+    if interp.checked and all(hi > lo for lo, hi in bounds):
+        for arr, off in zip(ins, offsets):
+            interp.check_access(
+                op, arr.shape,
+                [(lo + o, hi - 1 + o) for (lo, hi), o in zip(bounds, off)],
+            )
+        interp.check_access(op, out.shape, [(lo, hi - 1) for lo, hi in bounds])
     for i in itertools.product(*(range(lo, hi) for lo, hi in bounds)):
         args = [
             float(a[tuple(ii + oi for ii, oi in zip(i, off))])
@@ -504,6 +579,22 @@ def _stencil(interp, op: StencilOp):
     if op.has_bounds:
         los = [int(interp.get(v)) for v in op.bounds_lo]
         his = [int(interp.get(v)) for v in op.bounds_hi]
+        if interp.checked and not any(h <= l for l, h in zip(los, his)):
+            # Validate the *declared* window (the lowered loops honour it
+            # verbatim; the interior clamp below is interpreter-only).
+            k = pattern.rank
+            halo_lo = [max([0] + [-o[d] for o, _ in pattern.accesses])
+                       for d in range(k)]
+            halo_hi = [max([0] + [o[d] for o, _ in pattern.accesses])
+                       for d in range(k)]
+            write_box = [(0, nv - 1)] + [(l, h - 1) for l, h in zip(los, his)]
+            read_box = [(0, nv - 1)] + [
+                (l - hl, h - 1 + hh)
+                for l, h, hl, hh in zip(los, his, halo_lo, halo_hi)
+            ]
+            interp.check_access(op, x.shape, read_box)
+            interp.check_access(op, y.shape, read_box)
+            interp.check_access(op, b.shape, write_box)
         bounds = [
             (max(lo, wl), min(hi, wh))
             for (lo, hi), wl, wh in zip(bounds, los, his)

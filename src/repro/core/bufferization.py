@@ -16,14 +16,24 @@ Copy elision uses the same ownership rule as the NumPy backend: a buffer
 may be mutated in place iff its producing value is an op result whose
 single remaining use is the mutating op (function arguments are never
 mutated, preserving the tensor-level caller contract).
+
+So that the in-place reuse decisions stay auditable after the fact, the
+pass stamps every emitted access with the *serial number* of the
+tensor-level SSA value it materializes (``absint_reads`` /
+``absint_writes``, plus ``absint_parent`` for the value an in-place
+update was derived from) and every lowered loop with its carry chain
+(``absint_carries``). The :class:`~repro.analysis.absint.memory
+.ClobberChecker` replays these stamps against interval footprints to
+prove — or refute (IP014/IP015) — that no reuse clobbered a live value.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List
+from typing import Dict, List, Optional
 
 from repro.dialects import cfd, memref, scf, tensor, vector
 from repro.ir import Operation, Pass
+from repro.ir.attributes import DenseIntElementsAttr, IntegerAttr
 from repro.ir.block import Block
 from repro.ir.builder import OpBuilder
 from repro.ir.module import ModuleOp
@@ -47,6 +57,23 @@ class _Bufferizer:
         self.mapping: Dict[Value, Value] = {}
         #: ids of new buffer Values this function owns (allocs/copies).
         self.owned: set = set()
+        #: id(tensor-level Value) -> stable serial for lineage stamps.
+        self._serials: Dict[int, int] = {}
+
+    def _serial(self, value: Value) -> int:
+        return self._serials.setdefault(id(value), len(self._serials))
+
+    @staticmethod
+    def _stamp(op: Operation, reads: Optional[int] = None,
+               writes: Optional[int] = None,
+               parent: Optional[int] = None) -> Operation:
+        if reads is not None:
+            op.attributes["absint_reads"] = IntegerAttr(reads)
+        if writes is not None:
+            op.attributes["absint_writes"] = IntegerAttr(writes)
+        if parent is not None:
+            op.attributes["absint_parent"] = IntegerAttr(parent)
+        return op
 
     # ---- ownership -------------------------------------------------------
 
@@ -62,7 +89,9 @@ class _Bufferizer:
         ):
             return buf
         fresh = self._alloc_like(builder, buf)
-        memref.CopyOp.build(builder, buf, fresh)
+        s = self._serial(old)
+        self._stamp(memref.CopyOp.build(builder, buf, fresh),
+                    reads=s, writes=s)
         return fresh
 
     def _alloc_like(self, builder: OpBuilder, buf: Value) -> Value:
@@ -143,14 +172,18 @@ class _Bufferizer:
     def _emit_tensor_extract(self, builder, op) -> None:
         buf = self.mapping[op.operand(0)]
         idx = [self.mapping.get(o, o) for o in op.operands[1:]]
-        self.mapping[op.result()] = memref.LoadOp.build(builder, buf, idx).result()
+        load = memref.LoadOp.build(builder, buf, idx)
+        self._stamp(load, reads=self._serial(op.operand(0)))
+        self.mapping[op.result()] = load.result()
 
     def _emit_tensor_insert(self, builder, op) -> None:
         buf = self._consume(builder, op, 1)
         idx = [self.mapping.get(o, o) for o in op.operands[2:]]
-        memref.StoreOp.build(
+        store = memref.StoreOp.build(
             builder, self.mapping.get(op.operand(0), op.operand(0)), buf, idx
         )
+        self._stamp(store, writes=self._serial(op.result()),
+                    parent=self._serial(op.operand(1)))
         self.mapping[op.result()] = buf
 
     def _emit_tensor_extract_slice(self, builder, op) -> None:
@@ -160,7 +193,9 @@ class _Bufferizer:
         sizes = [self.mapping.get(o, o) for o in op.operands[1 + rank :]]
         view = memref.SubViewOp.build(builder, buf, offs, sizes).result()
         fresh = self._alloc_like(builder, view)
-        memref.CopyOp.build(builder, view, fresh)
+        self._stamp(memref.CopyOp.build(builder, view, fresh),
+                    reads=self._serial(op.operand(0)),
+                    writes=self._serial(op.result()))
         self.mapping[op.result()] = fresh
 
     def _emit_tensor_insert_slice(self, builder, op) -> None:
@@ -169,8 +204,11 @@ class _Bufferizer:
         offs = [self.mapping.get(o, o) for o in op.operands[2 : 2 + rank]]
         sizes = [self.mapping.get(o, o) for o in op.operands[2 + rank :]]
         view = memref.SubViewOp.build(builder, dest, offs, sizes).result()
-        memref.CopyOp.build(
-            builder, self.mapping[op.operand(0)], view
+        self._stamp(
+            memref.CopyOp.build(builder, self.mapping[op.operand(0)], view),
+            reads=self._serial(op.operand(0)),
+            writes=self._serial(op.result()),
+            parent=self._serial(op.operand(1)),
         )
         self.mapping[op.result()] = dest
 
@@ -180,6 +218,7 @@ class _Bufferizer:
         buf = self.mapping[op.operand(0)]
         idx = [self.mapping.get(o, o) for o in op.operands[1:]]
         new = vector.TransferReadOp.build(builder, buf, idx, op.result().type)
+        self._stamp(new, reads=self._serial(op.operand(0)))
         self.mapping[op.result()] = new.result()
 
     def _emit_vector_transfer_write(self, builder, op) -> None:
@@ -187,7 +226,9 @@ class _Bufferizer:
         if op.num_results:
             buf = self._consume(builder, op, 1)
             idx = [self.mapping.get(o, o) for o in op.operands[2:]]
-            vector.TransferWriteOp.build(builder, vec, buf, idx)
+            new = vector.TransferWriteOp.build(builder, vec, buf, idx)
+            self._stamp(new, writes=self._serial(op.result()),
+                        parent=self._serial(op.operand(1)))
             self.mapping[op.result()] = buf
         else:
             buf = self.mapping[op.operand(1)]
@@ -228,15 +269,30 @@ class _Bufferizer:
             self._emit_op(body_builder, inner)
         # Yield: scalars pass through; buffers must end up in place.
         scalar_yields = []
+        carries: List[List[int]] = []
         for j, yielded in enumerate(term.operands):
             mapped = self.mapping.get(yielded, yielded)
             if j in buffer_positions:
                 buf = buffers[buffer_positions.index(j)]
+                arg_old = op.body.arguments[1 + j]
+                carries.append([
+                    self._serial(op.operand(3 + j)),
+                    self._serial(arg_old),
+                    self._serial(yielded),
+                    self._serial(op.results[j]),
+                ])
                 if mapped is not buf:
-                    memref.CopyOp.build(body_builder, mapped, buf)
+                    s = self._serial(yielded)
+                    self._stamp(memref.CopyOp.build(body_builder, mapped, buf),
+                                reads=s, writes=s,
+                                parent=self._serial(arg_old))
             else:
                 scalar_yields.append(mapped)
         scf.YieldOp.build(body_builder, scalar_yields)
+        if carries:
+            new_loop.attributes["absint_carries"] = DenseIntElementsAttr(
+                carries
+            )
         for j, res in enumerate(op.results):
             if j in buffer_positions:
                 self.mapping[res] = buffers[buffer_positions.index(j)]

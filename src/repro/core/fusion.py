@@ -30,6 +30,7 @@ from typing import List, Optional, Tuple
 from repro.dialects import arith, cfd, tensor
 from repro.dialects.linalg import FillOp, GenericOp
 from repro.ir import Operation, Pass
+from repro.ir.attributes import StringAttr
 from repro.ir.builder import OpBuilder
 from repro.ir.rewriter import PatternRewriter, RewritePattern, apply_patterns_greedily
 from repro.ir.types import TensorType
@@ -116,21 +117,47 @@ class FuseProducerPattern(RewritePattern):
                 continue
             if producer.parent is not loop.parent:
                 continue
-            if not self._halo_ok(stencil, producer):
+            reason = self._halo_reject_reason(stencil, producer)
+            if reason is not None:
+                # Record the silent rejection on the loop; the analyzer
+                # surfaces it as an informational IP016 diagnostic.
+                loop.attributes["fusion_rejected"] = StringAttr(
+                    f"producer {producer.name!r} of input #{in_index} "
+                    f"not fused: {reason}"
+                )
                 continue
             self._fuse(loop, in_index, producer, rewriter)
             return True
         return False
 
     @staticmethod
-    def _halo_ok(stencil: cfd.StencilOp, producer: Operation) -> bool:
+    def _halo_reject_reason(
+        stencil: cfd.StencilOp, producer: Operation
+    ) -> Optional[str]:
+        """Why the producer cannot be recomputed per tile (None = legal)."""
         p_halo = _producer_halo(producer)
-        if any(lo or hi for lo, hi in p_halo[:1]):  # variable dimension
-            return False
+        if any(lo or hi for lo, hi in p_halo[:1]):
+            return (
+                f"its access halo {p_halo[0]} touches the variable "
+                "dimension, which tile windows never extend over"
+            )
         s_halo = _stencil_halos(stencil)
-        return all(
-            p_lo <= s_lo and p_hi <= s_hi
-            for (p_lo, p_hi), (s_lo, s_hi) in zip(p_halo[1:], s_halo)
+        for d, ((p_lo, p_hi), (s_lo, s_hi)) in enumerate(
+            zip(p_halo[1:], s_halo)
+        ):
+            if p_lo > s_lo or p_hi > s_hi:
+                return (
+                    f"its access halo ({p_lo}, {p_hi}) along space "
+                    f"dimension {d} exceeds the stencil halo "
+                    f"({s_lo}, {s_hi}), so tile cores would read "
+                    "producer cells the window never computes"
+                )
+        return None
+
+    @staticmethod
+    def _halo_ok(stencil: cfd.StencilOp, producer: Operation) -> bool:
+        return (
+            FuseProducerPattern._halo_reject_reason(stencil, producer) is None
         )
 
     def _fuse(

@@ -61,6 +61,7 @@ from repro.ir.parser import parse_module, IRParseError
 from repro.ir.verifier import verify, IRVerificationError
 from repro.ir.rewriter import RewritePattern, PatternRewriter, apply_patterns_greedily
 from repro.ir.pass_manager import Pass, PassManager
+from repro.ir.dataflow import ForwardDataflowWalker
 
 __all__ = [
     "Type",
@@ -110,4 +111,5 @@ __all__ = [
     "apply_patterns_greedily",
     "Pass",
     "PassManager",
+    "ForwardDataflowWalker",
 ]

@@ -1,0 +1,61 @@
+"""A forward (execution-order) dataflow walk over operations.
+
+:meth:`Operation.walk` yields ops in nesting order, which is fine for
+attribute audits but wrong for dataflow analyses: those need to visit a
+loop body *in the context of* the loop's bounds, possibly several times,
+and must be able to bind block arguments before descending. This module
+provides the small reusable skeleton: a visitor that dispatches on the
+operation name (``visit_scf_for`` for ``scf.for``) and otherwise recurses
+into regions in order. Subclasses override the control-flow ops they
+model and get every other op through :meth:`before_op`.
+
+The abstract-interpretation engine (:mod:`repro.analysis.absint.engine`)
+is the primary client.
+"""
+
+from __future__ import annotations
+
+from repro.ir.block import Block
+from repro.ir.operation import Operation
+
+
+def _mangle(name: str) -> str:
+    return "visit_" + name.replace(".", "_")
+
+
+class ForwardDataflowWalker:
+    """Visits a block's ops in execution order, recursing into regions.
+
+    Dispatch: ``walk_op`` first looks for a ``visit_<dialect>_<op>``
+    method (dots mangled to underscores); absent that it calls
+    :meth:`before_op`, recurses into every region's blocks in order, then
+    calls :meth:`after_op`. Overridden visitors drive their own region
+    traversal (binding block arguments, repeating bodies, skipping dead
+    regions) and call :meth:`walk_block` for each pass over a body.
+    """
+
+    def walk_block(self, block: Block) -> None:
+        for op in list(block.operations):
+            self.walk_op(op)
+
+    def walk_op(self, op: Operation) -> None:
+        visitor = getattr(self, _mangle(op.name), None)
+        if visitor is not None:
+            visitor(op)
+            return
+        self.generic_visit(op)
+
+    def generic_visit(self, op: Operation) -> None:
+        self.before_op(op)
+        for region in op.regions:
+            for block in region.blocks:
+                self.walk_block(block)
+        self.after_op(op)
+
+    # ---- hooks -----------------------------------------------------------
+
+    def before_op(self, op: Operation) -> None:
+        """Called for every op (before descending into its regions)."""
+
+    def after_op(self, op: Operation) -> None:
+        """Called after an op's regions have been visited."""

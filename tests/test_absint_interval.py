@@ -1,0 +1,136 @@
+"""Unit tests for the interval abstract domain (analysis/absint)."""
+
+import pytest
+
+from repro.analysis.absint.interval import (
+    NEG_INF,
+    POS_INF,
+    Interval,
+    box_contains,
+    box_disjoint,
+    box_is_bounded,
+    box_join,
+    box_overlaps,
+    box_str,
+    hull_of_points,
+)
+
+
+def iv(lo, hi):
+    return Interval(lo, hi)
+
+
+class TestConstruction:
+    def test_point(self):
+        p = Interval.point(3)
+        assert p.is_point and p.lo == p.hi == 3
+
+    def test_top_is_unbounded(self):
+        t = Interval.top()
+        assert not t.is_bounded
+        assert t.lo == NEG_INF and t.hi == POS_INF
+
+    def test_empty_interval_rejected(self):
+        with pytest.raises(ValueError, match="empty"):
+            Interval(2, 1)
+
+    def test_equality_and_hash(self):
+        assert iv(1, 4) == iv(1, 4)
+        assert iv(1, 4) != iv(1, 5)
+        assert len({iv(0, 2), iv(0, 2), iv(0, 3)}) == 2
+
+    def test_repr(self):
+        assert repr(iv(-1, 7)) == "[-1, 7]"
+
+
+class TestArithmetic:
+    def test_add(self):
+        assert iv(1, 3) + iv(-2, 5) == iv(-1, 8)
+
+    def test_sub_flips_endpoints(self):
+        assert iv(1, 3) - iv(-2, 5) == iv(-4, 5)
+
+    def test_neg(self):
+        assert -iv(-2, 5) == iv(-5, 2)
+
+    def test_points_propagate_exactly(self):
+        a, b = Interval.point(7), Interval.point(-3)
+        assert (a + b).is_point and (a + b).lo == 4
+        assert (a - b).is_point and (a - b).lo == 10
+        assert (a * b).is_point and (a * b).lo == -21
+
+    def test_mul_sign_corners(self):
+        assert iv(-2, 3) * iv(-5, 4) == iv(-15, 12)
+        assert iv(-2, -1) * iv(-3, -2) == iv(2, 6)
+
+    def test_mul_zero_times_infinity(self):
+        # The 0 * inf corner must collapse to 0, not NaN.
+        z = Interval.point(0) * Interval.top()
+        assert z == Interval.point(0)
+        half = Interval(0, POS_INF) * Interval.point(2)
+        assert half.lo == 0 and half.hi == POS_INF
+
+    def test_floordiv_positive_point(self):
+        assert iv(-5, 7).floordiv(Interval.point(2)) == iv(-3, 3)
+
+    def test_floordiv_widens_otherwise(self):
+        assert iv(4, 8).floordiv(iv(1, 2)) == Interval.top()
+        assert iv(4, 8).floordiv(Interval.point(-2)) == Interval.top()
+
+    def test_floordiv_preserves_infinities(self):
+        assert Interval.top().floordiv(Interval.point(3)) == Interval.top()
+
+    def test_remainder(self):
+        assert Interval.point(7).remainder(Interval.point(4)) == (
+            Interval.point(3)
+        )
+        assert iv(2, 9).remainder(Interval.point(4)) == iv(0, 3)
+        assert iv(2, 9).remainder(iv(1, 4)) == Interval.top()
+
+    def test_min_max_are_exact(self):
+        a, b = iv(1, 10), iv(4, 6)
+        assert a.min_(b) == iv(1, 6)
+        assert a.max_(b) == iv(4, 10)
+
+
+class TestLattice:
+    def test_join_is_hull(self):
+        assert iv(0, 2).join(iv(5, 9)) == iv(0, 9)
+
+    def test_contains(self):
+        assert iv(0, 10).contains(iv(3, 4))
+        assert not iv(0, 10).contains(iv(3, 11))
+        assert Interval.top().contains(iv(-100, 100))
+
+    def test_disjoint(self):
+        assert iv(0, 2).disjoint_from(iv(3, 5))
+        assert not iv(0, 3).disjoint_from(iv(3, 5))
+
+
+class TestBoxes:
+    def test_box_join_and_contains(self):
+        a = (iv(0, 2), iv(1, 1))
+        b = (iv(1, 5), iv(0, 0))
+        j = box_join(a, b)
+        assert j == (iv(0, 5), iv(0, 1))
+        assert box_contains(j, a) and box_contains(j, b)
+
+    def test_box_join_rank_mismatch(self):
+        with pytest.raises(ValueError, match="rank"):
+            box_join((iv(0, 1),), (iv(0, 1), iv(0, 1)))
+
+    def test_box_disjoint_needs_one_dimension(self):
+        a = (iv(0, 2), iv(0, 2))
+        assert box_disjoint(a, (iv(3, 4), iv(0, 2)))
+        assert box_overlaps(a, (iv(2, 4), iv(2, 4)))
+
+    def test_box_is_bounded(self):
+        assert box_is_bounded((iv(0, 3), iv(1, 1)))
+        assert not box_is_bounded((iv(0, 3), Interval.top()))
+
+    def test_box_str(self):
+        assert box_str((iv(0, 3), iv(1, 2))) == "[0, 3]x[1, 2]"
+
+    def test_hull_of_points(self):
+        hull = hull_of_points([(0, 5), (2, 1), (1, 3)])
+        assert hull == [iv(0, 2), iv(1, 5)]

@@ -1,0 +1,129 @@
+"""The memref-level clients: uninitialized reads (IP013) and the replay
+of bufferization's in-place reuse decisions (IP014/IP015)."""
+
+import pytest
+
+from repro.analysis.absint import run_memory_safety
+from repro.core import frontend
+from repro.core.bufferization import BufferizePass, _Bufferizer
+from repro.core.lowering import LowerStencilsPass
+from repro.core.stencil import gauss_seidel_5pt_2d
+from repro.core.vectorization import VectorizeStencilsPass
+from repro.dialects import arith, func, memref, tensor
+from repro.ir import ModuleOp, OpBuilder
+from repro.ir.attributes import IntegerAttr
+from repro.ir.types import FunctionType, MemRefType, TensorType, f64
+
+
+def _bufferized(vectorize=False):
+    module = frontend.build_stencil_kernel(
+        gauss_seidel_5pt_2d(), (24, 24), frontend.identity_body(4.0)
+    )
+    (VectorizeStencilsPass(4) if vectorize else LowerStencilsPass()).run(module)
+    BufferizePass().run(module)
+    return module
+
+
+def _codes(module):
+    return sorted({d.code for d in run_memory_safety(module).diagnostics})
+
+
+def _empty_func(name="f", inputs=(), results=()):
+    module = ModuleOp.create()
+    builder = OpBuilder.at_end(module.body)
+    fn = func.FuncOp.build(
+        builder, name, FunctionType(list(inputs), list(results))
+    )
+    return module, fn, OpBuilder.at_end(fn.body)
+
+
+class TestUninitRead:
+    @pytest.mark.parametrize("vectorize", [False, True], ids=["scalar", "vector"])
+    def test_bufferized_pipeline_clean(self, vectorize):
+        assert _codes(_bufferized(vectorize)) == []
+
+    def test_read_with_no_preceding_write(self):
+        module, _, b = _empty_func()
+        buf = memref.AllocOp.build(b, MemRefType((4, 4), f64)).result()
+        memref.LoadOp.build(
+            b, buf, [arith.const_index(b, 1), arith.const_index(b, 2)]
+        )
+        func.ReturnOp.build(b)
+        assert _codes(module) == ["IP013"]
+        (diag,) = run_memory_safety(module).diagnostics
+        assert "no write can precede" in diag.message
+
+    def test_read_escaping_the_written_hull(self):
+        module, _, b = _empty_func()
+        src = memref.AllocOp.build(b, MemRefType((4, 4), f64)).result()
+        dst = memref.AllocOp.build(b, MemRefType((4, 4), f64)).result()
+        one = arith.const_index(b, 1)
+        memref.StoreOp.build(b, arith.const_f64(b, 2.0), src, [one, one])
+        memref.CopyOp.build(b, src, dst)  # reads all 16 cells of src
+        func.ReturnOp.build(b)
+        assert _codes(module) == ["IP013"]
+        (diag,) = run_memory_safety(module).diagnostics
+        assert "never fully initialized" in diag.message
+
+    def test_full_initialization_is_clean(self):
+        module, _, b = _empty_func(inputs=[MemRefType((4, 4), f64)])
+        arg = module.body.operations[0].arguments[0]
+        buf = memref.AllocOp.build(b, MemRefType((4, 4), f64)).result()
+        memref.CopyOp.build(b, arg, buf)
+        memref.LoadOp.build(
+            b, buf, [arith.const_index(b, 3), arith.const_index(b, 3)]
+        )
+        func.ReturnOp.build(b)
+        assert _codes(module) == []
+
+
+class _AlwaysStealBufferizer(_Bufferizer):
+    """A deliberately broken bufferizer: reuses every destination buffer
+    in place, even when the consumed tensor is still live."""
+
+    def _consume(self, builder, op, index):
+        return self.mapping[op.operand(index)]
+
+
+def _insert_then_read_old():
+    """``t1 = insert(c, t); a = extract(t); b = extract(t1)`` — the read
+    of ``t`` is only correct if the insert got a private copy."""
+    t = TensorType((4, 4), f64)
+    module, fn, b = _empty_func(inputs=[t], results=[f64])
+    (arg,) = fn.arguments
+    one = arith.const_index(b, 1)
+    t1 = tensor.InsertOp.build(
+        b, arith.const_f64(b, 7.0), arg, [one, one]
+    ).result()
+    a = tensor.ExtractOp.build(b, arg, [one, one]).result()
+    c = tensor.ExtractOp.build(b, t1, [one, one]).result()
+    func.ReturnOp.build(b, [arith.addf(b, a, c)])
+    return module, fn
+
+
+class TestClobber:
+    def test_correct_bufferization_is_clean(self):
+        module, fn = _insert_then_read_old()
+        _Bufferizer().bufferize_function(fn)
+        assert _codes(module) == []
+
+    def test_always_steal_clobbers_live_value(self):
+        module, fn = _insert_then_read_old()
+        _AlwaysStealBufferizer().bufferize_function(fn)
+        assert "IP014" in _codes(module)
+        messages = [
+            d.message for d in run_memory_safety(module).diagnostics
+            if d.code == "IP014"
+        ]
+        assert any("clobbers a live value" in m for m in messages)
+
+    def test_unrelated_lineage_warns_ip015(self):
+        # Corrupt one load's lineage stamp to a serial the derivation
+        # graph has never seen: the reuse becomes unverifiable.
+        module = _bufferized()
+        load = next(op for op in module.walk() if op.name == "memref.load"
+                    if "absint_reads" in op.attributes)
+        load.attributes["absint_reads"] = IntegerAttr(999)
+        diags = run_memory_safety(module).diagnostics
+        assert {d.code for d in diags} == {"IP015"}
+        assert all(d.severity == "warning" for d in diags)

@@ -1,11 +1,13 @@
 """The seeded-mutant corpus: the acceptance gate of the analyzer.
 
-Twelve mutants spanning the three corruption families of the issue —
-illegal tile sizes, wrong sweep order/direction, corrupted CSR
-wavefronts — plus declared-vs-derived mismatches and a lowering-bug
-stand-in. The analyzer must detect 100% of them, each with its stable
-``IP0xx`` code, while producing zero diagnostics on the unmutated
-pipelines (checked both here and in ``test_analysis_pipeline``)."""
+Mutants spanning the corruption families of the issues — illegal tile
+sizes, wrong sweep order/direction, corrupted CSR wavefronts,
+declared-vs-derived mismatches, a lowering-bug stand-in, out-of-bounds
+accesses (shrunk allocation, off-by-one halo, widened stencil offset)
+and uninitialized reads. The analyzer must detect 100% of them, each
+with its stable ``IP0xx`` code, while producing zero diagnostics on the
+unmutated pipelines (checked both here and in
+``test_analysis_pipeline``)."""
 
 import pytest
 
@@ -16,13 +18,15 @@ from repro.analysis.dependence import (
     pattern_access_set,
 )
 from repro.core import frontend
+from repro.core.bufferization import BufferizePass
 from repro.core.lowering import LowerStencilsPass
 from repro.core.pipeline import CompileOptions, StencilCompiler
 from repro.core.scheduling import compute_parallel_blocks
 from repro.core.stencil import gauss_seidel_5pt_2d, gauss_seidel_9pt_2d
-from repro.dialects import arith
+from repro.dialects import arith, memref
 from repro.ir import OpBuilder
 from repro.ir.attributes import BoolAttr, DenseIntElementsAttr, IntegerAttr
+from repro.ir.types import MemRefType, f64
 
 
 def _frontend_module(make=gauss_seidel_5pt_2d):
@@ -191,6 +195,108 @@ def mutant_lowered_read_shifted():
     return sorted({d.code for d in diags if d.is_error}), "IP003"
 
 
+# --- family 5: out-of-bounds accesses (the absint bounds client) -----------
+
+
+def mutant_oob_shrunk_allocation():
+    # Shrink the x-window slice by one row: the stencil's +1 halo row is
+    # still read by the sweep, but the window no longer holds it.
+    module = _lowered_module()
+    window = _only(module, "tensor.extract_slice")
+    builder = OpBuilder.before(window)
+    shrunk = arith.subi(
+        builder, window.operand(5), arith.const_index(builder, 1)
+    )
+    window.set_operand(5, shrunk)
+    return _error_codes(module), "IP011"
+
+
+def mutant_oob_off_by_one_halo():
+    # Drop the halo from the window's lower bound (iv - 1 becomes iv - 0):
+    # the sweep's core start stays put, so its -1 reads land at local
+    # index -1.
+    module = _lowered_module()
+    for op in module.walk():
+        if op.name != "arith.subi":
+            continue
+        rhs = op.operand(1)
+        if (
+            rhs.op is not None
+            and rhs.op.name == "arith.constant"
+            and rhs.op.attributes["value"].value == 1
+            and any(u.name == "arith.maxsi" for u in op.result().users())
+        ):
+            builder = OpBuilder.before(op)
+            op.set_operand(1, arith.const_index(builder, 0))
+            break
+    return _error_codes(module), "IP011"
+
+
+def mutant_oob_widened_stencil_offset():
+    # Same corruption as mutant_lowered_read_shifted (-1 read becomes -2),
+    # but caught by the interval engine as an out-of-bounds proof failure
+    # rather than by the dependence cross-check: the sweep starts at row 1,
+    # so the widened offset reads row -1.
+    module = _frontend_module()
+    LowerStencilsPass().run(module)
+    for op in module.walk():
+        if op.name != "arith.addi":
+            continue
+        rhs = op.operand(1)
+        if (
+            rhs.op is not None
+            and rhs.op.name == "arith.constant"
+            and rhs.op.attributes["value"].value == -1
+        ):
+            builder = OpBuilder.before(op)
+            op.set_operand(1, arith.const_index(builder, -2))
+            break
+    return _error_codes(module), "IP011"
+
+
+# --- family 6: uninitialized reads -----------------------------------------
+
+
+def _bufferized_module():
+    module = _frontend_module()
+    LowerStencilsPass().run(module)
+    BufferizePass().run(module)
+    return module
+
+
+def mutant_uninit_partially_written():
+    # Erase the copy-on-write seeding the insert's destination buffer:
+    # the only remaining write is the single-point store, so the
+    # full-extent copy out of it reads uninitialized interior.
+    module = _bufferized_module()
+    for op in list(module.walk()):
+        if op.name != "memref.copy":
+            continue
+        dst = op.operand(1)
+        if (
+            dst.op is not None
+            and dst.op.name == "memref.alloc"
+            and any(u.name == "memref.store" for u in dst.users())
+        ):
+            op.erase()
+            break
+    return _error_codes(module), "IP013"
+
+
+def mutant_uninit_never_written():
+    # A read of a fresh allocation that no write can ever precede.
+    module = _bufferized_module()
+    ret = _only(module, "func.return")
+    builder = OpBuilder.before(ret)
+    buf = memref.AllocOp.build(builder, MemRefType((4, 4), f64)).result()
+    memref.LoadOp.build(
+        builder,
+        buf,
+        [arith.const_index(builder, 1), arith.const_index(builder, 2)],
+    )
+    return _error_codes(module), "IP013"
+
+
 MUTANTS = [
     mutant_sweep_flipped,
     mutant_sweep_invalid_value,
@@ -205,6 +311,11 @@ MUTANTS = [
     mutant_csr_out_of_range,
     mutant_get_parallel_blocks_understated,
     mutant_lowered_read_shifted,
+    mutant_oob_shrunk_allocation,
+    mutant_oob_off_by_one_halo,
+    mutant_oob_widened_stencil_offset,
+    mutant_uninit_partially_written,
+    mutant_uninit_never_written,
 ]
 
 
@@ -227,5 +338,9 @@ class TestMutantCorpus:
         assert _error_codes(_frontend_module(gauss_seidel_9pt_2d)) == []
         assert _error_codes(_lowered_module()) == []
         assert _error_codes(_lowered_module(gauss_seidel_9pt_2d)) == []
+        assert _error_codes(_bufferized_module()) == []
+        scalar = _frontend_module()
+        LowerStencilsPass().run(scalar)
+        assert _error_codes(scalar) == []
         offsets, indices = _csr()
         assert _csr_codes(offsets, indices) == []

