@@ -1,0 +1,73 @@
+"""PR4 bench: per-pass translation-validation overhead.
+
+Measures the cost of ``CompileOptions(validate_passes=True)`` on the two
+largest canonical pipelines — heat-3D (Tr4) and the LU-SGS Euler sweeps —
+and writes ``results/BENCH_pr4_translation_validate.json``. There is no
+speed *bar* here (validation is off by default and CI-only); the bench
+asserts the structural claims instead: every pass certifies clean, the
+cost is fully attributed to the ``translation-validate`` timing row, and
+disabling the option costs nothing.
+"""
+
+import dataclasses
+import time
+
+from repro.analysis.corpus import build_corpus
+from repro.bench.harness import save_results
+from repro.core.pipeline import StencilCompiler
+from repro.ir import PassManager
+
+#: The two pipelines the overhead is quoted on in EXPERIMENTS.md.
+CASES = ("heat3d_implicit", "euler_lusgs")
+REPEATS = 3
+
+
+def _lower(entry, validate):
+    options = dataclasses.replace(
+        entry.options, validate_passes=validate, use_cache=False
+    )
+    compiler = StencilCompiler(options)
+    start = time.perf_counter()
+    compiler.lower(entry.build())
+    return time.perf_counter() - start, compiler.pass_manager
+
+
+def test_validation_overhead_measured_and_certified():
+    corpus = build_corpus()
+    report = {}
+    for stem in CASES:
+        entry = corpus[stem][0]
+        base_s = min(_lower(entry, False)[0] for _ in range(REPEATS))
+        best = None
+        for _ in range(REPEATS):
+            total_s, pm = _lower(entry, True)
+            if best is None or total_s < best[0]:
+                best = (total_s, pm)
+        total_s, pm = best
+        key = PassManager.VALIDATE_TIMING_KEY
+        validate_s = pm.timings[key]
+        tv = pm.validator
+        assert all(c["violations"] == 0 for c in tv.certificates)
+        instances = sum(
+            s.get("instances", 0) for s in tv.certificates[0]["sites"]
+        )
+        report[stem] = {
+            "pipeline": entry.options.describe(),
+            "snapshots": pm.invocations[key],
+            "instances_per_snapshot": instances,
+            "pipeline_ms_unvalidated": base_s * 1e3,
+            "pipeline_ms_validated": total_s * 1e3,
+            "validate_ms": validate_s * 1e3,
+            "overhead_x": total_s / base_s,
+        }
+        print(
+            f"\n{stem}: pipeline {base_s * 1e3:.1f} ms -> "
+            f"{total_s * 1e3:.1f} ms with validation "
+            f"({pm.invocations[key]} snapshots, {instances} instances, "
+            f"validate {validate_s * 1e3:.1f} ms, "
+            f"{total_s / base_s:.1f}x)"
+        )
+        # The overhead is the validator, not a slowdown of the passes.
+        assert validate_s <= total_s
+        assert total_s - validate_s <= 3 * base_s + 0.5
+    save_results("BENCH_pr4_translation_validate", report)

@@ -18,6 +18,21 @@ Machine-readable output:
 ``--github``
     GitHub Actions workflow annotations (``::error`` / ``::warning`` /
     ``::notice``) so findings surface inline on pull requests.
+
+Translation validation:
+
+``--validate``
+    Additionally run the per-pass translation validator
+    (:mod:`repro.analysis.tv`) over every pipeline: the reference
+    schedule is captured on the frontend output and every pass (plus
+    the bufferized form) must preserve every flow/anti/output
+    dependence. TV diagnostics merge into the report and fail the lint
+    like IP errors.
+``--certificates PATH``
+    With ``--validate``, write the per-pass certificate summaries (one
+    record per entry per pass, with per-site instance counts and
+    certified/violated status) as a JSON file — the artifact CI
+    uploads.
 """
 
 from __future__ import annotations
@@ -31,6 +46,7 @@ from typing import List, Optional
 from repro.analysis.analyzer import AnalysisGate
 from repro.analysis.corpus import build_corpus
 from repro.analysis.diagnostics import Diagnostic
+from repro.analysis.tv import TranslationValidator
 from repro.core.bufferization import BufferizationError, BufferizePass
 from repro.core.pipeline import StencilCompiler
 
@@ -111,7 +127,17 @@ def main(argv: List[str] | None = None) -> int:
         "--github", action="store_true",
         help="emit GitHub Actions ::error/::warning annotations",
     )
+    parser.add_argument(
+        "--validate", action="store_true",
+        help="also run per-pass translation validation (TV001-TV007)",
+    )
+    parser.add_argument(
+        "--certificates", metavar="PATH",
+        help="with --validate, write per-pass certificate JSON to PATH",
+    )
     args = parser.parse_args(argv)
+    if args.certificates and not args.validate:
+        parser.error("--certificates requires --validate")
 
     corpus = build_corpus()
     stems = _resolve_stems(args.paths, list(corpus))
@@ -119,6 +145,7 @@ def main(argv: List[str] | None = None) -> int:
 
     exit_code = 0
     total = 0
+    certificates = []
     for stem in stems:
         file = f"examples/{stem}.py"
         for entry in corpus[stem]:
@@ -127,6 +154,10 @@ def main(argv: List[str] | None = None) -> int:
             pm = compiler.build_pipeline()
             pm.gate = gate
             pm.gate_each = True
+            validator: Optional[TranslationValidator] = None
+            if args.validate:
+                validator = TranslationValidator(fail_fast=False)
+                pm.validator = validator
             module = entry.build()
             gate(module, after_pass=None)  # lint the frontend output too
             crash: Optional[Exception] = None
@@ -144,27 +175,56 @@ def main(argv: List[str] | None = None) -> int:
                     pass
                 else:
                     gate(module, after_pass="bufferize")
+                    if validator is not None:
+                        validator.after_pass(module, "bufferize")
             report = gate.report
-            total += len(report.diagnostics)
-            failed = report.has_errors or crash is not None
+            diagnostics = list(report.diagnostics)
+            has_errors = report.has_errors
+            if validator is not None:
+                diagnostics.extend(validator.report.diagnostics)
+                has_errors = has_errors or validator.report.has_errors
+                certificates.append({
+                    "entry": entry.name,
+                    "file": file,
+                    "options": entry.options.describe(),
+                    "passes": validator.certificates,
+                })
+            total += len(diagnostics)
+            failed = has_errors or crash is not None
             verdict = "FAIL" if failed else "ok"
             if args.as_json:
-                for diag in report.diagnostics:
+                for diag in diagnostics:
                     _emit_json(diag, entry.name, file)
             elif args.github:
-                for diag in report.diagnostics:
+                for diag in diagnostics:
                     _emit_github(diag, entry.name, file)
             if not args.as_json:
+                summary = report.summary()
+                if validator is not None:
+                    certified = sum(
+                        1 for record in validator.certificates
+                        if not record["violations"]
+                    )
+                    summary += (
+                        f"; validated {certified}/"
+                        f"{len(validator.certificates)} pass(es) clean"
+                    )
                 print(
                     f"[{verdict}] {entry.name}: {entry.description} "
-                    f"({entry.options.describe()}) -- {report.summary()}"
+                    f"({entry.options.describe()}) -- {summary}"
                 )
                 if crash is not None:
                     print(f"  pipeline crashed: {crash}")
-                if report.diagnostics and not args.quiet and not machine:
+                if diagnostics and not args.quiet and not machine:
                     print(report.render())
+                    if validator is not None and validator.report.diagnostics:
+                        print(validator.report.render())
             if failed:
                 exit_code = 1
+    if args.certificates:
+        Path(args.certificates).write_text(
+            json.dumps(certificates, indent=2, sort_keys=True) + "\n"
+        )
     if not args.as_json:
         print(f"linted {sum(len(corpus[s]) for s in stems)} pipeline(s) "
               f"from {len(stems)} example(s): {total} diagnostic(s)")

@@ -1,73 +1,143 @@
-"""Structured diagnostics with stable ``IP0xx`` error codes.
+"""Structured diagnostics with stable ``IP0xx``/``TV0xx`` error codes.
 
 Every finding of the static analyzer is a :class:`Diagnostic`: an error
-code from the table below, a severity, a human-readable message, the
+code from :data:`REGISTRY`, a severity, a human-readable message, the
 path of the offending operation inside the module and a short printed IR
 excerpt. Codes are *stable* — tests, CI and downstream tooling match on
 them — so new checks get new codes instead of repurposing old ones.
 
-=======  ==================================================================
- IP001    sweep-order violation: an L offset is on the wrong
-          lexicographic side for the declared sweep direction (§2.1)
- IP002    illegal tile sizes: the tiling maps an L dependence to a
-          non-lexicographically-negative block offset (§2.1, Fig. 1)
- IP003    dependence cross-check mismatch: access offsets recovered from
-          lowered loop index arithmetic disagree with the L/U pattern tags
- IP004    wavefront race: two sub-domains in the same parallel group are
-          connected by a block-level dependence (Eq. 3, §2.3)
- IP005    wavefront coverage: a sub-domain is missing from the schedule
- IP006    wavefront overlap: a sub-domain appears twice, so two scheduled
-          tiles have overlapping write regions
- IP007    wavefront order: a dependence points at a sub-domain scheduled
-          in a *later* group (predecessor not strictly earlier)
- IP008    declared block stencil of ``cfd.get_parallel_blocks`` disagrees
-          with the offsets derived from the L pattern and tile sizes
- IP009    malformed CSR payload (non-monotonic offsets, out-of-range or
-          non-integral indices, mixed-direction dependence offsets)
- IP010    analysis limitation: a check was skipped because static
-          information (tile sizes, grid extents) could not be resolved
- IP011    out-of-bounds access: an element or vector access range proven
-          by the interval engine escapes its allocation
- IP012    slice window out of range: an ``extract_slice``/``subview``/
-          ``insert_slice`` window exceeds its source buffer
- IP013    uninitialized read: a read of locally allocated cells that no
-          producer or initializer has written
- IP014    bufferization clobber: an in-place buffer reuse overwrote a
-          value that a later access still reads
- IP015    unverifiable in-place reuse: a read overlaps a write of an
-          unrelated value lineage on the same buffer (warning)
- IP016    fusion opportunity rejected (informational): a producer could
-          not be fused because its halo exceeds the stencil halo
-=======  ==================================================================
+``IP0xx`` codes belong to the in-place legality / wavefront / memory
+analyzers; ``TV0xx`` codes belong to the per-pass translation validator
+(:mod:`repro.analysis.tv`). This module is the single source of truth
+for the code table: the README diagnostics tables are generated from
+:data:`REGISTRY` and a test asserts they match exactly (codes, canonical
+severities, one-line descriptions).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional
+from typing import Dict, List, Optional
 
 #: severity levels, most severe first.
 SEVERITIES = ("error", "warning", "note")
 
-#: The stable code registry: code -> short title. Never renumber.
-ERROR_CODES = {
-    "IP001": "sweep-order violation",
-    "IP002": "illegal tile sizes across a backward dependence",
-    "IP003": "dependence cross-check mismatch",
-    "IP004": "wavefront race inside a parallel group",
-    "IP005": "wavefront schedule misses a sub-domain",
-    "IP006": "wavefront schedule duplicates a sub-domain (write overlap)",
-    "IP007": "wavefront dependence scheduled in a later group",
-    "IP008": "declared block stencil disagrees with derived offsets",
-    "IP009": "malformed wavefront CSR payload",
-    "IP010": "static information unavailable; check skipped",
-    "IP011": "out-of-bounds access (interval proof failed)",
-    "IP012": "slice window exceeds its source buffer",
-    "IP013": "uninitialized read of a local buffer",
-    "IP014": "bufferization reuse clobbers a live value",
-    "IP015": "unverifiable in-place buffer reuse",
-    "IP016": "fusion opportunity rejected",
+
+@dataclass(frozen=True)
+class DiagnosticInfo:
+    """One registry entry: the stable identity of a diagnostic code."""
+
+    code: str
+    title: str
+    #: The severity this code is normally emitted at (README table column).
+    severity: str
+    #: One-line description (README table column).
+    description: str
+
+
+def _info(code: str, title: str, severity: str, description: str) -> DiagnosticInfo:
+    assert severity in SEVERITIES
+    return DiagnosticInfo(code, title, severity, description)
+
+
+#: The stable code registry. Never renumber; new checks get new codes.
+REGISTRY: Dict[str, DiagnosticInfo] = {
+    info.code: info
+    for info in (
+        _info("IP001", "sweep-order violation", "error",
+              "an L offset is on the wrong lexicographic side for the "
+              "declared sweep direction (§2.1)"),
+        _info("IP002", "illegal tile sizes across a backward dependence",
+              "error",
+              "the tiling maps an L dependence to a non-lexicographically-"
+              "negative block offset (§2.1, Fig. 1)"),
+        _info("IP003", "dependence cross-check mismatch", "error",
+              "access offsets recovered from lowered loop index arithmetic "
+              "disagree with the L/U pattern tags"),
+        _info("IP004", "wavefront race inside a parallel group", "error",
+              "two sub-domains in the same parallel group are connected by "
+              "a block-level dependence (Eq. 3, §2.3)"),
+        _info("IP005", "wavefront schedule misses a sub-domain", "error",
+              "a sub-domain is missing from the CSR schedule"),
+        _info("IP006", "wavefront schedule duplicates a sub-domain "
+              "(write overlap)", "error",
+              "a sub-domain appears twice, so two scheduled tiles have "
+              "overlapping write regions"),
+        _info("IP007", "wavefront dependence scheduled in a later group",
+              "error",
+              "a dependence points at a sub-domain scheduled in a later "
+              "group (predecessor not strictly earlier)"),
+        _info("IP008", "declared block stencil disagrees with derived "
+              "offsets", "error",
+              "the declared block stencil of cfd.get_parallel_blocks "
+              "disagrees with the offsets derived from the L pattern and "
+              "tile sizes"),
+        _info("IP009", "malformed wavefront CSR payload", "error",
+              "non-monotonic offsets, out-of-range or non-integral "
+              "indices, or mixed-direction dependence offsets"),
+        _info("IP010", "static information unavailable; check skipped",
+              "note",
+              "a check was skipped because static information (tile "
+              "sizes, grid extents) could not be resolved"),
+        _info("IP011", "out-of-bounds access (interval proof failed)",
+              "error",
+              "an element or vector access range proven by the interval "
+              "engine escapes its allocation"),
+        _info("IP012", "slice window exceeds its source buffer", "error",
+              "an extract_slice/subview/insert_slice window exceeds its "
+              "source buffer"),
+        _info("IP013", "uninitialized read of a local buffer", "error",
+              "a read of locally allocated cells that no producer or "
+              "initializer has written"),
+        _info("IP014", "bufferization reuse clobbers a live value", "error",
+              "an in-place buffer reuse overwrote a value that a later "
+              "access still reads"),
+        _info("IP015", "unverifiable in-place buffer reuse", "warning",
+              "a read overlaps a write of an unrelated value lineage on "
+              "the same buffer"),
+        _info("IP016", "fusion opportunity rejected", "note",
+              "a producer could not be fused because its halo exceeds the "
+              "stencil halo"),
+        _info("TV001", "dependence scheduled out of order", "error",
+              "a pass scheduled the source of a flow dependence after its "
+              "target (witness: both instances and their timestamps)"),
+        _info("TV002", "dependent instances scheduled concurrently", "error",
+              "two instances connected by a dependence landed in the same "
+              "parallel component (wavefront group or vector write)"),
+        _info("TV003", "write coverage broken", "error",
+              "a statement instance of the reference write box is missing, "
+              "duplicated, or written outside the box after a pass"),
+        _info("TV004", "fused producer no longer covers the consumed "
+              "region", "error",
+              "a fused producer's computed window does not contain the "
+              "tile core the consumer stencil reads (dropped halo "
+              "recomputation)"),
+        _info("TV005", "stencil site lost or reordered", "error",
+              "a stamped stencil site disappeared or changed relative "
+              "program order during a pass"),
+        _info("TV006", "translation validation skipped", "note",
+              "a site could not be validated after a pass (unsupported "
+              "form, unresolved bounds, or domain too large)"),
+        _info("TV007", "anti-dependence scheduled out of order", "error",
+              "a pass scheduled the write of an initially-read cell "
+              "before (or concurrent with) its reader"),
+    )
 }
+
+#: Backwards-compatible ``code -> title`` view of :data:`REGISTRY`.
+ERROR_CODES = {code: info.title for code, info in REGISTRY.items()}
+
+
+def render_registry_table(prefix: str) -> List[str]:
+    """The README markdown table rows for codes starting with ``prefix``
+    (the test asserting README⟷registry parity renders through this)."""
+    rows = ["| Code | Severity | Description |", "| --- | --- | --- |"]
+    for code, info in REGISTRY.items():
+        if code.startswith(prefix):
+            rows.append(
+                f"| `{code}` | {info.severity} | {info.description} |"
+            )
+    return rows
 
 
 @dataclass
@@ -84,14 +154,14 @@ class Diagnostic:
     after_pass: Optional[str] = None
 
     def __post_init__(self) -> None:
-        if self.code not in ERROR_CODES:
+        if self.code not in REGISTRY:
             raise ValueError(f"unknown diagnostic code {self.code!r}")
         if self.severity not in SEVERITIES:
             raise ValueError(f"unknown severity {self.severity!r}")
 
     @property
     def title(self) -> str:
-        return ERROR_CODES[self.code]
+        return REGISTRY[self.code].title
 
     @property
     def is_error(self) -> bool:

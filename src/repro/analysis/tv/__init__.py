@@ -1,0 +1,32 @@
+"""Per-pass translation validation: symbolic schedules and
+dependence-preservation certificates (``TV001``–``TV007``).
+
+The public surface is :class:`TranslationValidator` (wired behind
+``CompileOptions(validate_passes=True)`` and the
+``python -m repro.analysis --validate`` lint mode) plus the extraction
+primitives for tests and tooling.
+"""
+
+from repro.analysis.tv.extract import (
+    ExtractionUnsupported,
+    InstanceExtractor,
+    InstanceMap,
+    SiteRef,
+    capture_reference,
+    find_site_roots,
+)
+from repro.analysis.tv.validator import (
+    TranslationValidationError,
+    TranslationValidator,
+)
+
+__all__ = [
+    "ExtractionUnsupported",
+    "InstanceExtractor",
+    "InstanceMap",
+    "SiteRef",
+    "TranslationValidationError",
+    "TranslationValidator",
+    "capture_reference",
+    "find_site_roots",
+]

@@ -1,0 +1,462 @@
+"""Statement-instance and schedule extraction for translation validation.
+
+For every stamped stencil *site* (a ``cfd.stencilOp`` tagged with a
+``tv_id`` attribute at pipeline start, whose tag is propagated by the
+transformation passes onto whatever op replaces it), this module rebuilds
+the site's *instance map*: ``space cell -> timestamp``, where the
+timestamp encodes the happens-before order the current IR executes the
+per-cell updates in (see :mod:`repro.ir.schedule`).
+
+Four forms are understood, matching everything the pipelines produce:
+
+``cfd.stencilOp``
+    The declarative form: one sequential component per space dimension,
+    negated for backward sweeps.
+``cfd.tiled_loop``
+    The tile grid is enumerated from the (constant-evaluated) bounds.
+    With a wavefront schedule attached, the CSR of the feeding
+    ``cfd.get_parallel_blocks`` is *replayed* from its declared block
+    stencil (Eq. 3) and each tile gets ``(group, parallel tile-id)``
+    components; without one, per-dimension sequential components honor
+    the ``reverse`` flag. The stamped inner op is located inside the
+    body and recursed into with the tile window's origin accumulated, so
+    two-level tiling nests naturally.
+``scf.for`` nests (scalar, vectorized and bufferized lowerings)
+    Loop trees are decoded once per enclosing tile environment; the
+    write anchors (``tensor.insert`` / ``memref.store`` /
+    ``vector.transfer_write``) have their index operands recovered as
+    linear forms over the nest induction variables, then every concrete
+    iteration is enumerated. A ``transfer_write`` expands into one
+    *parallel* lane component per vector element.
+``linalg.generic``
+    The fully-parallel out-of-place form (Jacobi): every instance is
+    concurrent with every other.
+
+All constant evaluation goes through one
+:class:`~repro.analysis.absint.engine.AbstractEvaluator` whose
+``index_env`` is seeded with the enclosing tile's induction variables
+(``Interval.point``), exactly the trick the memory-safety clients use to
+enumerate concrete tile grids.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from itertools import product
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.analysis.absint.engine import AbstractEvaluator
+from repro.analysis.absint.interval import Interval
+from repro.core.scheduling import compute_parallel_blocks
+from repro.core.stencil import StencilPattern
+from repro.ir.attributes import IntegerAttr
+from repro.ir.location import op_path
+from repro.ir.operation import Operation
+from repro.ir.schedule import PAR, SEQ, LinearForm, Timestamp, resolve_linear
+from repro.ir.values import OpResult, Value
+
+Cell = Tuple[int, ...]
+
+#: Default cap on enumerated instances per site (heat-3D's 22^3 interior
+#: is ~10.6k; anything past the cap degrades to a TV006 note).
+INSTANCE_LIMIT = 60000
+
+#: The attribute tagging an op as (the root of) a validated site.
+TV_ID_ATTR = "tv_id"
+
+
+class ExtractionUnsupported(Exception):
+    """A site's current form cannot be validated (degrades to TV006)."""
+
+
+@dataclass
+class SiteRef:
+    """The pre-pipeline reference of one stencil site."""
+
+    tv_id: int
+    path: str
+    pattern: StencilPattern
+    sweep: int
+    nv: int
+    #: Reference write box, per space dimension ``[lo, hi)``; ``None``
+    #: when the frontend bounds could not be resolved (``degraded``).
+    box: Optional[Tuple[Tuple[int, int], ...]]
+    degraded: str = ""
+
+    @property
+    def rank(self) -> int:
+        return self.pattern.rank
+
+    @property
+    def flow_offsets(self) -> List[Tuple[int, ...]]:
+        """Offsets ``o`` with a flow dependence *from* ``c + o`` *to* ``c``."""
+        return list(self.pattern.dependent_l_offsets)
+
+    @property
+    def anti_offsets(self) -> List[Tuple[int, ...]]:
+        """Offsets ``o`` where ``c`` reads the *initial* value of
+        ``c + o`` (write must come after the read)."""
+        return list(self.pattern.initial_l_offsets)
+
+    def cells(self):
+        assert self.box is not None
+        return product(*(range(lo, hi) for lo, hi in self.box))
+
+
+@dataclass
+class InstanceMap:
+    """The extracted schedule of one site in one IR snapshot."""
+
+    form: str
+    #: cell -> timestamp of its (first) ``v == 0`` write.
+    ts: Dict[Cell, Timestamp] = field(default_factory=dict)
+    #: (cell, v) -> number of writes observed.
+    counts: Dict[Tuple[Cell, int], int] = field(default_factory=dict)
+    #: writes landing outside the reference box (cell, v).
+    outside: List[Tuple[Cell, int]] = field(default_factory=list)
+    instances: int = 0
+
+
+def capture_reference(module: Operation) -> List[SiteRef]:
+    """Stamp every ``cfd.stencilOp`` with a ``tv_id`` and record its
+    reference pattern, sweep and write box. Called once, before the
+    first pass runs."""
+    ev = AbstractEvaluator()
+    sites: List[SiteRef] = []
+    for op in module.walk():
+        if op.name != "cfd.stencilOp":
+            continue
+        tv_id = len(sites)
+        op.attributes[TV_ID_ATTR] = IntegerAttr(tv_id)
+        pattern = op.pattern
+        box: Optional[Tuple[Tuple[int, int], ...]] = None
+        degraded = ""
+        if op.has_bounds:
+            lo = [ev.eval_exact(v) for v in op.bounds_lo]
+            hi = [ev.eval_exact(v) for v in op.bounds_hi]
+            if any(v is None for v in lo + hi):
+                degraded = "frontend bounds are not static"
+            else:
+                box = tuple(zip(lo, hi))
+        else:
+            shape = op.y_init.type.shape
+            if any(d == -1 for d in shape):
+                degraded = "dynamic y shape"
+            else:
+                box = tuple(pattern.interior_bounds(shape[1:]))
+        sites.append(
+            SiteRef(tv_id, op_path(op), pattern, op.sweep, op.nb_var,
+                    box, degraded)
+        )
+    return sites
+
+
+def _stamp_of(op: Operation) -> Optional[int]:
+    attr = op.attributes.get(TV_ID_ATTR)
+    return attr.value if isinstance(attr, IntegerAttr) else None
+
+
+def find_site_roots(module: Operation) -> List[Tuple[int, Operation]]:
+    """Outermost stamped ops in program order. The scan descends into
+    unstamped structure (e.g. ``scf.for`` time loops) but not *into* a
+    stamped root — the stamped inner op of a tiled loop belongs to the
+    root's own extraction."""
+    roots: List[Tuple[int, Operation]] = []
+
+    def scan(block) -> None:
+        for op in block.operations:
+            tv_id = _stamp_of(op)
+            if tv_id is not None:
+                roots.append((tv_id, op))
+                continue
+            for region in op.regions:
+                for inner in region.blocks:
+                    scan(inner)
+
+    for region in module.regions:
+        for block in region.blocks:
+            scan(block)
+    return roots
+
+
+def _find_stamped_inner(block, tv_id: int) -> Optional[Operation]:
+    for op in block.operations:
+        if _stamp_of(op) == tv_id:
+            return op
+        for region in op.regions:
+            for inner in region.blocks:
+                found = _find_stamped_inner(inner, tv_id)
+                if found is not None:
+                    return found
+    return None
+
+
+def _y_window_slice(inner: Operation) -> Optional[Operation]:
+    """The ``tensor.extract_slice`` carving the tile's y window, found by
+    chasing the inner site op's destination operand."""
+    if inner.name == "cfd.stencilOp":
+        val = inner.y_init
+    elif inner.name == "cfd.tiled_loop":
+        val = inner.outs[0]
+    elif inner.name == "scf.for" and inner.num_operands > 3:
+        val = inner.operand(3)
+    elif inner.name == "linalg.generic":
+        val = inner.operand(inner.num_ins)
+    else:
+        return None
+    while isinstance(val, OpResult):
+        if val.op.name == "tensor.extract_slice":
+            return val.op
+        return None
+    return None
+
+
+class InstanceExtractor:
+    """Builds :class:`InstanceMap` for one site root; one instance per
+    validation call (the evaluator caches nothing across modules)."""
+
+    def __init__(self, limit: int = INSTANCE_LIMIT) -> None:
+        self.ev = AbstractEvaluator()
+        self.limit = limit
+        #: Optional per-tile callback ``(loop, inner, tile_index,
+        #: origin)`` invoked while the tile's induction variables are
+        #: still pinned in ``self.ev.index_env`` (the TV004 fused-halo
+        #: check hooks in here).
+        self.tile_hook: Optional[Callable] = None
+
+    # ---- helpers ---------------------------------------------------------
+
+    def _exact(self, value: Value, what: str) -> int:
+        c = self.ev.eval_exact(value)
+        if c is None:
+            raise ExtractionUnsupported(f"{what} is not statically resolvable")
+        return c
+
+    def _record(
+        self, out: InstanceMap, site: SiteRef, cell: Cell, v: int,
+        ts: Timestamp,
+    ) -> None:
+        out.instances += 1
+        if out.instances > self.limit:
+            raise ExtractionUnsupported(
+                f"more than {self.limit} instances"
+            )
+        assert site.box is not None
+        if any(not (lo <= c < hi) for c, (lo, hi) in zip(cell, site.box)):
+            out.outside.append((cell, v))
+            return
+        key = (cell, v)
+        out.counts[key] = out.counts.get(key, 0) + 1
+        if v == 0 and cell not in out.ts:
+            out.ts[cell] = ts
+
+    # ---- entry point -----------------------------------------------------
+
+    def site_instances(self, root: Operation, site: SiteRef) -> InstanceMap:
+        out = InstanceMap(form=root.name)
+        self._emit(root, site, (0,) * site.rank, (), out)
+        return out
+
+    def _emit(
+        self, op: Operation, site: SiteRef, origin: Cell,
+        prefix: Timestamp, out: InstanceMap,
+    ) -> None:
+        if op.name == "cfd.stencilOp":
+            self._emit_stencil(op, site, origin, prefix, out)
+        elif op.name == "cfd.tiled_loop":
+            self._emit_tiled(op, site, origin, prefix, out)
+        elif op.name == "scf.for":
+            self._emit_nest(op, site, origin, prefix, out)
+        elif op.name == "linalg.generic":
+            self._emit_pointwise(op, site, origin, prefix, out)
+        else:
+            raise ExtractionUnsupported(f"unsupported site form {op.name!r}")
+
+    # ---- form A: the declarative stencil op ------------------------------
+
+    def _emit_stencil(self, op, site, origin, prefix, out) -> None:
+        if op.has_bounds:
+            lo = [self._exact(v, "stencil bound") for v in op.bounds_lo]
+            hi = [self._exact(v, "stencil bound") for v in op.bounds_hi]
+        else:
+            if site.box is None:
+                raise ExtractionUnsupported(site.degraded)
+            lo = [b[0] - o for b, o in zip(site.box, origin)]
+            hi = [b[1] - o for b, o in zip(site.box, origin)]
+        sweep = op.sweep
+        for local in product(*(range(a, b) for a, b in zip(lo, hi))):
+            cell = tuple(c + o for c, o in zip(local, origin))
+            ts = prefix + tuple((SEQ, sweep * c) for c in local)
+            for v in range(site.nv):
+                self._record(out, site, cell, v, ts)
+
+    # ---- form B: the tiled loop ------------------------------------------
+
+    def _replay_groups(self, loop, grid: List[int]) -> Dict[int, int]:
+        offsets_v, _ = loop.group_operands
+        gp = offsets_v.op if isinstance(offsets_v, OpResult) else None
+        if gp is None or gp.name != "cfd.get_parallel_blocks":
+            raise ExtractionUnsupported(
+                "wavefront groups not fed by cfd.get_parallel_blocks"
+            )
+        num_blocks = tuple(
+            self._exact(v, "wavefront grid extent") for v in gp.operands
+        )
+        if list(num_blocks) != grid:
+            raise ExtractionUnsupported(
+                f"wavefront grid {list(num_blocks)} != tile grid {grid}"
+            )
+        offsets, indices = compute_parallel_blocks(
+            num_blocks, gp.block_offsets
+        )
+        group_of: Dict[int, int] = {}
+        for g in range(len(offsets) - 1):
+            for pos in range(int(offsets[g]), int(offsets[g + 1])):
+                group_of.setdefault(int(indices[pos]), g)
+        total = 1
+        for n in grid:
+            total *= n
+        if len(group_of) != total:
+            raise ExtractionUnsupported("wavefront CSR does not cover the grid")
+        return group_of
+
+    def _emit_tiled(self, loop, site, origin, prefix, out) -> None:
+        ranges = []
+        for lb_v, ub_v, st_v in zip(loop.lbs, loop.ubs, loop.steps):
+            lb = self._exact(lb_v, "tile bound")
+            ub = self._exact(ub_v, "tile bound")
+            st = self._exact(st_v, "tile step")
+            if st <= 0:
+                raise ExtractionUnsupported("non-positive tile step")
+            ranges.append(list(range(lb, ub, st)))
+        grid = [len(r) for r in ranges]
+        group_of = (
+            self._replay_groups(loop, grid) if loop.has_groups else None
+        )
+        inner = _find_stamped_inner(loop.body, site.tv_id)
+        if inner is None:
+            raise ExtractionUnsupported(
+                "stamped inner op not found in tile body"
+            )
+        window = _y_window_slice(inner)
+        if window is None:
+            raise ExtractionUnsupported("tile y window slice not found")
+        reverse = loop.reverse
+        for tidx in product(*(range(n) for n in grid)):
+            lin = 0
+            for p, n in zip(tidx, grid):
+                lin = lin * n + p
+            if group_of is not None:
+                tile_ts: Timestamp = ((SEQ, group_of[lin]), (PAR, lin))
+            else:
+                tile_ts = tuple(
+                    (SEQ, -p if reverse else p) for p in tidx
+                )
+            for iv, r, p in zip(loop.induction_vars, ranges, tidx):
+                self.ev.index_env[id(iv)] = Interval.point(r[p])
+            sub = tuple(
+                self._exact(off, "y window offset")
+                for off in window.offsets[1:]
+            )
+            new_origin = tuple(a + b for a, b in zip(origin, sub))
+            if self.tile_hook is not None:
+                self.tile_hook(loop, inner, tidx, new_origin)
+            self._emit(inner, site, new_origin, prefix + tile_ts, out)
+
+    # ---- form C: lowered scf.for nests -----------------------------------
+
+    def _emit_nest(self, root, site, origin, prefix, out) -> None:
+        iv_ids: Dict[int, Value] = {}
+
+        def decode_block(block) -> list:
+            nodes = []
+            for op_idx, op in enumerate(block.operations):
+                if op.name == "scf.for":
+                    iv = op.induction_var
+                    iv_ids[id(iv)] = iv
+                    lb = self._exact(op.lower, "loop bound")
+                    ub = self._exact(op.upper, "loop bound")
+                    st = self._exact(op.step, "loop step")
+                    if st <= 0:
+                        raise ExtractionUnsupported("non-positive loop step")
+                    nodes.append(
+                        ("loop", op_idx, iv, lb, ub, st,
+                         decode_block(op.body))
+                    )
+                elif op.name in ("tensor.insert", "memref.store",
+                                 "vector.transfer_write"):
+                    forms = [
+                        resolve_linear(v, iv_ids, self.ev.eval_exact)
+                        for v in op.indices
+                    ]
+                    if any(f is None for f in forms):
+                        raise ExtractionUnsupported(
+                            f"{op.name} index is not linear in the nest"
+                        )
+                    if not forms[0].is_const:
+                        raise ExtractionUnsupported(
+                            f"{op.name} variable index is not constant"
+                        )
+                    lanes = 1
+                    if op.name == "vector.transfer_write":
+                        lanes = op.vector.type.shape[0]
+                    nodes.append(
+                        ("anchor", op_idx, forms[0].const, forms[1:], lanes)
+                    )
+            return nodes
+
+        # The root loop itself is the first event of the nest.
+        iv_ids[id(root.induction_var)] = root.induction_var
+        top = [("loop", 0, root.induction_var,
+                self._exact(root.lower, "loop bound"),
+                self._exact(root.upper, "loop bound"),
+                self._exact(root.step, "loop step"),
+                decode_block(root.body))]
+        env: Dict[int, int] = {}
+
+        def run(nodes, key: Timestamp) -> None:
+            for node in nodes:
+                if node[0] == "loop":
+                    _, op_idx, iv, lb, ub, st, children = node
+                    for it, ivv in enumerate(range(lb, ub, st)):
+                        env[id(iv)] = ivv
+                        run(children, key + ((SEQ, op_idx), (SEQ, it)))
+                else:
+                    _, op_idx, v, space_forms, lanes = node
+                    coords = [f.value_at(env) for f in space_forms]
+                    base = key + ((SEQ, op_idx),)
+                    if lanes == 1:
+                        cell = tuple(
+                            c + o for c, o in zip(coords, origin)
+                        )
+                        self._record(out, site, cell, v, base)
+                    else:
+                        for u in range(lanes):
+                            shifted = list(coords)
+                            shifted[-1] += u
+                            cell = tuple(
+                                c + o for c, o in zip(shifted, origin)
+                            )
+                            self._record(
+                                out, site, cell, v, base + ((PAR, u),)
+                            )
+
+        run(top, prefix)
+
+    # ---- form D: the fully-parallel pointwise generic --------------------
+
+    def _emit_pointwise(self, op, site, origin, prefix, out) -> None:
+        out_t = op.operand(op.num_ins).type
+        shape = out_t.shape
+        if any(d == -1 for d in shape):
+            raise ExtractionUnsupported("dynamic generic output shape")
+        bounds = op.iteration_bounds(shape)
+        v_lo, v_hi = bounds[0]
+        space = bounds[1:]
+        lin = 0
+        for local in product(*(range(a, b) for a, b in space)):
+            cell = tuple(c + o for c, o in zip(local, origin))
+            ts = prefix + ((PAR, lin),)
+            lin += 1
+            for v in range(v_lo, v_hi):
+                self._record(out, site, cell, v, ts)

@@ -1,0 +1,388 @@
+"""The per-pass translation validator.
+
+:class:`TranslationValidator` captures a *reference* of every stencil
+site before the first pass runs (:func:`~repro.analysis.tv.extract.
+capture_reference`), then after every pass re-extracts each site's
+instance map and checks, against the reference dependences of the
+stencil pattern:
+
+``TV001`` / ``TV002``
+    Every *flow* dependence (an L offset on the dependence side of the
+    sweep: the write of ``c + o`` feeds the read at ``c``) is still
+    scheduled source-before-target — not after (TV001) and not
+    concurrent in a wavefront group or vector write (TV002).
+``TV007``
+    Every *anti* dependence (an initial-content read with
+    ``allow_initial_reads``) still reads before the cell is overwritten.
+``TV003``
+    Write coverage: each ``(cell, variable)`` of the reference write box
+    is written exactly once and nothing is written outside the box —
+    this is also the output-dependence check (two writes of the same
+    cell would have to be ordered; a single write needs no order).
+``TV004``
+    Inside tiled loops, every fused producer's computed window still
+    covers the tile core the stencil consumes (recomputation halo not
+    dropped).
+``TV005``
+    The stamped sites still exist, in the same relative program order.
+``TV006``
+    A degradation note whenever a site cannot be extracted (unsupported
+    form, unresolved bounds, domain too large): validation never passes
+    silently on IR it does not understand.
+
+Violations carry a concrete witness — the two statement instances and
+their timestamps — and name the offending pass; certified passes are
+summarized in :attr:`TranslationValidator.certificates`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.analysis.diagnostics import Diagnostic, DiagnosticReport
+from repro.analysis.tv.extract import (
+    ExtractionUnsupported,
+    InstanceExtractor,
+    InstanceMap,
+    SiteRef,
+    capture_reference,
+    find_site_roots,
+)
+from repro.ir.location import op_path
+from repro.ir.operation import Operation
+from repro.ir.schedule import (
+    AFTER,
+    BEFORE,
+    CONCURRENT,
+    compare_timestamps,
+    render_timestamp,
+)
+from repro.ir.values import OpResult
+
+
+class TranslationValidationError(RuntimeError):
+    """Raised by a fail-fast validator when a pass breaks a dependence."""
+
+    def __init__(self, report: DiagnosticReport, after_pass: Optional[str]):
+        self.report = report
+        self.after_pass = after_pass
+        first = report.errors[0] if report.errors else None
+        where = f" after pass {after_pass!r}" if after_pass else ""
+        summary = first.render() if first else report.summary()
+        super().__init__(
+            f"translation validation failed{where} "
+            f"({len(report.errors)} violation(s)):\n{summary}"
+        )
+
+
+class TranslationValidator:
+    """Dependence-preservation certificates between passes.
+
+    Use through ``CompileOptions(validate_passes=True)`` /
+    ``PassManager(validator=...)``, or drive directly::
+
+        tv = TranslationValidator(fail_fast=False)
+        tv.begin(module)            # stamp + capture the reference
+        SomePass().run(module)
+        tv.after_pass(module, "some-pass")
+        tv.report                   # all diagnostics, witnesses included
+        tv.certificates             # one summary dict per validated pass
+    """
+
+    def __init__(
+        self,
+        fail_fast: bool = True,
+        max_witnesses: int = 3,
+        instance_limit: Optional[int] = None,
+    ) -> None:
+        self.fail_fast = fail_fast
+        self.max_witnesses = max_witnesses
+        self.instance_limit = instance_limit
+        self.sites: List[SiteRef] = []
+        self.report = DiagnosticReport()
+        #: One entry per validated snapshot: ``{"after_pass", "sites",
+        #: "violations"}`` with per-site form/instance/edge counts.
+        self.certificates: List[dict] = []
+
+    # ---- pass-manager hooks ----------------------------------------------
+
+    def begin(self, module: Operation) -> List[Diagnostic]:
+        """Stamp sites, capture the reference, and self-check it (the
+        ``"frontend"`` certificate is the baseline every pass is compared
+        against)."""
+        self.sites = capture_reference(module)
+        return self._validate(module, "frontend")
+
+    def after_pass(self, module: Operation, name: str) -> List[Diagnostic]:
+        return self._validate(module, name)
+
+    # ---- the validation of one IR snapshot -------------------------------
+
+    def _validate(self, module: Operation, label: str) -> List[Diagnostic]:
+        diags: List[Diagnostic] = []
+        certs: List[dict] = []
+        roots = find_site_roots(module)
+        self._check_sites_present(roots, label, diags)
+        by_id: Dict[int, Operation] = {}
+        for tv_id, op in roots:
+            by_id.setdefault(tv_id, op)
+        kwargs = {}
+        if self.instance_limit is not None:
+            kwargs["limit"] = self.instance_limit
+        for site in self.sites:
+            root = by_id.get(site.tv_id)
+            cert = {"site": site.tv_id, "path": site.path}
+            certs.append(cert)
+            if root is None:
+                cert.update(status="lost")
+                continue
+            cert["form"] = root.name
+            if site.box is None:
+                diags.append(self._note(site, root, label, site.degraded))
+                cert.update(status="skipped", detail=site.degraded)
+                continue
+            extractor = InstanceExtractor(**kwargs)
+            site_diags: List[Diagnostic] = []
+            extractor.tile_hook = self._make_tile_hook(
+                extractor, site, site_diags
+            )
+            try:
+                inst = extractor.site_instances(root, site)
+            except ExtractionUnsupported as exc:
+                diags.append(self._note(site, root, label, str(exc)))
+                cert.update(status="skipped", detail=str(exc))
+                continue
+            stats = self._check_site(site, inst, root, site_diags)
+            cert.update(
+                form=inst.form,
+                instances=inst.instances,
+                cells=len(inst.ts),
+                **stats,
+            )
+            cert["status"] = (
+                "violated"
+                if any(d.is_error for d in site_diags)
+                else "certified"
+            )
+            diags.extend(site_diags)
+        for d in diags:
+            if d.after_pass is None:
+                d.after_pass = label
+        self.report.extend(diags)
+        errors = [d for d in diags if d.is_error]
+        self.certificates.append(
+            {"after_pass": label, "violations": len(errors), "sites": certs}
+        )
+        if self.fail_fast and errors:
+            snapshot = DiagnosticReport(list(diags))
+            raise TranslationValidationError(snapshot, label)
+        return diags
+
+    # ---- TV005: site presence and order ----------------------------------
+
+    def _check_sites_present(self, roots, label, diags) -> None:
+        known = {s.tv_id for s in self.sites}
+        seen: List[int] = []
+        for tv_id, op in roots:
+            if tv_id in seen:
+                diags.append(Diagnostic(
+                    "TV005",
+                    f"site #{tv_id} appears more than once",
+                    op_path=op_path(op),
+                ))
+            seen.append(tv_id)
+        ordered = [i for i in seen if i in known]
+        for site in self.sites:
+            if site.tv_id not in seen:
+                diags.append(Diagnostic(
+                    "TV005",
+                    f"site #{site.tv_id} ({site.path}) disappeared",
+                ))
+        deduped = list(dict.fromkeys(ordered))
+        if deduped != sorted(deduped):
+            diags.append(Diagnostic(
+                "TV005",
+                f"sites reordered: program order is now {deduped}",
+            ))
+
+    def _note(self, site, root, label, reason) -> Diagnostic:
+        return Diagnostic(
+            "TV006",
+            f"site #{site.tv_id}: {reason}",
+            severity="note",
+            op_path=op_path(root),
+        )
+
+    # ---- TV001/TV002/TV003/TV007: instance-level checks ------------------
+
+    def _check_site(
+        self, site: SiteRef, inst: InstanceMap, root: Operation,
+        diags: List[Diagnostic],
+    ) -> dict:
+        path = op_path(root)
+
+        def emit(code: str, witnesses: List[str]) -> None:
+            shown = witnesses[: self.max_witnesses]
+            extra = len(witnesses) - len(shown)
+            if extra > 0:
+                shown.append(f"... and {extra} more like it")
+            for w in shown:
+                diags.append(Diagnostic(
+                    code, f"site #{site.tv_id}: {w}", op_path=path
+                ))
+
+        missing, dup = [], []
+        for cell in site.cells():
+            for v in range(site.nv):
+                n = inst.counts.get((cell, v), 0)
+                if n == 0:
+                    missing.append(f"instance {cell} (var {v}) is never "
+                                   "written (live store removed?)")
+                elif n > 1:
+                    dup.append(f"instance {cell} (var {v}) is written "
+                               f"{n} times")
+        outside = [
+            f"write of {cell} (var {v}) lands outside the reference "
+            f"write box" for cell, v in inst.outside
+        ]
+        emit("TV003", missing)
+        emit("TV003", dup)
+        emit("TV003", outside)
+
+        flow = site.flow_offsets
+        anti = site.anti_offsets
+        checked_flow = checked_anti = 0
+        order_viol: List[str] = []
+        conc_viol: List[str] = []
+        anti_viol: List[str] = []
+        for cell, ts_c in inst.ts.items():
+            for off in flow:
+                src = tuple(c + d for c, d in zip(cell, off))
+                ts_s = inst.ts.get(src)
+                if ts_s is None:
+                    continue
+                checked_flow += 1
+                verdict = compare_timestamps(ts_s, ts_c)
+                if verdict == AFTER:
+                    order_viol.append(
+                        f"flow dependence (offset {off}): source instance "
+                        f"{src} [t={render_timestamp(ts_s)}] is scheduled "
+                        f"after its target {cell} "
+                        f"[t={render_timestamp(ts_c)}]"
+                    )
+                elif verdict == CONCURRENT:
+                    conc_viol.append(
+                        f"flow dependence (offset {off}): instances {src} "
+                        f"[t={render_timestamp(ts_s)}] and {cell} "
+                        f"[t={render_timestamp(ts_c)}] are concurrent"
+                    )
+            for off in anti:
+                dst = tuple(c + d for c, d in zip(cell, off))
+                ts_w = inst.ts.get(dst)
+                if ts_w is None:
+                    continue
+                checked_anti += 1
+                if compare_timestamps(ts_c, ts_w) != BEFORE:
+                    anti_viol.append(
+                        f"anti dependence (offset {off}): instance {cell} "
+                        f"[t={render_timestamp(ts_c)}] reads the initial "
+                        f"value of {dst} but is not scheduled before its "
+                        f"write [t={render_timestamp(ts_w)}]"
+                    )
+        emit("TV001", order_viol)
+        emit("TV002", conc_viol)
+        emit("TV007", anti_viol)
+        return {"flow_edges": checked_flow, "anti_edges": checked_anti}
+
+    # ---- TV004: fused producers still cover the tile core ----------------
+
+    def _make_tile_hook(self, extractor, site, sink: List[Diagnostic]):
+        state = {"reported": False}
+
+        def hook(loop, inner, tile_index, origin) -> None:
+            if state["reported"] or inner.name != "cfd.stencilOp":
+                return
+            diag = self._check_fused_producers(
+                extractor, site, inner, tile_index, origin
+            )
+            if diag is not None:
+                sink.append(diag)
+                state["reported"] = True
+
+        return hook
+
+    def _check_fused_producers(
+        self, extractor, site, inner, tile_index, origin
+    ) -> Optional[Diagnostic]:
+        ev = extractor.ev
+        if not inner.has_bounds:
+            return None
+        core_lo = [ev.eval_exact(v) for v in inner.bounds_lo]
+        core_hi = [ev.eval_exact(v) for v in inner.bounds_hi]
+        if any(v is None for v in core_lo + core_hi):
+            return None
+        core = [
+            (lo + o, hi + o)
+            for lo, hi, o in zip(core_lo, core_hi, origin)
+        ]
+        val = inner.b
+        for _ in range(16):
+            if not isinstance(val, OpResult):
+                return None
+            producer = val.op
+            if producer.name == "tensor.extract_slice":
+                val = producer.source
+            elif producer.name == "linalg.fill":
+                val = producer.init  # fills its whole window: covers
+            elif producer.name == "cfd.faceIteratorOp":
+                val = producer.operand(1)  # accumulates over the window
+            elif producer.name == "linalg.generic":
+                diag = self._generic_covers(
+                    ev, site, producer, core, tile_index
+                )
+                if diag is not None:
+                    return diag
+                val = producer.operand(producer.num_ins)
+            else:
+                return None
+        return None
+
+    def _generic_covers(
+        self, ev, site, producer, core, tile_index
+    ) -> Optional[Diagnostic]:
+        out = producer.operand(producer.num_ins)
+        # The out-init window is typically zero-seeded through a fill.
+        if isinstance(out, OpResult) and out.op.name == "linalg.fill":
+            out = out.op.init
+        if not isinstance(out, OpResult) or (
+            out.op.name != "tensor.extract_slice"
+        ):
+            return None
+        window = out.op
+        offs = [ev.eval_exact(v) for v in window.offsets]
+        sizes = [ev.eval_exact(v) for v in window.sizes]
+        if any(v is None for v in offs + sizes):
+            return None
+        bounds = producer.iteration_bounds(tuple(sizes))
+        computed = [
+            (offs[d + 1] + lo, offs[d + 1] + hi)
+            for d, (lo, hi) in enumerate(bounds[1:])
+        ]
+        witness: Optional[Tuple[int, ...]] = None
+        for d, ((c_lo, c_hi), (p_lo, p_hi)) in enumerate(zip(core, computed)):
+            if c_lo >= c_hi:
+                continue
+            if c_lo < p_lo or c_hi > p_hi:
+                cell = [lo for lo, _ in core]
+                cell[d] = c_lo if c_lo < p_lo else p_hi
+                witness = tuple(cell)
+                break
+        if witness is None:
+            return None
+        return Diagnostic(
+            "TV004",
+            f"site #{site.tv_id}, tile {tile_index}: fused producer "
+            f"computes {computed} but the consumed tile core is {core}; "
+            f"first uncovered instance {witness}",
+            op_path=op_path(producer),
+        )

@@ -255,6 +255,10 @@ class _Bufferizer:
                 scalar_positions.append(j)
                 scalar_inits.append(self.mapping.get(init, init))
         new_loop = scf.ForOp.build(builder, lb, ub, step, scalar_inits)
+        # Preserve source-loop attributes (the translation validator's
+        # tv_id stamp in particular) across the rebuild.
+        for key, attr in op.attributes.items():
+            new_loop.attributes.setdefault(key, attr)
         body_builder = OpBuilder.at_end(new_loop.body)
         self.mapping[op.body.arguments[0]] = new_loop.induction_var
         for j, buf in zip(buffer_positions, buffers):

@@ -199,6 +199,8 @@ def lower_stencil_scalar(op: cfd.StencilOp, rewriter: PatternRewriter) -> None:
             body, val, current_y, coords(v_consts[v], zero_off)
         ).result()
     scf.YieldOp.build(body, [current_y])
+    if "tv_id" in op.attributes:
+        outer.attributes["tv_id"] = op.attributes["tv_id"]
     rewriter.replace_op(op, [outer.result()])
 
 

@@ -77,6 +77,14 @@ class CompileOptions:
         ``"after-every-pass"`` re-analyzes after each pass (the setting
         the lint CLI and the mutation tests use). Any error-severity
         diagnostic raises :class:`~repro.analysis.analyzer.AnalysisError`.
+    validate_passes:
+        Per-pass translation validation (:mod:`repro.analysis.tv`): the
+        pipeline captures every stencil site's reference schedule before
+        the first pass and re-checks dependence preservation after each
+        pass, raising
+        :class:`~repro.analysis.tv.TranslationValidationError` with a
+        concrete witness when a pass miscompiles. Timed under
+        ``"translation-validate"`` in the pass-manager report.
     """
 
     subdomain_sizes: Optional[Tuple[int, ...]] = None
@@ -88,6 +96,7 @@ class CompileOptions:
     use_cache: bool = True
     verify_each: bool = True
     check_level: str = "off"
+    validate_passes: bool = False
 
     def describe(self) -> str:
         parts = []
@@ -179,10 +188,16 @@ class StencilCompiler:
                     f"expected one of {CHECK_LEVELS}"
                 )
             gate = AnalysisGate(fail_fast=True)
+        validator = None
+        if o.validate_passes:
+            from repro.analysis.tv import TranslationValidator
+
+            validator = TranslationValidator(fail_fast=True)
         pm = PassManager(
             verify_each=o.verify_each,
             gate=gate,
             gate_each=o.check_level == "after-every-pass",
+            validator=validator,
         )
         level = 0
         if o.subdomain_sizes:

@@ -221,6 +221,11 @@ def tile_stencil_op(
     )
     _clone_region_into(op, inner)
     _bump_tiling_level(op, inner)
+    if "tv_id" in op.attributes:
+        # Both the loop (the site root) and the inner stencil carry the
+        # translation-validation tag: the validator finds the root, then
+        # locates the per-tile op inside the body by the same id.
+        inner.attributes["tv_id"] = op.attributes["tv_id"]
 
     y_next = tensor.InsertSliceOp.build(
         body, inner.result(), y_arg, slice_offsets, slice_sizes
@@ -267,7 +272,7 @@ def _stamp_analysis_attrs(
     tiled loop, so the static analyzer (:mod:`repro.analysis`) can audit
     tile legality and wavefront groups even after the inner stencil op
     has been lowered away."""
-    for key in ("stencil", "nbVar", "sweep", "allow_initial_reads"):
+    for key in ("stencil", "nbVar", "sweep", "allow_initial_reads", "tv_id"):
         if key in src.attributes:
             loop.attributes[key] = src.attributes[key]
     loop.attributes["tile_sizes"] = DenseIntElementsAttr(list(tile_sizes))

@@ -412,6 +412,9 @@ def _emit_peel_and_finish(
         ).result()
     scf.YieldOp.build(pb, [y_out])
 
+    root = outer if k > 1 else peel_outer
+    if "tv_id" in op.attributes:
+        root.attributes["tv_id"] = op.attributes["tv_id"]
     if k > 1:
         scf.YieldOp.build(body, [peel_outer.result()])
         rewriter.replace_op(op, [outer.result()])
@@ -476,6 +479,8 @@ def lower_stencil_out_of_place(
     for c in mapped[1:]:
         total = arith.addf(gb, total, c)
     LinalgYieldOp.build(gb, [arith.divf(gb, total, d_val)])
+    if "tv_id" in op.attributes:
+        g.attributes["tv_id"] = op.attributes["tv_id"]
     rewriter.replace_op(op, [g.result()])
     return True
 

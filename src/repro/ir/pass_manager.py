@@ -39,12 +39,24 @@ class PassManager:
     semantic checks on top of the structural verifier: once after the
     whole pipeline by default, or after every pass with
     ``gate_each=True``. Gate time is recorded in :attr:`timings` under
-    ``"analysis-gate"`` so :meth:`timing_report` shows the analysis
-    overhead next to the transformation passes.
+    ``"analysis-gate"``.
+
+    An optional *validator* — in practice a
+    :class:`~repro.analysis.tv.TranslationValidator` — is called as
+    ``validator.begin(module)`` before the first pass (capturing the
+    reference schedule) and ``validator.after_pass(module, name)`` after
+    every pass, with its time recorded under ``"translation-validate"``.
+
+    Both hooks can fire many times per :meth:`run`; :attr:`timings`
+    *aggregates* wall-clock across invocations (it never overwrites an
+    earlier measurement) and :attr:`invocations` counts them, so
+    :meth:`timing_report` shows, e.g., ``analysis-gate ... x7``.
     """
 
     #: The :attr:`timings` key accumulating gate wall-clock time.
     GATE_TIMING_KEY = "analysis-gate"
+    #: The :attr:`timings` key accumulating translation-validator time.
+    VALIDATE_TIMING_KEY = "translation-validate"
 
     def __init__(
         self,
@@ -52,36 +64,52 @@ class PassManager:
         verify_each: bool = True,
         gate=None,
         gate_each: bool = False,
+        validator=None,
     ) -> None:
         self.passes: List[Pass] = list(passes)
         self.verify_each = verify_each
         self.gate = gate
         self.gate_each = gate_each
-        #: Wall-clock seconds per pass, filled by :meth:`run`.
+        self.validator = validator
+        #: Wall-clock seconds per pass/hook, aggregated by :meth:`run`.
         self.timings: Dict[str, float] = {}
+        #: Number of times each :attr:`timings` key was measured.
+        self.invocations: Dict[str, int] = {}
 
     def add(self, pass_: Pass) -> "PassManager":
         self.passes.append(pass_)
         return self
+
+    def _record(self, key: str, seconds: float) -> None:
+        self.timings[key] = self.timings.get(key, 0.0) + seconds
+        self.invocations[key] = self.invocations.get(key, 0) + 1
 
     def _run_gate(self, module: Operation, after_pass) -> None:
         start = time.perf_counter()
         try:
             self.gate(module, after_pass=after_pass)
         finally:
-            self.timings[self.GATE_TIMING_KEY] = (
-                self.timings.get(self.GATE_TIMING_KEY, 0.0)
-                + time.perf_counter()
-                - start
+            self._record(self.GATE_TIMING_KEY, time.perf_counter() - start)
+
+    def _run_validator(self, module: Operation, after_pass) -> None:
+        start = time.perf_counter()
+        try:
+            if after_pass is None:
+                self.validator.begin(module)
+            else:
+                self.validator.after_pass(module, after_pass)
+        finally:
+            self._record(
+                self.VALIDATE_TIMING_KEY, time.perf_counter() - start
             )
 
     def run(self, module: Operation) -> None:
+        if self.validator is not None:
+            self._run_validator(module, None)
         for pass_ in self.passes:
             start = time.perf_counter()
             pass_.run(module)
-            self.timings[pass_.name] = (
-                self.timings.get(pass_.name, 0.0) + time.perf_counter() - start
-            )
+            self._record(pass_.name, time.perf_counter() - start)
             if self.verify_each:
                 try:
                     verify(module)
@@ -89,6 +117,8 @@ class PassManager:
                     raise RuntimeError(
                         f"IR verification failed after pass {pass_.name!r}: {exc}"
                     ) from exc
+            if self.validator is not None:
+                self._run_validator(module, pass_.name)
             if self.gate is not None and self.gate_each:
                 self._run_gate(module, after_pass=pass_.name)
         if self.gate is not None and not self.gate_each:
@@ -101,7 +131,10 @@ class PassManager:
         """Per-pass wall-clock breakdown, slowest first.
 
         The observability hook used by ``examples/inspect_pipeline.py``,
-        the autotuner and the compile-time benchmarks.
+        the autotuner and the compile-time benchmarks. Repeated
+        invocations of a key (the analysis gate in ``gate_each`` mode,
+        the translation validator, re-run passes) aggregate into one row
+        with an ``xN`` invocation count.
         """
         total = sum(self.timings.values())
         lines = [f"{title} (total {total * 1e3:.2f} ms)"]
@@ -110,7 +143,10 @@ class PassManager:
             self.timings.items(), key=lambda kv: kv[1], reverse=True
         ):
             share = 100.0 * seconds / total if total else 0.0
+            count = self.invocations.get(name, 1)
+            suffix = f"  x{count}" if count > 1 else ""
             lines.append(
-                f"  {name.ljust(width)}  {seconds * 1e3:8.3f} ms  {share:5.1f}%"
+                f"  {name.ljust(width)}  {seconds * 1e3:8.3f} ms  "
+                f"{share:5.1f}%{suffix}"
             )
         return "\n".join(lines)

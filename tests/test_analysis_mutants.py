@@ -12,6 +12,8 @@ unmutated pipelines (checked both here and in
 import pytest
 
 from repro.analysis import analyze_module, check_csr_schedule
+from repro.analysis.tv import TranslationValidator
+from repro.cfdlib.heat import build_heat3d_module
 from repro.analysis.dependence import (
     compare_access_sets,
     extract_loop_access_set,
@@ -19,8 +21,10 @@ from repro.analysis.dependence import (
 )
 from repro.core import frontend
 from repro.core.bufferization import BufferizePass
+from repro.core.fusion import FuseProducersPass
 from repro.core.lowering import LowerStencilsPass
 from repro.core.pipeline import CompileOptions, StencilCompiler
+from repro.core.tiling import TileStencilsPass
 from repro.core.scheduling import compute_parallel_blocks
 from repro.core.stencil import gauss_seidel_5pt_2d, gauss_seidel_9pt_2d
 from repro.dialects import arith, memref
@@ -297,6 +301,137 @@ def mutant_uninit_never_written():
     return _error_codes(module), "IP013"
 
 
+# --- family 7: miscompiles caught by translation validation ----------------
+#
+# These corruptions leave the IR structurally valid and (mostly) pass the
+# semantic lint: each one silently reorders or drops statement instances,
+# which only the per-pass dependence-preservation check can see. Every
+# mutant returns the TV codes from the validator's collected report, and
+# each violation carries a concrete witness (two statement instances with
+# their timestamps) naming the offending pass.
+
+
+def _tv_codes(tv):
+    return sorted(
+        {d.code for d in tv.report.diagnostics if d.severity == "error"}
+    )
+
+
+def mutant_tv_tile_order_reversed():
+    # Flip the tile traversal direction after tiling: the forward
+    # Gauss-Seidel dependences now point against the tile order.
+    module = _frontend_module()
+    tv = TranslationValidator(fail_fast=False)
+    tv.begin(module)
+    TileStencilsPass((12, 12), with_groups=False, level=0).run(module)
+    loop = _only(module, "cfd.tiled_loop")
+    loop.attributes["reverse"] = BoolAttr(not loop.reverse)
+    tv.after_pass(module, "tile-stencils")
+    return _tv_codes(tv), "TV001"
+
+
+def mutant_tv_fusion_halo_dropped():
+    # Shrink the fused producer's computed window by one plane: the
+    # consumer stencil still reads the halo cell the producer no longer
+    # recomputes per tile.
+    module = build_heat3d_module(12, 1)
+    tv = TranslationValidator(fail_fast=False)
+    tv.begin(module)
+    TileStencilsPass((5, 5, 5), level=0).run(module)
+    FuseProducersPass().run(module)
+    loop = _only(module, "cfd.tiled_loop")
+    inner = next(
+        op for op in loop.walk() if op.name == "cfd.stencilOp"
+    )
+    producer = inner.b.op  # the fused laplacian generic
+    assert producer.name == "linalg.generic"
+    out_init = producer.operand(producer.num_ins).op  # zero-seeding fill
+    out_slice = out_init.init.op  # the per-tile window slice
+    assert out_slice.name == "tensor.extract_slice"
+    last_size = out_slice.num_operands - 1
+    builder = OpBuilder.before(out_slice)
+    shrunk = arith.subi(
+        builder, out_slice.operand(last_size), arith.const_index(builder, 1)
+    )
+    out_slice.set_operand(last_size, shrunk)
+    tv.after_pass(module, "fuse-structured-ops")
+    return _tv_codes(tv), "TV004"
+
+
+def mutant_tv_wavefront_merged_early():
+    # Understate the inter-tile dependences the wavefront schedule was
+    # built from: the replayed groups now run dependent tiles
+    # concurrently.
+    module = _frontend_module()
+    tv = TranslationValidator(fail_fast=False)
+    tv.begin(module)
+    TileStencilsPass((12, 12), with_groups=True, level=0).run(module)
+    gp = _only(module, "cfd.get_parallel_blocks")
+    gp.attributes["block_stencil"] = DenseIntElementsAttr(
+        [[0, 0, 0], [-1, 0, 0], [0, 0, 0]]  # drops the (0, -1) dependence
+    )
+    tv.after_pass(module, "tile-stencils")
+    return _tv_codes(tv), "TV002"
+
+
+def mutant_tv_loop_interchange():
+    # Transpose the store coordinates in the lowered nest, simulating a
+    # loop interchange: legal for the symmetric 5-point pattern, but the
+    # 9-point kernel's (-1, 1) dependence crosses the new order.
+    module = _frontend_module(gauss_seidel_9pt_2d)
+    tv = TranslationValidator(fail_fast=False)
+    tv.begin(module)
+    LowerStencilsPass().run(module)
+    for op in list(module.walk()):
+        if op.name == "tensor.insert":
+            i, j = op.operand(3), op.operand(4)
+            op.set_operand(3, j)
+            op.set_operand(4, i)
+    tv.after_pass(module, "lower-stencils")
+    return _tv_codes(tv), "TV001"
+
+
+def mutant_tv_dce_live_store():
+    # An over-eager DCE stand-in: forward the insert's destination past
+    # the insert and erase it, dropping every write of the sweep.
+    module = _frontend_module()
+    tv = TranslationValidator(fail_fast=False)
+    tv.begin(module)
+    LowerStencilsPass().run(module)
+    insert = _only(module, "tensor.insert")
+    insert.result().replace_all_uses_with(insert.operand(1))
+    insert.erase()
+    tv.after_pass(module, "dce")
+    return _tv_codes(tv), "TV003"
+
+
+def mutant_tv_bufferized_write_reordered():
+    # Mirror the innermost store's column coordinate after bufferization
+    # (j -> 23 - j over the interior [1, 23)): writes stay inside the box
+    # and bijective, but the column order now runs against the (0, -1)
+    # dependence.
+    module = _frontend_module()
+    tv = TranslationValidator(fail_fast=False)
+    tv.begin(module)
+    LowerStencilsPass().run(module)
+    BufferizePass().run(module)
+    store = _only(module, "memref.store")
+    last = store.num_operands - 1
+    builder = OpBuilder.before(store)
+    mirrored = arith.subi(
+        builder, arith.const_index(builder, 23), store.operand(last)
+    )
+    store.set_operand(last, mirrored)
+    tv.after_pass(module, "bufferize")
+    codes = _tv_codes(tv)
+    assert any(
+        d.after_pass == "bufferize"
+        for d in tv.report.diagnostics
+        if d.severity == "error"
+    ), "violation does not name the offending pass"
+    return codes, "TV001"
+
+
 MUTANTS = [
     mutant_sweep_flipped,
     mutant_sweep_invalid_value,
@@ -316,6 +451,12 @@ MUTANTS = [
     mutant_oob_widened_stencil_offset,
     mutant_uninit_partially_written,
     mutant_uninit_never_written,
+    mutant_tv_tile_order_reversed,
+    mutant_tv_fusion_halo_dropped,
+    mutant_tv_wavefront_merged_early,
+    mutant_tv_loop_interchange,
+    mutant_tv_dce_live_store,
+    mutant_tv_bufferized_write_reordered,
 ]
 
 
@@ -344,3 +485,60 @@ class TestMutantCorpus:
         assert _error_codes(scalar) == []
         offsets, indices = _csr()
         assert _csr_codes(offsets, indices) == []
+
+    @pytest.mark.parametrize("with_groups", [False, True], ids=["seq", "wf"])
+    def test_zero_tv_false_positives_on_unmutated_tiling(self, with_groups):
+        """The exact pipelines the TV mutants corrupt certify clean."""
+        module = _frontend_module()
+        tv = TranslationValidator(fail_fast=False)
+        tv.begin(module)
+        TileStencilsPass(
+            (12, 12), with_groups=with_groups, level=0
+        ).run(module)
+        tv.after_pass(module, "tile-stencils")
+        assert _tv_codes(tv) == []
+        assert all(not c["violations"] for c in tv.certificates)
+
+    @pytest.mark.parametrize(
+        "make", [gauss_seidel_5pt_2d, gauss_seidel_9pt_2d], ids=["5pt", "9pt"]
+    )
+    def test_zero_tv_false_positives_on_unmutated_lowering(self, make):
+        module = _frontend_module(make)
+        tv = TranslationValidator(fail_fast=False)
+        tv.begin(module)
+        LowerStencilsPass().run(module)
+        tv.after_pass(module, "lower-stencils")
+        BufferizePass().run(module)
+        tv.after_pass(module, "bufferize")
+        assert _tv_codes(tv) == []
+        assert all(not c["violations"] for c in tv.certificates)
+
+    def test_zero_tv_false_positives_on_unmutated_heat3d_fusion(self):
+        module = build_heat3d_module(12, 1)
+        tv = TranslationValidator(fail_fast=False)
+        tv.begin(module)
+        TileStencilsPass((5, 5, 5), level=0).run(module)
+        tv.after_pass(module, "tile-stencils")
+        FuseProducersPass().run(module)
+        tv.after_pass(module, "fuse-structured-ops")
+        assert _tv_codes(tv) == []
+
+    def test_tv_witness_names_instances_and_pass(self):
+        """A TV violation carries two concrete statement instances with
+        rendered timestamps and names the offending pass."""
+        module = _frontend_module()
+        tv = TranslationValidator(fail_fast=False)
+        tv.begin(module)
+        TileStencilsPass((12, 12), with_groups=False, level=0).run(module)
+        loop = _only(module, "cfd.tiled_loop")
+        loop.attributes["reverse"] = BoolAttr(not loop.reverse)
+        tv.after_pass(module, "tile-stencils")
+        errors = [d for d in tv.report.diagnostics if d.severity == "error"]
+        assert errors
+        witness = errors[0].message
+        assert errors[0].after_pass == "tile-stencils"
+        # Two instances, each with a rendered timestamp:
+        # "... source instance (1, 12) [t=s0.s0.s1.s12] is scheduled
+        #  after its target (1, 13) [t=s0.s-1.s1.s1]".
+        assert witness.count("[t=") == 2
+        assert "source instance" in witness and "target" in witness

@@ -155,6 +155,7 @@ class TestCacheKeyAudit:
         "use_cache": False,
         "verify_each": False,
         "check_level": "after-pipeline",
+        "validate_passes": True,
     }
 
     def test_alternates_cover_every_field(self):

@@ -1,0 +1,92 @@
+"""README ⟷ registry parity: the diagnostics tables never drift.
+
+``repro.analysis.diagnostics.REGISTRY`` is the single source of truth
+for every ``IP0xx``/``TV0xx`` code. The README tables are generated
+from it (``render_registry_table``); these tests parse them back out of
+the README and assert an exact match — codes, canonical severities and
+one-line descriptions — so adding or editing a code without updating
+the documentation (or vice versa) fails CI.
+"""
+
+import re
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.diagnostics import (
+    REGISTRY,
+    SEVERITIES,
+    Diagnostic,
+    render_registry_table,
+)
+
+README = Path(__file__).resolve().parent.parent / "README.md"
+
+_ROW = re.compile(r"^\| `((?:IP|TV)\d{3})` \| (\w+) \| (.+?) \|$")
+
+
+def _readme_rows():
+    rows = {}
+    for line in README.read_text().splitlines():
+        m = _ROW.match(line.strip())
+        if m:
+            code, severity, description = m.groups()
+            assert code not in rows, f"{code} documented twice"
+            rows[code] = (severity, description)
+    return rows
+
+
+class TestRegistry:
+    def test_registry_is_well_formed(self):
+        for code, info in REGISTRY.items():
+            assert info.code == code
+            assert re.fullmatch(r"(IP|TV)\d{3}", code)
+            assert info.severity in SEVERITIES
+            assert info.title and info.description
+            assert "\n" not in info.description
+
+    def test_codes_are_contiguous_per_prefix(self):
+        for prefix in ("IP", "TV"):
+            nums = sorted(
+                int(c[2:]) for c in REGISTRY if c.startswith(prefix)
+            )
+            assert nums == list(range(1, len(nums) + 1)), (
+                f"{prefix} codes are not contiguous from {prefix}001"
+            )
+
+    def test_unknown_code_rejected(self):
+        with pytest.raises(ValueError):
+            Diagnostic("TV999", "nope")
+
+    def test_render_covers_whole_registry(self):
+        rendered = render_registry_table("IP") + render_registry_table("TV")
+        codes = {m.group(1) for m in map(_ROW.match, rendered) if m}
+        assert codes == set(REGISTRY)
+
+
+class TestReadmeParity:
+    def test_readme_tables_match_registry_exactly(self):
+        rows = _readme_rows()
+        assert set(rows) == set(REGISTRY), (
+            "README documents a different code set than the registry: "
+            f"missing {set(REGISTRY) - set(rows)}, "
+            f"stale {set(rows) - set(REGISTRY)}"
+        )
+        for code, (severity, description) in rows.items():
+            info = REGISTRY[code]
+            assert severity == info.severity, (
+                f"{code}: README says {severity!r}, "
+                f"registry says {info.severity!r}"
+            )
+            assert description == info.description, (
+                f"{code}: README description drifted:\n"
+                f"  README:   {description}\n"
+                f"  registry: {info.description}"
+            )
+
+    def test_readme_rows_are_the_rendered_rows(self):
+        """The README rows byte-match ``render_registry_table`` output."""
+        text = README.read_text()
+        for prefix in ("IP", "TV"):
+            for row in render_registry_table(prefix)[2:]:
+                assert row in text, f"rendered row missing from README: {row}"

@@ -1,0 +1,221 @@
+"""The translation validator: schedules, certificates, and the corpus.
+
+Covers the symbolic-schedule machinery (`repro.ir.schedule`), the
+instance extraction over every supported IR form, the certificate
+plumbing through `PassManager`/`CompileOptions`, and the acceptance
+criterion: every canonical example pipeline certifies clean after every
+pass with ``validate_passes=True``.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.analysis.corpus import build_corpus
+from repro.analysis.tv import (
+    TranslationValidationError,
+    TranslationValidator,
+    capture_reference,
+    find_site_roots,
+)
+from repro.core import frontend
+from repro.core.bufferization import BufferizePass
+from repro.core.lowering import LowerStencilsPass
+from repro.core.pipeline import CompileOptions, StencilCompiler
+from repro.core.stencil import gauss_seidel_5pt_2d
+from repro.core.tiling import TileStencilsPass
+from repro.core.vectorization import VectorizeStencilsPass
+from repro.ir import PassManager
+from repro.ir.attributes import BoolAttr
+from repro.ir.schedule import (
+    AFTER,
+    BEFORE,
+    CONCURRENT,
+    PAR,
+    SEQ,
+    compare_timestamps,
+    render_timestamp,
+)
+
+
+def _module(n=24):
+    return frontend.build_stencil_kernel(
+        gauss_seidel_5pt_2d(), (n, n), frontend.identity_body(4.0)
+    )
+
+
+class TestTimestamps:
+    def test_sequential_lexicographic(self):
+        assert compare_timestamps(((SEQ, 1),), ((SEQ, 2),)) == BEFORE
+        assert compare_timestamps(((SEQ, 2),), ((SEQ, 1),)) == AFTER
+        assert compare_timestamps(
+            ((SEQ, 1), (SEQ, 9)), ((SEQ, 2), (SEQ, 0))
+        ) == BEFORE
+
+    def test_parallel_components_are_concurrent(self):
+        assert compare_timestamps(((PAR, 1),), ((PAR, 2),)) == CONCURRENT
+        # A shared sequential prefix still orders distinct groups.
+        assert compare_timestamps(
+            ((SEQ, 0), (PAR, 1)), ((SEQ, 1), (PAR, 0))
+        ) == BEFORE
+
+    def test_equal_and_prefix_are_concurrent(self):
+        ts = ((SEQ, 1), (SEQ, 2))
+        assert compare_timestamps(ts, ts) == CONCURRENT
+        assert compare_timestamps(((SEQ, 1),), ts) == CONCURRENT
+
+    def test_flag_mismatch_is_conservative(self):
+        assert compare_timestamps(((SEQ, 1),), ((PAR, 1),)) == CONCURRENT
+
+    def test_render(self):
+        assert render_timestamp(((SEQ, 0), (PAR, 7), (SEQ, -1))) == (
+            "s0.p7.s-1"
+        )
+
+
+class TestCaptureAndSites:
+    def test_capture_stamps_and_finds_sites(self):
+        module = _module()
+        sites = capture_reference(module)
+        assert len(sites) == 1
+        (site,) = sites
+        assert site.box == ((1, 23), (1, 23))
+        assert site.nv == 1
+        assert site.flow_offsets == [(-1, 0), (0, -1)]
+        roots = find_site_roots(module)
+        assert [tv_id for tv_id, _ in roots] == [0]
+
+    def test_stamp_survives_tiling_and_lowering(self):
+        module = _module()
+        capture_reference(module)
+        TileStencilsPass((12, 12), with_groups=False, level=0).run(module)
+        assert [i for i, _ in find_site_roots(module)] == [0]
+        LowerStencilsPass().run(module)
+        assert [i for i, _ in find_site_roots(module)] == [0]
+
+    def test_stamp_survives_bufferization(self):
+        module = _module()
+        capture_reference(module)
+        LowerStencilsPass().run(module)
+        BufferizePass().run(module)
+        assert [i for i, _ in find_site_roots(module)] == [0]
+
+    def test_stamp_survives_vectorization(self):
+        module = _module()
+        capture_reference(module)
+        VectorizeStencilsPass(8).run(module)
+        assert [i for i, _ in find_site_roots(module)] == [0]
+
+
+class TestValidator:
+    def test_frontend_baseline_certifies(self):
+        module = _module()
+        tv = TranslationValidator()
+        tv.begin(module)
+        (cert,) = tv.certificates
+        assert cert["after_pass"] == "frontend"
+        assert cert["violations"] == 0
+        (site,) = cert["sites"]
+        assert site["status"] == "certified"
+        assert site["cells"] == 22 * 22
+        assert site["flow_edges"] > 0
+
+    def test_fail_fast_raises_naming_the_pass(self):
+        module = _module()
+        tv = TranslationValidator()  # fail_fast by default
+        tv.begin(module)
+        TileStencilsPass((12, 12), with_groups=False, level=0).run(module)
+        loop = next(o for o in module.walk() if o.name == "cfd.tiled_loop")
+        loop.attributes["reverse"] = BoolAttr(not loop.reverse)
+        with pytest.raises(TranslationValidationError) as exc:
+            tv.after_pass(module, "tile-stencils")
+        assert exc.value.after_pass == "tile-stencils"
+        assert "TV001" in str(exc.value)
+        assert "[t=" in str(exc.value)
+
+    def test_lost_site_is_tv005(self):
+        module = _module()
+        tv = TranslationValidator(fail_fast=False)
+        tv.begin(module)
+        op = next(o for o in module.walk() if o.name == "cfd.stencilOp")
+        op.result().replace_all_uses_with(op.y_init)
+        op.erase()
+        tv.after_pass(module, "dce")
+        assert "TV005" in {d.code for d in tv.report.diagnostics}
+
+    def test_instance_limit_degrades_to_note(self):
+        module = _module()
+        tv = TranslationValidator(fail_fast=False, instance_limit=10)
+        tv.begin(module)
+        diags = tv.report.diagnostics
+        assert diags and all(d.code == "TV006" for d in diags)
+        assert all(d.severity == "note" for d in diags)
+        (cert,) = tv.certificates
+        assert cert["sites"][0]["status"] == "skipped"
+
+
+class TestPipelineIntegration:
+    OPTIONS = CompileOptions(
+        subdomain_sizes=(12, 12),
+        tile_sizes=(4, 8),
+        fuse=True,
+        parallel=True,
+        vectorize=8,
+        validate_passes=True,
+        use_cache=False,
+    )
+
+    def test_validator_timed_in_pass_manager(self):
+        compiler = StencilCompiler(self.OPTIONS)
+        compiler.lower(_module())
+        pm = compiler.pass_manager
+        assert PassManager.VALIDATE_TIMING_KEY in pm.timings
+        # begin + one snapshot per pass.
+        assert pm.invocations[PassManager.VALIDATE_TIMING_KEY] == (
+            len(pm.passes) + 1
+        )
+        report = pm.timing_report()
+        assert PassManager.VALIDATE_TIMING_KEY in report
+        assert f"x{len(pm.passes) + 1}" in report
+
+    def test_certificates_cover_every_pass(self):
+        compiler = StencilCompiler(self.OPTIONS)
+        compiler.lower(_module())
+        tv = compiler.pass_manager.validator
+        labels = [c["after_pass"] for c in tv.certificates]
+        assert labels[0] == "frontend"
+        assert labels[1:] == [p.name for p in compiler.pass_manager.passes]
+        assert all(c["violations"] == 0 for c in tv.certificates)
+
+    def test_validate_passes_reaches_cache_key(self):
+        on = dataclasses.replace(self.OPTIONS, validate_passes=True)
+        off = dataclasses.replace(self.OPTIONS, validate_passes=False)
+        assert on.cache_key() != off.cache_key()
+
+
+def _corpus_entries():
+    for stem, entries in build_corpus().items():
+        for i, entry in enumerate(entries):
+            yield pytest.param(entry, id=f"{stem}-{i}")
+
+
+class TestCorpusCertifiesClean:
+    """The acceptance criterion: all canonical example pipelines pass
+    per-pass translation validation with zero violations and zero
+    degraded (TV006) sites."""
+
+    @pytest.mark.parametrize("entry", _corpus_entries())
+    def test_entry_certifies_clean(self, entry):
+        options = dataclasses.replace(
+            entry.options, validate_passes=True, use_cache=False
+        )
+        compiler = StencilCompiler(options)
+        compiler.lower(entry.build())  # fail-fast: raises on violation
+        tv = compiler.pass_manager.validator
+        assert tv.certificates
+        assert all(c["violations"] == 0 for c in tv.certificates)
+        assert not tv.report.diagnostics  # not even TV006 notes
+        for cert in tv.certificates:
+            assert all(
+                s["status"] == "certified" for s in cert["sites"]
+            ), cert
