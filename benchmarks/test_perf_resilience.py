@@ -1,0 +1,188 @@
+"""PR5 acceptance bench: resilience overhead with faults disabled.
+
+Two claims, written to ``results/BENCH_pr5_resilience.json``:
+
+* **heat-3D**: driving a compile + solve through ``ResilientCompiler``
+  (per-pass IR snapshots, guarded execution, no plan installed) costs
+  <= 10% end-to-end over the plain ``StencilCompiler`` path;
+* **LU-SGS**: the checkpointed driver (``run_checkpointed`` + a
+  periodic ``CheckpointManager``) costs <= 10% over the plain
+  ``lusgs_reference`` loop.
+
+Both paths also assert bit-identical numerics — resilience must be
+free of *semantic* overhead unconditionally.
+
+Timing method: the two variants are sampled in *interleaved* rounds and
+compared best-of-N, so a noisy neighbour or a thermal dip hits both
+variants alike instead of biasing whichever happened to run second.
+"""
+
+import json
+import time
+
+import numpy as np
+
+from repro.bench.harness import RESULTS_DIR, save_results
+from repro.cfdlib import euler
+from repro.cfdlib.lusgs import (
+    LUSGSConfig,
+    checkpointed_lusgs,
+    lusgs_reference,
+    stable_dt,
+)
+from repro.cfdlib.mesh import StructuredMesh
+from repro.core import frontend
+from repro.core.pipeline import StencilCompiler, ablation_options
+from repro.core.stencil import gauss_seidel_6pt_3d
+from repro.runtime.resilience.checkpoint import CheckpointManager
+from repro.runtime.resilience.driver import ResilientCompiler
+
+DOMAIN = (24, 24, 24)
+SUBDOMAINS = (12, 12, 12)
+TILES = (6, 6, 6)
+#: Kernel executions per timed sample (a solve, not a single sweep —
+#: the workload the resilient driver is for; execution dominates the
+#: per-pass snapshot cost).
+RUNS = 40
+MAX_OVERHEAD = 0.10
+
+
+def _build_module():
+    return frontend.build_stencil_kernel(
+        gauss_seidel_6pt_3d(), DOMAIN, frontend.identity_body(7.0)
+    )
+
+
+def _options():
+    options = ablation_options("Tr4", SUBDOMAINS, TILES)
+    options.use_cache = False
+    return options
+
+
+def _inputs(seed=0):
+    rng = np.random.default_rng(seed)
+    shape = (1,) + DOMAIN
+    return rng.standard_normal(shape), rng.standard_normal(shape)
+
+
+def _interleaved_best(fn_a, fn_b, rounds=6):
+    """Best-of-``rounds`` seconds for each callable.
+
+    Samples alternate *and* swap order every round (a-b, b-a, …): a
+    fixed order systematically penalizes whichever callable always runs
+    second (cache pressure, turbo decay), which showed up as a phantom
+    ~10% "overhead" in sequential timing.
+    """
+
+    def sample(fn):
+        start = time.perf_counter()
+        fn()
+        return time.perf_counter() - start
+
+    sample(fn_a), sample(fn_b)  # warmup
+    a = []
+    b = []
+    for i in range(rounds):
+        if i % 2 == 0:
+            a.append(sample(fn_a))
+            b.append(sample(fn_b))
+        else:
+            b.append(sample(fn_b))
+            a.append(sample(fn_a))
+    return min(a), min(b)
+
+
+def _save_section(section, data):
+    """Merge one section into BENCH_pr5_resilience.json (each test owns
+    one section of the combined report)."""
+    path = RESULTS_DIR / "BENCH_pr5_resilience.json"
+    combined = json.loads(path.read_text()) if path.is_file() else {}
+    combined[section] = data
+    save_results("BENCH_pr5_resilience", combined)
+
+
+def test_heat3d_resilient_driver_overhead_within_budget():
+    x, b = _inputs()
+
+    def plain():
+        kernel = StencilCompiler(_options()).compile(_build_module())
+        out = None
+        for _ in range(RUNS):
+            (out,) = kernel.run(x, b, x.copy())
+        return out
+
+    def resilient():
+        kernel, report = ResilientCompiler(_options()).compile(
+            _build_module()
+        )
+        assert report.final == "compiled" and not report.events
+        out = None
+        for _ in range(RUNS):
+            (out,) = kernel.run(x, b, x.copy())
+        return out
+
+    np.testing.assert_array_equal(plain(), resilient())
+    plain_s, resilient_s = _interleaved_best(plain, resilient)
+    overhead = resilient_s / plain_s - 1.0
+    _save_section(
+        "heat3d_resilient_compile_and_run",
+        {
+            "plain_ms": plain_s * 1e3,
+            "resilient_ms": resilient_s * 1e3,
+            "overhead_fraction": overhead,
+            "runs_per_sample": RUNS,
+            "config": _options().describe(),
+            "budget": MAX_OVERHEAD,
+        },
+    )
+    print(
+        f"\nheat-3D {DOMAIN} Tr4, {RUNS} runs/sample: "
+        f"plain {plain_s * 1e3:.1f} ms, resilient {resilient_s * 1e3:.1f} ms "
+        f"({overhead * 100:+.1f}% overhead, budget "
+        f"{MAX_OVERHEAD * 100:.0f}%)"
+    )
+    assert overhead <= MAX_OVERHEAD, (
+        f"resilient driver overhead {overhead * 100:.1f}% exceeds "
+        f"{MAX_OVERHEAD * 100:.0f}% with faults disabled"
+    )
+
+
+def test_lusgs_checkpointed_overhead_within_budget(tmp_path):
+    mesh = StructuredMesh((12, 12, 12), extent=(1.0, 1.0, 1.0))
+    w0 = euler.density_wave((12, 12, 12), amplitude=0.05)
+    config = LUSGSConfig(mesh=mesh, dt=stable_dt(w0, mesh, cfl=1.0))
+    steps = 8
+
+    def plain():
+        return lusgs_reference(w0, config, steps)
+
+    def checkpointed():
+        manager = CheckpointManager(every=4, directory=tmp_path / "ck")
+        manager.clear()
+        return checkpointed_lusgs(w0, config, steps, manager=manager)
+
+    assert np.array_equal(plain(), checkpointed())
+    plain_s, checkpointed_s = _interleaved_best(plain, checkpointed)
+    overhead = checkpointed_s / plain_s - 1.0
+    _save_section(
+        "lusgs_checkpointed_solve",
+        {
+            "plain_ms": plain_s * 1e3,
+            "checkpointed_ms": checkpointed_s * 1e3,
+            "overhead_fraction": overhead,
+            "steps": steps,
+            "checkpoint_every": 4,
+            "mesh": list(mesh.shape),
+            "budget": MAX_OVERHEAD,
+        },
+    )
+    print(
+        f"\nLU-SGS {mesh.shape}, {steps} steps, checkpoint every 4: "
+        f"plain {plain_s * 1e3:.1f} ms, checkpointed "
+        f"{checkpointed_s * 1e3:.1f} ms ({overhead * 100:+.1f}% overhead, "
+        f"budget {MAX_OVERHEAD * 100:.0f}%)"
+    )
+    assert overhead <= MAX_OVERHEAD, (
+        f"checkpointed solver overhead {overhead * 100:.1f}% exceeds "
+        f"{MAX_OVERHEAD * 100:.0f}% with faults disabled"
+    )

@@ -149,78 +149,36 @@ def main(argv: List[str] | None = None) -> int:
     for stem in stems:
         file = f"examples/{stem}.py"
         for entry in corpus[stem]:
-            gate = AnalysisGate(fail_fast=False)
-            compiler = StencilCompiler(entry.options)
-            pm = compiler.build_pipeline()
-            pm.gate = gate
-            pm.gate_each = True
-            validator: Optional[TranslationValidator] = None
-            if args.validate:
-                validator = TranslationValidator(fail_fast=False)
-                pm.validator = validator
-            module = entry.build()
-            gate(module, after_pass=None)  # lint the frontend output too
-            crash: Optional[Exception] = None
             try:
-                pm.run(module)
-            except Exception as exc:  # a mutant may not even lower
-                crash = exc
-            if crash is None:
-                # Re-lint at the buffer level when the lowered form is
-                # bufferizable: the uninit-read and clobber checkers only
-                # see memref-level IR.
-                try:
-                    BufferizePass().run(module)
-                except BufferizationError:
-                    pass
-                else:
-                    gate(module, after_pass="bufferize")
-                    if validator is not None:
-                        validator.after_pass(module, "bufferize")
-            report = gate.report
-            diagnostics = list(report.diagnostics)
-            has_errors = report.has_errors
-            if validator is not None:
-                diagnostics.extend(validator.report.diagnostics)
-                has_errors = has_errors or validator.report.has_errors
-                certificates.append({
-                    "entry": entry.name,
-                    "file": file,
-                    "options": entry.options.describe(),
-                    "passes": validator.certificates,
-                })
-            total += len(diagnostics)
-            failed = has_errors or crash is not None
-            verdict = "FAIL" if failed else "ok"
-            if args.as_json:
-                for diag in diagnostics:
-                    _emit_json(diag, entry.name, file)
-            elif args.github:
-                for diag in diagnostics:
-                    _emit_github(diag, entry.name, file)
-            if not args.as_json:
-                summary = report.summary()
-                if validator is not None:
-                    certified = sum(
-                        1 for record in validator.certificates
-                        if not record["violations"]
-                    )
-                    summary += (
-                        f"; validated {certified}/"
-                        f"{len(validator.certificates)} pass(es) clean"
-                    )
-                print(
-                    f"[{verdict}] {entry.name}: {entry.description} "
-                    f"({entry.options.describe()}) -- {summary}"
+                crashed_diag = None
+                exit_code, total = _lint_entry(
+                    entry, file, args, machine, certificates,
+                    exit_code, total,
                 )
-                if crash is not None:
-                    print(f"  pipeline crashed: {crash}")
-                if diagnostics and not args.quiet and not machine:
-                    print(report.render())
-                    if validator is not None and validator.report.diagnostics:
-                        print(validator.report.render())
-            if failed:
+            except Exception as exc:  # noqa: BLE001 - degrade to a finding
+                # An *internal* analyzer crash (not a pipeline failure,
+                # which _lint_entry already degrades) becomes a
+                # structured RS009 finding: nonzero exit, no traceback.
+                crashed_diag = Diagnostic(
+                    "RS009",
+                    f"internal analyzer crash: "
+                    f"{type(exc).__name__}: {exc}",
+                    severity="error",
+                )
+            if crashed_diag is not None:
+                total += 1
                 exit_code = 1
+                if args.as_json:
+                    _emit_json(crashed_diag, entry.name, file)
+                elif args.github:
+                    _emit_github(crashed_diag, entry.name, file)
+                if not args.as_json:
+                    print(
+                        f"[FAIL] {entry.name}: {entry.description} "
+                        f"({entry.options.describe()}) -- analyzer crashed"
+                    )
+                    if not args.quiet and not machine:
+                        print(crashed_diag.render())
     if args.certificates:
         Path(args.certificates).write_text(
             json.dumps(certificates, indent=2, sort_keys=True) + "\n"
@@ -229,6 +187,83 @@ def main(argv: List[str] | None = None) -> int:
         print(f"linted {sum(len(corpus[s]) for s in stems)} pipeline(s) "
               f"from {len(stems)} example(s): {total} diagnostic(s)")
     return exit_code
+
+
+def _lint_entry(entry, file, args, machine, certificates, exit_code, total):
+    """Lint one corpus entry; returns the updated (exit_code, total)."""
+    gate = AnalysisGate(fail_fast=False)
+    compiler = StencilCompiler(entry.options)
+    pm = compiler.build_pipeline()
+    pm.gate = gate
+    pm.gate_each = True
+    validator: Optional[TranslationValidator] = None
+    if args.validate:
+        validator = TranslationValidator(fail_fast=False)
+        pm.validator = validator
+    module = entry.build()
+    gate(module, after_pass=None)  # lint the frontend output too
+    crash: Optional[Exception] = None
+    try:
+        pm.run(module)
+    except Exception as exc:  # a mutant may not even lower
+        crash = exc
+    if crash is None:
+        # Re-lint at the buffer level when the lowered form is
+        # bufferizable: the uninit-read and clobber checkers only
+        # see memref-level IR.
+        try:
+            BufferizePass().run(module)
+        except BufferizationError:
+            pass
+        else:
+            gate(module, after_pass="bufferize")
+            if validator is not None:
+                validator.after_pass(module, "bufferize")
+    report = gate.report
+    diagnostics = list(report.diagnostics)
+    has_errors = report.has_errors
+    if validator is not None:
+        diagnostics.extend(validator.report.diagnostics)
+        has_errors = has_errors or validator.report.has_errors
+        certificates.append({
+            "entry": entry.name,
+            "file": file,
+            "options": entry.options.describe(),
+            "passes": validator.certificates,
+        })
+    total += len(diagnostics)
+    failed = has_errors or crash is not None
+    verdict = "FAIL" if failed else "ok"
+    if args.as_json:
+        for diag in diagnostics:
+            _emit_json(diag, entry.name, file)
+    elif args.github:
+        for diag in diagnostics:
+            _emit_github(diag, entry.name, file)
+    if not args.as_json:
+        summary = report.summary()
+        if validator is not None:
+            certified = sum(
+                1 for record in validator.certificates
+                if not record["violations"]
+            )
+            summary += (
+                f"; validated {certified}/"
+                f"{len(validator.certificates)} pass(es) clean"
+            )
+        print(
+            f"[{verdict}] {entry.name}: {entry.description} "
+            f"({entry.options.describe()}) -- {summary}"
+        )
+        if crash is not None:
+            print(f"  pipeline crashed: {crash}")
+        if diagnostics and not args.quiet and not machine:
+            print(report.render())
+            if validator is not None and validator.report.diagnostics:
+                print(validator.report.render())
+    if failed:
+        exit_code = 1
+    return exit_code, total
 
 
 if __name__ == "__main__":

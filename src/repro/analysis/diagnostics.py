@@ -8,10 +8,12 @@ them — so new checks get new codes instead of repurposing old ones.
 
 ``IP0xx`` codes belong to the in-place legality / wavefront / memory
 analyzers; ``TV0xx`` codes belong to the per-pass translation validator
-(:mod:`repro.analysis.tv`). This module is the single source of truth
-for the code table: the README diagnostics tables are generated from
-:data:`REGISTRY` and a test asserts they match exactly (codes, canonical
-severities, one-line descriptions).
+(:mod:`repro.analysis.tv`); ``RS0xx`` codes belong to the resilience
+layer (:mod:`repro.runtime.resilience`) — retries, degradations,
+fallbacks, quarantines, checkpoints and watchdog timeouts. This module
+is the single source of truth for the code table: the README diagnostics
+tables are generated from :data:`REGISTRY` and a test asserts they match
+exactly (codes, canonical severities, one-line descriptions).
 """
 
 from __future__ import annotations
@@ -121,6 +123,33 @@ REGISTRY: Dict[str, DiagnosticInfo] = {
         _info("TV007", "anti-dependence scheduled out of order", "error",
               "a pass scheduled the write of an initially-read cell "
               "before (or concurrent with) its reader"),
+        _info("RS001", "transient failure retried from snapshot", "warning",
+              "a pass or compile attempt failed and was retried from the "
+              "last-good IR snapshot with backoff"),
+        _info("RS002", "configuration degraded", "warning",
+              "retries were exhausted and the compile was reattempted at "
+              "a weaker configuration on the policy chain"),
+        _info("RS003", "interpreter fallback engaged", "warning",
+              "every compiled configuration failed; the pristine module "
+              "runs on the reference interpreter instead"),
+        _info("RS004", "corrupted disk-cache entry quarantined", "warning",
+              "a truncated, corrupted or version-skewed kernel-cache disk "
+              "entry was quarantined and treated as a miss"),
+        _info("RS005", "kernel execution failed", "error",
+              "a compiled kernel's entry point was missing or raised "
+              "mid-execution"),
+        _info("RS006", "execution watchdog timeout", "error",
+              "an execution exceeded its wall-clock budget and was "
+              "cancelled by the watchdog"),
+        _info("RS007", "solver checkpoint written", "note",
+              "an iterative solve captured a periodic state checkpoint "
+              "for crash recovery"),
+        _info("RS008", "solver resumed from checkpoint", "warning",
+              "a crashed solve resumed from its last checkpoint instead "
+              "of restarting from step 0"),
+        _info("RS009", "internal tool crash converted to a finding", "error",
+              "an analyzer or driver crashed internally; the crash was "
+              "converted to a structured finding instead of a traceback"),
     )
 }
 

@@ -13,6 +13,8 @@ from typing import List, Optional, Tuple
 
 import numpy as np
 
+from repro.runtime.resilience.checkpoint import CheckpointManager, run_checkpointed
+
 
 @dataclass
 class SolveReport:
@@ -106,15 +108,7 @@ def solve_poisson(
     ``symmetric_gs``. Boundary values of ``u`` stay zero (Dirichlet).
     """
     u = np.zeros_like(f) if u0 is None else u0.copy()
-    sweeps: dict = {
-        "jacobi": lambda u: jacobi_poisson_sweep(u, f, h),
-        "gauss_seidel": lambda u: gauss_seidel_poisson_sweep(u.copy(), f, h),
-        "sor": lambda u: gauss_seidel_poisson_sweep(u.copy(), f, h, omega),
-        "symmetric_gs": lambda u: symmetric_gauss_seidel_sweep(u.copy(), f, h),
-    }
-    if method not in sweeps:
-        raise ValueError(f"unknown method {method!r}")
-    sweep = sweeps[method]
+    sweep = _sweep_fn(method, f, h, omega)
     residuals = [poisson_residual(u, f, h)]
     converged = False
     for it in range(1, max_iterations + 1):
@@ -124,6 +118,52 @@ def solve_poisson(
             converged = True
             break
     return u, SolveReport(it, residuals, converged)
+
+
+def _sweep_fn(method: str, f: np.ndarray, h: float, omega: float):
+    """The out-of-place sweep closure shared by :func:`solve_poisson` and
+    :func:`checkpointed_poisson_solve` (one definition keeps the two
+    drivers numerically identical)."""
+    sweeps: dict = {
+        "jacobi": lambda u: jacobi_poisson_sweep(u, f, h),
+        "gauss_seidel": lambda u: gauss_seidel_poisson_sweep(u.copy(), f, h),
+        "sor": lambda u: gauss_seidel_poisson_sweep(u.copy(), f, h, omega),
+        "symmetric_gs": lambda u: symmetric_gauss_seidel_sweep(u.copy(), f, h),
+    }
+    if method not in sweeps:
+        raise ValueError(f"unknown method {method!r}")
+    return sweeps[method]
+
+
+def checkpointed_poisson_solve(
+    f: np.ndarray,
+    sweeps: int,
+    method: str = "sor",
+    omega: float = 1.0,
+    h: float = 1.0,
+    u0: Optional[np.ndarray] = None,
+    manager: Optional[CheckpointManager] = None,
+    report=None,
+) -> np.ndarray:
+    """A fixed-sweep-count Poisson solve with checkpoint/restart.
+
+    Runs exactly ``sweeps`` sweeps (a fixed count, unlike the
+    residual-driven :func:`solve_poisson`, so an interrupted and resumed
+    solve is *bit-identical* to an uninterrupted one). With a ``manager``
+    holding a checkpoint from a crashed run, the solve resumes from it;
+    the ``solver.sweep`` fault site fires before every sweep.
+    """
+    sweep = _sweep_fn(method, f, h, omega)
+    state = {"u": np.zeros_like(f) if u0 is None else u0.copy()}
+
+    def step(s, _k):
+        return {"u": sweep(s["u"])}
+
+    state = run_checkpointed(
+        step, state, sweeps, manager=manager, site="solver.sweep",
+        report=report,
+    )
+    return state["u"]
 
 
 def spectral_radius_model_problem(n: int, method: str, omega: float = 1.0) -> float:

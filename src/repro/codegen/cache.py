@@ -21,6 +21,16 @@ Two tiers:
   emitted source is stored next to a small metadata file and re-``exec``'d
   on load, which is orders of magnitude cheaper than re-lowering.
 
+The disk tier is hardened: entries are written atomically (temp file +
+rename) with a SHA-256 checksum of the source in the metadata, and loads
+verify the checksum, the emitter version and the entry point before
+``exec``-ing anything. A truncated, corrupted or version-skewed entry is
+*quarantined* (moved to ``<disk_dir>/quarantine/``) and treated as a
+cache miss — the kernel simply recompiles and the fresh entry replaces
+the bad one, so a bad file can fail at most once. Disk I/O failures
+(including injected ``cache.disk-read`` / ``cache.disk-write`` faults)
+degrade the cache to memory-only; they never crash a compile.
+
 The process-wide default instance (:func:`default_cache`) is what
 ``StencilCompiler.compile`` consults when ``CompileOptions.use_cache``
 is set; tests and benchmarks swap it with :func:`set_default_cache`.
@@ -35,12 +45,21 @@ import threading
 from collections import OrderedDict
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Any, Dict, Optional
+from typing import Any, Dict, List, Optional, Tuple
 
 from repro.codegen.executor import CompiledKernel
 from repro.codegen.python_backend import EMITTER_VERSION
 from repro.ir.module import ModuleOp
 from repro.ir.printer import print_module
+from repro.runtime.resilience.faults import InjectedFault, maybe_inject
+
+
+class CorruptCacheEntry(Exception):
+    """A disk entry failed checksum/version/entry-point validation."""
+
+
+def _source_digest(source: str) -> str:
+    return hashlib.sha256(source.encode("utf-8")).hexdigest()
 
 
 def default_disk_dir() -> Path:
@@ -81,6 +100,11 @@ class CacheStats:
     evictions: int = 0
     disk_hits: int = 0
     puts: int = 0
+    #: Disk entries that failed validation and were moved to quarantine.
+    quarantined: int = 0
+    #: Disk reads/writes that failed outright (I/O error or injected
+    #: fault); the cache degraded to memory-only for that operation.
+    disk_errors: int = 0
 
     @property
     def hit_rate(self) -> float:
@@ -111,6 +135,8 @@ class KernelCache:
             default_disk_dir() if persist else None
         )
         self.stats = CacheStats()
+        #: ``(fingerprint, reason)`` per quarantined disk entry.
+        self.quarantine_log: List[Tuple[str, str]] = []
         self._entries: "OrderedDict[str, CompiledKernel]" = OrderedDict()
         self._lock = threading.Lock()
 
@@ -178,31 +204,89 @@ class KernelCache:
 
     def _store_to_disk(self, fingerprint: str, kernel: CompiledKernel) -> None:
         source_path, meta_path = self._paths(fingerprint)
+        meta = json.dumps({
+            "entry": kernel.entry,
+            "emitter": EMITTER_VERSION,
+            "sha256": _source_digest(kernel.source),
+        })
         try:
+            maybe_inject("cache.disk-write", fingerprint=fingerprint)
             self.disk_dir.mkdir(parents=True, exist_ok=True)
-            source_path.write_text(kernel.source)
-            meta_path.write_text(
-                json.dumps({"entry": kernel.entry, "emitter": EMITTER_VERSION})
-            )
-        except OSError:
-            pass  # a read-only cache dir degrades to memory-only
+            # Atomic writes: a crash mid-write can never leave a torn
+            # entry under the final name.
+            for path, text in ((source_path, kernel.source), (meta_path, meta)):
+                tmp = path.with_name(path.name + ".tmp")
+                tmp.write_text(text)
+                os.replace(tmp, path)
+        except (OSError, InjectedFault):
+            self.stats.disk_errors += 1  # degrade to memory-only
 
     def _load_from_disk(self, fingerprint: str) -> Optional[CompiledKernel]:
         if self.disk_dir is None:
             return None
         source_path, meta_path = self._paths(fingerprint)
         try:
+            maybe_inject("cache.disk-read", fingerprint=fingerprint)
+        except InjectedFault:
+            self.stats.disk_errors += 1
+            return None
+        if not (source_path.exists() or meta_path.exists()):
+            return None  # clean miss: the pair was never written
+        try:
             meta = json.loads(meta_path.read_text())
             source = source_path.read_text()
-        except (OSError, ValueError):
+            if meta.get("emitter") != EMITTER_VERSION:
+                raise CorruptCacheEntry(
+                    f"emitter version skew: entry has "
+                    f"{meta.get('emitter')!r}, current is {EMITTER_VERSION!r}"
+                )
+            if meta.get("sha256") != _source_digest(source):
+                raise CorruptCacheEntry(
+                    "source checksum mismatch (truncated or corrupted entry)"
+                )
+            namespace: Dict[str, Any] = {}
+            exec(compile(source, "<repro-cached>", "exec"), namespace)  # noqa: S102
+            namespace["__source__"] = source
+            entry = meta.get("entry")
+            if not isinstance(entry, str) or entry not in namespace:
+                raise CorruptCacheEntry(
+                    f"cached namespace lacks entry point {entry!r}"
+                )
+            kernel = CompiledKernel(source, namespace, entry)
+        except Exception as exc:  # noqa: BLE001 - any bad entry is a miss
+            self._quarantine(fingerprint, f"{type(exc).__name__}: {exc}")
             return None
-        namespace: Dict[str, Any] = {}
-        exec(compile(source, "<repro-cached>", "exec"), namespace)  # noqa: S102
-        namespace["__source__"] = source
-        entry = meta["entry"]
-        if entry not in namespace:
-            return None
-        return CompiledKernel(source, namespace, entry)
+        return kernel
+
+    def _quarantine(self, fingerprint: str, reason: str) -> None:
+        """Move a bad entry aside so it can fail at most once."""
+        self.stats.quarantined += 1
+        self.quarantine_log.append((fingerprint, reason))
+        qdir = self.disk_dir / "quarantine"
+        for path in self._paths(fingerprint):
+            try:
+                if path.exists():
+                    qdir.mkdir(parents=True, exist_ok=True)
+                    os.replace(path, qdir / path.name)
+            except OSError:
+                try:  # cannot even move it: drop it so it never re-trips
+                    path.unlink(missing_ok=True)
+                except OSError:
+                    pass
+
+    def events(self) -> List[Any]:
+        """RS004 diagnostics for every quarantined entry (lazy import so
+        the cache module itself stays analysis-free)."""
+        from repro.analysis.diagnostics import Diagnostic
+
+        return [
+            Diagnostic(
+                "RS004",
+                f"quarantined disk-cache entry {fp[:12]}…: {reason}",
+                severity="warning",
+            )
+            for fp, reason in self.quarantine_log
+        ]
 
 
 _default_cache = KernelCache()

@@ -6,6 +6,7 @@ from typing import TYPE_CHECKING, Any, Callable, Dict, List, Optional
 
 from repro.codegen.python_backend import BackendError, emit_module
 from repro.ir.module import ModuleOp
+from repro.runtime.resilience.faults import maybe_inject
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.codegen.cache import KernelCache
@@ -26,10 +27,12 @@ class CompiledKernel:
         self._fn: Callable = namespace[entry]
 
     def __call__(self, *args: Any):
+        maybe_inject("executor.execute", entry=self.entry)
+        maybe_inject("executor.hang", entry=self.entry)
         return self._fn(*args)
 
     def run(self, *args: Any) -> List[Any]:
-        return list(self._fn(*args))
+        return list(self(*args))
 
     def __repr__(self) -> str:
         return (
@@ -40,6 +43,7 @@ class CompiledKernel:
 
 def compile_module(module: ModuleOp) -> Dict[str, Any]:
     """Emit and exec a module; returns its namespace."""
+    maybe_inject("executor.compile")
     source = emit_module(module)
     namespace: Dict[str, Any] = {}
     code = compile(source, "<repro-generated>", "exec")

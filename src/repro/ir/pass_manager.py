@@ -13,6 +13,7 @@ from typing import Dict, List, Sequence
 
 from repro.ir.operation import Operation
 from repro.ir.verifier import verify
+from repro.runtime.resilience.faults import maybe_inject
 
 
 class Pass:
@@ -103,26 +104,37 @@ class PassManager:
                 self.VALIDATE_TIMING_KEY, time.perf_counter() - start
             )
 
-    def run(self, module: Operation) -> None:
+    def _run_single(self, pass_: Pass, module: Operation) -> None:
+        """One pass plus its verify/validate/gate hooks (the unit the
+        resilient subclass retries from an IR snapshot). The
+        ``pipeline.pass-run`` / ``pipeline.verify`` fault sites live
+        here so chaos tests exercise every pipeline, resilient or not.
+        """
+        maybe_inject("pipeline.pass-run", pass_name=pass_.name)
+        start = time.perf_counter()
+        pass_.run(module)
+        self._record(pass_.name, time.perf_counter() - start)
+        if self.verify_each:
+            try:
+                maybe_inject("pipeline.verify", pass_name=pass_.name)
+                verify(module)
+            except Exception as exc:
+                raise RuntimeError(
+                    f"IR verification failed after pass {pass_.name!r}: {exc}"
+                ) from exc
+        if self.validator is not None:
+            self._run_validator(module, pass_.name)
+        if self.gate is not None and self.gate_each:
+            self._run_gate(module, after_pass=pass_.name)
+
+    def run(self, module: Operation) -> Operation:
         if self.validator is not None:
             self._run_validator(module, None)
         for pass_ in self.passes:
-            start = time.perf_counter()
-            pass_.run(module)
-            self._record(pass_.name, time.perf_counter() - start)
-            if self.verify_each:
-                try:
-                    verify(module)
-                except Exception as exc:
-                    raise RuntimeError(
-                        f"IR verification failed after pass {pass_.name!r}: {exc}"
-                    ) from exc
-            if self.validator is not None:
-                self._run_validator(module, pass_.name)
-            if self.gate is not None and self.gate_each:
-                self._run_gate(module, after_pass=pass_.name)
+            self._run_single(pass_, module)
         if self.gate is not None and not self.gate_each:
             self._run_gate(module, after_pass=None)
+        return module
 
     def pipeline_description(self) -> str:
         return " -> ".join(p.name for p in self.passes)

@@ -1,0 +1,1 @@
+"""Runtime services layered above the compiler: resilience, recovery."""

@@ -1,0 +1,104 @@
+"""Structured recovery reporting for the resilient driver.
+
+Every retry, degradation, fallback, quarantine, checkpoint and timeout
+decision made by the resilience layer lands in a :class:`RecoveryReport`
+as an ``RS``-coded :class:`~repro.analysis.diagnostics.Diagnostic`, so a
+run that survived faults explains *how* it survived — nothing recovers
+silently.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from repro.analysis.diagnostics import REGISTRY, Diagnostic
+
+
+@dataclass
+class AttemptRecord:
+    """One compile (or execute) attempt of the resilient driver."""
+
+    options: str
+    outcome: str  # "ok" | "failed"
+    stage: str = "compile"
+    error: str = ""
+
+
+@dataclass
+class RecoveryReport:
+    """The structured audit trail of one resilient compile/run.
+
+    ``final`` names how the run ultimately produced a result:
+    ``"compiled"`` (a compiled kernel, possibly after retries or
+    degradation) or ``"interpreter"`` (the reference-interpreter
+    fallback). ``final_options`` is the ``CompileOptions.describe()``
+    string that finally succeeded.
+    """
+
+    events: List[Diagnostic] = field(default_factory=list)
+    attempts: List[AttemptRecord] = field(default_factory=list)
+    degradations: List[str] = field(default_factory=list)
+    final: str = ""
+    final_options: str = ""
+
+    def add_event(
+        self, code: str, message: str, severity: Optional[str] = None
+    ) -> Diagnostic:
+        """Record one RS-coded event (severity defaults to the registry's)."""
+        diag = Diagnostic(
+            code, message, severity=severity or REGISTRY[code].severity
+        )
+        self.events.append(diag)
+        return diag
+
+    def codes(self) -> List[str]:
+        return [d.code for d in self.events]
+
+    @property
+    def recovered(self) -> bool:
+        """Did a snapshot retry (RS001) save an attempt?"""
+        return "RS001" in self.codes()
+
+    @property
+    def degraded(self) -> bool:
+        """Did the driver walk down the policy chain (RS002/RS003)?"""
+        return any(c in ("RS002", "RS003") for c in self.codes())
+
+    def render(self) -> str:
+        lines = [
+            f"recovery report: final={self.final or '?'}"
+            + (f" ({self.final_options})" if self.final_options else "")
+        ]
+        for rec in self.attempts:
+            lines.append(
+                f"  attempt[{rec.stage}] {rec.options}: {rec.outcome}"
+                + (f" ({rec.error})" if rec.error else "")
+            )
+        for diag in self.events:
+            lines.append("  " + diag.render().splitlines()[0])
+        return "\n".join(lines)
+
+    def to_json(self) -> Dict[str, Any]:
+        return {
+            "final": self.final,
+            "final_options": self.final_options,
+            "degradations": list(self.degradations),
+            "attempts": [
+                {
+                    "options": a.options,
+                    "outcome": a.outcome,
+                    "stage": a.stage,
+                    "error": a.error,
+                }
+                for a in self.attempts
+            ],
+            "events": [
+                {
+                    "code": d.code,
+                    "severity": d.severity,
+                    "message": d.message,
+                }
+                for d in self.events
+            ],
+        }

@@ -1,0 +1,76 @@
+"""A wall-clock watchdog for kernel and solver executions.
+
+Long-running sweeps that hang (a livelocked wavefront schedule, an
+injected ``executor.hang`` fault) must surface as a structured
+:class:`TimeoutDiagnostic` instead of blocking the process forever.
+:func:`call_with_watchdog` runs the callable in a daemon worker thread
+and abandons it when the budget expires — Python cannot forcibly kill a
+thread, so the hung worker is left to die with the process, which is the
+standard degrade-don't-die trade-off for in-process watchdogs.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass
+from typing import Any, Callable
+
+from repro.analysis.diagnostics import Diagnostic
+
+
+@dataclass
+class TimeoutDiagnostic:
+    """What was cancelled, its budget and how long it actually ran."""
+
+    what: str
+    budget_seconds: float
+    elapsed_seconds: float
+
+    def to_diagnostic(self) -> Diagnostic:
+        return Diagnostic(
+            "RS006",
+            f"{self.what} exceeded its {self.budget_seconds:g}s wall-clock "
+            f"budget (cancelled after {self.elapsed_seconds:.3f}s)",
+        )
+
+
+class ExecutionTimeout(RuntimeError):
+    """Raised when the watchdog budget expires."""
+
+    def __init__(self, info: TimeoutDiagnostic) -> None:
+        self.info = info
+        super().__init__(info.to_diagnostic().message)
+
+
+def call_with_watchdog(
+    fn: Callable[[], Any],
+    timeout_seconds: float,
+    what: str = "kernel execution",
+) -> Any:
+    """Run ``fn()`` under a wall-clock budget.
+
+    Returns its result, re-raises its exception, or raises
+    :class:`ExecutionTimeout` carrying a :class:`TimeoutDiagnostic` when
+    the budget expires first.
+    """
+    if timeout_seconds <= 0:
+        raise ValueError("timeout_seconds must be positive")
+    box: dict = {}
+
+    def target() -> None:
+        try:
+            box["result"] = fn()
+        except BaseException as exc:  # noqa: BLE001 - re-raised on the caller
+            box["error"] = exc
+
+    worker = threading.Thread(target=target, daemon=True)
+    start = time.perf_counter()
+    worker.start()
+    worker.join(timeout_seconds)
+    elapsed = time.perf_counter() - start
+    if worker.is_alive():
+        raise ExecutionTimeout(TimeoutDiagnostic(what, timeout_seconds, elapsed))
+    if "error" in box:
+        raise box["error"]
+    return box["result"]

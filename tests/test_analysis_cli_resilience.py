@@ -1,0 +1,74 @@
+"""The lint CLI degrades internal crashes to RS009 findings (satellite fix).
+
+An exception escaping the analyzer machinery itself (not a pipeline
+failure, which the driver already reports per entry) must never print a
+raw traceback: it becomes a structured RS009 diagnostic, works under
+``--json`` and ``--github``, and exits nonzero.
+"""
+
+import json
+
+import pytest
+
+import repro.analysis.__main__ as cli
+
+
+class _ExplodingGate:
+    """Stands in for AnalysisGate; crashes on construction."""
+
+    def __init__(self, *args, **kwargs):
+        raise ZeroDivisionError("synthetic analyzer crash")
+
+
+@pytest.fixture
+def crashing_analyzer(monkeypatch):
+    monkeypatch.setattr(cli, "AnalysisGate", _ExplodingGate)
+
+
+class TestInternalCrashHandling:
+    def test_human_mode_reports_crash_without_traceback(
+        self, crashing_analyzer, capsys
+    ):
+        code = cli.main(["quickstart"])
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "Traceback" not in out
+        assert "analyzer crashed" in out
+        assert "RS009" in out
+        assert "ZeroDivisionError" in out
+
+    def test_json_mode_emits_structured_rs009(
+        self, crashing_analyzer, capsys
+    ):
+        code = cli.main(["quickstart", "--json"])
+        out = capsys.readouterr().out
+        assert code == 1
+        records = [json.loads(line) for line in out.splitlines()]
+        (crash,) = [r for r in records if r.get("code") == "RS009"]
+        assert crash["severity"] == "error"
+        assert crash["entry"] == "quickstart"
+        assert crash["file"] == "examples/quickstart.py"
+        assert "ZeroDivisionError" in crash["message"]
+
+    def test_github_mode_emits_error_annotation(
+        self, crashing_analyzer, capsys
+    ):
+        code = cli.main(["quickstart", "--github"])
+        out = capsys.readouterr().out
+        assert code == 1
+        (line,) = [ln for ln in out.splitlines() if ln.startswith("::error")]
+        assert "title=RS009" in line
+        assert "ZeroDivisionError" in line
+
+    def test_crash_in_one_entry_does_not_stop_the_others(
+        self, crashing_analyzer, capsys
+    ):
+        cli.main([])  # every stem: each entry crashes, none aborts the run
+        out = capsys.readouterr().out
+        assert "linted" in out.splitlines()[-1]
+
+    def test_healthy_run_unaffected(self, capsys):
+        code = cli.main(["quickstart", "-q"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "RS009" not in out

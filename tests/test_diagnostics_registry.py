@@ -22,7 +22,7 @@ from repro.analysis.diagnostics import (
 
 README = Path(__file__).resolve().parent.parent / "README.md"
 
-_ROW = re.compile(r"^\| `((?:IP|TV)\d{3})` \| (\w+) \| (.+?) \|$")
+_ROW = re.compile(r"^\| `((?:IP|TV|RS)\d{3})` \| (\w+) \| (.+?) \|$")
 
 
 def _readme_rows():
@@ -40,13 +40,13 @@ class TestRegistry:
     def test_registry_is_well_formed(self):
         for code, info in REGISTRY.items():
             assert info.code == code
-            assert re.fullmatch(r"(IP|TV)\d{3}", code)
+            assert re.fullmatch(r"(IP|TV|RS)\d{3}", code)
             assert info.severity in SEVERITIES
             assert info.title and info.description
             assert "\n" not in info.description
 
     def test_codes_are_contiguous_per_prefix(self):
-        for prefix in ("IP", "TV"):
+        for prefix in ("IP", "TV", "RS"):
             nums = sorted(
                 int(c[2:]) for c in REGISTRY if c.startswith(prefix)
             )
@@ -59,7 +59,11 @@ class TestRegistry:
             Diagnostic("TV999", "nope")
 
     def test_render_covers_whole_registry(self):
-        rendered = render_registry_table("IP") + render_registry_table("TV")
+        rendered = (
+            render_registry_table("IP")
+            + render_registry_table("TV")
+            + render_registry_table("RS")
+        )
         codes = {m.group(1) for m in map(_ROW.match, rendered) if m}
         assert codes == set(REGISTRY)
 
@@ -87,6 +91,6 @@ class TestReadmeParity:
     def test_readme_rows_are_the_rendered_rows(self):
         """The README rows byte-match ``render_registry_table`` output."""
         text = README.read_text()
-        for prefix in ("IP", "TV"):
+        for prefix in ("IP", "TV", "RS"):
             for row in render_registry_table(prefix)[2:]:
                 assert row in text, f"rendered row missing from README: {row}"

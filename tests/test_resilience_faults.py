@@ -1,0 +1,176 @@
+"""The fault-injection framework itself: determinism, matching, scoping."""
+
+import threading
+
+import pytest
+
+from repro.runtime.resilience.faults import (
+    FAULT_SITES,
+    FaultPlan,
+    FaultSpec,
+    InjectedFault,
+    active_plan,
+    clear_plan,
+    injected,
+    install_plan,
+    maybe_inject,
+    register_fault_site,
+    sites_by_category,
+)
+
+
+@pytest.fixture(autouse=True)
+def _no_leaked_plan():
+    yield
+    clear_plan()
+
+
+class TestRegistry:
+    def test_expected_sites_registered(self):
+        expected = {
+            "pipeline.pass-run", "pipeline.verify",
+            "cache.disk-read", "cache.disk-write",
+            "executor.compile", "executor.execute", "executor.hang",
+            "solver.sweep", "solver.heat-step", "solver.lusgs-step",
+        }
+        assert expected <= set(FAULT_SITES)
+
+    def test_every_site_has_category_and_description(self):
+        for site in FAULT_SITES.values():
+            assert site.category in ("pipeline", "cache", "executor", "solver")
+            assert site.description
+
+    def test_double_registration_rejected(self):
+        with pytest.raises(ValueError, match="registered twice"):
+            register_fault_site("pipeline.pass-run", "pipeline", "dup")
+
+    def test_sites_by_category(self):
+        solver = {s.name for s in sites_by_category("solver")}
+        assert solver == {
+            "solver.sweep", "solver.heat-step", "solver.lusgs-step"
+        }
+
+
+class TestFaultSpec:
+    def test_unknown_site_rejected(self):
+        with pytest.raises(ValueError, match="unknown fault site"):
+            FaultSpec("no.such.site")
+
+    def test_unknown_action_rejected(self):
+        with pytest.raises(ValueError, match="unknown fault action"):
+            FaultSpec("solver.sweep", action="explode")
+
+    def test_bad_counts_rejected(self):
+        with pytest.raises(ValueError):
+            FaultSpec("solver.sweep", at=0)
+        with pytest.raises(ValueError):
+            FaultSpec("solver.sweep", times=0)
+
+    def test_match_exact_and_prefix(self):
+        spec = FaultSpec(
+            "pipeline.pass-run", match={"pass_name": "vectorize-stencils"}
+        )
+        assert spec.accepts({"pass_name": "vectorize-stencils"})
+        assert spec.accepts({"pass_name": "vectorize-stencils<vf=8>"})
+        assert not spec.accepts({"pass_name": "tile-stencils<8x8>"})
+        assert not spec.accepts({})
+
+
+class TestFaultPlan:
+    def test_fires_at_chosen_invocation_only(self):
+        plan = FaultPlan([FaultSpec("solver.sweep", at=3)])
+        with injected(plan):
+            maybe_inject("solver.sweep")
+            maybe_inject("solver.sweep")
+            with pytest.raises(InjectedFault) as info:
+                maybe_inject("solver.sweep")
+            maybe_inject("solver.sweep")  # one-shot: fires once
+        assert info.value.site == "solver.sweep"
+        assert info.value.invocation == 3
+        assert plan.fired == [("solver.sweep", 3)]
+        assert plan.invocations("solver.sweep") == 4
+
+    def test_times_fires_consecutively(self):
+        plan = FaultPlan([FaultSpec("solver.sweep", at=2, times=2)])
+        with injected(plan):
+            maybe_inject("solver.sweep")
+            for _ in range(2):
+                with pytest.raises(InjectedFault):
+                    maybe_inject("solver.sweep")
+            maybe_inject("solver.sweep")
+
+    def test_match_filters_eligibility(self):
+        plan = FaultPlan([FaultSpec(
+            "pipeline.pass-run", at=1,
+            match={"pass_name": "vectorize-stencils"},
+        )])
+        with injected(plan):
+            maybe_inject("pipeline.pass-run", pass_name="cse")
+            with pytest.raises(InjectedFault):
+                maybe_inject(
+                    "pipeline.pass-run", pass_name="vectorize-stencils<vf=4>"
+                )
+
+    def test_seeded_is_deterministic(self):
+        a = FaultPlan.seeded("solver.sweep", seed=7)
+        b = FaultPlan.seeded("solver.sweep", seed=7)
+        assert a.specs[0].at == b.specs[0].at
+        assert 1 <= a.specs[0].at <= 3
+
+    def test_seeded_varies_across_sites_and_seeds(self):
+        ats = {
+            (site, seed): FaultPlan.seeded(site, seed=seed).specs[0].at
+            for site in sorted(FAULT_SITES)
+            for seed in range(4)
+        }
+        assert len(set(ats.values())) > 1
+
+    def test_hang_action_sleeps_and_returns(self):
+        plan = FaultPlan([FaultSpec(
+            "executor.hang", action="hang", hang_seconds=0.01
+        )])
+        with injected(plan):
+            maybe_inject("executor.hang")  # returns after the sleep
+
+    def test_thread_safe_counting(self):
+        plan = FaultPlan([FaultSpec("solver.sweep", at=10**9)])
+        with injected(plan):
+            threads = [
+                threading.Thread(
+                    target=lambda: [maybe_inject("solver.sweep")
+                                    for _ in range(50)]
+                )
+                for _ in range(4)
+            ]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+        assert plan.invocations("solver.sweep") == 200
+
+
+class TestInstallation:
+    def test_noop_without_plan(self):
+        assert active_plan() is None
+        maybe_inject("solver.sweep")  # cheap no-op
+
+    def test_injected_scopes_and_restores(self):
+        outer = FaultPlan([])
+        install_plan(outer)
+        inner = FaultPlan([])
+        with injected(inner):
+            assert active_plan() is inner
+        assert active_plan() is outer
+        clear_plan()
+        assert active_plan() is None
+
+    def test_injected_restores_on_exception(self):
+        with pytest.raises(RuntimeError, match="boom"):
+            with injected(FaultPlan([])):
+                raise RuntimeError("boom")
+        assert active_plan() is None
+
+    def test_unregistered_site_with_active_plan_is_an_error(self):
+        with injected(FaultPlan([])):
+            with pytest.raises(ValueError, match="unregistered site"):
+                maybe_inject("no.such.site")
