@@ -1,7 +1,13 @@
 """Figure 12 — autotuned speedup at 44 threads (full machine).
 
-Simulated over the Xeon 6152 model from the same measured 1-thread
-kernels as Figure 11. Shape checks: the 9-point case scales worst (its
+Every number here is **simulator-predicted**: the Xeon 6152 machine
+model extrapolates from the same *measured* 1-thread kernels as
+Figure 11 — no 44-thread execution happens (this container cannot run
+one). The real multithreaded runtime is benchmarked separately in
+``test_pr6_parallel_wavefront.py``, which emits the measured-vs-
+predicted comparison table (``BENCH_pr6_parallel_wavefront.json``)
+cross-validating this machine model at the thread counts the host can
+actually exercise. Shape checks: the 9-point case scales worst (its
 ``1 x T`` sub-domain restriction yields thin wavefronts, §4.1), and NUMA
 effects keep every case well below linear scaling.
 """
@@ -39,15 +45,22 @@ def test_fig12_44_threads(benchmark):
         format_table(
             ["Case", "C+Pluto 1", "C+Pluto 2", "MLIR", "MLIR par. eff."],
             rows,
-            title="Figure 12: simulated autotuned speedup at 44 threads",
+            title="Figure 12: simulator-PREDICTED autotuned speedup at 44 "
+                  "threads (no measured execution; see "
+                  "BENCH_pr6_parallel_wavefront.json for measured)",
         )
+    )
+    data["_source"] = (
+        "simulator-predicted (Xeon 6152 machine model over measured "
+        "1-thread tile times); measured thread scaling lives in "
+        "BENCH_pr6_parallel_wavefront.json"
     )
     save_results("fig12_44threads", data)
     # Shape: the 9-point kernel has the weakest parallel scaling of the
     # MLIR cases — its 1 x T sub-domains thin out the wavefronts (the
     # paper's stated reason for its low bar in Fig. 12).
     eff = {
-        name: data[name]["MLIR_parallel_efficiency"] for name in data
+        name: data[name]["MLIR_parallel_efficiency"] for name in KERNEL_CASES
     }
     assert eff["seidel-2D-9pt"] <= min(
         eff["seidel-2D-5pt"], eff["seidel-2D-9pt-2nd"], eff["heat-3D"]

@@ -119,3 +119,57 @@ def test_opt_level2_at_least_10pct_faster_and_bit_identical():
         f"({speedup:.2f}x); source {lines0} -> {lines2} lines"
     )
     assert speedup >= 1.10  # >= 10% faster
+
+
+def test_certificate_memo_cuts_verified_recompile_time():
+    """A fingerprint certified clean skips the analysis gate and the
+    translation validator on recompile even when the kernel cache
+    itself misses (cleared between compiles here): the certified warm
+    path must be measurably faster than the cold verified compile."""
+    from repro.codegen.certificates import (
+        CertificateMemo,
+        default_memo,
+        set_default_memo,
+    )
+
+    prev_cache = set_default_cache(KernelCache())
+    prev_memo = set_default_memo(CertificateMemo())
+    try:
+        options = ablation_options("Tr4", SUBDOMAINS, TILES)
+        options.check_level = "after-pipeline"
+        options.validate_passes = True
+
+        def compile_once():
+            # Kernel cache cleared every time: the pipeline always
+            # re-runs; only the memo decides whether verification does.
+            set_default_cache(KernelCache())
+            StencilCompiler(options).compile(_build_module())
+
+        start = time.perf_counter()
+        compile_once()  # cold: gate + validator run
+        cold_s = time.perf_counter() - start
+        warm_s = time_callable(compile_once, repeats=3, warmup=1)
+        speedup = cold_s / warm_s
+        stats = default_memo().stats
+        _save_section(
+            "certificate_memo",
+            {
+                "cold_verified_compile_ms": cold_s * 1e3,
+                "certified_recompile_ms": warm_s * 1e3,
+                "speedup": speedup,
+                "memo_hits": stats.hits,
+                "config": options.describe(),
+            },
+        )
+        print(
+            f"\nverified compile cold {cold_s * 1e3:.2f} ms, "
+            f"certified warm {warm_s * 1e3:.2f} ms ({speedup:.1f}x); "
+            f"memo hits {stats.hits}"
+        )
+        assert stats.hits >= 1
+        # The gate + validator are a large share of a verified compile;
+        # skipping them must show up as a real compile-time drop.
+        assert speedup >= 1.3
+    finally:
+        set_default_cache(prev_cache)
+        set_default_memo(prev_memo)

@@ -150,6 +150,13 @@ REGISTRY: Dict[str, DiagnosticInfo] = {
         _info("RS009", "internal tool crash converted to a finding", "error",
               "an analyzer or driver crashed internally; the crash was "
               "converted to a structured finding instead of a traceback"),
+        _info("RS010", "parallel worker degraded to sequential", "warning",
+              "a wavefront worker thread failed mid-group; the remaining "
+              "blocks of the dispatch re-ran sequentially"),
+        _info("RS011", "parallel dispatch refused", "note",
+              "a kernel without a clean parallel-safety certificate (or "
+              "with a rebinding block body) executed its wavefront "
+              "groups sequentially despite a multi-thread request"),
     )
 }
 

@@ -208,6 +208,12 @@ class KernelCache:
             "entry": kernel.entry,
             "emitter": EMITTER_VERSION,
             "sha256": _source_digest(kernel.source),
+            "parallel_certified": bool(
+                getattr(kernel, "parallel_certified", False)
+            ),
+            "schedule": [
+                s.to_json() for s in getattr(kernel, "schedule", [])
+            ],
         })
         try:
             maybe_inject("cache.disk-write", fingerprint=fingerprint)
@@ -253,6 +259,14 @@ class KernelCache:
                     f"cached namespace lacks entry point {entry!r}"
                 )
             kernel = CompiledKernel(source, namespace, entry)
+            if meta.get("parallel_certified"):
+                kernel.certify_parallel()
+            if meta.get("schedule"):
+                from repro.core.scheduling import ScheduleStamp
+
+                kernel.schedule = [
+                    ScheduleStamp.from_json(s) for s in meta["schedule"]
+                ]
         except Exception as exc:  # noqa: BLE001 - any bad entry is a miss
             self._quarantine(fingerprint, f"{type(exc).__name__}: {exc}")
             return None

@@ -1,0 +1,126 @@
+"""Verification-certificate memo: pay for analysis once per fingerprint.
+
+The analysis gate (``check_level``), the per-pass translation validator
+(``validate_passes``) and the parallel-safety race check all re-run on
+every compile, even when the *identical* (module, entry, options,
+emitter) tuple was already certified clean in this process. This memo
+keys a small certificate record on the same sha256 fingerprint the
+kernel cache uses (:func:`repro.codegen.cache.module_fingerprint`), so a
+re-compile of a certified fingerprint skips the gate and the validator
+— the expensive part of a verified build — while still lowering and
+emitting if the kernel cache itself missed.
+
+A certificate asserts only what was actually proven: the check level
+the gate ran at, whether translation validation passed, and whether the
+parallel race check came back clean. A compile requesting *more*
+verification than the record covers runs the missing checks and widens
+the record.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Set
+
+
+@dataclass
+class Certificate:
+    """What one fingerprint has been proven to satisfy."""
+
+    #: Check levels the analysis gate passed at ("after-pipeline",
+    #: "after-every-pass").
+    check_levels: Set[str] = field(default_factory=set)
+    #: Per-pass translation validation passed.
+    validated: bool = False
+    #: The parallel race check found no IP-diagnostic. ``None`` means
+    #: the check never ran; ``False`` means it ran and found problems
+    #: (memoized too — a dirty module stays refused without re-analysis).
+    parallel_clean: Optional[bool] = None
+
+    def covers_gate(self, check_level: str) -> bool:
+        if check_level == "off":
+            return True
+        if check_level == "after-pipeline":
+            # A stricter per-pass run subsumes the end-of-pipeline gate.
+            return bool(self.check_levels)
+        return check_level in self.check_levels
+
+
+@dataclass
+class MemoStats:
+    hits: int = 0
+    misses: int = 0
+    records: int = 0
+
+
+class CertificateMemo:
+    """Thread-safe fingerprint -> :class:`Certificate` map."""
+
+    def __init__(self) -> None:
+        self._entries: Dict[str, Certificate] = {}
+        self.stats = MemoStats()
+        self._lock = threading.Lock()
+
+    def get(self, fingerprint: str) -> Optional[Certificate]:
+        with self._lock:
+            cert = self._entries.get(fingerprint)
+            if cert is None:
+                self.stats.misses += 1
+            else:
+                self.stats.hits += 1
+            return cert
+
+    def peek(self, fingerprint: str) -> Optional[Certificate]:
+        """Lookup without touching the hit/miss counters."""
+        with self._lock:
+            return self._entries.get(fingerprint)
+
+    def record(
+        self,
+        fingerprint: str,
+        check_level: Optional[str] = None,
+        validated: bool = False,
+        parallel_clean: Optional[bool] = None,
+    ) -> Certificate:
+        """Widen (or create) the certificate for ``fingerprint``."""
+        with self._lock:
+            cert = self._entries.get(fingerprint)
+            if cert is None:
+                cert = Certificate()
+                self._entries[fingerprint] = cert
+                self.stats.records += 1
+            if check_level and check_level != "off":
+                cert.check_levels.add(check_level)
+            if validated:
+                cert.validated = True
+            if parallel_clean is not None:
+                cert.parallel_clean = parallel_clean
+            return cert
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+            self.stats = MemoStats()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+
+_default_memo = CertificateMemo()
+_default_lock = threading.Lock()
+
+
+def default_memo() -> CertificateMemo:
+    """The process-wide memo ``StencilCompiler.compile`` consults."""
+    return _default_memo
+
+
+def set_default_memo(memo: CertificateMemo) -> CertificateMemo:
+    """Swap the process-wide memo (returns the previous one)."""
+    global _default_memo
+    with _default_lock:
+        previous = _default_memo
+        _default_memo = memo
+    return previous

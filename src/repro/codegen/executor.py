@@ -25,6 +25,27 @@ class CompiledKernel:
         self.namespace = namespace
         self.entry = entry
         self._fn: Callable = namespace[entry]
+        #: Set by :meth:`certify_parallel` once the race analyzer has
+        #: cleared the lowered module; until then the runtime dispatcher
+        #: executes wavefront groups sequentially.
+        self.parallel_certified = False
+        #: Diagnostics that blocked certification (empty when certified
+        #: or never gated).
+        self.parallel_diagnostics: List[Any] = []
+        #: Static wavefront schedules stamped by the compiler
+        #: (:class:`repro.core.scheduling.ScheduleStamp` per grouped
+        #: loop with statically known extents).
+        self.schedule: List[Any] = []
+
+    def certify_parallel(self) -> None:
+        """Allow multi-threaded wavefront dispatch for this kernel.
+
+        Flips the module-level ``_PARALLEL_CERTIFIED`` flag the emitted
+        dispatch calls read, so certification survives re-entry and is
+        shared by every function in the namespace.
+        """
+        self.parallel_certified = True
+        self.namespace["_PARALLEL_CERTIFIED"] = True
 
     def __call__(self, *args: Any):
         maybe_inject("executor.execute", entry=self.entry)

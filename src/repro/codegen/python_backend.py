@@ -37,7 +37,7 @@ from repro.ir.values import Value
 #: Version of the emission strategy. Part of every kernel-cache
 #: fingerprint: bump it whenever emitted code changes for the same IR, so
 #: persisted cache entries from older emitters are never reused.
-EMITTER_VERSION = "1"
+EMITTER_VERSION = "2"
 
 
 class BackendError(Exception):
@@ -154,6 +154,14 @@ class Emitter:
             "from repro.core.scheduling import compute_parallel_blocks "
             "as _compute_parallel_blocks"
         )
+        self.emit(
+            "from repro.runtime.parallel import dispatch_wavefronts "
+            "as _dispatch_wavefronts"
+        )
+        # Flipped to True by CompiledKernel.certify_parallel() once the
+        # race analyzer has cleared the lowered module; the dispatcher
+        # refuses multi-thread execution until then.
+        self.emit("_PARALLEL_CERTIFIED = False")
         self.emit("")
         for op in self.module.body.operations:
             if op.name == "func.func":
@@ -383,11 +391,19 @@ class Emitter:
 
     def _emit_tensor_insert_slice(self, op) -> None:
         rank = (op.num_operands - 2) // 2
-        dest_expr = self.consume(op, 1)
         offs = [self.name(o) for o in op.operands[2 : 2 + rank]]
         sizes = [self.name(o) for o in op.operands[2 + rank :]]
-        n = self.name(op.result())
-        self.emit(f"{n} = {dest_expr}")
+        dest = op.operand(1)
+        if self.can_steal(dest, op):
+            # Pure in-place store: the result *is* the destination
+            # buffer, so alias the SSA name instead of emitting a
+            # rebinding assignment (grouped loop bodies rely on this —
+            # a rebind-free body can run its blocks concurrently).
+            n = self.name(dest)
+            self.names[id(op.result())] = n
+        else:
+            n = self.name(op.result())
+            self.emit(f"{n} = {self.name(dest)}.copy()")
         self.emit(
             f"{n}[{self._slice_expr(offs, sizes)}] = {self.name(op.operand(0))}"
         )
@@ -633,16 +649,20 @@ class Emitter:
         ivs = [self.name(a) for a in op.induction_vars]
         term = op.body.terminator
         if op.has_groups:
+            # Emit the block body as a per-block closure and hand the
+            # CSR schedule to the runtime dispatcher: group-by-group,
+            # blocks of one group concurrently when legal, sequentially
+            # otherwise. The closure mutates the out buffers in place;
+            # should the body still rebind an out name (no steal was
+            # possible), the rebind is declared nonlocal and the loop is
+            # marked not-in-place so dispatch never runs it concurrently.
             go = self.name(op.group_operands[0])
             gi = self.name(op.group_operands[1])
             lin = self.fresh("lin")
-            g_iter = self.fresh("grp")
-            self.emit(f"for {g_iter} in range(len({go}) - 1):")
+            blk = self.fresh("blk")
+            self.emit(f"def {blk}({lin}):")
             self.indent += 1
-            self.emit(
-                f"for {lin} in {gi}[{go}[{g_iter}]:{go}[{g_iter} + 1]]:"
-            )
-            self.indent += 1
+            nonlocal_at = len(self.lines)
             rem = self.fresh("rem")
             self.emit(f"{rem} = int({lin})")
             for d in range(k - 1, -1, -1):
@@ -652,11 +672,25 @@ class Emitter:
                     self.emit(f"{rem} //= {grid[d]}")
                 self.emit(f"{ivs[d]} = {lbs[d]} + {c} * {steps[d]}")
             self.emit_block_body(op.body)
+            rebinds = []
             for n, y in zip(out_names, term.operands):
                 yn = self.name(y)
                 if yn != n:
+                    rebinds.append((n, yn))
+            if rebinds:
+                self.lines.insert(
+                    nonlocal_at,
+                    "    " * self.indent
+                    + "nonlocal "
+                    + ", ".join(sorted({n for n, _ in rebinds})),
+                )
+                for n, yn in rebinds:
                     self.emit(f"{n} = {yn}")
-            self.indent -= 2
+            self.indent -= 1
+            self.emit(
+                f"_dispatch_wavefronts({go}, {gi}, {blk}, "
+                f"inplace={not rebinds}, certified=_PARALLEL_CERTIFIED)"
+            )
         else:
             coords = [self.fresh("c") for _ in range(k)]
             for d in range(k):

@@ -31,6 +31,7 @@ from repro.codegen.executor import CompiledKernel, compile_function
 from repro.core.fusion import FuseProducersPass
 from repro.core.lowering import LowerStencilsPass, LowerStructuredPass
 from repro.core.optimize import optimization_pipeline
+from repro.core.scheduling import extract_schedule_stamps
 from repro.core.tiling import TileStencilsPass
 from repro.core.vectorization import VectorizeStencilsPass
 from repro.ir import ModuleOp, PassManager
@@ -174,7 +175,16 @@ class StencilCompiler:
         self.options = options or CompileOptions()
         self.pass_manager: Optional[PassManager] = None
 
-    def build_pipeline(self) -> PassManager:
+    def build_pipeline(
+        self, skip_gate: bool = False, skip_validation: bool = False
+    ) -> PassManager:
+        """Assemble the pass pipeline.
+
+        ``skip_gate`` / ``skip_validation`` drop the analysis gate and
+        the translation validator even when the options request them —
+        :meth:`compile` passes these when the certificate memo already
+        holds a clean record for the module's fingerprint.
+        """
         o = self.options
         gate = None
         if o.check_level != "off":
@@ -187,9 +197,10 @@ class StencilCompiler:
                     f"unknown check_level {o.check_level!r}; "
                     f"expected one of {CHECK_LEVELS}"
                 )
-            gate = AnalysisGate(fail_fast=True)
+            if not skip_gate:
+                gate = AnalysisGate(fail_fast=True)
         validator = None
-        if o.validate_passes:
+        if o.validate_passes and not skip_validation:
             from repro.analysis.tv import TranslationValidator
 
             validator = TranslationValidator(fail_fast=True)
@@ -223,9 +234,16 @@ class StencilCompiler:
             pm.add(opt_pass)
         return pm
 
-    def lower(self, module: ModuleOp) -> ModuleOp:
+    def lower(
+        self,
+        module: ModuleOp,
+        skip_gate: bool = False,
+        skip_validation: bool = False,
+    ) -> ModuleOp:
         """Run the transformation pipeline in place; returns the module."""
-        self.pass_manager = self.build_pipeline()
+        self.pass_manager = self.build_pipeline(
+            skip_gate=skip_gate, skip_validation=skip_validation
+        )
         self.pass_manager.run(module)
         return module
 
@@ -238,17 +256,79 @@ class StencilCompiler:
         configurations — autotuner sweeps, the Fig. 11-13 benches — skip
         the pipeline and emission entirely. On a hit the module is
         returned untransformed.
-        """
-        if not self.options.use_cache:
-            self.lower(module)
-            return compile_function(module, entry)
-        from repro.codegen.cache import default_cache, module_fingerprint
 
-        cache = default_cache()
-        fingerprint = module_fingerprint(module, entry, self.options.cache_key())
-        kernel = cache.get(fingerprint)
-        if kernel is None:
-            self.lower(module)
-            kernel = compile_function(module, entry)
+        Verification is pay-as-you-go: the same fingerprint also keys
+        the process-wide certificate memo
+        (:mod:`repro.codegen.certificates`). When the memo already holds
+        a clean record covering the requested ``check_level`` /
+        ``validate_passes``, the gate and the validator are skipped even
+        though the kernel cache missed — re-verifying an
+        already-certified module proves nothing new.
+
+        With ``options.parallel`` the lowered module must additionally
+        pass the race analyzer before the kernel is certified for
+        multi-threaded wavefront dispatch; an IP-diagnostic leaves the
+        kernel uncertified (the runtime then executes its groups
+        sequentially and records RS011). The static wavefront schedules
+        are stamped onto ``kernel.schedule``.
+        """
+        o = self.options
+        fingerprint = None
+        cert = None
+        memo = None
+        if o.use_cache or o.parallel or o.validate_passes or o.check_level != "off":
+            from repro.codegen.cache import module_fingerprint
+            from repro.codegen.certificates import default_memo
+
+            fingerprint = module_fingerprint(module, entry, o.cache_key())
+            memo = default_memo()
+            cert = memo.get(fingerprint)
+        if o.use_cache:
+            from repro.codegen.cache import default_cache
+
+            cache = default_cache()
+            kernel = cache.get(fingerprint)
+            if kernel is not None:
+                return kernel
+        skip_gate = (
+            o.check_level != "off"
+            and cert is not None
+            and cert.covers_gate(o.check_level)
+        )
+        skip_tv = o.validate_passes and cert is not None and cert.validated
+        self.lower(module, skip_gate=skip_gate, skip_validation=skip_tv)
+        kernel = compile_function(module, entry)
+        parallel_clean = None
+        if o.parallel:
+            kernel.schedule = extract_schedule_stamps(module)
+            if cert is not None and cert.parallel_clean is not None:
+                parallel_clean = cert.parallel_clean
+            elif o.check_level != "off":
+                # The gate already analyzed this module (or a certificate
+                # says it did) and raised on any error — clean by proof.
+                parallel_clean = True
+            else:
+                report = self._race_check(module)
+                parallel_clean = not report.has_errors
+                kernel.parallel_diagnostics = report.errors
+            if parallel_clean:
+                kernel.certify_parallel()
+        if memo is not None:
+            memo.record(
+                fingerprint,
+                check_level=None if skip_gate else o.check_level,
+                validated=o.validate_passes and not skip_tv,
+                parallel_clean=parallel_clean,
+            )
+        if o.use_cache:
             cache.put(fingerprint, kernel)
         return kernel
+
+    @staticmethod
+    def _race_check(lowered: ModuleOp):
+        """The mandatory parallel legality gate: the PR-2 analyzers on
+        the lowered module (attribute walks only — the expensive probe
+        cross-check and the memory sweep stay out of the hot path)."""
+        from repro.analysis.analyzer import analyze_module
+
+        return analyze_module(lowered, cross_check=False, memory=False)

@@ -21,7 +21,8 @@ benchmark.
 from __future__ import annotations
 
 import itertools
-from typing import Iterable, List, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Iterable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -175,6 +176,114 @@ def _delinearize(linear: int, shape: Sequence[int], strides: Sequence[int]):
 def delinearize(linear: int, shape: Sequence[int]) -> Tuple[int, ...]:
     """Row-major delinearization of a sub-domain index."""
     return _delinearize(linear, shape, _row_major_strides(shape))
+
+
+# ---------------------------------------------------------------------------
+# Schedule stamping — the compiled artifact carries its wavefront shape.
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ScheduleStamp:
+    """The statically resolved wavefront schedule of one grouped loop.
+
+    Stamped into :class:`~repro.codegen.executor.CompiledKernel.schedule`
+    by the pipeline (and persisted in the disk-cache metadata), so the
+    runtime, the benchmarks and the machine-model simulator can read the
+    schedule of a compiled artifact without re-deriving it from IR.
+    """
+
+    num_blocks: Tuple[int, ...]
+    block_offsets: Tuple[Offset, ...]
+    group_sizes: Tuple[int, ...]
+
+    @property
+    def num_groups(self) -> int:
+        return len(self.group_sizes)
+
+    @property
+    def total_blocks(self) -> int:
+        return sum(self.group_sizes)
+
+    @property
+    def max_parallelism(self) -> int:
+        return max(self.group_sizes, default=0)
+
+    def csr(self) -> Tuple[np.ndarray, np.ndarray]:
+        """Recompute the full CSR payload (offsets, indices)."""
+        return compute_parallel_blocks(self.num_blocks, self.block_offsets)
+
+    def to_json(self) -> dict:
+        return {
+            "num_blocks": list(self.num_blocks),
+            "block_offsets": [list(o) for o in self.block_offsets],
+            "group_sizes": list(self.group_sizes),
+        }
+
+    @staticmethod
+    def from_json(data: dict) -> "ScheduleStamp":
+        return ScheduleStamp(
+            num_blocks=tuple(int(n) for n in data["num_blocks"]),
+            block_offsets=tuple(
+                tuple(int(c) for c in o) for o in data["block_offsets"]
+            ),
+            group_sizes=tuple(int(s) for s in data["group_sizes"]),
+        )
+
+
+def _eval_static_index(value) -> Optional[int]:
+    """Resolve an index SSA value to an integer through the small arith
+    subset the tiling pass builds extents from; ``None`` when dynamic."""
+    from repro.ir.values import OpResult
+
+    if not isinstance(value, OpResult):
+        return None
+    op = value.op
+    if op.name == "arith.constant":
+        return int(op.attributes["value"].value)
+    binops = {
+        "arith.addi": lambda a, b: a + b,
+        "arith.subi": lambda a, b: a - b,
+        "arith.muli": lambda a, b: a * b,
+        "arith.floordivi": lambda a, b: a // b,
+        "arith.remi": lambda a, b: a % b,
+        "arith.minsi": min,
+        "arith.maxsi": max,
+    }
+    fn = binops.get(op.name)
+    if fn is None:
+        return None
+    a = _eval_static_index(op.operand(0))
+    b = _eval_static_index(op.operand(1))
+    if a is None or b is None:
+        return None
+    return fn(a, b)
+
+
+def extract_schedule_stamps(module) -> List[ScheduleStamp]:
+    """One :class:`ScheduleStamp` per ``cfd.get_parallel_blocks`` op
+    whose grid extents are statically resolvable (module order).
+
+    Dynamic extents simply produce no stamp — the runtime schedule is
+    still computed by the generated code; only the static metadata is
+    unavailable.
+    """
+    stamps: List[ScheduleStamp] = []
+    for op in module.walk():
+        if op.name != "cfd.get_parallel_blocks":
+            continue
+        extents = [
+            _eval_static_index(op.operand(i)) for i in range(op.num_operands)
+        ]
+        if any(e is None for e in extents):
+            continue
+        offsets_csr, _ = compute_parallel_blocks(extents, op.block_offsets)
+        stamps.append(ScheduleStamp(
+            num_blocks=tuple(int(e) for e in extents),
+            block_offsets=tuple(tuple(o) for o in op.block_offsets),
+            group_sizes=tuple(int(s) for s in np.diff(offsets_csr)),
+        ))
+    return stamps
 
 
 # ---------------------------------------------------------------------------

@@ -227,9 +227,32 @@ def tile_stencil_op(
         # locates the per-tile op inside the body by the same id.
         inner.attributes["tv_id"] = op.attributes["tv_id"]
 
-    y_next = tensor.InsertSliceOp.build(
-        body, inner.result(), y_arg, slice_offsets, slice_sizes
-    ).result()
+    if groups is not None:
+        # Grouped (wavefront-parallel) loops write back only the tile
+        # CORE. The halo window of a tile overlaps the cores of its
+        # same-group neighbours, so a full-window write-back would race
+        # under concurrent dispatch. The inner stencil's bounds restrict
+        # writes to the core, so the halo cells of ``inner.result()``
+        # hold exactly the values already present in ``y`` — dropping
+        # them from the write-back is bit-identical sequentially.
+        core_sizes = [
+            arith.subi(body, core_hi_local[d], core_lo_local[d])
+            for d in range(k)
+        ]
+        y_core = tensor.ExtractSliceOp.build(
+            body,
+            inner.result(),
+            [zero_b] + core_lo_local,
+            [nv_b] + core_sizes,
+            static_sizes=static,
+        ).result()
+        y_next = tensor.InsertSliceOp.build(
+            body, y_core, y_arg, [zero_b] + list(ivs), [nv_b] + core_sizes
+        ).result()
+    else:
+        y_next = tensor.InsertSliceOp.build(
+            body, inner.result(), y_arg, slice_offsets, slice_sizes
+        ).result()
     cfd.CFDYieldOp.build(body, [y_next])
 
     if rewriter is not None:

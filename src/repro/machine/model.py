@@ -59,6 +59,36 @@ XEON_6152 = MachineModel(
     barrier_seconds=4e-6,
 )
 
+def host_machine_model() -> MachineModel:
+    """A model calibrated to the machine actually running this process.
+
+    Core count comes from the scheduling affinity mask (the honest
+    number inside containers); the memory system is assumed to be one
+    NUMA node of commodity bandwidth. This is what the parallel-
+    wavefront benchmark cross-checks its *measured* speedups against —
+    on the single-core CI container it reduces to
+    :data:`LOCAL_SINGLE_CORE`.
+    """
+    import os
+
+    try:
+        cores = len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux fallback
+        cores = os.cpu_count() or 1
+    if cores <= 1:
+        return LOCAL_SINGLE_CORE
+    return MachineModel(
+        name=f"host ({cores} cores, 1 NUMA node assumed)",
+        cores=cores,
+        numa_nodes=1,
+        l1_bytes=32 * 1024,
+        l2_bytes=1024 * 1024,
+        l3_bytes_per_numa=32 * 1024 * 1024,
+        mem_bw_per_numa=20e9,
+        barrier_seconds=1e-6,
+    )
+
+
 #: This reproduction's environment: a single-core container.
 LOCAL_SINGLE_CORE = MachineModel(
     name="single-core container",

@@ -1,0 +1,55 @@
+"""Real multithreaded wavefront execution.
+
+The compiler's grouped ``cfd.tiled_loop`` carries a CSR wavefront
+schedule (``cfd.get_parallel_blocks``, §2.3): groups execute in order,
+and the sub-domain blocks *within* one group are mutually independent.
+This package executes that schedule on actual worker threads: the
+generated kernel hands each group's block list to
+:func:`dispatch_wavefronts`, which fans the blocks out over a shared
+thread pool (NumPy slice kernels release the GIL in C) and joins at a
+barrier before the next group.
+
+Safety model
+------------
+
+Parallel dispatch is *refused* — the schedule runs sequentially, with an
+RS011 event — unless every precondition holds:
+
+* the kernel carries a parallel-safety certificate (the PR-2 race
+  analyzer found no IP-diagnostic on the lowered module; see
+  :meth:`repro.core.pipeline.StencilCompiler.compile`);
+* the emitted block body is fully in-place (no SSA rebinding across
+  blocks — the backend marks this per loop);
+* more than one worker thread is requested (:func:`get_num_threads`).
+
+A worker exception degrades the dispatch to sequential execution
+(RS010, the RS002-style policy: recover, never crash): blocks that
+completed are not re-run, the failed and remaining blocks re-execute on
+the calling thread, and all later groups stay sequential.
+"""
+
+from repro.runtime.parallel.dispatch import (
+    DispatchStats,
+    dispatch_wavefronts,
+    drain_events,
+    last_dispatch_stats,
+    reset_dispatch_stats,
+)
+from repro.runtime.parallel.pool import (
+    get_num_threads,
+    num_threads,
+    set_num_threads,
+    shutdown_pools,
+)
+
+__all__ = [
+    "DispatchStats",
+    "dispatch_wavefronts",
+    "drain_events",
+    "get_num_threads",
+    "last_dispatch_stats",
+    "num_threads",
+    "reset_dispatch_stats",
+    "set_num_threads",
+    "shutdown_pools",
+]

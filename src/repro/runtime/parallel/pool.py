@@ -1,0 +1,87 @@
+"""Worker-thread pools and the thread-count knob.
+
+The thread count is an explicit opt-in: it defaults to 1 (sequential)
+unless ``$REPRO_THREADS`` is set or :func:`set_num_threads` /
+:func:`num_threads` is used. Pools are created lazily per thread count
+and reused across dispatches — a kernel stepping a time loop re-enters
+the same pool every sweep instead of paying thread start-up each time.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from concurrent.futures import ThreadPoolExecutor
+from contextlib import contextmanager
+from typing import Dict, Iterator, Optional
+
+#: Hard ceiling on worker threads; far above any sane request, it only
+#: bounds the damage of a typo'd ``REPRO_THREADS``.
+MAX_THREADS = 256
+
+_override: Optional[int] = None
+_pools: Dict[int, ThreadPoolExecutor] = {}
+_lock = threading.Lock()
+
+
+def _clamp(n: int) -> int:
+    return max(1, min(int(n), MAX_THREADS))
+
+
+def get_num_threads() -> int:
+    """The currently requested worker count.
+
+    Priority: :func:`set_num_threads` / :func:`num_threads` override,
+    then ``$REPRO_THREADS`` (first entry if a comma list), then 1.
+    """
+    if _override is not None:
+        return _override
+    raw = os.environ.get("REPRO_THREADS", "").strip()
+    if raw:
+        try:
+            return _clamp(int(raw.split(",")[0]))
+        except ValueError:
+            return 1
+    return 1
+
+
+def set_num_threads(n: Optional[int]) -> Optional[int]:
+    """Set (or with ``None`` clear) the process-wide thread override;
+    returns the previous override."""
+    global _override
+    previous = _override
+    _override = None if n is None else _clamp(n)
+    return previous
+
+
+@contextmanager
+def num_threads(n: int) -> Iterator[int]:
+    """Scoped thread-count override (tests and benchmarks)."""
+    previous = set_num_threads(n)
+    try:
+        yield get_num_threads()
+    finally:
+        set_num_threads(previous)
+
+
+def get_pool(threads: int) -> ThreadPoolExecutor:
+    """The shared pool for ``threads`` workers (created on first use)."""
+    threads = _clamp(threads)
+    with _lock:
+        pool = _pools.get(threads)
+        if pool is None:
+            pool = ThreadPoolExecutor(
+                max_workers=threads,
+                thread_name_prefix=f"repro-wavefront-{threads}",
+            )
+            _pools[threads] = pool
+        return pool
+
+
+def shutdown_pools() -> None:
+    """Tear down every cached pool (test isolation helper)."""
+    with _lock:
+        pools = list(_pools.values())
+        _pools.clear()
+    for pool in pools:
+        pool.shutdown(wait=True)

@@ -87,6 +87,11 @@ register_fault_site(
     "a compiled kernel hangs (exercises the wall-clock watchdog)",
 )
 register_fault_site(
+    "parallel.worker", "parallel",
+    "a wavefront worker thread raises at block entry (exercises the "
+    "sequential-degradation path of the parallel dispatcher)",
+)
+register_fault_site(
     "solver.sweep", "solver",
     "an iterative Poisson solve crashes between sweeps",
 )

@@ -58,6 +58,43 @@ class TestCanonicalSchedules:
         offsets, indices = compute_parallel_blocks(num_blocks, deps)
         assert check_csr_schedule(num_blocks, deps, offsets, indices) == []
 
+    # Degenerate domains: the shapes the thread-pool dispatcher must
+    # handle without deadlock all validate as clean schedules too.
+
+    def test_single_block_mesh_clean(self):
+        num_blocks = (1, 1, 1)
+        deps = [(-1, 0, 0), (0, -1, 0), (0, 0, -1)]
+        offsets, indices = compute_parallel_blocks(num_blocks, deps)
+        assert list(offsets) == [0, 1] and list(indices) == [0]
+        assert check_csr_schedule(num_blocks, deps, offsets, indices) == []
+
+    def test_one_cell_axis_is_pure_pipeline(self):
+        """(1, N) degenerates to one block per group — no parallelism,
+        but a valid schedule the analyzer must accept."""
+        num_blocks = (1, 6)
+        offsets, indices = _canonical_csr(num_blocks)
+        assert list(offsets) == list(range(7))
+        assert check_csr_schedule(num_blocks, DEPS_2D, offsets, indices) == []
+
+    def test_no_dependences_single_group(self):
+        """An empty offset list (fully parallel pattern) collapses the
+        schedule to one all-block group."""
+        num_blocks = (2, 3)
+        offsets, indices = compute_parallel_blocks(num_blocks, [])
+        assert list(offsets) == [0, 6]
+        assert check_csr_schedule(num_blocks, [], offsets, indices) == []
+
+    def test_empty_group_is_still_valid(self):
+        """Repeated CSR offsets (an empty group) keep every dependence
+        ordered; the analyzer accepts them and the dispatcher must not
+        hang on them."""
+        num_blocks = (2, 2)
+        offsets, indices = _canonical_csr(num_blocks)
+        import numpy as np
+
+        padded = np.insert(offsets, 2, offsets[2])
+        assert check_csr_schedule(num_blocks, DEPS_2D, padded, indices) == []
+
     def test_backward_deps_clean(self):
         deps = [(1, 0), (0, 1)]
         num_blocks = (3, 4)

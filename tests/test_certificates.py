@@ -1,0 +1,146 @@
+"""The verification-certificate memo (`repro.codegen.certificates`).
+
+A fingerprint certified clean must not pay for the analysis gate, the
+translation validator or the parallel race check again — even when the
+kernel cache itself misses (cleared, evicted, or a fresh process with a
+shared memo)."""
+
+import numpy as np
+
+from repro.codegen.cache import KernelCache, set_default_cache
+from repro.codegen.certificates import (
+    Certificate,
+    CertificateMemo,
+    default_memo,
+    set_default_memo,
+)
+from repro.core import frontend
+from repro.core.pipeline import CompileOptions, StencilCompiler
+from repro.core.stencil import gauss_seidel_5pt_2d
+
+import pytest
+
+
+@pytest.fixture(autouse=True)
+def _fresh_state():
+    prev_cache = set_default_cache(KernelCache())
+    prev_memo = set_default_memo(CertificateMemo())
+    yield
+    set_default_cache(prev_cache)
+    set_default_memo(prev_memo)
+
+
+def _module():
+    return frontend.build_stencil_kernel(
+        gauss_seidel_5pt_2d(), (8, 8), frontend.identity_body(4.0)
+    )
+
+
+def _options(**overrides):
+    base = dict(
+        subdomain_sizes=(4, 4), tile_sizes=(2, 2), fuse=True, vectorize=4,
+    )
+    base.update(overrides)
+    return CompileOptions(**base)
+
+
+class TestCertificate:
+    def test_covers_gate(self):
+        cert = Certificate(check_levels={"after-pipeline"})
+        assert cert.covers_gate("off")
+        assert cert.covers_gate("after-pipeline")
+        assert not cert.covers_gate("after-every-pass")
+        # A per-pass record subsumes the end-of-pipeline gate.
+        strict = Certificate(check_levels={"after-every-pass"})
+        assert strict.covers_gate("after-pipeline")
+        assert strict.covers_gate("after-every-pass")
+        assert not Certificate().covers_gate("after-pipeline")
+
+    def test_record_widens(self):
+        memo = CertificateMemo()
+        memo.record("fp", check_level="after-pipeline")
+        memo.record("fp", validated=True)
+        memo.record("fp", parallel_clean=True)
+        cert = memo.peek("fp")
+        assert cert.check_levels == {"after-pipeline"}
+        assert cert.validated
+        assert cert.parallel_clean is True
+        assert len(memo) == 1
+
+
+class TestMemoSkipsVerification:
+    def test_gate_skipped_on_certified_recompile(self):
+        options = _options(check_level="after-pipeline")
+        compiler = StencilCompiler(options)
+        compiler.compile(_module())
+        assert compiler.pass_manager.gate is not None
+
+        # Kernel cache cleared, memo kept: the pipeline re-runs but the
+        # gate must not.
+        set_default_cache(KernelCache())
+        again = StencilCompiler(options)
+        again.compile(_module())
+        assert again.pass_manager.gate is None
+        assert default_memo().stats.hits >= 1
+
+    def test_validator_skipped_on_certified_recompile(self):
+        options = _options(validate_passes=True)
+        compiler = StencilCompiler(options)
+        compiler.compile(_module())
+        assert compiler.pass_manager.validator is not None
+
+        set_default_cache(KernelCache())
+        again = StencilCompiler(options)
+        again.compile(_module())
+        assert again.pass_manager.validator is None
+
+    def test_parallel_certificate_reused(self):
+        options = _options(parallel=True)
+        kernel = StencilCompiler(options).compile(_module())
+        assert kernel.parallel_certified
+        assert default_memo().stats.records == 1
+
+        set_default_cache(KernelCache())
+        kernel2 = StencilCompiler(options).compile(_module())
+        assert kernel2.parallel_certified
+        # Re-certified from the memo, not a second analysis record.
+        assert default_memo().stats.records == 1
+
+    def test_different_options_do_not_share_certificates(self):
+        StencilCompiler(
+            _options(check_level="after-pipeline")
+        ).compile(_module())
+        set_default_cache(KernelCache())
+        other = StencilCompiler(
+            _options(check_level="after-pipeline", vectorize=8)
+        )
+        other.compile(_module())
+        # Different fingerprint: the gate ran again.
+        assert other.pass_manager.gate is not None
+        assert len(default_memo()) == 2
+
+    def test_stricter_request_not_covered_by_weaker_record(self):
+        StencilCompiler(
+            _options(check_level="after-pipeline")
+        ).compile(_module())
+        set_default_cache(KernelCache())
+        # Same options except the (stricter) check level -> different
+        # fingerprint and a fresh gate run anyway; the point is that no
+        # false sharing can occur through cache_key().
+        strict = StencilCompiler(_options(check_level="after-every-pass"))
+        strict.compile(_module())
+        assert strict.pass_manager.gate is not None
+
+    def test_certified_compile_is_numerically_unchanged(self):
+        options = _options(
+            check_level="after-pipeline", validate_passes=True
+        )
+        rng = np.random.default_rng(0)
+        x = rng.standard_normal((1, 8, 8))
+        b = rng.standard_normal((1, 8, 8))
+        k1 = StencilCompiler(options).compile(_module())
+        (out1,) = k1(x.copy(), b.copy(), x.copy())
+        set_default_cache(KernelCache())
+        k2 = StencilCompiler(options).compile(_module())
+        (out2,) = k2(x.copy(), b.copy(), x.copy())
+        assert np.array_equal(out1, out2)

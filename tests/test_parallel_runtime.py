@@ -1,0 +1,336 @@
+"""The multithreaded wavefront runtime (`repro.runtime.parallel`).
+
+Covers the dispatcher directly (CSR shapes the thread pool must survive
+without deadlock, including the degenerate ones: 1-cell axes,
+single-block meshes, empty groups), the legality gate / certification
+plumbing through ``StencilCompiler.compile``, the RS010 degradation and
+RS011 refusal paths, the schedule stamp, and bit-identicality of
+parallel execution against both the sequential path and
+``Interpreter(checked=True)``.
+"""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.cfdlib.heat import build_heat3d_module, initial_temperature
+from repro.codegen.interpreter import Interpreter
+from repro.core import frontend
+from repro.core.pipeline import CompileOptions, StencilCompiler
+from repro.core.scheduling import (
+    ScheduleStamp,
+    compute_parallel_blocks,
+    extract_schedule_stamps,
+    group_sizes,
+    wavefront_groups,
+)
+from repro.core.stencil import gauss_seidel_5pt_2d, gauss_seidel_6pt_3d
+from repro.runtime.parallel import (
+    dispatch_wavefronts,
+    drain_events,
+    get_num_threads,
+    last_dispatch_stats,
+    num_threads,
+    set_num_threads,
+)
+from repro.runtime.resilience.faults import (
+    FaultPlan,
+    FaultSpec,
+    clear_plan,
+    injected,
+)
+
+OFFSETS_3D = [(-1, 0, 0), (0, -1, 0), (0, 0, -1)]
+
+
+@pytest.fixture(autouse=True)
+def _clean_runtime():
+    yield
+    clear_plan()
+    set_num_threads(None)
+    drain_events()
+
+
+def _recording_block_fn(log):
+    lock = threading.Lock()
+
+    def block(lin):
+        with lock:
+            log.append(int(lin))
+
+    return block
+
+
+class TestDispatcher:
+    def test_sequential_runs_all_blocks_in_order(self):
+        offsets = np.array([0, 1, 3, 4])
+        indices = np.array([2, 0, 3, 1])
+        log = []
+        with num_threads(1):
+            stats = dispatch_wavefronts(
+                offsets, indices, log.append, certified=True
+            )
+        assert log == [2, 0, 3, 1]
+        assert stats.parallel_groups == 0
+        assert stats.blocks == 4
+
+    def test_parallel_executes_every_block_exactly_once(self):
+        offsets, indices = compute_parallel_blocks((4, 4), [(-1, 0), (0, -1)])
+        log = []
+        with num_threads(4):
+            stats = dispatch_wavefronts(
+                offsets, indices, _recording_block_fn(log), certified=True
+            )
+        assert sorted(log) == list(range(16))
+        assert stats.parallel_groups > 0
+        assert stats.blocks == 16
+
+    def test_group_barrier_orders_cross_group_blocks(self):
+        """No block of group g+1 may start before group g finished."""
+        offsets, indices = compute_parallel_blocks((3, 3), [(-1, 0), (0, -1)])
+        group_of = {}
+        for g in range(len(offsets) - 1):
+            for lin in indices[offsets[g]: offsets[g + 1]]:
+                group_of[int(lin)] = g
+        log = []
+        with num_threads(4):
+            dispatch_wavefronts(
+                offsets, indices, _recording_block_fn(log), certified=True
+            )
+        seen_groups = [group_of[lin] for lin in log]
+        assert seen_groups == sorted(seen_groups)
+
+    # ---- degenerate shapes the pool must survive without deadlock ----
+
+    def test_empty_schedule(self):
+        stats = dispatch_wavefronts(
+            np.array([0]), np.array([], dtype=np.int64),
+            lambda lin: None, certified=True,
+        )
+        assert stats.groups == 0 and stats.blocks == 0
+
+    def test_empty_group_inside_schedule(self):
+        """Repeated CSR offsets (an empty group) are skipped, not hung."""
+        offsets = np.array([0, 2, 2, 4])
+        indices = np.array([0, 1, 2, 3])
+        log = []
+        with num_threads(4):
+            stats = dispatch_wavefronts(
+                offsets, indices, _recording_block_fn(log), certified=True
+            )
+        assert sorted(log) == [0, 1, 2, 3]
+        assert stats.groups == 3
+
+    def test_single_block_mesh(self):
+        offsets, indices = compute_parallel_blocks((1, 1, 1), OFFSETS_3D)
+        log = []
+        with num_threads(8):
+            stats = dispatch_wavefronts(
+                offsets, indices, _recording_block_fn(log), certified=True
+            )
+        assert log == [0]
+        assert stats.inline_groups == 1
+
+    def test_one_cell_axis_grid(self):
+        """A (1, N) grid degenerates to a pure pipeline: every group has
+        exactly one block, so dispatch stays inline at any thread count."""
+        offsets, indices = compute_parallel_blocks((1, 5), [(-1, 0), (0, -1)])
+        assert group_sizes(offsets) == [1] * 5
+        log = []
+        with num_threads(8):
+            stats = dispatch_wavefronts(
+                offsets, indices, _recording_block_fn(log), certified=True
+            )
+        assert log == list(range(5))
+        assert stats.parallel_groups == 0
+
+    def test_more_threads_than_blocks(self):
+        offsets, indices = compute_parallel_blocks((2, 2), [(-1, 0), (0, -1)])
+        log = []
+        with num_threads(64):
+            dispatch_wavefronts(
+                offsets, indices, _recording_block_fn(log), certified=True
+            )
+        assert sorted(log) == [0, 1, 2, 3]
+
+    # ---- refusal and degradation ----
+
+    def test_uncertified_refusal(self):
+        offsets, indices = compute_parallel_blocks((4, 4), [(-1, 0), (0, -1)])
+        log = []
+        drain_events()
+        with num_threads(4):
+            stats = dispatch_wavefronts(
+                offsets, indices, _recording_block_fn(log), certified=False
+            )
+        assert stats.refusal == "uncertified"
+        assert stats.parallel_groups == 0
+        assert sorted(log) == list(range(16))
+        assert "RS011" in {d.code for d in drain_events()}
+
+    def test_not_inplace_refusal(self):
+        offsets, indices = compute_parallel_blocks((2, 2), [(-1, 0)])
+        drain_events()
+        with num_threads(2):
+            stats = dispatch_wavefronts(
+                offsets, indices, lambda lin: None,
+                inplace=False, certified=True,
+            )
+        assert stats.refusal == "not-inplace"
+        assert "RS011" in {d.code for d in drain_events()}
+
+    def test_worker_fault_degrades_and_recovers_every_block(self):
+        offsets, indices = compute_parallel_blocks((4, 4), [(-1, 0), (0, -1)])
+        log = []
+        drain_events()
+        plan = FaultPlan([FaultSpec("parallel.worker", at=3)])
+        with injected(plan), num_threads(4):
+            stats = dispatch_wavefronts(
+                offsets, indices, _recording_block_fn(log), certified=True
+            )
+        assert plan.fired
+        assert stats.degraded and stats.worker_failures == 1
+        assert stats.recovered_blocks >= 1
+        # Degradation never loses or duplicates a block.
+        assert sorted(log) == list(range(16))
+        assert "RS010" in {d.code for d in drain_events()}
+
+    def test_thread_knob_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_THREADS", "3")
+        assert get_num_threads() == 3
+        monkeypatch.setenv("REPRO_THREADS", "garbage")
+        assert get_num_threads() == 1
+        monkeypatch.setenv("REPRO_THREADS", "4,8")
+        assert get_num_threads() == 4
+        with num_threads(7):
+            assert get_num_threads() == 7
+        assert get_num_threads() == 4
+
+
+class TestScheduleStamp:
+    def test_stamp_matches_recomputed_schedule(self):
+        stamp = ScheduleStamp(
+            num_blocks=(3, 3),
+            block_offsets=((-1, 0), (0, -1)),
+            group_sizes=(1, 2, 3, 2, 1),
+        )
+        offsets, _ = stamp.csr()
+        assert group_sizes(offsets) == list(stamp.group_sizes)
+        assert stamp.num_groups == 5
+        assert stamp.total_blocks == 9
+        assert stamp.max_parallelism == 3
+
+    def test_json_roundtrip(self):
+        stamp = ScheduleStamp((2, 4), ((-1, 0),), (4, 4))
+        assert ScheduleStamp.from_json(stamp.to_json()) == stamp
+
+    def test_extracted_from_lowered_module(self):
+        module = frontend.build_stencil_kernel(
+            gauss_seidel_6pt_3d(), (12, 12, 12), frontend.identity_body(7.0)
+        )
+        options = CompileOptions(
+            subdomain_sizes=(4, 4, 4), parallel=True, vectorize=4,
+            use_cache=False,
+        )
+        StencilCompiler(options).lower(module)
+        stamps = extract_schedule_stamps(module)
+        assert len(stamps) == 1
+        stamp = stamps[0]
+        assert stamp.num_blocks == (3, 3, 3)
+        expected_offsets, _ = compute_parallel_blocks((3, 3, 3), OFFSETS_3D)
+        assert list(stamp.group_sizes) == group_sizes(expected_offsets)
+
+    def test_compile_stamps_kernel(self):
+        module = frontend.build_stencil_kernel(
+            gauss_seidel_5pt_2d(), (8, 8), frontend.identity_body(4.0)
+        )
+        options = CompileOptions(
+            subdomain_sizes=(4, 4), parallel=True, vectorize=4,
+            use_cache=False,
+        )
+        kernel = StencilCompiler(options).compile(module)
+        assert len(kernel.schedule) == 1
+        assert kernel.schedule[0].num_blocks == (2, 2)
+
+
+class TestCompiledParallelExecution:
+    N = 16
+
+    def _kernel(self, **overrides):
+        options = CompileOptions(
+            subdomain_sizes=(8, 8, 8), tile_sizes=(4, 4, 8), fuse=True,
+            vectorize=8, parallel=True, use_cache=False, **overrides,
+        )
+        module = build_heat3d_module(self.N, steps=2, lam=0.1)
+        return StencilCompiler(options).compile(module, entry="heat")
+
+    def _args(self):
+        t0 = initial_temperature(self.N, seed=3)
+        dt0 = np.zeros((self.N, self.N, self.N))
+        return t0[None], dt0[None]
+
+    def test_gate_certifies_clean_module(self):
+        kernel = self._kernel()
+        assert kernel.parallel_certified
+        assert kernel.parallel_diagnostics == []
+        assert kernel.namespace["_PARALLEL_CERTIFIED"] is True
+
+    def test_parallel_bit_identical_to_sequential(self):
+        kernel = self._kernel()
+        t0, dt0 = self._args()
+        with num_threads(1):
+            seq = kernel(t0.copy(), dt0.copy())
+        for threads in (2, 4, 8):
+            with num_threads(threads):
+                par = kernel(t0.copy(), dt0.copy())
+            stats = last_dispatch_stats()
+            assert stats.parallel_groups > 0, f"threads={threads}"
+            for s, p in zip(seq, par):
+                assert np.array_equal(s, p), f"threads={threads}"
+
+    def test_parallel_bit_identical_to_checked_interpreter(self):
+        """`Interpreter(checked=True)` is the correctness oracle: the
+        threaded compiled kernel must agree bit-for-bit on a small
+        domain."""
+        n = 8
+        module = build_heat3d_module(n, steps=1, lam=0.1)
+        t0 = initial_temperature(n, seed=5)[None]
+        dt0 = np.zeros((1, n, n, n))
+        oracle = Interpreter(module, checked=True).run(
+            "heat", t0.copy(), dt0.copy()
+        )
+        options = CompileOptions(
+            subdomain_sizes=(4, 4, 4), parallel=True, vectorize=4,
+            use_cache=False,
+        )
+        kernel = StencilCompiler(options).compile(
+            build_heat3d_module(n, steps=1, lam=0.1), entry="heat"
+        )
+        with num_threads(4):
+            got = kernel(t0.copy(), dt0.copy())
+        for o, g in zip(oracle, got):
+            assert np.array_equal(np.asarray(o), np.asarray(g))
+
+    def test_worker_fault_mid_run_still_bit_identical(self):
+        kernel = self._kernel()
+        t0, dt0 = self._args()
+        with num_threads(1):
+            seq = kernel(t0.copy(), dt0.copy())
+        drain_events()
+        with injected(
+            FaultPlan([FaultSpec("parallel.worker", at=2)])
+        ), num_threads(4):
+            par = kernel(t0.copy(), dt0.copy())
+        assert last_dispatch_stats() is not None
+        assert "RS010" in {d.code for d in drain_events()}
+        for s, p in zip(seq, par):
+            assert np.array_equal(s, p)
+
+    def test_sequential_default_without_knob(self, monkeypatch):
+        monkeypatch.delenv("REPRO_THREADS", raising=False)
+        kernel = self._kernel()
+        t0, dt0 = self._args()
+        assert get_num_threads() == 1
+        kernel(t0.copy(), dt0.copy())
+        assert last_dispatch_stats().parallel_groups == 0

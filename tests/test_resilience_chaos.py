@@ -178,6 +178,31 @@ def _chaos_solver(site):
     )
 
 
+def _chaos_parallel_worker(site):
+    """A worker fault mid-group degrades to sequential, bit-identically."""
+    from repro.runtime.parallel import drain_events, num_threads
+
+    options = CompileOptions(
+        subdomain_sizes=(4, 4), vectorize=4, parallel=True, use_cache=False
+    )
+    kernel = StencilCompiler(options).compile(_module())
+    assert kernel.parallel_certified
+    x, b = _inputs()
+    with num_threads(1):
+        (expected,) = kernel(x.copy(), b.copy(), x.copy())
+    drain_events()
+    plan = FaultPlan.seeded(site, seed=SEED)
+    with injected(plan), num_threads(4):
+        for _ in range(4):
+            (got,) = kernel(x.copy(), b.copy(), x.copy())
+            assert np.array_equal(got, expected), (
+                "degraded parallel run is not bit-identical to sequential"
+            )
+    assert plan.fired
+    codes = {d.code for d in drain_events()}
+    assert "RS010" in codes
+
+
 _SCENARIOS = {
     "pipeline.pass-run": _chaos_pipeline,
     "pipeline.verify": _chaos_pipeline,
@@ -186,6 +211,7 @@ _SCENARIOS = {
     "executor.compile": _chaos_executor,
     "executor.execute": _chaos_executor,
     "executor.hang": _chaos_hang,
+    "parallel.worker": _chaos_parallel_worker,
     "solver.sweep": _chaos_solver,
     "solver.heat-step": _chaos_solver,
     "solver.lusgs-step": _chaos_solver,

@@ -37,7 +37,9 @@ class TestRegistry:
 
     def test_every_site_has_category_and_description(self):
         for site in FAULT_SITES.values():
-            assert site.category in ("pipeline", "cache", "executor", "solver")
+            assert site.category in (
+                "pipeline", "cache", "executor", "solver", "parallel"
+            )
             assert site.description
 
     def test_double_registration_rejected(self):
