@@ -33,6 +33,18 @@ Translation validation:
     record per entry per pass, with per-site instance counts and
     certified/violated status) as a JSON file — the artifact CI
     uploads.
+
+Engine selection and coverage:
+
+``--engine {auto,symbolic,enumerated}``
+    Decision procedure for every gate (default: the ``REPRO_VERIFY``
+    environment variable, then ``auto``).
+``--stats``
+    After linting, print per-gate decision-procedure coverage: how many
+    queries each gate (legality, wavefront, dependence, absint, tv)
+    answered symbolically vs by enumeration fallback, with cumulative
+    per-gate decision time. With ``--json``, emitted as a single
+    ``{"stats": ...}`` object on the last line.
 """
 
 from __future__ import annotations
@@ -43,6 +55,7 @@ import sys
 from pathlib import Path
 from typing import List, Optional
 
+from repro.analysis.affine import ENGINE_STATS, VERIFY_ENGINES
 from repro.analysis.analyzer import AnalysisGate
 from repro.analysis.corpus import build_corpus
 from repro.analysis.diagnostics import Diagnostic
@@ -135,6 +148,15 @@ def main(argv: List[str] | None = None) -> int:
         "--certificates", metavar="PATH",
         help="with --validate, write per-pass certificate JSON to PATH",
     )
+    parser.add_argument(
+        "--engine", choices=list(VERIFY_ENGINES), default=None,
+        help="decision procedure for every gate "
+        "(default: $REPRO_VERIFY, then auto)",
+    )
+    parser.add_argument(
+        "--stats", action="store_true",
+        help="print per-gate symbolic-vs-enumerated coverage and timing",
+    )
     args = parser.parse_args(argv)
     if args.certificates and not args.validate:
         parser.error("--certificates requires --validate")
@@ -142,6 +164,7 @@ def main(argv: List[str] | None = None) -> int:
     corpus = build_corpus()
     stems = _resolve_stems(args.paths, list(corpus))
     machine = args.as_json or args.github
+    ENGINE_STATS.reset()
 
     exit_code = 0
     total = 0
@@ -186,19 +209,46 @@ def main(argv: List[str] | None = None) -> int:
     if not args.as_json:
         print(f"linted {sum(len(corpus[s]) for s in stems)} pipeline(s) "
               f"from {len(stems)} example(s): {total} diagnostic(s)")
+    if args.stats:
+        _emit_stats(args.as_json)
     return exit_code
+
+
+def _emit_stats(as_json: bool) -> None:
+    """Per-gate decision-procedure coverage accumulated over the run."""
+    snap = ENGINE_STATS.snapshot()
+    if as_json:
+        print(json.dumps({"stats": snap}, sort_keys=True))
+        return
+    print("engine coverage (queries answered per decision procedure):")
+    if not snap:
+        print("  (no gate queries recorded)")
+        return
+    width = max(len(g) for g in snap)
+    for gate, record in snap.items():
+        counts = record["counts"]
+        total = sum(counts.values())
+        sym = counts.get("symbolic", 0)
+        parts = ", ".join(
+            f"{eng}={n}" for eng, n in sorted(counts.items())
+        ) or "none"
+        pct = f"{100.0 * sym / total:5.1f}%" if total else "  n/a"
+        print(
+            f"  {gate:<{width}}  {parts:<40} symbolic {pct}"
+            f"  ({record['seconds'] * 1000:.1f} ms)"
+        )
 
 
 def _lint_entry(entry, file, args, machine, certificates, exit_code, total):
     """Lint one corpus entry; returns the updated (exit_code, total)."""
-    gate = AnalysisGate(fail_fast=False)
+    gate = AnalysisGate(fail_fast=False, engine=args.engine)
     compiler = StencilCompiler(entry.options)
     pm = compiler.build_pipeline()
     pm.gate = gate
     pm.gate_each = True
     validator: Optional[TranslationValidator] = None
     if args.validate:
-        validator = TranslationValidator(fail_fast=False)
+        validator = TranslationValidator(fail_fast=False, engine=args.engine)
         pm.validator = validator
     module = entry.build()
     gate(module, after_pass=None)  # lint the frontend output too

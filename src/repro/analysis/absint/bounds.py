@@ -41,15 +41,24 @@ _OK, _UNKNOWN, _ESCAPES = range(3)
 class InBoundsChecker(AbsintClient):
     """The IP011/IP012 client of the abstract evaluator."""
 
-    def __init__(self) -> None:
+    def __init__(self, predecided: Optional[set] = None) -> None:
         self._diags: List[Diagnostic] = []
         self._seen: set = set()
+        #: ops already decided by the symbolic affine prover: an
+        #: unresolvable footprint of such an op is not an IP010 note
+        #: (the symbolic engine carries the proof the hull walk lost).
+        self._predecided = predecided or set()
         #: id(op) -> hull of every proven access footprint of that op, in
         #: the coordinates of the op's accessed operand.
         self.proven: Dict[int, Box] = {}
 
     def diagnostics(self) -> List[Diagnostic]:
         return list(self._diags)
+
+    @property
+    def emitted(self) -> set:
+        """``(id(op), code)`` pairs this checker emitted diagnostics for."""
+        return set(self._seen)
 
     # ---- dispatch --------------------------------------------------------
 
@@ -191,7 +200,7 @@ class InBoundsChecker(AbsintClient):
         if status == _ESCAPES:
             self._emit(op, code, "error",
                        f"{what} escapes the allocation of extent {extent_str}")
-        else:
+        elif id(op) not in self._predecided:
             self._emit(op, "IP010", "note",
                        f"in-bounds check skipped: {what} vs extent "
                        f"{extent_str} could not be resolved statically")

@@ -1,0 +1,112 @@
+"""Integer affine sets: the symbolic decision procedure of the analyzers.
+
+The enumeration-based engines of :mod:`repro.analysis.absint` and
+:mod:`repro.analysis.tv` prove their facts by visiting every statement
+instance — exact, but linear in the mesh size. This package supplies the
+polyhedral alternative: affine maps over induction variables and mesh
+parameters, conjunctions of linear constraints, and emptiness /
+containment / overlap tests decided by Fourier–Motzkin elimination with
+exact integer arithmetic (:mod:`~repro.analysis.affine.sets`), a
+piecewise-affine expression layer for ``min``/``max``/``floordiv`` index
+arithmetic (:mod:`~repro.analysis.affine.pwaff`), and the in-bounds
+prover that walks a function once and decides every affine access at a
+cost independent of the mesh (:mod:`~repro.analysis.affine.prover`).
+
+Engine selection is shared by every client gate: the ``REPRO_VERIFY``
+environment variable (or an explicit option) picks one of
+
+``auto``
+    symbolic first, silent fallback to enumeration for anything the
+    affine engines cannot express (the default);
+``symbolic``
+    affine engines forced on; unsupported sites degrade to explicit
+    precision diagnostics instead of silently enumerating;
+``enumerated``
+    the legacy per-instance engines only.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict, Optional
+
+from repro.analysis.affine.sets import (
+    AffineSet,
+    AffineUnknown,
+    LinExpr,
+    enumerate_points,
+)
+
+#: Environment variable selecting the verification engine.
+VERIFY_ENGINE_ENV = "REPRO_VERIFY"
+
+#: Valid engine names.
+VERIFY_ENGINES = ("auto", "symbolic", "enumerated")
+
+
+def resolve_verify_engine(explicit: Optional[str] = None) -> str:
+    """The effective engine mode: explicit option > environment > auto."""
+    mode = explicit or os.environ.get(VERIFY_ENGINE_ENV) or "auto"
+    if mode not in VERIFY_ENGINES:
+        raise ValueError(
+            f"unknown verification engine {mode!r}; "
+            f"expected one of {VERIFY_ENGINES}"
+        )
+    return mode
+
+
+class EngineStats:
+    """Per-gate tallies of which decision procedure actually answered.
+
+    Every gate client (legality, wavefront, dependence, absint, TV)
+    records one event per query it resolves: the gate name plus the
+    engine that produced the verdict (``"symbolic"`` or
+    ``"enumerated"``). ``repro.analysis --stats`` reads the snapshot to
+    report symbolic coverage vs enumeration fallback per gate.
+    """
+
+    def __init__(self) -> None:
+        self._counts: Dict[str, Dict[str, int]] = {}
+        self._times: Dict[str, float] = {}
+
+    def record(
+        self, gate: str, engine: str, n: int = 1, seconds: float = 0.0
+    ) -> None:
+        per_gate = self._counts.setdefault(gate, {})
+        per_gate[engine] = per_gate.get(engine, 0) + n
+        if seconds:
+            self._times[gate] = self._times.get(gate, 0.0) + seconds
+
+    def record_time(self, gate: str, seconds: float) -> None:
+        self._times[gate] = self._times.get(gate, 0.0) + seconds
+
+    def snapshot(self) -> Dict[str, Dict[str, object]]:
+        gates = set(self._counts) | set(self._times)
+        return {
+            gate: {
+                "counts": dict(self._counts.get(gate, {})),
+                "seconds": round(self._times.get(gate, 0.0), 6),
+            }
+            for gate in sorted(gates)
+        }
+
+    def reset(self) -> None:
+        self._counts.clear()
+        self._times.clear()
+
+
+#: The process-wide registry ``repro.analysis --stats`` reports from.
+ENGINE_STATS = EngineStats()
+
+
+__all__ = [
+    "AffineSet",
+    "AffineUnknown",
+    "ENGINE_STATS",
+    "EngineStats",
+    "LinExpr",
+    "VERIFY_ENGINES",
+    "VERIFY_ENGINE_ENV",
+    "enumerate_points",
+    "resolve_verify_engine",
+]

@@ -1,0 +1,594 @@
+"""Exact integer affine sets: linear expressions, conjunctions of
+inequalities, and decision procedures.
+
+The verification stack asks three kinds of questions about statement
+instances — *is this access set empty*, *is it contained in the
+allocation*, *do these two footprints overlap* — and PRs 2–4 answered
+all of them by enumerating concrete instances. This module answers them
+symbolically over the integers:
+
+* :class:`LinExpr` — an integer-affine expression ``const + Σ coeff·var``
+  over named variables (loop induction variables, lane indices, mesh
+  parameters).
+* :class:`AffineSet` — a conjunction of linear inequalities ``e >= 0``,
+  equalities ``e == 0`` and divisibility (stride) constraints
+  ``m | e`` (modeled as ``e == m·q`` with an existential quotient).
+* :meth:`AffineSet.is_empty` — **exact** integer emptiness. The test
+  runs Fourier–Motzkin elimination with integer tightening (every
+  constraint divided by the gcd of its variable coefficients, the
+  constant floored); an elimination step is integer-exact whenever one
+  of the two combined bounds has a unit coefficient on the eliminated
+  variable — which normalization makes the overwhelmingly common case
+  here. When every step was exact, the rational verdict *is* the
+  integer verdict. Otherwise (the dark-shadow gap) the answer is
+  settled by a bounded back-substitution search for an integer point,
+  so a verdict of "empty" is never returned for a set with integer
+  points and vice versa. If the search cannot terminate (unbounded
+  directions in an inexact projection) :class:`AffineUnknown` is
+  raised — callers fall back to enumeration, never to a wrong answer.
+
+All arithmetic is exact (Python integers); no floating point anywhere.
+"""
+
+from __future__ import annotations
+
+import itertools
+from math import gcd
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+
+class AffineUnknown(Exception):
+    """The decision procedure could not settle the query exactly.
+
+    Raised instead of guessing; every caller has an enumeration
+    fallback. In practice this only happens for unbounded variables
+    under non-unit coefficients, which the pipelines never produce.
+    """
+
+
+def _floordiv(a: int, b: int) -> int:
+    return a // b
+
+
+class LinExpr:
+    """``const + Σ coeffs[v]·v`` with integer coefficients."""
+
+    __slots__ = ("const", "coeffs")
+
+    def __init__(self, const: int = 0,
+                 coeffs: Optional[Dict[str, int]] = None) -> None:
+        self.const = const
+        self.coeffs: Dict[str, int] = (
+            {v: c for v, c in coeffs.items() if c} if coeffs else {}
+        )
+
+    # ---- constructors ----------------------------------------------------
+
+    @staticmethod
+    def var(name: str, coeff: int = 1) -> "LinExpr":
+        return LinExpr(0, {name: coeff})
+
+    @staticmethod
+    def of(const: int) -> "LinExpr":
+        return LinExpr(const)
+
+    # ---- algebra ---------------------------------------------------------
+
+    @property
+    def is_const(self) -> bool:
+        return not self.coeffs
+
+    def __add__(self, other) -> "LinExpr":
+        if isinstance(other, int):
+            return LinExpr(self.const + other, self.coeffs)
+        coeffs = dict(self.coeffs)
+        for v, c in other.coeffs.items():
+            coeffs[v] = coeffs.get(v, 0) + c
+        return LinExpr(self.const + other.const, coeffs)
+
+    def __sub__(self, other) -> "LinExpr":
+        if isinstance(other, int):
+            return LinExpr(self.const - other, self.coeffs)
+        return self + other.scaled(-1)
+
+    def __neg__(self) -> "LinExpr":
+        return self.scaled(-1)
+
+    def scaled(self, k: int) -> "LinExpr":
+        if k == 0:
+            return LinExpr(0)
+        return LinExpr(self.const * k,
+                       {v: c * k for v, c in self.coeffs.items()})
+
+    def substituted(self, var: str, repl: "LinExpr") -> "LinExpr":
+        c = self.coeffs.get(var)
+        if not c:
+            return self
+        coeffs = {v: k for v, k in self.coeffs.items() if v != var}
+        out = LinExpr(self.const, coeffs)
+        return out + repl.scaled(c)
+
+    def eval(self, env: Dict[str, int]) -> int:
+        return self.const + sum(c * env[v] for v, c in self.coeffs.items())
+
+    def __repr__(self) -> str:
+        parts = [f"{c:+d}·{v}" for v, c in sorted(self.coeffs.items())]
+        parts.append(f"{self.const:+d}")
+        return " ".join(parts)
+
+    def __eq__(self, other) -> bool:
+        return (isinstance(other, LinExpr) and self.const == other.const
+                and self.coeffs == other.coeffs)
+
+    def __hash__(self) -> int:
+        return hash((self.const, tuple(sorted(self.coeffs.items()))))
+
+
+def _tighten(e: LinExpr) -> Optional[LinExpr]:
+    """Integer-tighten ``e >= 0``: divide by the coefficient gcd and
+    floor the constant. Returns ``None`` for a trivially true constraint
+    and raises :class:`_Contradiction` on a trivially false one."""
+    if not e.coeffs:
+        if e.const < 0:
+            raise _Contradiction()
+        return None
+    g = 0
+    for c in e.coeffs.values():
+        g = gcd(g, abs(c))
+    if g > 1:
+        e = LinExpr(_floordiv(e.const, g),
+                    {v: c // g for v, c in e.coeffs.items()})
+    return e
+
+
+class _Contradiction(Exception):
+    """Internal: the system is syntactically infeasible."""
+
+
+#: Default work cap for the integer back-substitution search.
+SEARCH_BUDGET = 20000
+
+
+class AffineSet:
+    """A conjunction of ``e >= 0`` inequalities and ``e == 0``
+    equalities over named integer variables. Immutable: every ``and_*``
+    returns a new set."""
+
+    __slots__ = ("ineqs", "eqs", "_fresh")
+
+    def __init__(self, ineqs: Iterable[LinExpr] = (),
+                 eqs: Iterable[LinExpr] = ()) -> None:
+        self.ineqs: Tuple[LinExpr, ...] = tuple(ineqs)
+        self.eqs: Tuple[LinExpr, ...] = tuple(eqs)
+
+    # ---- construction ----------------------------------------------------
+
+    @staticmethod
+    def universe() -> "AffineSet":
+        return AffineSet()
+
+    @staticmethod
+    def box(names: Sequence[str],
+            bounds: Sequence[Tuple[int, int]]) -> "AffineSet":
+        """``lo <= v <= hi`` (inclusive) per variable."""
+        ineqs: List[LinExpr] = []
+        for name, (lo, hi) in zip(names, bounds):
+            ineqs.append(LinExpr.var(name) - lo)
+            ineqs.append(LinExpr.of(hi) - LinExpr.var(name))
+        return AffineSet(ineqs)
+
+    def and_ge0(self, e: LinExpr) -> "AffineSet":
+        return AffineSet(self.ineqs + (e,), self.eqs)
+
+    def and_le(self, a: LinExpr, b: LinExpr) -> "AffineSet":
+        """``a <= b``."""
+        return self.and_ge0(b - a)
+
+    def and_eq0(self, e: LinExpr) -> "AffineSet":
+        return AffineSet(self.ineqs, self.eqs + (e,))
+
+    def and_stride(self, e: LinExpr, m: int, qname: str) -> "AffineSet":
+        """``m | e``: adds the equality ``e == m·q`` with the existential
+        quotient variable ``qname`` (callers supply a fresh name)."""
+        assert m > 0
+        return self.and_eq0(e - LinExpr.var(qname, m))
+
+    def conjoin(self, other: "AffineSet") -> "AffineSet":
+        return AffineSet(self.ineqs + other.ineqs, self.eqs + other.eqs)
+
+    def variables(self) -> List[str]:
+        seen: Dict[str, None] = {}
+        for e in self.eqs + self.ineqs:
+            for v in e.coeffs:
+                seen.setdefault(v)
+        return list(seen)
+
+    # ---- normalization ---------------------------------------------------
+
+    def _normalized(self) -> Tuple[List[LinExpr], List[Tuple[str, LinExpr]]]:
+        """Substitute out unit-coefficient equalities, gcd-check the
+        rest, tighten all inequalities. Returns ``(ineqs, subs)`` where
+        ``subs`` replays the substitutions (var, replacement) in order.
+        Raises :class:`_Contradiction` when infeasibility is syntactic.
+        Remaining non-unit equalities are kept as inequality pairs (the
+        sample search re-verifies against the originals)."""
+        eqs = list(self.eqs)
+        ineqs = list(self.ineqs)
+        subs: List[Tuple[str, LinExpr]] = []
+        progress = True
+        while progress:
+            progress = False
+            next_eqs: List[LinExpr] = []
+            for e in eqs:
+                if not e.coeffs:
+                    if e.const != 0:
+                        raise _Contradiction()
+                    continue
+                g = 0
+                for c in e.coeffs.values():
+                    g = gcd(g, abs(c))
+                if g > 1:
+                    if e.const % g != 0:
+                        raise _Contradiction()
+                    e = LinExpr(e.const // g,
+                                {v: c // g for v, c in e.coeffs.items()})
+                unit = next((v for v, c in e.coeffs.items()
+                             if c in (1, -1)), None)
+                if unit is None:
+                    next_eqs.append(e)
+                    continue
+                # e == 0 with coeff ±1 on `unit`: unit = ∓(e - c·unit).
+                c = e.coeffs[unit]
+                rest = LinExpr(e.const,
+                               {v: k for v, k in e.coeffs.items()
+                                if v != unit})
+                repl = rest.scaled(-c)  # c in {1,-1}: -c·rest
+                subs.append((unit, repl))
+                eqs = [x.substituted(unit, repl) for x in eqs if x is not e]
+                ineqs = [x.substituted(unit, repl) for x in ineqs]
+                next_eqs = None
+                progress = True
+                break
+            if next_eqs is not None:
+                eqs = next_eqs
+        # Non-unit equalities survive as two-sided inequalities; the
+        # tightening of each side performs the divisibility cut.
+        for e in eqs:
+            ineqs.append(e)
+            ineqs.append(-e)
+        out: Dict[Tuple[Tuple[str, int], ...], LinExpr] = {}
+        for e in ineqs:
+            t = _tighten(e)
+            if t is None:
+                continue
+            key = tuple(sorted(t.coeffs.items()))
+            prev = out.get(key)
+            if prev is None or t.const < prev.const:
+                out[key] = t
+        return list(out.values()), subs
+
+    # ---- Fourier–Motzkin -------------------------------------------------
+
+    @staticmethod
+    def _eliminate(ineqs: List[LinExpr],
+                   var: str) -> Tuple[List[LinExpr], bool]:
+        """Project ``var`` out. Returns ``(constraints, exact)`` where
+        ``exact`` certifies the integer shadow equals the rational one
+        (every combined pair had a unit coefficient on ``var``)."""
+        lowers: List[LinExpr] = []   # a·var + r >= 0, a > 0
+        uppers: List[LinExpr] = []   # -b·var + s >= 0, b > 0
+        rest: List[LinExpr] = []
+        for e in ineqs:
+            c = e.coeffs.get(var, 0)
+            if c > 0:
+                lowers.append(e)
+            elif c < 0:
+                uppers.append(e)
+            else:
+                rest.append(e)
+        exact = True
+        for lo in lowers:
+            a = lo.coeffs[var]
+            for up in uppers:
+                b = -up.coeffs[var]
+                raw = up.scaled(a) + lo.scaled(b)
+                if a > 1 and b > 1:
+                    # Integer-exact anyway when the dark shadow
+                    # ``raw >= (a-1)(b-1)`` holds over the whole
+                    # projection — decidable on the spot only for a
+                    # constant-only combination.
+                    if not (not raw.coeffs
+                            and raw.const >= (a - 1) * (b - 1)):
+                        exact = False
+                combined = _tighten(raw)
+                if combined is not None:
+                    rest.append(combined)
+        return rest, exact
+
+    @staticmethod
+    def _order(ineqs: List[LinExpr]) -> List[str]:
+        """Greedy elimination order: fewest lower×upper products first."""
+        counts: Dict[str, Tuple[int, int]] = {}
+        for e in ineqs:
+            for v, c in e.coeffs.items():
+                lo, up = counts.get(v, (0, 0))
+                counts[v] = (lo + (c > 0), up + (c < 0))
+        return sorted(counts, key=lambda v: counts[v][0] * counts[v][1])
+
+    def _project_all(
+        self, ineqs: List[LinExpr]
+    ) -> Tuple[bool, bool, List[Tuple[str, List[LinExpr]]]]:
+        """Eliminate every variable. Returns ``(empty, exact, cascade)``
+        where ``cascade`` records ``(var, system-before-elimination)``
+        pairs for back-substitution sampling."""
+        exact = True
+        cascade: List[Tuple[str, List[LinExpr]]] = []
+        current = ineqs
+        while True:
+            vars_left = self._order(current)
+            if not vars_left:
+                break
+            var = vars_left[0]
+            cascade.append((var, current))
+            try:
+                current, step_exact = self._eliminate(current, var)
+            except _Contradiction:
+                return True, exact, cascade
+            exact = exact and step_exact
+        for e in current:
+            if not e.coeffs and e.const < 0:
+                return True, exact, cascade
+        return False, exact, cascade
+
+    # ---- decision procedures ---------------------------------------------
+
+    def is_empty(self, budget: int = SEARCH_BUDGET) -> bool:
+        """Exact integer emptiness (see module docstring)."""
+        try:
+            ineqs, _ = self._normalized()
+        except _Contradiction:
+            return True
+        empty, exact, cascade = self._project_all(ineqs)
+        if empty:
+            return True
+        if exact:
+            return False
+        return self._search(cascade, budget) is None
+
+    def sample_point(self, budget: int = SEARCH_BUDGET
+                     ) -> Optional[Dict[str, int]]:
+        """An integer point of the set (all constrained variables bound,
+        unconstrained ones absent), or ``None`` when empty."""
+        try:
+            ineqs, subs = self._normalized()
+        except _Contradiction:
+            return None
+        empty, _, cascade = self._project_all(ineqs)
+        if empty:
+            return None
+        env = self._search(cascade, budget)
+        if env is None:
+            return None
+        # Replay the equality substitutions newest-first to recover the
+        # variables normalization eliminated.
+        for var, repl in reversed(subs):
+            env[var] = repl.eval({v: env.get(v, 0) for v in repl.coeffs})
+        for e in self.eqs:
+            if e.eval({v: env.setdefault(v, 0) for v in e.coeffs}) != 0:
+                return None  # cannot happen: substitutions are exact
+        return env
+
+    def _search(self, cascade, budget: int) -> Optional[Dict[str, int]]:
+        """Back-substitution DFS over the FM cascade: assign variables
+        last-eliminated-first, trying every integer inside the rational
+        interval each level admits."""
+        trials = [0]
+
+        def rec(level: int, env: Dict[str, int]) -> Optional[Dict[str, int]]:
+            if level < 0:
+                return dict(env)
+            var, system = cascade[level]
+            lo: Optional[int] = None
+            hi: Optional[int] = None
+            for e in system:
+                c = e.coeffs.get(var, 0)
+                rest = e.const + sum(
+                    k * env[v] for v, k in e.coeffs.items() if v != var
+                )
+                if c == 0:
+                    if not all(v in env or v == var for v in e.coeffs):
+                        continue
+                    if rest < 0:
+                        return None
+                elif c > 0:  # var >= ceil(-rest / c) == -(rest // c)
+                    b = -(rest // c)
+                    lo = b if lo is None else max(lo, b)
+                else:  # c < 0: var <= floor(rest / -c)
+                    b = _floordiv(rest, -c)
+                    hi = b if hi is None else min(hi, b)
+            if lo is None and hi is None:
+                env[var] = 0
+                out = rec(level - 1, env)
+                if out is None:
+                    del env[var]
+                return out
+            if lo is None:
+                lo = hi - 64
+            if hi is None:
+                hi = lo + 64
+            if hi - lo > budget:
+                raise AffineUnknown(
+                    f"search range for {var} too large ({lo}..{hi})"
+                )
+            for val in range(lo, hi + 1):
+                trials[0] += 1
+                if trials[0] > budget:
+                    raise AffineUnknown("integer search budget exhausted")
+                env[var] = val
+                out = rec(level - 1, env)
+                if out is not None:
+                    return out
+                del env[var]
+            return None
+
+        return rec(len(cascade) - 1, {})
+
+    def contains(self, other: "AffineSet") -> bool:
+        """``other ⊆ self``: no point of ``other`` violates any single
+        constraint of ``self``."""
+        for e in self.ineqs:
+            # violated when e <= -1
+            if not other.and_ge0(-e - 1).is_empty():
+                return False
+        for e in self.eqs:
+            if not other.and_ge0(e - 1).is_empty():
+                return False
+            if not other.and_ge0(-e - 1).is_empty():
+                return False
+        return True
+
+    def overlaps(self, other: "AffineSet") -> bool:
+        return not self.conjoin(other).is_empty()
+
+    def bounds(self, expr: LinExpr,
+               tvar: str = "__bnd") -> Tuple[Optional[int], Optional[int]]:
+        """Exact inclusive integer ``(min, max)`` of ``expr`` over the
+        set; ``None`` on an unbounded side. Raises
+        :class:`AffineUnknown` when the projection is not integer-exact
+        (the extremes might then not be attained)."""
+        sys = self.and_eq0(expr - LinExpr.var(tvar))
+        try:
+            ineqs, subs = sys._normalized()
+        except _Contradiction:
+            raise AffineUnknown("bounds() of an empty set")
+        # The equality substitution may have eliminated tvar itself;
+        # re-express the target through the recorded substitutions.
+        target = LinExpr.var(tvar)
+        for var, repl in subs:
+            target = target.substituted(var, repl)
+        if not target.is_const:
+            # Project every other variable away, exactly.
+            current = ineqs + [
+                target - LinExpr.var(tvar), LinExpr.var(tvar) - target
+            ]
+            current, _ = AffineSet(current)._normalized()
+            exact = True
+            while True:
+                free = [v for v in AffineSet._order(current) if v != tvar]
+                if not free:
+                    break
+                try:
+                    current, step_exact = self._eliminate(current, free[0])
+                except _Contradiction:
+                    raise AffineUnknown("bounds() of an empty set")
+                exact = exact and step_exact
+            lo: Optional[int] = None
+            hi: Optional[int] = None
+            for e in current:
+                c = e.coeffs.get(tvar, 0)
+                if c == 0:
+                    if not e.coeffs and e.const < 0:
+                        raise AffineUnknown("bounds() of an empty set")
+                    continue
+                if c > 0:  # tvar >= ceil(-const / c) == -(const // c)
+                    b = -(e.const // c)
+                    lo = b if lo is None else max(lo, b)
+                else:
+                    b = _floordiv(e.const, -c)
+                    hi = b if hi is None else min(hi, b)
+            if exact:
+                return lo, hi
+            # Inexact projection (e.g. a stride constraint): the
+            # rational bounds may overshoot unattainable values. Walk
+            # each bound inward until exact emptiness confirms a point
+            # attains it.
+            if hi is not None:
+                hi = self._attained(expr, hi, -1)
+            if lo is not None:
+                lo = self._attained(expr, lo, +1)
+            return lo, hi
+        return target.const, target.const
+
+    def _attained(self, expr: LinExpr, bound: int, step: int,
+                  max_steps: int = 128) -> int:
+        for k in range(max_steps):
+            v = bound + step * k
+            if not self.and_eq0(expr - v).is_empty():
+                return v
+        raise AffineUnknown(
+            f"no attained value within {max_steps} of rational bound"
+        )
+
+    # ---- debugging -------------------------------------------------------
+
+    def __repr__(self) -> str:
+        parts = [f"{e!r} >= 0" for e in self.ineqs]
+        parts += [f"{e!r} == 0" for e in self.eqs]
+        return "{ " + " ∧ ".join(parts) + " }" if parts else "{ universe }"
+
+
+# ---------------------------------------------------------------------------
+# Brute-force reference (the hypothesis oracle and small-set fallback).
+# ---------------------------------------------------------------------------
+
+
+def enumerate_points(
+    sets: Sequence[AffineSet],
+    names: Sequence[str],
+    bounds: Sequence[Tuple[int, int]],
+) -> List[Dict[str, int]]:
+    """All integer points of ``sets[0] ∧ ...`` inside the given box —
+    the enumeration oracle the property tests compare the symbolic
+    verdicts against.
+
+    Variables appearing in constraints but not in ``names`` (existential
+    stride quotients) are *existentially* quantified: a point counts
+    when some assignment over a safe derived range satisfies every
+    constraint."""
+    exprs: List[Tuple[LinExpr, bool]] = []  # (expr, is_equality)
+    for s in sets:
+        exprs.extend((e, False) for e in s.ineqs)
+        exprs.extend((e, True) for e in s.eqs)
+    extras: List[str] = []
+    for e, _ in exprs:
+        for v in e.coeffs:
+            if v not in names and v not in extras:
+                extras.append(v)
+    # A range certainly wide enough for any satisfying quotient: the
+    # largest constraint magnitude attainable over the named box.
+    mag = 1
+    for e, _ in exprs:
+        m = abs(e.const)
+        for v, c in e.coeffs.items():
+            if v in names:
+                lo, hi = bounds[list(names).index(v)]
+                m += abs(c) * max(abs(lo), abs(hi))
+        mag = max(mag, m)
+
+    def satisfied(env: Dict[str, int]) -> bool:
+        def check(full: Dict[str, int]) -> bool:
+            for e, is_eq in exprs:
+                val = e.eval(full)
+                if (val != 0) if is_eq else (val < 0):
+                    return False
+            return True
+
+        if not extras:
+            return check(env)
+        for extra_vals in itertools.product(
+            *(range(-mag, mag + 1) for _ in extras)
+        ):
+            full = dict(env)
+            full.update(zip(extras, extra_vals))
+            if check(full):
+                return True
+        return False
+
+    out: List[Dict[str, int]] = []
+    for values in itertools.product(
+        *(range(lo, hi + 1) for lo, hi in bounds)
+    ):
+        env = dict(zip(names, values))
+        if satisfied(env):
+            out.append(env)
+    return out

@@ -36,7 +36,9 @@ from repro.ir.operation import Operation
 CHECK_LEVELS = ("off", "after-pipeline", "after-every-pass")
 
 
-def analyze_op(op: Operation, cross_check: bool = True) -> List[Diagnostic]:
+def analyze_op(
+    op: Operation, cross_check: bool = True, engine: Optional[str] = None
+) -> List[Diagnostic]:
     """All diagnostics for one operation (not recursing into regions)."""
     diags: List[Diagnostic] = []
     rejected = op.attributes.get("fusion_rejected")
@@ -53,14 +55,17 @@ def analyze_op(op: Operation, cross_check: bool = True) -> List[Diagnostic]:
         if cross_check:
             diags.extend(cross_check_stencil(op))
     elif op.name == "cfd.tiled_loop":
-        diags.extend(check_tiled_loop(op))
+        diags.extend(check_tiled_loop(op, engine=engine))
     elif op.name == "cfd.get_parallel_blocks":
-        diags.extend(check_get_parallel_blocks(op))
+        diags.extend(check_get_parallel_blocks(op, engine=engine))
     return diags
 
 
 def analyze_module(
-    module: Operation, cross_check: bool = True, memory: bool = True
+    module: Operation,
+    cross_check: bool = True,
+    memory: bool = True,
+    engine: Optional[str] = None,
 ) -> DiagnosticReport:
     """Run every static check over ``module``.
 
@@ -68,15 +73,17 @@ def analyze_module(
     (the one check that is not a cheap attribute walk); the per-pass gate
     uses it to keep ``after-every-pass`` overhead proportionate.
     ``memory=False`` additionally skips the abstract-interpretation
-    memory-safety sweep (:mod:`repro.analysis.absint`).
+    memory-safety sweep (:mod:`repro.analysis.absint`). ``engine``
+    selects the decision procedure of every gate (see
+    :func:`repro.analysis.affine.resolve_verify_engine`).
     """
     report = DiagnosticReport()
     for op in module.walk():
-        report.extend(analyze_op(op, cross_check=cross_check))
+        report.extend(analyze_op(op, cross_check=cross_check, engine=engine))
     if memory:
         from repro.analysis.absint import run_memory_safety
 
-        report.extend(run_memory_safety(module).diagnostics)
+        report.extend(run_memory_safety(module, engine=engine).diagnostics)
     return report
 
 
@@ -106,15 +113,26 @@ class AnalysisGate:
     cross_check:
         Forwarded to :func:`analyze_module`. The pipeline's end-of-run
         call always cross-checks; per-pass calls follow this flag.
+    engine:
+        Decision-procedure selection forwarded to every gate
+        (``None`` defers to ``REPRO_VERIFY`` / ``auto``).
     """
 
-    def __init__(self, fail_fast: bool = True, cross_check: bool = True):
+    def __init__(
+        self,
+        fail_fast: bool = True,
+        cross_check: bool = True,
+        engine: Optional[str] = None,
+    ):
         self.fail_fast = fail_fast
         self.cross_check = cross_check
+        self.engine = engine
         self.report = DiagnosticReport()
 
     def __call__(self, module: Operation, after_pass: Optional[str] = None) -> None:
-        found = analyze_module(module, cross_check=self.cross_check)
+        found = analyze_module(
+            module, cross_check=self.cross_check, engine=self.engine
+        )
         for diag in found.diagnostics:
             diag.after_pass = after_pass
         self.report.extend(found.diagnostics)

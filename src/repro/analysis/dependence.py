@@ -160,6 +160,77 @@ def flow_distance_vectors(
     ]
 
 
+def block_dependence_witness(
+    l_offsets: List[Offset],
+    sweep: int,
+    allow_initial_reads: bool,
+    tile_sizes,
+    engine: Optional[str] = None,
+) -> Optional[Tuple[Offset, Offset]]:
+    """Does some L offset cross *forward* at block granularity?
+
+    The dependence-existence query behind §2.1 tile legality: a
+    ``(element_offset, block_offset)`` witness of a cyclic tile
+    dependence, or ``None`` when the tiling is legal. Under ``auto`` /
+    ``symbolic`` the answer is an affine overlap test over the
+    lex-disjunct decomposition of the reachable-block box
+    (:mod:`repro.analysis.affine.blockdep`) — O(rank²) per offset, never
+    an instance-pair scan; ``enumerated`` forces the corner-alignment
+    product the affine path is audited against.
+    """
+    import time
+
+    from repro.analysis.affine import ENGINE_STATS, resolve_verify_engine
+    from repro.analysis.affine.blockdep import (
+        block_offset_bounds,
+        violation_witness,
+    )
+
+    t0 = time.perf_counter()
+    mode = resolve_verify_engine(engine)
+    relevant = schedule_relevant_offsets(
+        list(l_offsets), sweep, allow_initial_reads
+    )
+    if mode != "enumerated":
+        found = None
+        for offset in relevant:
+            block = violation_witness(offset, sweep, tile_sizes)
+            if block is not None:
+                found = (offset, block)
+                break
+        ENGINE_STATS.record(
+            "dependence", "symbolic", seconds=time.perf_counter() - t0
+        )
+        return found
+    found = None
+    for offset in relevant:
+        per_dim = []
+        for d in range(len(tile_sizes)):
+            lo, hi = block_offset_bounds(offset[d], int(tile_sizes[d]))
+            per_dim.append(range(lo, hi + 1))
+        for block in _iter_product(per_dim):
+            if any(c != 0 for c in block) and lex_sign(
+                tuple(c * sweep for c in block)
+            ) >= 0:
+                found = (offset, block)
+                break
+        if found:
+            break
+    ENGINE_STATS.record(
+        "dependence", "enumerated", seconds=time.perf_counter() - t0
+    )
+    return found
+
+
+def _iter_product(ranges):
+    if not ranges:
+        yield ()
+        return
+    for head in ranges[0]:
+        for tail in _iter_product(ranges[1:]):
+            yield (head,) + tail
+
+
 # ---------------------------------------------------------------------------
 # Level 2: lowered scf loop nests, read back from index arithmetic.
 # ---------------------------------------------------------------------------

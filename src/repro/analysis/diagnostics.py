@@ -100,6 +100,10 @@ REGISTRY: Dict[str, DiagnosticInfo] = {
         _info("IP016", "fusion opportunity rejected", "note",
               "a producer could not be fused because its halo exceeds the "
               "stencil halo"),
+        _info("IP017", "enumeration budget exceeded", "note",
+              "a tile grid is larger than the enumeration limit; reports "
+              "which engine (symbolic, enumerated, or hull-only) decided "
+              "each access"),
         _info("TV001", "dependence scheduled out of order", "error",
               "a pass scheduled the source of a flow dependence after its "
               "target (witness: both instances and their timestamps)"),

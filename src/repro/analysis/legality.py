@@ -20,6 +20,7 @@ audit):
 
 from __future__ import annotations
 
+import time
 from typing import List, Optional, Sequence, Tuple
 
 from repro.analysis.consteval import eval_index
@@ -58,17 +59,42 @@ def illegal_block_offsets(
     sweep: int,
     allow_initial_reads: bool,
     tile_sizes: Sequence[int],
+    engine: Optional[str] = None,
 ) -> List[Tuple[Offset, Offset]]:
     """All ``(element_offset, block_offset)`` pairs violating §2.1.
 
     A block offset is a violation when it is non-zero and not
     lexicographically negative after sweep adjustment: the tile schedule
     would then run a dependent tile no later than its predecessor.
+
+    Under ``auto``/``symbolic`` the violating region is read off the
+    lex-disjunct boxes of :mod:`repro.analysis.affine.blockdep`: legal
+    tilings are dismissed without visiting a single corner alignment,
+    and violations are listed in time linear in their number. The
+    ``enumerated`` engine scans the full corner product (the oracle the
+    affine path is audited against); both produce the identical
+    lexicographically-ordered pair list.
     """
-    violations: List[Tuple[Offset, Offset]] = []
+    from repro.analysis.affine import ENGINE_STATS, resolve_verify_engine
+
+    t0 = time.perf_counter()
+    mode = resolve_verify_engine(engine)
     relevant = schedule_relevant_offsets(
         list(l_offsets), sweep, allow_initial_reads
     )
+    violations: List[Tuple[Offset, Offset]] = []
+    if mode != "enumerated":
+        from repro.analysis.affine.blockdep import violating_blocks
+
+        for offset in relevant:
+            violations.extend(
+                (offset, block)
+                for block in violating_blocks(offset, sweep, tile_sizes)
+            )
+        ENGINE_STATS.record(
+            "legality", "symbolic", seconds=time.perf_counter() - t0
+        )
+        return violations
     for offset in relevant:
         per_dim = [
             block_offset_range(offset[d], int(tile_sizes[d]))
@@ -80,6 +106,9 @@ def illegal_block_offsets(
             adjusted = tuple(c * sweep for c in block)
             if lex_sign(adjusted) >= 0:
                 violations.append((offset, block))
+    ENGINE_STATS.record(
+        "legality", "enumerated", seconds=time.perf_counter() - t0
+    )
     return violations
 
 
@@ -92,14 +121,25 @@ def _product(ranges: List[range]):
             yield (head,) + tail
 
 
-def tile_sizes_legal(pattern, tile_sizes: Sequence[int]) -> bool:
+def tile_sizes_legal(
+    pattern, tile_sizes: Sequence[int], engine: Optional[str] = None
+) -> bool:
     """Convenience predicate over a :class:`StencilPattern` (used by the
-    checker/legalizer agreement property test)."""
-    return not illegal_block_offsets(
-        pattern.l_offsets,
-        pattern.sweep,
-        pattern.allow_initial_reads,
-        tile_sizes,
+    checker/legalizer agreement property test and the tile-size
+    legalizer). A pure existence query: under ``auto``/``symbolic`` it
+    is one affine overlap test per offset — independent of the tile
+    sizes — via :func:`~repro.analysis.dependence.block_dependence_witness`."""
+    from repro.analysis.dependence import block_dependence_witness
+
+    return (
+        block_dependence_witness(
+            list(pattern.l_offsets),
+            pattern.sweep,
+            pattern.allow_initial_reads,
+            tile_sizes,
+            engine=engine,
+        )
+        is None
     )
 
 
@@ -178,7 +218,9 @@ def static_tile_sizes(loop: Operation) -> Optional[List[int]]:
     return [int(s) for s in sizes]
 
 
-def check_tiled_loop(loop: Operation) -> List[Diagnostic]:
+def check_tiled_loop(
+    loop: Operation, engine: Optional[str] = None
+) -> List[Diagnostic]:
     """Audit one ``cfd.tiled_loop``: sweep consistency and tile legality."""
     raw = loop_stencil_raw_attrs(loop)
     if raw is None:
@@ -215,7 +257,7 @@ def check_tiled_loop(loop: Operation) -> List[Diagnostic]:
         )
         return diags
     for element_offset, block in illegal_block_offsets(
-        l_offsets, sweep, allow_initial, tile_sizes
+        l_offsets, sweep, allow_initial, tile_sizes, engine=engine
     ):
         diags.append(
             Diagnostic(

@@ -37,8 +37,11 @@ summarized in :attr:`TranslationValidator.certificates`.
 
 from __future__ import annotations
 
+import gc
+import time
 from typing import Dict, List, Optional, Tuple
 
+from repro.analysis.affine import ENGINE_STATS, resolve_verify_engine
 from repro.analysis.diagnostics import Diagnostic, DiagnosticReport
 from repro.analysis.tv.extract import (
     ExtractionUnsupported,
@@ -47,6 +50,12 @@ from repro.analysis.tv.extract import (
     SiteRef,
     capture_reference,
     find_site_roots,
+)
+from repro.analysis.tv.symbolic import (
+    SymbolicExtractor,
+    SymbolicUnsupported,
+    canonical_site_key,
+    check_site_symbolic,
 )
 from repro.ir.location import op_path
 from repro.ir.operation import Operation
@@ -94,15 +103,37 @@ class TranslationValidator:
         fail_fast: bool = True,
         max_witnesses: int = 3,
         instance_limit: Optional[int] = None,
+        engine: Optional[str] = None,
     ) -> None:
         self.fail_fast = fail_fast
         self.max_witnesses = max_witnesses
         self.instance_limit = instance_limit
+        #: Decision procedure per site: ``auto`` checks each dependence
+        #: class symbolically (cost independent of the mesh) and falls
+        #: back to enumeration per site when the schedule is not uniform;
+        #: ``symbolic`` additionally reports every fallback (TV006);
+        #: ``enumerated`` is the legacy per-instance path. An explicit
+        #: ``instance_limit`` forces enumeration — callers capping the
+        #: enumeration are asking for exactly its degradation behavior.
+        self.engine = (
+            "enumerated"
+            if instance_limit is not None
+            else resolve_verify_engine(engine)
+        )
         self.sites: List[SiteRef] = []
         self.report = DiagnosticReport()
         #: One entry per validated snapshot: ``{"after_pass", "sites",
         #: "violations"}`` with per-site form/instance/edge counts.
         self.certificates: List[dict] = []
+        #: tv_id -> (canonical piece set, certified stats) of the last
+        #: clean symbolic check. Scalar cleanup passes (cse, licm, dce,
+        #: constant-fold) rewrite the IR without moving any write
+        #: instance, so the extracted pieces — a complete semantic
+        #: summary of the site's schedule — come out identical; the
+        #: pairwise dependence check is then skipped and the previous
+        #: certificate reissued. Extraction (and the TV004 tile hook)
+        #: still runs on every snapshot.
+        self._clean_pieces: Dict[int, Tuple[tuple, dict]] = {}
 
     # ---- pass-manager hooks ----------------------------------------------
 
@@ -119,6 +150,25 @@ class TranslationValidator:
     # ---- the validation of one IR snapshot -------------------------------
 
     def _validate(self, module: Operation, label: str) -> List[Diagnostic]:
+        # The snapshot validation allocates large volumes of strictly
+        # acyclic tuples (pieces, timestamps, canonical keys) that
+        # reference counting reclaims on its own; with the default
+        # thresholds the cyclic collector fires mid-validation and walks
+        # the entire IR graph repeatedly for nothing — in practice more
+        # wall clock than the validation itself. Suspend it for the
+        # duration and restore on exit.
+        gc_was_enabled = gc.isenabled()
+        if gc_was_enabled:
+            gc.disable()
+        try:
+            return self._validate_inner(module, label)
+        finally:
+            if gc_was_enabled:
+                gc.enable()
+
+    def _validate_inner(
+        self, module: Operation, label: str
+    ) -> List[Diagnostic]:
         diags: List[Diagnostic] = []
         certs: List[dict] = []
         roots = find_site_roots(module)
@@ -141,24 +191,40 @@ class TranslationValidator:
                 diags.append(self._note(site, root, label, site.degraded))
                 cert.update(status="skipped", detail=site.degraded)
                 continue
-            extractor = InstanceExtractor(**kwargs)
             site_diags: List[Diagnostic] = []
-            extractor.tile_hook = self._make_tile_hook(
-                extractor, site, site_diags
-            )
-            try:
-                inst = extractor.site_instances(root, site)
-            except ExtractionUnsupported as exc:
-                diags.append(self._note(site, root, label, str(exc)))
-                cert.update(status="skipped", detail=str(exc))
-                continue
-            stats = self._check_site(site, inst, root, site_diags)
-            cert.update(
-                form=inst.form,
-                instances=inst.instances,
-                cells=len(inst.ts),
-                **stats,
-            )
+            handled = False
+            t0 = time.perf_counter()
+            if self.engine != "enumerated":
+                handled = self._validate_site_symbolic(
+                    site, root, label, cert, site_diags, diags
+                )
+            if handled:
+                ENGINE_STATS.record(
+                    "tv", "symbolic", seconds=time.perf_counter() - t0
+                )
+            else:
+                extractor = InstanceExtractor(**kwargs)
+                site_diags = []
+                extractor.tile_hook = self._make_tile_hook(
+                    extractor, site, site_diags
+                )
+                try:
+                    inst = extractor.site_instances(root, site)
+                except ExtractionUnsupported as exc:
+                    diags.append(self._note(site, root, label, str(exc)))
+                    cert.update(status="skipped", detail=str(exc))
+                    continue
+                stats = self._check_site(site, inst, root, site_diags)
+                cert.update(
+                    form=inst.form,
+                    engine="enumerated",
+                    instances=inst.instances,
+                    cells=len(inst.ts),
+                    **stats,
+                )
+                ENGINE_STATS.record(
+                    "tv", "enumerated", seconds=time.perf_counter() - t0
+                )
             cert["status"] = (
                 "violated"
                 if any(d.is_error for d in site_diags)
@@ -212,6 +278,83 @@ class TranslationValidator:
             severity="note",
             op_path=op_path(root),
         )
+
+    # ---- the symbolic (per-dependence-class) site validation -------------
+
+    def _validate_site_symbolic(
+        self, site, root, label, cert, site_diags, diags,
+    ) -> bool:
+        """Validate one site with the affine piece engine. Returns False
+        when the site's schedule is not uniform enough — the caller then
+        runs the legacy enumerated path (in forced ``symbolic`` mode the
+        fallback is additionally reported as a TV006 note)."""
+        try:
+            extractor = SymbolicExtractor()
+            extractor.tile_hook = self._make_tile_hook(
+                extractor, site, site_diags
+            )
+            pieces = extractor.site_pieces(root, site)
+            key = canonical_site_key(pieces)
+            memo = self._clean_pieces.get(site.tv_id)
+            if memo is not None and memo[0] == key:
+                cert.update(form=pieces.form, engine="symbolic", **memo[1])
+                return True
+            chk = check_site_symbolic(site, pieces)
+        except (SymbolicUnsupported, ExtractionUnsupported) as exc:
+            # Discard TV004 findings of the aborted walk; the enumerated
+            # rerun repeats the same per-tile hook checks.
+            site_diags.clear()
+            if self.engine == "symbolic":
+                diags.append(self._note(
+                    site, root, label,
+                    f"symbolic validation unavailable ({exc}); "
+                    f"falling back to enumeration",
+                ))
+            return False
+        if chk.clean:
+            self._clean_pieces[site.tv_id] = (key, chk.stats)
+            cert.update(form=pieces.form, engine="symbolic", **chk.stats)
+            return True
+        # A dependence class is violated: materialize concrete witnesses
+        # through the enumerated extractor so messages match the legacy
+        # path exactly; past the enumeration limit, synthesize them from
+        # the affine counterexample points instead.
+        en_diags: List[Diagnostic] = []
+        enumerator = InstanceExtractor()
+        enumerator.tile_hook = self._make_tile_hook(
+            enumerator, site, en_diags
+        )
+        try:
+            inst = enumerator.site_instances(root, site)
+        except ExtractionUnsupported:
+            path = op_path(root)
+            for code, witnesses in chk.violations:
+                self._emit_witnesses(site, path, code, witnesses, site_diags)
+            cert.update(form=pieces.form, engine="symbolic", **chk.stats)
+            return True
+        site_diags.clear()
+        site_diags.extend(en_diags)
+        stats = self._check_site(site, inst, root, site_diags)
+        cert.update(
+            form=inst.form,
+            engine="symbolic",
+            instances=inst.instances,
+            cells=len(inst.ts),
+            **stats,
+        )
+        return True
+
+    def _emit_witnesses(
+        self, site, path, code, witnesses: List[str], diags,
+    ) -> None:
+        shown = witnesses[: self.max_witnesses]
+        extra = len(witnesses) - len(shown)
+        if extra > 0:
+            shown.append(f"... and {extra} more like it")
+        for w in shown:
+            diags.append(Diagnostic(
+                code, f"site #{site.tv_id}: {w}", op_path=path
+            ))
 
     # ---- TV001/TV002/TV003/TV007: instance-level checks ------------------
 
@@ -314,11 +457,14 @@ class TranslationValidator:
     def _check_fused_producers(
         self, extractor, site, inner, tile_index, origin
     ) -> Optional[Diagnostic]:
-        ev = extractor.ev
+        # The symbolic extractor carries a shared-memo concrete evaluator
+        # (one memo per tile environment); fall back to the interval
+        # engine's per-call resolve for the enumerated extractor.
+        ev = getattr(extractor, "_cexact", None) or extractor.ev.eval_exact
         if not inner.has_bounds:
             return None
-        core_lo = [ev.eval_exact(v) for v in inner.bounds_lo]
-        core_hi = [ev.eval_exact(v) for v in inner.bounds_hi]
+        core_lo = [ev(v) for v in inner.bounds_lo]
+        core_hi = [ev(v) for v in inner.bounds_hi]
         if any(v is None for v in core_lo + core_hi):
             return None
         core = [
@@ -359,8 +505,8 @@ class TranslationValidator:
         ):
             return None
         window = out.op
-        offs = [ev.eval_exact(v) for v in window.offsets]
-        sizes = [ev.eval_exact(v) for v in window.sizes]
+        offs = [ev(v) for v in window.offsets]
+        sizes = [ev(v) for v in window.sizes]
         if any(v is None for v in offs + sizes):
             return None
         bounds = producer.iteration_bounds(tuple(sizes))

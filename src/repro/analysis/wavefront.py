@@ -23,6 +23,7 @@ mutation-corpus tests to audit deliberately corrupted payloads.
 
 from __future__ import annotations
 
+import time
 from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -46,26 +47,50 @@ def derive_block_offsets(
     sweep: int,
     allow_initial_reads: bool,
     tile_sizes: Sequence[int],
+    engine: Optional[str] = None,
 ) -> List[Offset]:
     """Block-level predecessor offsets from the element-level L pattern.
 
-    Independent of :meth:`StencilPattern.block_stencil_offsets`: built on
-    the corner ranges of :func:`block_offset_range`.
+    Independent of :meth:`StencilPattern.block_stencil_offsets`. The
+    explicit offset list is inherently its own size (the CSR replay
+    needs every edge), but under ``auto``/``symbolic`` the per-dimension
+    extents are read off the affine reachable-block box — the same
+    description the legality disjuncts are built from — instead of the
+    corner ranges of :func:`block_offset_range`.
     """
+    from repro.analysis.affine import ENGINE_STATS, resolve_verify_engine
+
+    t0 = time.perf_counter()
+    mode = resolve_verify_engine(engine)
     blocks = set()
     for offset in schedule_relevant_offsets(
         list(l_offsets), sweep, allow_initial_reads
     ):
-        per_dim = [
-            block_offset_range(offset[d], int(tile_sizes[d]))
-            for d in range(len(tile_sizes))
-        ]
+        if mode != "enumerated":
+            from repro.analysis.affine.blockdep import reachable_block_box
+            from repro.analysis.affine.sets import LinExpr
+
+            box = reachable_block_box(offset, tile_sizes)
+            per_dim = []
+            for d in range(len(tile_sizes)):
+                lo, hi = box.bounds(LinExpr.var(f"b{d}"))
+                per_dim.append(range(lo, hi + 1))
+        else:
+            per_dim = [
+                block_offset_range(offset[d], int(tile_sizes[d]))
+                for d in range(len(tile_sizes))
+            ]
         stack: List[Offset] = [()]
         for r in per_dim:
             stack = [prefix + (c,) for prefix in stack for c in r]
         for block in stack:
             if any(c != 0 for c in block):
                 blocks.add(block)
+    ENGINE_STATS.record(
+        "wavefront",
+        "symbolic" if mode != "enumerated" else "enumerated",
+        seconds=time.perf_counter() - t0,
+    )
     return sorted(blocks)
 
 
@@ -222,7 +247,9 @@ def _consumer_loop(op: Operation) -> Optional[Operation]:
     return None
 
 
-def check_get_parallel_blocks(op: Operation) -> List[Diagnostic]:
+def check_get_parallel_blocks(
+    op: Operation, engine: Optional[str] = None
+) -> List[Diagnostic]:
     """Audit one ``cfd.get_parallel_blocks`` op."""
     from repro.core.scheduling import compute_parallel_blocks
 
@@ -239,7 +266,7 @@ def check_get_parallel_blocks(op: Operation) -> List[Diagnostic]:
             rank, l_offsets, _, sweep, allow_initial = raw
             if len(tile_sizes) == rank:
                 derived = derive_block_offsets(
-                    l_offsets, sweep, allow_initial, tile_sizes
+                    l_offsets, sweep, allow_initial, tile_sizes, engine=engine
                 )
     if derived is not None and declared != derived:
         diags.append(

@@ -86,6 +86,13 @@ class CompileOptions:
         :class:`~repro.analysis.tv.TranslationValidationError` with a
         concrete witness when a pass miscompiles. Timed under
         ``"translation-validate"`` in the pass-manager report.
+    verify_engine:
+        Decision procedure of every analysis gate and of the translation
+        validator: ``"auto"`` (symbolic affine engines first, silent
+        fallback to enumeration), ``"symbolic"`` (affine forced, precise
+        diagnostics on fallback), ``"enumerated"`` (legacy per-instance
+        engines). ``None`` defers to the ``REPRO_VERIFY`` environment
+        variable, then ``auto``.
     """
 
     subdomain_sizes: Optional[Tuple[int, ...]] = None
@@ -98,6 +105,7 @@ class CompileOptions:
     verify_each: bool = True
     check_level: str = "off"
     validate_passes: bool = False
+    verify_engine: Optional[str] = None
 
     def describe(self) -> str:
         parts = []
@@ -198,12 +206,14 @@ class StencilCompiler:
                     f"expected one of {CHECK_LEVELS}"
                 )
             if not skip_gate:
-                gate = AnalysisGate(fail_fast=True)
+                gate = AnalysisGate(fail_fast=True, engine=o.verify_engine)
         validator = None
         if o.validate_passes and not skip_validation:
             from repro.analysis.tv import TranslationValidator
 
-            validator = TranslationValidator(fail_fast=True)
+            validator = TranslationValidator(
+                fail_fast=True, engine=o.verify_engine
+            )
         pm = PassManager(
             verify_each=o.verify_each,
             gate=gate,

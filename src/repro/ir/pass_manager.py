@@ -8,6 +8,7 @@ EXPERIMENTS.md).
 
 from __future__ import annotations
 
+import gc
 import time
 from typing import Dict, List, Sequence
 
@@ -128,12 +129,24 @@ class PassManager:
             self._run_gate(module, after_pass=pass_.name)
 
     def run(self, module: Operation) -> Operation:
-        if self.validator is not None:
-            self._run_validator(module, None)
-        for pass_ in self.passes:
-            self._run_single(pass_, module)
-        if self.gate is not None and not self.gate_each:
-            self._run_gate(module, after_pass=None)
+        # Passes and hooks churn through large volumes of acyclic IR
+        # nodes and analysis tuples that reference counting reclaims by
+        # itself; the cyclic collector firing mid-pipeline walks the
+        # whole IR graph repeatedly and costs more wall clock than it
+        # recovers. Suspend it for the pipeline, restore on exit.
+        gc_was_enabled = gc.isenabled()
+        if gc_was_enabled:
+            gc.disable()
+        try:
+            if self.validator is not None:
+                self._run_validator(module, None)
+            for pass_ in self.passes:
+                self._run_single(pass_, module)
+            if self.gate is not None and not self.gate_each:
+                self._run_gate(module, after_pass=None)
+        finally:
+            if gc_was_enabled:
+                gc.enable()
         return module
 
     def pipeline_description(self) -> str:

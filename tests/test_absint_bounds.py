@@ -71,12 +71,17 @@ class TestStaticProofs:
 
     def test_enumeration_limit_degrades_to_notes(self):
         # With tile enumeration forced off, window extents become
-        # symbolic: proofs must degrade to IP010 notes, never errors and
-        # never silent passes.
+        # symbolic: proofs must degrade to IP010 notes plus the IP017
+        # precision-cliff attribution, never errors and never silent
+        # passes. (An explicit limit forces the enumerated engine.)
         report = run_memory_safety(_tiled_module(), enumeration_limit=1)
         assert report.diagnostics, "unprovable accesses passed silently"
-        assert {d.code for d in report.diagnostics} == {"IP010"}
+        assert {d.code for d in report.diagnostics} == {"IP010", "IP017"}
         assert all(d.severity == "note" for d in report.diagnostics)
+        assert report.engine_mode == "enumerated"
+        (cliff,) = [d for d in report.diagnostics if d.code == "IP017"]
+        assert "exceeds the enumeration limit" in cliff.message
+        assert "hull bounds only" in cliff.message
 
 
 class TestDynamicOracle:

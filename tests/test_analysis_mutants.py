@@ -258,6 +258,83 @@ def mutant_oob_widened_stencil_offset():
     return _error_codes(module), "IP011"
 
 
+# --- family 5b: affine-specific miscompiles --------------------------------
+#
+# Corruption shapes chosen to stress exactly the places a buggy affine
+# translation would get wrong — an inequality bound off by one, a dropped
+# stride constraint, swapped coefficients in the access map. Each asserts
+# that the symbolic engine AND the enumerated oracle both flag it: a bug
+# in either engine (or a silent divergence between them) fails the test.
+
+
+def _error_codes_both_engines(module):
+    """Error codes agreed on by the symbolic and enumerated engines."""
+    per_engine = {
+        eng: sorted({
+            d.code
+            for d in analyze_module(module, engine=eng).diagnostics
+            if d.is_error
+        })
+        for eng in ("symbolic", "enumerated")
+    }
+    for eng, codes in per_engine.items():
+        assert codes, f"{eng} engine missed the miscompile"
+    return sorted(set(per_engine["symbolic"]) & set(per_engine["enumerated"]))
+
+
+def mutant_affine_off_by_one_bound():
+    # Drop the -1 from a sweep loop's upper bound (24-1 becomes 24): the
+    # +1 halo read of the last iteration lands exactly one row past the
+    # window — the boundary a `<` vs `<=` slip in the affine inequality
+    # translation would miss.
+    module = _frontend_module()
+    LowerStencilsPass().run(module)
+    for op in module.walk():
+        if op.name == "scf.for":
+            ub = op.operand(1)
+            if ub.op is not None and ub.op.name == "arith.subi":
+                op.set_operand(1, ub.op.operand(0))
+                break
+    return _error_codes_both_engines(module), "IP011"
+
+
+def mutant_affine_dropped_stride():
+    # Double the innermost sweep step: every other column is never
+    # written. Only an engine that models the stride constraint of the
+    # written progression (not just its hull) can see the gap.
+    results = []
+    for eng in ("symbolic", "enumerated"):
+        module = _frontend_module()
+        tv = TranslationValidator(fail_fast=False, engine=eng)
+        tv.begin(module)
+        LowerStencilsPass().run(module)
+        inner = [op for op in module.walk() if op.name == "scf.for"][-1]
+        builder = OpBuilder.before(inner)
+        inner.set_operand(2, arith.const_index(builder, 2))
+        tv.after_pass(module, "lower-stencils")
+        codes = _tv_codes(tv)
+        assert codes, f"{eng} engine missed the dropped stride"
+        results.append(set(codes))
+    return sorted(results[0] & results[1]), "TV003"
+
+
+def mutant_affine_swapped_coefficient():
+    # Swap the two space offsets of a sub-domain window on an asymmetric
+    # 8x12 tiling: the access map's coefficient columns are exchanged, so
+    # later windows land transposed and escape the domain — invisible to
+    # any check that treats the dimensions symmetrically.
+    module = _frontend_module()
+    options = CompileOptions(
+        subdomain_sizes=(8, 12), parallel=True, vectorize=0, use_cache=False
+    )
+    StencilCompiler(options).lower(module)
+    window = _only(module, "tensor.extract_slice")
+    a, b = window.operand(2), window.operand(3)
+    window.set_operand(2, b)
+    window.set_operand(3, a)
+    return _error_codes_both_engines(module), "IP012"
+
+
 # --- family 6: uninitialized reads -----------------------------------------
 
 
@@ -449,6 +526,9 @@ MUTANTS = [
     mutant_oob_shrunk_allocation,
     mutant_oob_off_by_one_halo,
     mutant_oob_widened_stencil_offset,
+    mutant_affine_off_by_one_bound,
+    mutant_affine_dropped_stride,
+    mutant_affine_swapped_coefficient,
     mutant_uninit_partially_written,
     mutant_uninit_never_written,
     mutant_tv_tile_order_reversed,

@@ -156,6 +156,7 @@ class TestCacheKeyAudit:
         "verify_each": False,
         "check_level": "after-pipeline",
         "validate_passes": True,
+        "verify_engine": "symbolic",
     }
 
     def test_alternates_cover_every_field(self):

@@ -1,0 +1,55 @@
+"""Large-mesh smoke (issue satellite): symbolic verification beyond the
+enumeration limit.
+
+A 512x512 sweep has ~262k statement instances — far past both the
+absint tile-grid enumeration limit (4096) and anything the enumerated
+TV path could walk in a smoke test's budget. With the affine engine
+forced on, the full gate + validator must certify it cleanly, answering
+every query symbolically.
+"""
+
+from repro.analysis.absint.engine import ENUMERATION_LIMIT
+from repro.analysis.analyzer import analyze_module
+from repro.analysis.tv import TranslationValidator
+from repro.core import frontend
+from repro.core.stencil import gauss_seidel_5pt_2d
+from repro.core.tiling import TileStencilsPass
+
+MESH = (512, 512)
+
+
+def _build():
+    return frontend.build_stencil_kernel(
+        gauss_seidel_5pt_2d(), MESH, frontend.identity_body(4.0)
+    )
+
+
+def test_mesh_exceeds_the_enumeration_limit():
+    assert MESH[0] * MESH[1] > ENUMERATION_LIMIT
+
+
+def test_symbolic_tv_certifies_a_tiling_past_the_limit():
+    module = _build()
+    tv = TranslationValidator(fail_fast=False, engine="symbolic")
+    tv.begin(module)
+    TileStencilsPass(
+        (MESH[0] // 2, MESH[1] // 2), with_groups=False, level=0
+    ).run(module)
+    tv.after_pass(module, "tile-stencils")
+    assert not tv.report.has_errors
+    for cert in tv.certificates:
+        assert cert["violations"] == 0
+        for s in cert["sites"]:
+            assert s.get("engine") == "symbolic"
+            assert s["status"] == "certified"
+
+
+def test_symbolic_gate_is_clean_past_the_limit():
+    module = _build()
+    TileStencilsPass(
+        (MESH[0] // 2, MESH[1] // 2), with_groups=False, level=0
+    ).run(module)
+    report = analyze_module(module, engine="symbolic")
+    assert not any(d.is_error for d in report.diagnostics), [
+        d.render() for d in report.diagnostics if d.is_error
+    ]

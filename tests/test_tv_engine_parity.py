@@ -1,0 +1,49 @@
+"""Engine parity (issue acceptance): per-pass certificate verdicts of
+the symbolic validator are identical to the enumerated path.
+
+The two decision procedures share the certificate schema; on every
+corpus pipeline the sequence of (pass, violations, per-site status)
+records must match exactly — only the ``engine`` field and the
+engine-specific counters may differ.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.analysis.corpus import build_corpus
+from repro.core.pipeline import StencilCompiler
+
+STEMS = ["quickstart", "sor_poisson", "inspect_pipeline"]
+
+
+def _verdicts(entry, engine):
+    options = dataclasses.replace(
+        entry.options,
+        validate_passes=True,
+        use_cache=False,
+        verify_engine=engine,
+    )
+    compiler = StencilCompiler(options)
+    compiler.lower(entry.build())
+    tv = compiler.pass_manager.validator
+    assert tv is not None
+    return [
+        (
+            cert["after_pass"],
+            cert["violations"],
+            tuple(
+                (s["site"], s.get("status"), s.get("form"))
+                for s in cert["sites"]
+            ),
+        )
+        for cert in tv.certificates
+    ]
+
+
+@pytest.mark.parametrize("stem", STEMS)
+def test_certificate_verdicts_match_enumerated(stem):
+    for entry in build_corpus()[stem]:
+        sym = _verdicts(entry, "symbolic")
+        enum = _verdicts(entry, "enumerated")
+        assert sym == enum
