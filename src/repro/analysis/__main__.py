@@ -34,6 +34,21 @@ Translation validation:
     certified/violated status) as a JSON file — the artifact CI
     uploads.
 
+Performance lint:
+
+``--perf``
+    Run the *static performance prover* instead of the correctness
+    gates: each corpus pipeline's schedule is priced against a machine
+    model (footprints, cache traffic, operational intensity, wavefront
+    parallelism) without executing anything, and mis-schedulings
+    surface as PF001–PF007 diagnostics. With no paths this also covers
+    the ``perf_demo`` corpus of deliberately mis-tiled configurations.
+    Exit status 1 only on error-severity findings (PF001).
+``--machine {host,py-numpy,single-core,xeon-6152}``
+    Machine-model preset to price against (default: the entry's own
+    ``CompileOptions.machine``, then ``$REPRO_MACHINE``, then the
+    host-calibrated model).
+
 Engine selection and coverage:
 
 ``--engine {auto,symbolic,enumerated}``
@@ -57,7 +72,7 @@ from typing import List, Optional
 
 from repro.analysis.affine import ENGINE_STATS, VERIFY_ENGINES
 from repro.analysis.analyzer import AnalysisGate
-from repro.analysis.corpus import build_corpus
+from repro.analysis.corpus import build_corpus, build_perf_demo_corpus
 from repro.analysis.diagnostics import Diagnostic
 from repro.analysis.tv import TranslationValidator
 from repro.core.bufferization import BufferizationError, BufferizePass
@@ -149,6 +164,16 @@ def main(argv: List[str] | None = None) -> int:
         help="with --validate, write per-pass certificate JSON to PATH",
     )
     parser.add_argument(
+        "--perf", action="store_true",
+        help="run the static performance prover (PF001-PF007) instead "
+        "of the correctness gates",
+    )
+    parser.add_argument(
+        "--machine", choices=_machine_choices(), default=None,
+        help="machine-model preset for --perf (default: the entry's "
+        "CompileOptions.machine, then $REPRO_MACHINE, then the host)",
+    )
+    parser.add_argument(
         "--engine", choices=list(VERIFY_ENGINES), default=None,
         help="decision procedure for every gate "
         "(default: $REPRO_VERIFY, then auto)",
@@ -160,8 +185,14 @@ def main(argv: List[str] | None = None) -> int:
     args = parser.parse_args(argv)
     if args.certificates and not args.validate:
         parser.error("--certificates requires --validate")
+    if args.perf and (args.validate or args.certificates):
+        parser.error("--perf is incompatible with --validate")
+    if args.machine and not args.perf:
+        parser.error("--machine requires --perf")
 
     corpus = build_corpus()
+    if args.perf:
+        corpus = {**corpus, **build_perf_demo_corpus()}
     stems = _resolve_stems(args.paths, list(corpus))
     machine = args.as_json or args.github
     ENGINE_STATS.reset()
@@ -174,10 +205,15 @@ def main(argv: List[str] | None = None) -> int:
         for entry in corpus[stem]:
             try:
                 crashed_diag = None
-                exit_code, total = _lint_entry(
-                    entry, file, args, machine, certificates,
-                    exit_code, total,
-                )
+                if args.perf:
+                    exit_code, total = _perf_entry(
+                        entry, file, args, machine, exit_code, total
+                    )
+                else:
+                    exit_code, total = _lint_entry(
+                        entry, file, args, machine, certificates,
+                        exit_code, total,
+                    )
             except Exception as exc:  # noqa: BLE001 - degrade to a finding
                 # An *internal* analyzer crash (not a pipeline failure,
                 # which _lint_entry already degrades) becomes a
@@ -237,6 +273,49 @@ def _emit_stats(as_json: bool) -> None:
             f"  {gate:<{width}}  {parts:<40} symbolic {pct}"
             f"  ({record['seconds'] * 1000:.1f} ms)"
         )
+
+
+def _machine_choices() -> List[str]:
+    from repro.machine.model import MACHINE_PRESETS
+
+    return ["host"] + sorted(MACHINE_PRESETS)
+
+
+def _perf_entry(entry, file, args, machine, exit_code, total):
+    """Perf-lint one corpus entry; returns the updated (exit_code, total)."""
+    from repro.analysis.perf import analyze_stencils, perf_findings
+    from repro.machine.model import resolve_machine_model
+
+    model = resolve_machine_model(args.machine or entry.options.machine)
+    module = entry.build()
+    diagnostics: List[Diagnostic] = []
+    priced = 0
+    for op_path, report in analyze_stencils(
+        module, entry.options, machine=model
+    ):
+        priced += 1
+        diagnostics.extend(perf_findings(report, model, op_path))
+    total += len(diagnostics)
+    failed = any(d.severity == "error" for d in diagnostics)
+    verdict = "FAIL" if failed else "ok"
+    if args.as_json:
+        for diag in diagnostics:
+            _emit_json(diag, entry.name, file)
+    elif args.github:
+        for diag in diagnostics:
+            _emit_github(diag, entry.name, file)
+    if not args.as_json:
+        print(
+            f"[{verdict}] {entry.name}: {entry.description} "
+            f"({entry.options.describe()}) -- {len(diagnostics)} perf "
+            f"finding(s) over {priced} stencil op(s) on {model.name}"
+        )
+        if diagnostics and not args.quiet and not machine:
+            for diag in diagnostics:
+                print(diag.render())
+    if failed:
+        exit_code = 1
+    return exit_code, total
 
 
 def _lint_entry(entry, file, args, machine, certificates, exit_code, total):

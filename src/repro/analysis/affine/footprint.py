@@ -1,0 +1,194 @@
+"""Affine-set-backed footprint queries for tiled stencil sweeps.
+
+The static performance prover (:mod:`repro.analysis.perf`) and the
+autotuner need exact answers to "how many cells does this schedule
+touch": the volume of one tile's halo-inclusive window clipped to the
+allocation, the total window volume summed over every tile of a sweep
+(the halo-recompute traffic), and the widest single-tile window (the
+cache working set). This module answers all of them through
+:class:`repro.analysis.affine.sets.AffineSet` — the same exact integer
+decision procedure behind the verification gates — instead of
+re-deriving the clipping arithmetic by hand.
+
+Everything here is *separable*: a tiled sweep's windows are products of
+per-dimension windows, so the sum over all tiles of the per-tile window
+volume factors as ``Π_d (Σ_k w_{d,k})`` and the widest tile window as
+``Π_d max_k w_{d,k}``. Per dimension, the clipped window extent takes at
+most three distinct values (first tile, unclipped interior run, last
+tile), so a sweep's footprint costs O(rank) affine ``bounds`` queries —
+cheap enough to sit inside the autotuner's candidate loop.
+
+This module deliberately imports nothing from :mod:`repro.core`; the
+core tiling/autotune modules call into it lazily (mirroring how the
+legality checker reaches the affine engine) so no import cycle forms
+through ``repro.analysis.__init__``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+from repro.analysis.affine.sets import AffineSet, LinExpr
+
+
+def box_cells(extents: Sequence[int]) -> int:
+    """Cell count of an axis-aligned box, as an affine-set query.
+
+    The box ``0 <= x_d <= extent_d - 1`` is built with
+    :meth:`AffineSet.box` and each extent recovered with
+    :meth:`AffineSet.bounds` — the single source of truth for "volume"
+    shared with the in-bounds provers. Zero or negative extents make the
+    box empty.
+    """
+    if any(int(e) <= 0 for e in extents):
+        return 0
+    names = [f"x{d}" for d in range(len(extents))]
+    box = AffineSet.box(names, [(0, int(e) - 1) for e in extents])
+    cells = 1
+    for name in names:
+        lo, hi = box.bounds(LinExpr.var(name))
+        cells *= hi - lo + 1
+    return cells
+
+
+def window_extent(n: int, win_lo: int, win_hi: int) -> int:
+    """Extent of the window ``[win_lo, win_hi]`` clipped to the
+    allocation ``[0, n - 1]`` — the 1-D footprint of one tile's
+    halo-inclusive read set, answered by an affine ``bounds`` query."""
+    x = LinExpr.var("x")
+    cell = (
+        AffineSet.universe()
+        .and_ge0(x - win_lo)
+        .and_ge0(LinExpr.of(win_hi) - x)
+        .and_ge0(x)
+        .and_ge0(LinExpr.of(int(n) - 1) - x)
+    )
+    if cell.is_empty():
+        return 0
+    lo, hi = cell.bounds(x)
+    return hi - lo + 1
+
+
+@dataclass(frozen=True)
+class DimWindows:
+    """Per-dimension window statistics of one tiled sweep."""
+
+    #: Number of tiles along this dimension.
+    tiles: int
+    #: Swept core extent (``hi - lo`` of the interior bounds).
+    core: int
+    #: Sum over tiles of the clipped halo-window extent.
+    window_sum: int
+    #: Widest single-tile clipped window extent.
+    window_max: int
+
+
+def dim_windows(
+    n: int, lo: int, hi: int, tile: int, halo_lo: int, halo_hi: int
+) -> DimWindows:
+    """Window statistics for one dimension of a tiled sweep.
+
+    The sweep covers cores ``[lo + k*tile, min(lo + (k+1)*tile, hi))``;
+    each tile reads the window inflated by ``(halo_lo, halo_hi)``,
+    clipped to the allocation ``[0, n)``. Only the first and last tiles
+    can be clipped once the interior run is at full width, so the sum
+    collapses to three :func:`window_extent` queries plus two guards;
+    tiny grids fall back to the exact per-tile loop.
+    """
+    n, lo, hi = int(n), int(lo), int(hi)
+    tile = max(1, int(tile))
+    core = max(0, hi - lo)
+    if core == 0:
+        return DimWindows(0, 0, 0, 0)
+    tiles = -(-core // tile)
+
+    def w(k: int) -> int:
+        s = lo + k * tile
+        e = min(s + tile, hi)
+        return window_extent(n, s - halo_lo, e - 1 + halo_hi)
+
+    if tiles <= 4:
+        ws = [w(k) for k in range(tiles)]
+        return DimWindows(tiles, core, sum(ws), max(ws))
+    full = tile + halo_lo + halo_hi
+    w0, w1 = w(0), w(1)
+    wl2, wl1 = w(tiles - 2), w(tiles - 1)
+    if w1 == full and wl2 == full:
+        # The interior run [1, tiles-2] is entirely unclipped: every
+        # tile there has a full core and its window is bounded above by
+        # ``full``; the clipped extent is concave in the tile index, so
+        # matching endpoints at the maximum pin the whole run.
+        total = w0 + wl1 + (tiles - 2) * full
+        return DimWindows(tiles, core, total, max(w0, wl1, full))
+    ws = [w(k) for k in range(tiles)]
+    return DimWindows(tiles, core, sum(ws), max(ws))
+
+
+@dataclass(frozen=True)
+class SweepFootprint:
+    """Exact cell-count footprint of one tiled sweep, separable per
+    dimension. Products over :class:`DimWindows` give every quantity the
+    perf prover prices: core cells (useful work), window cells (total
+    traffic including halo re-reads), and the widest tile window (the
+    cache working set)."""
+
+    dims: Tuple[DimWindows, ...]
+
+    @property
+    def tile_grid(self) -> Tuple[int, ...]:
+        return tuple(d.tiles for d in self.dims)
+
+    @property
+    def num_tiles(self) -> int:
+        return _prod(d.tiles for d in self.dims)
+
+    @property
+    def core_cells(self) -> int:
+        """Cells written by the sweep (the interior volume)."""
+        return _prod(d.core for d in self.dims)
+
+    @property
+    def window_cells(self) -> int:
+        """Σ over tiles of the halo-inclusive window volume — by
+        separability, ``Π_d (Σ_k w_{d,k})``."""
+        return _prod(d.window_sum for d in self.dims)
+
+    @property
+    def halo_cells(self) -> int:
+        """Cells read more than once across tiles (window − core)."""
+        return self.window_cells - self.core_cells
+
+    @property
+    def max_tile_window_cells(self) -> int:
+        """The widest single tile's window volume — per-dim maxima are
+        attained independently, so the product is exact."""
+        return _prod(d.window_max for d in self.dims)
+
+
+def sweep_footprint(
+    space_shape: Sequence[int],
+    interior: Sequence[Tuple[int, int]],
+    tile_sizes: Sequence[int],
+    halos: Sequence[Tuple[int, int]],
+) -> SweepFootprint:
+    """Footprint of tiling ``interior`` (per-dim ``[lo, hi)``) of an
+    allocation of ``space_shape`` with ``tile_sizes``, each tile reading
+    a window inflated by ``halos`` (per-dim ``(lo, hi)`` margins)."""
+    if not (
+        len(space_shape) == len(interior) == len(tile_sizes) == len(halos)
+    ):
+        raise ValueError("footprint query ranks disagree")
+    dims: List[DimWindows] = []
+    for n, (lo, hi), t, (h_lo, h_hi) in zip(
+        space_shape, interior, tile_sizes, halos
+    ):
+        dims.append(dim_windows(n, lo, hi, t, h_lo, h_hi))
+    return SweepFootprint(tuple(dims))
+
+
+def _prod(values) -> int:
+    out = 1
+    for v in values:
+        out *= int(v)
+    return out

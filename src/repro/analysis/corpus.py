@@ -11,6 +11,11 @@ This keeps the CI lint step fast and hermetic while still covering every
 kernel/configuration shape the examples exercise: plain Gauss-Seidel,
 SOR and Jacobi sweeps, the heat3d ablation pipelines and the LU-SGS
 symmetric-sweep solver.
+
+:func:`build_perf_demo_corpus` adds the ``perf_demo`` stem: correct but
+deliberately mis-tiled configurations that only the performance lint
+(``--perf``) resolves, giving the PF diagnostic family true positives
+without failing the standard gate lint.
 """
 
 from __future__ import annotations
@@ -85,6 +90,62 @@ def _symmetric() -> ModuleOp:
     return frontend.build_symmetric_sweep_kernel(
         gauss_seidel_6pt_3d(), (16, 16, 16), frontend.identity_body(6.0)
     )
+
+
+def _perf_mistiled() -> ModuleOp:
+    return frontend.build_stencil_kernel(
+        gauss_seidel_5pt_2d(), (512, 512), frontend.identity_body(4.0)
+    )
+
+
+def _perf_thin() -> ModuleOp:
+    return frontend.build_stencil_kernel(
+        gauss_seidel_5pt_2d(), (4096, 4096), frontend.identity_body(4.0)
+    )
+
+
+def _perf_strided() -> ModuleOp:
+    return frontend.build_stencil_kernel(
+        gauss_seidel_5pt_2d(), (1024, 1024), frontend.identity_body(4.0)
+    )
+
+
+def build_perf_demo_corpus() -> Dict[str, Tuple[CorpusEntry, ...]]:
+    """Deliberately mis-scheduled configurations for the performance
+    lint (``--perf``): each entry is IP/TV-clean but statically
+    mis-tiled, so the PF family has true positives to find. Kept out of
+    :func:`build_corpus` — the standard gate lint and CI's
+    ``examples/``-directory resolution never see them (there is no
+    ``examples/perf_demo.py``)."""
+    return {
+        "perf_demo": (
+            CorpusEntry(
+                "perf_demo[mistiled]",
+                "tile working set bigger than the private L2 (PF001)",
+                _perf_mistiled,
+                CompileOptions(
+                    tile_sizes=(256, 256), machine="xeon-6152"
+                ),
+            ),
+            CorpusEntry(
+                "perf_demo[thin]",
+                "memory-bound sweep with thin, halo-heavy tiles (PF006)",
+                _perf_thin,
+                CompileOptions(
+                    subdomain_sizes=(256, 1024), tile_sizes=(4, 512),
+                    parallel=True, machine="xeon-6152",
+                ),
+            ),
+            CorpusEntry(
+                "perf_demo[strided]",
+                "innermost tile extent 1: no unit-stride access (PF005)",
+                _perf_strided,
+                CompileOptions(
+                    tile_sizes=(256, 1), machine="xeon-6152"
+                ),
+            ),
+        ),
+    }
 
 
 def build_corpus() -> Dict[str, Tuple[CorpusEntry, ...]]:

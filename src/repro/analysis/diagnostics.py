@@ -10,10 +10,14 @@ them — so new checks get new codes instead of repurposing old ones.
 analyzers; ``TV0xx`` codes belong to the per-pass translation validator
 (:mod:`repro.analysis.tv`); ``RS0xx`` codes belong to the resilience
 layer (:mod:`repro.runtime.resilience`) — retries, degradations,
-fallbacks, quarantines, checkpoints and watchdog timeouts. This module
-is the single source of truth for the code table: the README diagnostics
-tables are generated from :data:`REGISTRY` and a test asserts they match
-exactly (codes, canonical severities, one-line descriptions).
+fallbacks, quarantines, checkpoints and watchdog timeouts; ``PF0xx``
+codes belong to the static performance prover
+(:mod:`repro.analysis.perf`) — cache-capacity, halo-traffic, vector
+shape and wavefront-parallelism findings priced against a machine
+model. This module is the single source of truth for the code table:
+the README diagnostics tables are generated from :data:`REGISTRY` and a
+test asserts they match exactly (codes, canonical severities, one-line
+descriptions).
 """
 
 from __future__ import annotations
@@ -161,6 +165,34 @@ REGISTRY: Dict[str, DiagnosticInfo] = {
               "a kernel without a clean parallel-safety certificate (or "
               "with a rebinding block body) executed its wavefront "
               "groups sequentially despite a multi-thread request"),
+        _info("PF001", "working set exceeds the private cache", "error",
+              "a tile's halo-inclusive working set is larger than the "
+              "machine model's private (L2) cache, so every sweep "
+              "re-streams its windows"),
+        _info("PF002", "un-tileable dimension pinned to 1", "note",
+              "a dimension carrying a negative dependence distance is "
+              "pinned to tile size 1 by §2.1 legality and cannot be "
+              "widened"),
+        _info("PF003", "wavefront width below thread count", "warning",
+              "the widest wavefront group holds fewer tiles than the "
+              "machine has cores; the Brent bound caps the parallel "
+              "speedup below the core count"),
+        _info("PF004", "halo-recompute ratio above threshold", "warning",
+              "halo re-reads exceed the threshold multiple of the useful "
+              "(core) traffic; the tiles are too thin for the stencil's "
+              "halo"),
+        _info("PF005", "non-unit-stride innermost access", "warning",
+              "the innermost tile extent is 1, so no access is "
+              "unit-stride and vectorization degrades to scalar"),
+        _info("PF006", "memory-bound kernel with redundant traffic",
+              "warning",
+              "the DRAM roofline term dominates compute while a "
+              "significant fraction of the traffic is redundant halo "
+              "re-reads"),
+        _info("PF007", "prediction-confidence note", "note",
+              "the static prediction's headline numbers plus why its "
+              "confidence is reduced (cache-resident working set or an "
+              "unprofiled wavefront)"),
     )
 }
 

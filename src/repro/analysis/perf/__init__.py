@@ -1,0 +1,43 @@
+"""Static performance prover and performance lint (PR 8).
+
+:mod:`repro.analysis.perf.model` prices a schedule — footprints, bytes
+per cache level, operational intensity, vector shape, wavefront
+parallelism, predicted seconds — without executing it, through the
+affine footprint engine and a :class:`~repro.machine.model.MachineModel`.
+:mod:`repro.analysis.perf.lint` turns those predictions into the
+``PF001``–``PF007`` diagnostic family.
+"""
+
+from repro.analysis.perf.lint import (
+    HALO_RATIO_THRESHOLD,
+    MEMORY_BOUND_HALO_THRESHOLD,
+    analyze_stencils,
+    perf_findings,
+)
+from repro.analysis.perf.model import (
+    DTYPE_BYTES,
+    LIVE_TENSORS,
+    PerfReport,
+    WavefrontProfile,
+    pattern_halos,
+    predict,
+    static_cost,
+    wavefront_profile,
+    wavefront_profile_from_csr,
+)
+
+__all__ = [
+    "DTYPE_BYTES",
+    "HALO_RATIO_THRESHOLD",
+    "LIVE_TENSORS",
+    "MEMORY_BOUND_HALO_THRESHOLD",
+    "PerfReport",
+    "WavefrontProfile",
+    "analyze_stencils",
+    "pattern_halos",
+    "perf_findings",
+    "predict",
+    "static_cost",
+    "wavefront_profile",
+    "wavefront_profile_from_csr",
+]

@@ -1,0 +1,396 @@
+"""The static performance prover (PR 8 tentpole).
+
+Given a stencil pattern, a space shape and tile sizes — the schedule the
+compiler is about to build — :func:`predict` derives, *without executing
+anything*, everything the roofline and wavefront arguments of the paper
+need:
+
+* exact per-tile and per-sweep memory footprints, through the affine
+  footprint engine (:mod:`repro.analysis.affine.footprint`);
+* bytes moved per cache level: compulsory DRAM streaming when the live
+  data exceeds the last-level cache, L2-level halo-recompute traffic
+  (window − core), and per-access L1 touches;
+* flops, operational intensity and the vectorizable innermost extent;
+* a wavefront parallelism profile from the CSR schedule — critical-path
+  length, mean/max group width, and the Brent-bound speedup ceiling
+  ``T1 / max(T1/p, T∞)``;
+* a predicted sweep time priced against a :class:`MachineModel`'s
+  capacities, bandwidths and per-event costs.
+
+:func:`static_cost` is the scalar the autotuner minimizes;
+:func:`wavefront_profile_from_csr` consumes an already-computed CSR
+schedule (a :class:`~repro.core.scheduling.ScheduleStamp`), which the
+prediction-accuracy bench cross-validates against the machine-model
+simulator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.analysis.affine.footprint import SweepFootprint, sweep_footprint
+from repro.core.scheduling import compute_parallel_blocks
+from repro.core.stencil import StencilPattern
+from repro.machine.model import MachineModel, resolve_machine_model
+
+#: Everything in this reproduction computes in float64.
+DTYPE_BYTES = 8
+#: Live tensors of one sweep: X (coefficients), B (rhs), Y (solution).
+LIVE_TENSORS = 3
+#: Largest tile grid whose CSR schedule is derived exactly; beyond it
+#: the wavefront profile is skipped (the longest-path replay is
+#: O(tiles · |L|) and static costing must stay cheap).
+MAX_PROFILE_TILES = 20_000
+
+
+@dataclass(frozen=True)
+class WavefrontProfile:
+    """Parallelism shape of one CSR wavefront schedule."""
+
+    num_tiles: int
+    #: Number of wavefront groups — the schedule's critical-path length.
+    num_groups: int
+    max_width: int
+    mean_width: float
+
+    def brent_speedup(self, threads: int) -> float:
+        """Brent's bound with unit tile cost: ``T1 / max(T1/p, T∞)``,
+        i.e. ``min(p, tiles/groups)`` — the speedup ceiling no executor
+        of this schedule can beat."""
+        if self.num_tiles <= 0 or threads <= 0:
+            return 1.0
+        t1 = float(self.num_tiles)
+        return t1 / max(t1 / threads, float(self.num_groups))
+
+
+def wavefront_profile_from_csr(
+    offsets: Union[Sequence[int], np.ndarray],
+) -> WavefrontProfile:
+    """Profile from a CSR group-offsets array (the
+    ``cfd.get_parallel_blocks`` payload / ``ScheduleStamp`` shape)."""
+    sizes = np.diff(np.asarray(offsets, dtype=np.int64))
+    if np.any(sizes < 0):
+        raise ValueError("CSR group offsets must be non-decreasing")
+    sizes = sizes[sizes > 0]
+    total = int(sizes.sum())
+    groups = int(len(sizes))
+    return WavefrontProfile(
+        num_tiles=total,
+        num_groups=groups,
+        max_width=int(sizes.max()) if groups else 0,
+        mean_width=(total / groups) if groups else 0.0,
+    )
+
+
+def wavefront_profile(
+    pattern: StencilPattern,
+    tile_grid: Sequence[int],
+    tile_sizes: Sequence[int],
+) -> Optional[WavefrontProfile]:
+    """Profile of the schedule the compiler would build for this tiling:
+    block-level dependence offsets from the L pattern, then the exact
+    Eq. (3) longest-path CSR groups. ``None`` when the grid exceeds
+    :data:`MAX_PROFILE_TILES` or is empty."""
+    num_tiles = 1
+    for n in tile_grid:
+        num_tiles *= int(n)
+    if num_tiles <= 0 or num_tiles > MAX_PROFILE_TILES:
+        return None
+    deps = pattern.block_stencil_offsets(tile_sizes)
+    csr_offsets, _ = compute_parallel_blocks(tile_grid, deps)
+    return wavefront_profile_from_csr(csr_offsets)
+
+
+@dataclass(frozen=True)
+class PerfReport:
+    """Everything the prover can say about one schedule, statically."""
+
+    machine_name: str
+    space_shape: Tuple[int, ...]
+    tile_sizes: Tuple[int, ...]
+    nb_var: int
+    vf: int
+
+    # -- footprints (exact cell counts from the affine engine) --
+    tile_grid: Tuple[int, ...]
+    num_tiles: int
+    sweep_core_cells: int
+    sweep_window_cells: int
+    #: Widest single tile's halo-inclusive working set across the live
+    #: tensors — what must fit the private cache.
+    tile_window_bytes: int
+    #: (window − core) / core: the fraction of traffic that is halo
+    #: re-reads rather than useful cells.
+    halo_ratio: float
+
+    # -- traffic per cache level, bytes per sweep --
+    bytes_l1: int
+    bytes_l2: int
+    bytes_dram: int
+    #: True when the live data fits the last-level cache, so steady-state
+    #: sweeps stream from cache rather than DRAM.
+    cache_resident: bool
+
+    # -- compute --
+    flops: int
+    operational_intensity: float
+    #: Vectorizable innermost extent (the unit-stride run length).
+    innermost_extent: int
+    #: False when the innermost dimension is pinned to extent 1, making
+    #: every access effectively strided/scalar.
+    unit_stride_innermost: bool
+    vector_utilization: float
+    #: Dimensions pinned to tile size 1 by §2.1 legality: widening any
+    #: of them alone would break the lexicographic block order (the
+    #: legalizer would force it straight back to 1).
+    pinned_dims: Tuple[int, ...]
+
+    # -- predicted time, seconds per sweep (single thread) --
+    t_compute: float
+    t_dram: float
+    t_halo: float
+    t_loop: float
+    predicted_seconds: float
+
+    # -- parallelism --
+    wavefront: Optional[WavefrontProfile]
+
+    @property
+    def predicted_ms(self) -> float:
+        return self.predicted_seconds * 1e3
+
+    def to_json(self) -> dict:
+        out = {
+            "machine": self.machine_name,
+            "space_shape": list(self.space_shape),
+            "tile_sizes": list(self.tile_sizes),
+            "nb_var": self.nb_var,
+            "vf": self.vf,
+            "tile_grid": list(self.tile_grid),
+            "num_tiles": self.num_tiles,
+            "sweep_core_cells": self.sweep_core_cells,
+            "sweep_window_cells": self.sweep_window_cells,
+            "tile_window_bytes": self.tile_window_bytes,
+            "halo_ratio": self.halo_ratio,
+            "bytes_l1": self.bytes_l1,
+            "bytes_l2": self.bytes_l2,
+            "bytes_dram": self.bytes_dram,
+            "cache_resident": self.cache_resident,
+            "flops": self.flops,
+            "operational_intensity": self.operational_intensity,
+            "innermost_extent": self.innermost_extent,
+            "unit_stride_innermost": self.unit_stride_innermost,
+            "vector_utilization": self.vector_utilization,
+            "pinned_dims": list(self.pinned_dims),
+            "t_compute": self.t_compute,
+            "t_dram": self.t_dram,
+            "t_halo": self.t_halo,
+            "t_loop": self.t_loop,
+            "predicted_seconds": self.predicted_seconds,
+        }
+        if self.wavefront is not None:
+            out["wavefront"] = {
+                "num_tiles": self.wavefront.num_tiles,
+                "num_groups": self.wavefront.num_groups,
+                "max_width": self.wavefront.max_width,
+                "mean_width": self.wavefront.mean_width,
+            }
+        return out
+
+
+def pattern_halos(pattern: StencilPattern) -> Tuple[Tuple[int, int], ...]:
+    """Per-dimension ``(lo, hi)`` read margins of the pattern."""
+    halos = []
+    for d in range(pattern.rank):
+        lo = max([0] + [-o[d] for o, _ in pattern.accesses])
+        hi = max([0] + [o[d] for o, _ in pattern.accesses])
+        halos.append((lo, hi))
+    return tuple(halos)
+
+
+def predict(
+    pattern: StencilPattern,
+    space_shape: Sequence[int],
+    tile_sizes: Sequence[int],
+    *,
+    nb_var: int = 1,
+    machine: Union[MachineModel, str, None] = None,
+    vf: int = 8,
+    live_tensors: int = LIVE_TENSORS,
+    dtype_bytes: int = DTYPE_BYTES,
+    with_wavefront: bool = True,
+) -> PerfReport:
+    """Statically price one sweep of ``pattern`` over ``space_shape``
+    tiled with ``tile_sizes`` on ``machine`` (a :class:`MachineModel`,
+    a preset name, or ``None`` for the resolved default)."""
+    if not isinstance(machine, MachineModel):
+        machine = resolve_machine_model(machine)
+    space_shape = tuple(int(n) for n in space_shape)
+    tile_sizes = tuple(int(t) for t in tile_sizes)
+    if len(tile_sizes) != pattern.rank or len(space_shape) != pattern.rank:
+        raise ValueError("space/tile rank must match the pattern rank")
+
+    interior = pattern.interior_bounds(space_shape)
+    halos = pattern_halos(pattern)
+    fp: SweepFootprint = sweep_footprint(
+        space_shape, interior, tile_sizes, halos
+    )
+
+    core_cells = fp.core_cells
+    window_cells = fp.window_cells
+    cell_bytes = nb_var * dtype_bytes
+    tile_window_bytes = fp.max_tile_window_cells * live_tensors * cell_bytes
+    halo_cells = max(0, window_cells - core_cells)
+    halo_ratio = (halo_cells / core_cells) if core_cells else 0.0
+
+    # ---- traffic per level -------------------------------------------------
+    # DRAM: one sweep must stream every live tensor at least once when the
+    # live data exceeds the last-level cache; below that, steady-state
+    # sweeps are cache-resident and the compulsory DRAM term vanishes.
+    domain_cells = 1
+    for n in space_shape:
+        domain_cells *= n
+    domain_bytes = domain_cells * live_tensors * cell_bytes
+    cache_resident = domain_bytes <= machine.l3_bytes_total
+    bytes_dram = 0 if cache_resident else domain_bytes
+    # L2: every tile loads its halo-inclusive window of the live tensors.
+    bytes_l2 = window_cells * live_tensors * cell_bytes
+    # L1: every access of every interior cell touches the L1 (the stencil
+    # reads + the B read + the Y write).
+    accesses = pattern.num_accesses + 2
+    bytes_l1 = accesses * core_cells * cell_bytes
+
+    # ---- compute and vector shape -----------------------------------------
+    lo, hi = interior[-1]
+    interior_inner = max(0, hi - lo)
+    innermost = max(1, min(tile_sizes[-1], max(1, interior_inner)))
+    unit_stride = innermost > 1
+    calls_per_strip = -(-innermost // vf) if vf > 1 else innermost
+    utilization = (
+        innermost / (vf * calls_per_strip) if vf > 1 and calls_per_strip
+        else 1.0 / max(1, vf)
+    )
+    strips = core_cells // innermost if innermost else 0
+    vector_calls = strips * calls_per_strip * accesses * nb_var
+    # Per interior cell: one multiply-add per access plus the residual
+    # combine, per variable.
+    flops = core_cells * nb_var * (2 * pattern.num_accesses + 2)
+
+    # ---- price it ----------------------------------------------------------
+    t_compute = flops / (machine.flops_per_core * max(utilization, 1e-9))
+    t_dram = bytes_dram / machine.mem_bw_per_numa
+    halo_bytes = halo_cells * live_tensors * cell_bytes
+    t_halo = halo_bytes / machine.cache_bw
+    t_loop = (
+        fp.num_tiles * machine.tile_start_seconds
+        + strips * machine.strip_start_seconds
+        + vector_calls * machine.vector_call_seconds
+    )
+    # Cross-outer-step reuse: advancing the tile's outermost index by one
+    # re-reads the window's trailing plane (the last two dims' extents).
+    plane_dims = fp.dims[-2:] if len(fp.dims) >= 2 else fp.dims
+    plane_bytes = live_tensors * cell_bytes
+    for d in plane_dims:
+        plane_bytes *= d.window_max
+    if tile_window_bytes > machine.l2_bytes:
+        # Spilled working set: every per-tile/strip/call operand touch
+        # now misses the private cache (the PF001 regime).
+        t_loop *= machine.cache_spill_penalty
+    elif plane_bytes > machine.l1_bytes:
+        # Middle tier: the tile fits L2, but its reuse plane spills L1,
+        # so halo rereads between neighbouring strips come from L2.
+        t_loop *= machine.l1_spill_penalty
+    predicted = max(t_compute, t_dram) + t_halo + t_loop
+
+    oi_denominator = bytes_dram if bytes_dram else bytes_l2
+    oi = flops / oi_denominator if oi_denominator else float("inf")
+
+    pinned = _pinned_dims(pattern, tile_sizes)
+
+    wf = (
+        wavefront_profile(pattern, fp.tile_grid, tile_sizes)
+        if with_wavefront
+        else None
+    )
+
+    return PerfReport(
+        machine_name=machine.name,
+        space_shape=space_shape,
+        tile_sizes=tile_sizes,
+        nb_var=nb_var,
+        vf=vf,
+        tile_grid=fp.tile_grid,
+        num_tiles=fp.num_tiles,
+        sweep_core_cells=core_cells,
+        sweep_window_cells=window_cells,
+        tile_window_bytes=tile_window_bytes,
+        halo_ratio=halo_ratio,
+        bytes_l1=bytes_l1,
+        bytes_l2=bytes_l2,
+        bytes_dram=bytes_dram,
+        cache_resident=cache_resident,
+        flops=flops,
+        operational_intensity=oi,
+        innermost_extent=innermost,
+        unit_stride_innermost=unit_stride,
+        vector_utilization=utilization,
+        pinned_dims=pinned,
+        t_compute=t_compute,
+        t_dram=t_dram,
+        t_halo=t_halo,
+        t_loop=t_loop,
+        predicted_seconds=predicted,
+        wavefront=wf,
+    )
+
+
+def _pinned_dims(
+    pattern: StencilPattern, tile_sizes: Tuple[int, ...]
+) -> Tuple[int, ...]:
+    """Dimensions the §2.1 legalizer holds at tile size 1: widening the
+    dimension alone is immediately forced back (or rejected outright).
+    Asked of the real legalizer rather than re-derived, so the report
+    can never disagree with what the tiling pass would do."""
+    from repro.core.tiling import legalize_tile_sizes
+
+    pinned = []
+    for d, size in enumerate(tile_sizes):
+        if size != 1:
+            continue
+        widened = list(tile_sizes)
+        widened[d] = 2
+        try:
+            legal = legalize_tile_sizes(pattern, widened)
+        except ValueError:
+            pinned.append(d)
+            continue
+        if legal[d] == 1:
+            pinned.append(d)
+    return tuple(pinned)
+
+
+def static_cost(
+    pattern: StencilPattern,
+    space_shape: Sequence[int],
+    tile_sizes: Sequence[int],
+    *,
+    nb_var: int = 1,
+    machine: Union[MachineModel, str, None] = None,
+    vf: int = 8,
+) -> float:
+    """The scalar the autotuner's ``static`` mode minimizes: predicted
+    single-thread seconds per sweep (wavefront profiling skipped — it
+    does not change a single-thread ranking and the candidate loop must
+    stay cheap)."""
+    return predict(
+        pattern,
+        space_shape,
+        tile_sizes,
+        nb_var=nb_var,
+        machine=machine,
+        vf=vf,
+        with_wavefront=False,
+    ).predicted_seconds

@@ -10,9 +10,17 @@ Two costing modes:
 
 * **measured** — compile and time each candidate on a given workload
   factory (what the paper does; used by the Table 2 bench);
-* **model** — a closed-form cost favoring long innermost tiles (vector
-  efficiency) and low surface-to-volume ratio (halo overhead), used when
-  measuring is too expensive.
+* **static** — the static performance prover
+  (:mod:`repro.analysis.perf`): predicted seconds per sweep from the
+  exact affine footprints, the machine model's roofline terms and the
+  per-tile/per-vector-call overheads. This replaced the PR-seed ad-hoc
+  closed-form cost; the prediction-accuracy bench
+  (``benchmarks/test_pr8_static_cost.py``) audits that it ranks
+  candidates the way measured runtimes do.
+
+The machine model defaults to :func:`resolve_machine_model` — pin
+``REPRO_MACHINE`` (or pass ``machine=``) to make rankings deterministic
+across hosts.
 """
 
 from __future__ import annotations
@@ -20,10 +28,11 @@ from __future__ import annotations
 import itertools
 import time
 from dataclasses import dataclass
-from typing import Callable, List, Optional, Sequence, Tuple
+from typing import Callable, List, Optional, Sequence, Tuple, Union
 
 from repro.core.stencil import StencilPattern
 from repro.core.tiling import legalize_tile_sizes, tile_footprint_bytes
+from repro.machine.model import MachineModel, resolve_machine_model
 
 
 @dataclass
@@ -35,15 +44,25 @@ class TuneResult:
     trace: List[Tuple[Tuple[int, ...], float]]
 
 
+def _resolve(machine: Union[MachineModel, str, None]) -> MachineModel:
+    if isinstance(machine, MachineModel):
+        return machine
+    return resolve_machine_model(machine)
+
+
 def candidate_tile_sizes(
     pattern: StencilPattern,
     space_shape: Sequence[int],
     nb_var: int = 1,
-    cache_bytes: int = 1 << 20,
+    cache_bytes: Optional[int] = None,
     live_tensors: int = 3,
     size_pool: Sequence[int] = (1, 2, 4, 8, 16, 32, 64, 128, 256),
+    machine: Union[MachineModel, str, None] = None,
 ) -> List[Tuple[int, ...]]:
-    """All legalized size vectors within the cache-capacity bound."""
+    """All legalized size vectors within the cache-capacity bound
+    (``cache_bytes`` defaults to the machine model's private L2)."""
+    if cache_bytes is None:
+        cache_bytes = _resolve(machine).l2_bytes
     pools = []
     for d, n in enumerate(space_shape):
         pools.append([s for s in size_pool if s <= max(1, n)])
@@ -62,74 +81,67 @@ def candidate_tile_sizes(
     return out
 
 
-def model_cost(
+def static_cost(
     tile_sizes: Sequence[int],
     pattern: StencilPattern,
+    space_shape: Sequence[int],
+    nb_var: int = 1,
     vf: int = 8,
-    alpha_halo: float = 1.0,
-    alpha_vector: float = 4.0,
+    machine: Union[MachineModel, str, None] = None,
 ) -> float:
-    """A simple analytic cost per interior element.
+    """Predicted seconds per sweep from the static performance prover
+    (imported lazily: ``repro.analysis`` depends on core modules)."""
+    from repro.analysis.perf import static_cost as prover_cost
 
-    * halo overhead: recomputation/loads grow with the surface-to-volume
-      ratio, weighted by the pattern halo;
-    * vector efficiency: innermost extents that are not multiples of VF
-      pay the peeled-scalar penalty for the remainder fraction.
-    """
-    volume = 1
-    for t in tile_sizes:
-        volume *= t
-    halos = []
-    for d in range(pattern.rank):
-        lo = max([0] + [-o[d] for o, _ in pattern.accesses])
-        hi = max([0] + [o[d] for o, _ in pattern.accesses])
-        halos.append(lo + hi)
-    surface = 0.0
-    for d, t in enumerate(tile_sizes):
-        inflated = 1.0
-        for e, s in enumerate(tile_sizes):
-            inflated *= (s + halos[e]) if e == d else s
-        surface += inflated - volume
-    halo_term = alpha_halo * surface / volume
-    inner = tile_sizes[-1]
-    remainder = inner % vf
-    vector_term = alpha_vector * (remainder / inner if inner else 1.0)
-    return 1.0 + halo_term + vector_term
+    return prover_cost(
+        pattern,
+        space_shape,
+        tile_sizes,
+        nb_var=nb_var,
+        machine=_resolve(machine),
+        vf=vf,
+    )
 
 
 def autotune(
     pattern: StencilPattern,
     space_shape: Sequence[int],
     nb_var: int = 1,
-    cache_bytes: int = 1 << 20,
+    cache_bytes: Optional[int] = None,
     measure: Optional[Callable[[Tuple[int, ...]], float]] = None,
     vf: int = 8,
     max_candidates: Optional[int] = None,
+    machine: Union[MachineModel, str, None] = None,
 ) -> TuneResult:
-    """Pick tile sizes: measured when ``measure`` is given, modeled
-    otherwise.
+    """Pick tile sizes: measured when ``measure`` is given, statically
+    priced otherwise.
 
     ``measure`` maps a size vector to a time (seconds); the tuner
-    minimizes it. Candidates are pre-sorted by the model so a truncated
-    search (``max_candidates``) still looks at the most promising sizes.
+    minimizes it. Candidates are pre-sorted by the static cost so a
+    truncated search (``max_candidates``) still looks at the most
+    promising sizes. Both modes minimize *seconds*, so their rankings
+    are directly comparable (the PR 8 acceptance criterion).
     """
+    resolved = _resolve(machine)
     candidates = candidate_tile_sizes(
-        pattern, space_shape, nb_var, cache_bytes
+        pattern, space_shape, nb_var, cache_bytes, machine=resolved
     )
     if not candidates:
         raise ValueError("no tile sizes fit the cache-capacity bound")
-    candidates.sort(key=lambda c: model_cost(c, pattern, vf))
+    costs = {
+        sizes: static_cost(
+            sizes, pattern, space_shape, nb_var, vf, machine=resolved
+        )
+        for sizes in candidates
+    }
+    candidates.sort(key=costs.__getitem__)
     if max_candidates is not None:
         candidates = candidates[:max_candidates]
     trace: List[Tuple[Tuple[int, ...], float]] = []
     best: Tuple[int, ...] = candidates[0]
     best_cost = float("inf")
     for sizes in candidates:
-        cost = (
-            measure(sizes)
-            if measure is not None
-            else model_cost(sizes, pattern, vf)
-        )
+        cost = measure(sizes) if measure is not None else costs[sizes]
         trace.append((sizes, cost))
         if cost < best_cost:
             best, best_cost = sizes, cost

@@ -93,6 +93,14 @@ class CompileOptions:
         diagnostics on fallback), ``"enumerated"`` (legacy per-instance
         engines). ``None`` defers to the ``REPRO_VERIFY`` environment
         variable, then ``auto``.
+    machine:
+        Machine model preset name for every performance client — the
+        static performance prover, the perf lint and the autotuner's
+        static costing (see
+        :data:`repro.machine.model.MACHINE_PRESETS`; ``"host"`` forces
+        host calibration). ``None`` defers to the ``REPRO_MACHINE``
+        environment variable, then the host-calibrated model. Part of
+        the cache fingerprint like every other option.
     """
 
     subdomain_sizes: Optional[Tuple[int, ...]] = None
@@ -106,6 +114,7 @@ class CompileOptions:
     check_level: str = "off"
     validate_passes: bool = False
     verify_engine: Optional[str] = None
+    machine: Optional[str] = None
 
     def describe(self) -> str:
         parts = []

@@ -92,11 +92,16 @@ def tile_footprint_bytes(
 ) -> int:
     """The cache-capacity model of §2.1: tile volume x nbVar x live
     tensors (X, B, Y) x element size. Used by the autotuner to bound
-    candidate tiles by the private L2 size."""
-    volume = 1
-    for t in tile_sizes:
-        volume *= int(t)
-    return volume * nb_var * live_tensors * dtype_bytes
+    candidate tiles by the private L2 size.
+
+    The volume is answered by the affine footprint engine
+    (:func:`repro.analysis.affine.footprint.box_cells`) — the same
+    decision procedure behind the verification gates — imported lazily
+    to avoid the core↔analysis import cycle (the legality checker does
+    the same)."""
+    from repro.analysis.affine.footprint import box_cells
+
+    return box_cells(tile_sizes) * nb_var * live_tensors * dtype_bytes
 
 
 def tile_stencil_op(

@@ -7,20 +7,41 @@ analytic simulator: the compiler's *actual* CSR wavefront schedule is
 list-scheduled over ``p`` workers with per-group barrier costs and a
 NUMA-aware memory-bandwidth ceiling, calibrated with measured
 single-thread tile times. See DESIGN.md ("Substitutions").
+
+Model selection: :func:`resolve_machine_model` resolves an explicit
+preset name, then the ``REPRO_MACHINE`` environment variable, then the
+host-calibrated model — the shared pin for the static performance
+prover, the perf lint and the autotuner's static costing.
 """
 
-from repro.machine.model import MachineModel, XEON_6152, LOCAL_SINGLE_CORE
+from repro.machine.model import (
+    LOCAL_SINGLE_CORE,
+    MACHINE_ENV,
+    MACHINE_PRESETS,
+    PY_NUMPY_BACKEND,
+    XEON_6152,
+    MachineModel,
+    host_machine_model,
+    resolve_machine_model,
+)
 from repro.machine.simulator import (
     WorkloadProfile,
+    profile_from_schedule,
     simulate_wavefront_execution,
     speedup_curve,
 )
 
 __all__ = [
     "MachineModel",
+    "MACHINE_ENV",
+    "MACHINE_PRESETS",
     "XEON_6152",
     "LOCAL_SINGLE_CORE",
+    "PY_NUMPY_BACKEND",
+    "host_machine_model",
+    "resolve_machine_model",
     "WorkloadProfile",
+    "profile_from_schedule",
     "simulate_wavefront_execution",
     "speedup_curve",
 ]

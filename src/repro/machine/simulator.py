@@ -82,6 +82,13 @@ def simulate_wavefront_execution(
     )
     per_iteration = 0.0
     for size in profile.wavefront_sizes:
+        if size < 0:
+            raise ValueError(f"negative wavefront group size {size}")
+        if size == 0:
+            # An empty group schedules no tiles and synchronizes nobody;
+            # degenerate CSR payloads (empty grids, collapsed groups)
+            # must not accrue barrier time.
+            continue
         active = min(threads, size)
         rounds = -(-size // threads)
         tile_time = profile.tile_seconds * _bandwidth_factor(
@@ -131,10 +138,21 @@ def cell_time_curve(
 def profile_from_schedule(
     offsets, tile_seconds: float, tile_bytes: float, iterations: int = 1
 ) -> WorkloadProfile:
-    """Build a profile straight from a CSR schedule's offsets array."""
+    """Build a profile straight from a CSR schedule's offsets array.
+
+    Degenerate payloads are handled explicitly: an empty or single-entry
+    offsets array means an empty schedule (no groups), and decreasing
+    offsets are rejected — a negative group size is always a corrupted
+    schedule, never a workload.
+    """
     import numpy as np
 
-    sizes = list(np.diff(np.asarray(offsets)))
+    offsets = np.asarray(offsets)
+    sizes = list(np.diff(offsets)) if offsets.size > 1 else []
+    if any(s < 0 for s in sizes):
+        raise ValueError(
+            f"CSR offsets must be non-decreasing, got {offsets.tolist()}"
+        )
     return WorkloadProfile(
         wavefront_sizes=[int(s) for s in sizes],
         tile_seconds=tile_seconds,

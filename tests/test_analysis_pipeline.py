@@ -157,6 +157,7 @@ class TestCacheKeyAudit:
         "check_level": "after-pipeline",
         "validate_passes": True,
         "verify_engine": "symbolic",
+        "machine": "py-numpy",
     }
 
     def test_alternates_cover_every_field(self):

@@ -5,7 +5,7 @@ import pytest
 from repro.core.autotune import (
     autotune,
     candidate_tile_sizes,
-    model_cost,
+    static_cost,
     timed_measure,
 )
 from repro.core.stencil import (
@@ -14,6 +14,7 @@ from repro.core.stencil import (
     gauss_seidel_9pt_2d,
 )
 from repro.core.tiling import tile_footprint_bytes
+from repro.machine.model import PY_NUMPY_BACKEND, XEON_6152
 
 
 class TestCandidates:
@@ -46,23 +47,66 @@ class TestCandidates:
         )
         assert len(small) < len(large)
 
+    def test_cache_bound_defaults_to_machine_l2(self):
+        explicit = candidate_tile_sizes(
+            gauss_seidel_5pt_2d(), (512, 512),
+            cache_bytes=XEON_6152.l2_bytes,
+        )
+        defaulted = candidate_tile_sizes(
+            gauss_seidel_5pt_2d(), (512, 512), machine=XEON_6152
+        )
+        assert explicit == defaulted
 
-class TestModelCost:
+
+class TestStaticCost:
+    """The prover-backed cost that replaced the ad-hoc closed form."""
+
     def test_prefers_vf_multiple_innermost(self):
         p = gauss_seidel_5pt_2d()
-        aligned = model_cost((32, 64), p, vf=8)
-        ragged = model_cost((32, 60), p, vf=8)
+        aligned = static_cost(
+            (32, 64), p, (512, 512), vf=8, machine=PY_NUMPY_BACKEND
+        )
+        ragged = static_cost(
+            (32, 60), p, (512, 512), vf=8, machine=PY_NUMPY_BACKEND
+        )
         assert aligned < ragged
 
-    def test_penalizes_thin_tiles(self):
+    def test_penalizes_short_innermost_tiles(self):
         p = gauss_seidel_5pt_2d()
-        # Same volume, higher surface-to-volume for the thin shape.
-        assert model_cost((2, 128), p, vf=8) > model_cost((16, 16), p, vf=8)
+        # Same volume; the short innermost extent wastes vector lanes and
+        # multiplies per-call overhead.
+        thin = static_cost(
+            (128, 2), p, (512, 512), vf=8, machine=PY_NUMPY_BACKEND
+        )
+        square = static_cost(
+            (16, 16), p, (512, 512), vf=8, machine=PY_NUMPY_BACKEND
+        )
+        assert thin > square
+
+    def test_cost_is_seconds_and_positive(self):
+        cost = static_cost(
+            (16, 32), gauss_seidel_5pt_2d(), (128, 128),
+            machine=PY_NUMPY_BACKEND,
+        )
+        assert 0 < cost < 60.0
+
+    def test_more_halo_traffic_costs_more(self):
+        p = gauss_seidel_5pt_2d()
+        # Thin leading tiles re-read whole rows of halo per tile.
+        thin = static_cost(
+            (1, 256), p, (512, 512), machine=PY_NUMPY_BACKEND
+        )
+        fat = static_cost(
+            (64, 256), p, (512, 512), machine=PY_NUMPY_BACKEND
+        )
+        assert thin > fat
 
 
 class TestAutotune:
-    def test_model_based_choice_is_legal_and_cached(self):
-        result = autotune(gauss_seidel_9pt_2d(), (512, 512))
+    def test_static_choice_is_legal_and_traced(self):
+        result = autotune(
+            gauss_seidel_9pt_2d(), (512, 512), machine=PY_NUMPY_BACKEND
+        )
         assert result.tile_sizes[0] == 1
         assert result.candidates_tried == len(result.trace)
         assert result.cost == min(c for _, c in result.trace)
@@ -84,7 +128,8 @@ class TestAutotune:
 
     def test_max_candidates_truncates(self):
         result = autotune(
-            gauss_seidel_5pt_2d(), (256, 256), max_candidates=5
+            gauss_seidel_5pt_2d(), (256, 256), max_candidates=5,
+            machine=PY_NUMPY_BACKEND,
         )
         assert result.candidates_tried == 5
 

@@ -1,0 +1,115 @@
+"""Degenerate CSR schedules and machine-model resolution (PR 8
+satellites): :func:`profile_from_schedule` on empty / single-tile /
+one-wide payloads, the simulator's handling of empty wavefront groups,
+and the ``REPRO_MACHINE`` override order."""
+
+import numpy as np
+import pytest
+
+from repro.machine.model import (
+    LOCAL_SINGLE_CORE,
+    MACHINE_ENV,
+    MACHINE_PRESETS,
+    PY_NUMPY_BACKEND,
+    XEON_6152,
+    host_machine_model,
+    resolve_machine_model,
+)
+from repro.machine.simulator import (
+    WorkloadProfile,
+    profile_from_schedule,
+    simulate_wavefront_execution,
+)
+
+
+class TestProfileFromScheduleDegenerates:
+    def test_empty_offsets(self):
+        for offsets in ([], [0], np.array([], dtype=np.int64)):
+            profile = profile_from_schedule(offsets, 1e-3, 1e3)
+            assert profile.wavefront_sizes == []
+            assert profile.total_tiles == 0
+
+    def test_single_tile(self):
+        profile = profile_from_schedule([0, 1], 1e-3, 1e3)
+        assert profile.wavefront_sizes == [1]
+        assert profile.total_tiles == 1
+
+    def test_one_wide_wavefronts(self):
+        offsets = list(range(9))  # 8 groups of exactly one tile
+        profile = profile_from_schedule(offsets, 1e-3, 1e3)
+        assert profile.wavefront_sizes == [1] * 8
+        assert profile.total_tiles == 8
+
+    def test_empty_groups_preserved_but_harmless(self):
+        profile = profile_from_schedule([0, 0, 3, 3, 5], 1e-3, 1e3)
+        assert profile.wavefront_sizes == [0, 3, 0, 2]
+        assert profile.total_tiles == 5
+
+    def test_decreasing_offsets_rejected(self):
+        with pytest.raises(ValueError, match="non-decreasing"):
+            profile_from_schedule([0, 4, 2], 1e-3, 1e3)
+
+    def test_iterations_multiply_tiles(self):
+        profile = profile_from_schedule([0, 2, 4], 1e-3, 1e3, iterations=3)
+        assert profile.total_tiles == 12
+
+
+class TestSimulatorDegenerates:
+    def test_empty_schedule_takes_no_time(self):
+        profile = WorkloadProfile([], 1e-3, 1e3)
+        assert simulate_wavefront_execution(profile, 4, XEON_6152) == 0.0
+
+    def test_empty_groups_accrue_no_barriers(self):
+        with_empties = WorkloadProfile([0, 4, 0, 0, 4, 0], 1e-3, 1e3)
+        dense = WorkloadProfile([4, 4], 1e-3, 1e3)
+        t_a = simulate_wavefront_execution(with_empties, 8, XEON_6152)
+        t_b = simulate_wavefront_execution(dense, 8, XEON_6152)
+        assert t_a == pytest.approx(t_b)
+
+    def test_negative_group_size_rejected(self):
+        profile = WorkloadProfile([2, -1], 1e-3, 1e3)
+        with pytest.raises(ValueError, match="negative"):
+            simulate_wavefront_execution(profile, 2, XEON_6152)
+
+    def test_one_wide_wavefronts_never_speed_up(self):
+        profile = WorkloadProfile([1] * 16, 1e-3, 1e3)
+        t1 = simulate_wavefront_execution(profile, 1, XEON_6152)
+        t8 = simulate_wavefront_execution(profile, 8, XEON_6152)
+        # Serial chain plus barrier costs: more threads cannot help.
+        assert t8 >= t1
+
+
+class TestMachineResolution:
+    def test_explicit_preset_wins(self, monkeypatch):
+        monkeypatch.setenv(MACHINE_ENV, "py-numpy")
+        assert resolve_machine_model("xeon-6152") is XEON_6152
+
+    def test_env_pins_preset(self, monkeypatch):
+        monkeypatch.setenv(MACHINE_ENV, "py-numpy")
+        assert resolve_machine_model() is PY_NUMPY_BACKEND
+        assert host_machine_model() is PY_NUMPY_BACKEND
+
+    def test_host_forces_calibration_over_env(self, monkeypatch):
+        monkeypatch.setenv(MACHINE_ENV, "xeon-6152")
+        model = resolve_machine_model("host")
+        assert model not in (XEON_6152, PY_NUMPY_BACKEND)
+        assert model.cores >= 1
+
+    def test_unset_env_calibrates_host(self, monkeypatch):
+        monkeypatch.delenv(MACHINE_ENV, raising=False)
+        model = resolve_machine_model()
+        assert model.cores >= 1
+        assert model.numa_nodes >= 1
+
+    def test_unknown_preset_rejected(self):
+        with pytest.raises(ValueError, match="unknown machine preset"):
+            resolve_machine_model("cray-1")
+
+    def test_preset_table_is_consistent(self):
+        assert MACHINE_PRESETS["single-core"] is LOCAL_SINGLE_CORE
+        for name, model in MACHINE_PRESETS.items():
+            assert model.cores >= 1
+            assert model.l2_bytes > 0
+            assert model.l3_bytes_total == (
+                model.l3_bytes_per_numa * model.numa_nodes
+            )

@@ -1,0 +1,161 @@
+"""Tests for the performance lint: PF findings and the ``--perf`` CLI.
+
+The acceptance contract: ``--perf`` emits at least one true PF finding
+(an error) on the deliberately mis-tiled ``perf_demo`` corpus and zero
+PF *errors* on every canonical pipeline, and every finding carries the
+predicted traffic / parallelism numbers.
+"""
+
+import json
+
+import pytest
+
+from repro.analysis.__main__ import main
+from repro.analysis.corpus import build_corpus, build_perf_demo_corpus
+from repro.analysis.perf import (
+    HALO_RATIO_THRESHOLD,
+    analyze_stencils,
+    perf_findings,
+    predict,
+)
+from repro.core.stencil import gauss_seidel_5pt_2d
+from repro.machine.model import PY_NUMPY_BACKEND, XEON_6152
+
+
+def _demo_findings(name):
+    (entry,) = [
+        e for e in build_perf_demo_corpus()["perf_demo"] if e.name == name
+    ]
+    model = XEON_6152
+    out = []
+    for op_path, report in analyze_stencils(
+        entry.build(), entry.options, machine=model
+    ):
+        out.extend(perf_findings(report, model, op_path))
+    return out
+
+
+class TestPerfFindings:
+    def test_mistiled_demo_raises_pf001_error(self):
+        diags = _demo_findings("perf_demo[mistiled]")
+        errors = [d for d in diags if d.severity == "error"]
+        assert [d.code for d in errors] == ["PF001"]
+        # The finding reads like a measurement: predicted working set
+        # and sweep time are in the message.
+        assert "MiB" in errors[0].message
+        assert "ms/sweep" in errors[0].message
+        assert errors[0].op_path == "cfd.stencilOp#0"
+
+    def test_thin_demo_is_memory_bound_with_narrow_wavefronts(self):
+        codes = {d.code for d in _demo_findings("perf_demo[thin]")}
+        assert "PF006" in codes
+        assert "PF003" in codes
+
+    def test_strided_demo_loses_vectorization(self):
+        diags = _demo_findings("perf_demo[strided]")
+        codes = {d.code for d in diags}
+        assert "PF005" in codes
+        assert "PF004" in codes
+        (pf004,) = [d for d in diags if d.code == "PF004"]
+        assert f"{HALO_RATIO_THRESHOLD:.2f}" in pf004.message
+
+    def test_canonical_corpus_has_no_pf_errors(self):
+        for stem, entries in build_corpus().items():
+            for entry in entries:
+                for op_path, report in analyze_stencils(
+                    entry.build(), entry.options, machine=PY_NUMPY_BACKEND
+                ):
+                    diags = perf_findings(
+                        report, PY_NUMPY_BACKEND, op_path
+                    )
+                    errors = [d for d in diags if d.severity == "error"]
+                    assert not errors, (
+                        f"{entry.name}: unexpected PF errors "
+                        f"{[d.code for d in errors]}"
+                    )
+
+    def test_pf003_carries_brent_ceiling(self):
+        report = predict(
+            gauss_seidel_5pt_2d(), (256, 256), (64, 64), machine=XEON_6152
+        )
+        assert report.wavefront is not None
+        diags = perf_findings(report, XEON_6152)
+        (pf003,) = [d for d in diags if d.code == "PF003"]
+        ceiling = report.wavefront.brent_speedup(XEON_6152.cores)
+        assert f"{ceiling:.1f}x" in pf003.message
+
+
+class TestPerfCli:
+    def test_perf_demo_fails_the_gate(self, capsys):
+        assert main(["--perf", "perf_demo", "-q"]) == 1
+        out = capsys.readouterr().out
+        assert "[FAIL] perf_demo[mistiled]" in out
+
+    def test_canonical_stems_pass(self, capsys):
+        code = main(
+            ["--perf", "-q", "--machine", "py-numpy",
+             "quickstart", "inspect_pipeline"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "[ok] quickstart" in out
+
+    def test_json_findings_carry_numbers(self, capsys):
+        assert main(["--perf", "--json", "perf_demo"]) == 1
+        lines = capsys.readouterr().out.strip().splitlines()
+        diags = [json.loads(line) for line in lines]
+        pf001 = [d for d in diags if d["code"] == "PF001"]
+        assert pf001
+        assert pf001[0]["severity"] == "error"
+        assert "MiB" in pf001[0]["message"]
+        assert pf001[0]["entry"] == "perf_demo[mistiled]"
+
+    def test_github_annotations(self, capsys):
+        main(["--perf", "--github", "perf_demo"])
+        out = capsys.readouterr().out
+        assert "::error file=examples/perf_demo.py,title=PF001" in out
+
+    def test_machine_flag_overrides_entry(self, capsys):
+        # A 1-core model never fires PF003 (wavefront width vs cores),
+        # and the verdict line names the override.
+        main(["--perf", "-q", "--machine", "py-numpy", "perf_demo"])
+        out = capsys.readouterr().out
+        assert "python-numpy backend" in out
+
+    def test_perf_rejects_validate(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["--perf", "--validate"])
+
+    def test_machine_requires_perf(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["--machine", "py-numpy"])
+
+    def test_standard_lint_never_sees_perf_demo(self):
+        with pytest.raises(SystemExit, match="no lint corpus"):
+            main(["perf_demo"])
+
+
+class TestAnalyzeStencils:
+    def test_reports_one_per_stencil_op(self):
+        corpus = build_corpus()
+        (entry,) = [
+            e for e in corpus["euler_lusgs"] if e.name == "euler_lusgs"
+        ]
+        reports = analyze_stencils(
+            entry.build(), entry.options, machine="xeon-6152"
+        )
+        # LU-SGS has a forward and a backward sweep op.
+        assert [path for path, _ in reports] == [
+            "cfd.stencilOp#0", "cfd.stencilOp#1"
+        ]
+        for _, report in reports:
+            assert report.nb_var == 5
+            assert report.wavefront is not None  # parallel + subdomains
+
+    def test_serial_options_have_no_wavefront(self):
+        corpus = build_corpus()
+        entry = corpus["sor_poisson"][0]
+        for _, report in analyze_stencils(
+            entry.build(), entry.options, machine="py-numpy"
+        ):
+            assert report.wavefront is None

@@ -1,0 +1,233 @@
+"""Tests for the static performance prover (PR 8 tentpole).
+
+The affine footprint engine is checked against a brute-force per-tile
+enumeration (the thing it replaces), and :func:`predict`'s derived
+quantities are checked against hand-computed values on known stencils.
+"""
+
+import pytest
+
+from repro.analysis.affine.footprint import (
+    DimWindows,
+    box_cells,
+    dim_windows,
+    sweep_footprint,
+    window_extent,
+)
+from repro.analysis.perf import (
+    predict,
+    static_cost,
+    wavefront_profile,
+    wavefront_profile_from_csr,
+)
+from repro.analysis.perf.model import MAX_PROFILE_TILES, pattern_halos
+from repro.core.stencil import (
+    gauss_seidel_5pt_2d,
+    gauss_seidel_9pt_2d,
+)
+from repro.machine.model import PY_NUMPY_BACKEND, XEON_6152
+
+
+def brute_dim(n, lo, hi, tile, halo_lo, halo_hi):
+    """Reference per-tile enumeration of one dimension's windows."""
+    core = max(0, hi - lo)
+    if core == 0:
+        return DimWindows(0, 0, 0, 0)
+    tiles = -(-core // tile)
+    ws = []
+    for k in range(tiles):
+        s = lo + k * tile
+        e = min(s + tile, hi)
+        w_lo = max(0, s - halo_lo)
+        w_hi = min(n - 1, e - 1 + halo_hi)
+        ws.append(max(0, w_hi - w_lo + 1))
+    return DimWindows(tiles, core, sum(ws), max(ws))
+
+
+class TestFootprintEngine:
+    def test_box_cells(self):
+        assert box_cells([4, 5]) == 20
+        assert box_cells([7]) == 7
+        assert box_cells([3, 0, 5]) == 0
+        assert box_cells([3, -1]) == 0
+
+    def test_window_extent_clips_to_allocation(self):
+        assert window_extent(10, -2, 4) == 5   # clipped at 0
+        assert window_extent(10, 7, 12) == 3   # clipped at n-1
+        assert window_extent(10, 2, 5) == 4    # interior
+        assert window_extent(10, 12, 15) == 0  # fully outside
+        assert window_extent(10, 5, 3) == 0    # inverted
+
+    @pytest.mark.parametrize(
+        "n,lo,hi,tile,hl,hh",
+        [
+            (64, 1, 63, 16, 1, 1),    # tiles=4: small-grid path
+            (512, 1, 511, 16, 1, 1),  # tiles=32: interior-run collapse
+            (512, 1, 511, 7, 2, 3),   # ragged last tile, asymmetric halo
+            (100, 0, 100, 9, 1, 0),   # interior == allocation
+            (33, 1, 32, 40, 1, 1),    # single tile wider than the core
+            (10, 3, 7, 2, 5, 5),      # halo clipped on every tile
+            (1000, 1, 999, 1, 1, 1),  # tile size 1, 998 tiles
+            (6, 2, 3, 1, 0, 0),       # one-cell core
+        ],
+    )
+    def test_dim_windows_matches_brute_force(self, n, lo, hi, tile, hl, hh):
+        assert dim_windows(n, lo, hi, tile, hl, hh) == brute_dim(
+            n, lo, hi, tile, hl, hh
+        )
+
+    def test_empty_core(self):
+        assert dim_windows(10, 5, 5, 4, 1, 1) == DimWindows(0, 0, 0, 0)
+
+    def test_sweep_footprint_matches_2d_enumeration(self):
+        n = (40, 50)
+        interior = ((1, 39), (1, 49))
+        tiles = (8, 13)
+        halos = ((1, 1), (1, 1))
+        fp = sweep_footprint(n, interior, tiles, halos)
+        d0 = brute_dim(n[0], *interior[0], tiles[0], *halos[0])
+        d1 = brute_dim(n[1], *interior[1], tiles[1], *halos[1])
+        assert fp.tile_grid == (d0.tiles, d1.tiles)
+        assert fp.num_tiles == d0.tiles * d1.tiles
+        assert fp.core_cells == d0.core * d1.core
+        # Separability: Σ_tiles Π_d w_d = Π_d Σ_k w_{d,k}.
+        assert fp.window_cells == d0.window_sum * d1.window_sum
+        assert fp.max_tile_window_cells == d0.window_max * d1.window_max
+        assert fp.halo_cells == fp.window_cells - fp.core_cells > 0
+
+    def test_rank_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="rank"):
+            sweep_footprint((10, 10), ((1, 9),), (4, 4), ((1, 1), (1, 1)))
+
+
+class TestWavefrontProfile:
+    def test_from_csr(self):
+        wf = wavefront_profile_from_csr([0, 1, 3, 6, 8, 9])
+        assert wf.num_tiles == 9
+        assert wf.num_groups == 5
+        assert wf.max_width == 3
+        assert wf.mean_width == pytest.approx(9 / 5)
+
+    def test_from_csr_drops_empty_groups(self):
+        wf = wavefront_profile_from_csr([0, 0, 2, 2, 5])
+        assert wf.num_tiles == 5
+        assert wf.num_groups == 2
+        assert wf.max_width == 3
+
+    def test_from_csr_rejects_decreasing(self):
+        with pytest.raises(ValueError, match="non-decreasing"):
+            wavefront_profile_from_csr([0, 3, 1])
+
+    def test_from_csr_empty(self):
+        for offsets in ([], [0], [7]):
+            wf = wavefront_profile_from_csr(offsets)
+            assert wf.num_tiles == 0
+            assert wf.num_groups == 0
+            assert wf.max_width == 0
+            assert wf.mean_width == 0.0
+            assert wf.brent_speedup(8) == 1.0
+
+    def test_brent_bound(self):
+        wf = wavefront_profile_from_csr([0, 1, 3, 6, 8, 9])
+        # T1=9, T_inf=5 groups: ceiling 9/5 regardless of extra threads.
+        assert wf.brent_speedup(44) == pytest.approx(9 / 5)
+        # With p=1 the bound is exactly 1.
+        assert wf.brent_speedup(1) == pytest.approx(1.0)
+
+    def test_gs5_diagonal_wavefronts(self):
+        # Deps {(-1,0),(0,-1)} on a g0 x g1 grid: g0+g1-1 anti-diagonal
+        # groups, widest min(g0, g1).
+        wf = wavefront_profile(gauss_seidel_5pt_2d(), (4, 6), (8, 8))
+        assert wf.num_tiles == 24
+        assert wf.num_groups == 4 + 6 - 1
+        assert wf.max_width == 4
+
+    def test_oversized_grid_skipped(self):
+        grid = (MAX_PROFILE_TILES, 2)
+        assert wavefront_profile(gauss_seidel_5pt_2d(), grid, (1, 1)) is None
+
+
+class TestPredict:
+    def test_report_fields_are_exact(self):
+        p = gauss_seidel_5pt_2d()
+        r = predict(p, (64, 64), (16, 32), machine=XEON_6152, vf=8)
+        assert r.tile_grid == (4, 2)
+        assert r.num_tiles == 8
+        assert r.sweep_core_cells == 62 * 62
+        assert r.flops == 62 * 62 * (2 * 4 + 2)
+        assert r.halo_ratio == pytest.approx(
+            (r.sweep_window_cells - r.sweep_core_cells) / r.sweep_core_cells
+        )
+        # 64x64 of 3 tensors is 96 KiB: cache resident, no DRAM term.
+        assert r.cache_resident
+        assert r.bytes_dram == 0
+        assert r.t_dram == 0.0
+        assert r.operational_intensity > 0
+        assert r.innermost_extent == 32
+        assert r.unit_stride_innermost
+        assert r.vector_utilization == 1.0  # 32 is a multiple of VF=8
+        assert r.pinned_dims == ()
+        assert r.predicted_seconds > 0
+        assert r.predicted_ms == pytest.approx(r.predicted_seconds * 1e3)
+        assert r.wavefront is not None
+        assert r.wavefront.num_tiles == 8
+
+    def test_large_domain_streams_dram(self):
+        p = gauss_seidel_5pt_2d()
+        r = predict(p, (4096, 4096), (64, 512), machine=XEON_6152)
+        # 402 MB of live data > 128 MB LLC: the compulsory stream term.
+        assert not r.cache_resident
+        assert r.bytes_dram == 4096 * 4096 * 3 * 8
+        assert r.t_dram > 0
+        assert r.operational_intensity == pytest.approx(
+            r.flops / r.bytes_dram
+        )
+
+    def test_pinned_dims_reported_for_9pt(self):
+        p = gauss_seidel_9pt_2d()
+        r = predict(p, (64, 64), (1, 32), machine=XEON_6152)
+        assert 0 in r.pinned_dims
+
+    def test_innermost_one_is_not_unit_stride(self):
+        r = predict(
+            gauss_seidel_5pt_2d(), (64, 64), (16, 1), machine=XEON_6152
+        )
+        assert not r.unit_stride_innermost
+        assert r.innermost_extent == 1
+
+    def test_wavefront_skippable(self):
+        r = predict(
+            gauss_seidel_5pt_2d(), (64, 64), (16, 16),
+            machine=XEON_6152, with_wavefront=False,
+        )
+        assert r.wavefront is None
+
+    def test_rank_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="rank"):
+            predict(gauss_seidel_5pt_2d(), (64, 64, 64), (8, 8, 8))
+
+    def test_machine_accepts_preset_name(self):
+        r = predict(
+            gauss_seidel_5pt_2d(), (32, 32), (8, 8), machine="py-numpy"
+        )
+        assert r.machine_name == PY_NUMPY_BACKEND.name
+
+    def test_to_json_round_trips_wavefront(self):
+        r = predict(
+            gauss_seidel_5pt_2d(), (64, 64), (16, 16), machine=XEON_6152
+        )
+        blob = r.to_json()
+        assert blob["tile_grid"] == [4, 4]
+        assert blob["wavefront"]["num_groups"] == r.wavefront.num_groups
+
+    def test_static_cost_is_prediction(self):
+        p = gauss_seidel_5pt_2d()
+        cost = static_cost(p, (128, 128), (16, 32), machine=PY_NUMPY_BACKEND)
+        r = predict(
+            p, (128, 128), (16, 32), machine=PY_NUMPY_BACKEND,
+            with_wavefront=False,
+        )
+        assert cost == r.predicted_seconds
+
+    def test_halos_from_pattern(self):
+        assert pattern_halos(gauss_seidel_5pt_2d()) == ((1, 1), (1, 1))
