@@ -1,0 +1,76 @@
+"""Frontend overhead: what does @stencil's static analysis cost?
+
+The frontend parses the kernel source, runs the full FE001–FE012
+analysis (offset resolution, L/U inference, normal-form proof), builds
+the IR and cross-checks the emitted pattern against the dependence
+engine — all before the compilation pipeline sees anything. This bench
+measures that cost against (a) the hand-built IR path it replaces and
+(b) one full pipeline compile, to substantiate the EXPERIMENTS.md claim
+that analysis overhead is noise relative to compilation.
+"""
+
+import textwrap
+
+from repro.bench.harness import format_table, save_results, time_callable
+from repro.core import frontend as core_frontend
+from repro.core.pipeline import CompileOptions, StencilCompiler
+from repro.core.stencil import gauss_seidel_5pt_2d
+from repro.frontend import stencil_from_source
+
+_N = 64
+
+_GS5_SRC = textwrap.dedent(
+    """
+    def kernel(u, b, i, j):
+        u[i, j] = (b[i, j] + u[i - 1, j] + u[i, j - 1]
+                   + u[i, j + 1] + u[i + 1, j]) / 4.0
+    """
+)
+
+
+def _analyze_and_build():
+    program = stencil_from_source(_GS5_SRC)
+    return program.build_module((_N, _N))
+
+
+def _hand_build():
+    return core_frontend.build_stencil_kernel(
+        gauss_seidel_5pt_2d(), (_N, _N), core_frontend.identity_body(4.0)
+    )
+
+
+def _full_compile():
+    module = _analyze_and_build()
+    options = CompileOptions(
+        subdomain_sizes=(32, 32), tile_sizes=(16, 16), fuse=True,
+        vectorize=16, use_cache=False,
+    )
+    return StencilCompiler(options).compile(module)
+
+
+def test_frontend_overhead_is_compile_noise():
+    t_frontend = time_callable(_analyze_and_build, repeats=5)
+    t_hand = time_callable(_hand_build, repeats=5)
+    t_compile = time_callable(_full_compile, repeats=3)
+
+    analysis_cost = t_frontend - t_hand
+    rows = [
+        ("hand-built IR (baseline)", t_hand * 1e3, 1.0),
+        ("@stencil analyze + build + FE012", t_frontend * 1e3,
+         t_frontend / t_hand),
+        ("full pipeline compile", t_compile * 1e3, t_compile / t_hand),
+    ]
+    print()
+    print(format_table(
+        ("path", "ms", "x hand-built"), rows,
+        title="@stencil frontend overhead (5-point GS, 64x64)",
+    ))
+    save_results("frontend_overhead", {
+        "hand_built_ms": t_hand * 1e3,
+        "frontend_ms": t_frontend * 1e3,
+        "compile_ms": t_compile * 1e3,
+        "analysis_ms": analysis_cost * 1e3,
+    })
+
+    # The claim: static analysis costs a small fraction of one compile.
+    assert t_frontend < 0.5 * t_compile

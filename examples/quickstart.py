@@ -3,8 +3,10 @@
 
 This walks the full path of the paper in ~50 lines:
 
-1. describe the stencil pattern (the L/U split of Eq. 2);
-2. build a ``cfd.stencilOp`` kernel with the frontend;
+1. write the update as a plain Python kernel under ``@stencil`` — the
+   frontend statically infers the L/U split of Eq. 2 from the read
+   offsets' sign structure (§2.1);
+2. build a ``cfd.stencilOp`` kernel from the analyzed program;
 3. compile it with the full pipeline — sub-domain wavefronts, cache
    tiling, fusion, partial vectorization;
 4. run it on NumPy arrays and check it against the textbook sweep.
@@ -15,24 +17,31 @@ Run:  python examples/quickstart.py
 import numpy as np
 
 from repro.baselines import naive
-from repro.core import frontend
 from repro.core.pipeline import CompileOptions, StencilCompiler
-from repro.core.stencil import gauss_seidel_5pt_2d
+from repro.frontend import stencil
+
+
+#: The kernel: one in-place sweep of
+#:     u[i,j] = (b[i,j] + u[i-1,j] + u[i,j-1] + u[i,j+1] + u[i+1,j]) / 4
+#: The reads at (-1,0) and (0,-1) are lexicographically *negative* — the
+#: sweep has already updated those cells, so they are current-iteration
+#: (L) reads; (0,1) and (1,0) are positive — previous-iteration (U).
+#: The frontend proves this classification; nothing is annotated.
+@stencil
+def gauss_seidel(u, b, i, j):
+    u[i, j] = (b[i, j] + u[i - 1, j] + u[i, j - 1]
+               + u[i, j + 1] + u[i + 1, j]) / 4.0
 
 
 def main() -> None:
     n = 130
     iterations = 5
-    pattern = gauss_seidel_5pt_2d()
-    print(f"pattern: {pattern}")
+    pattern = gauss_seidel.pattern
+    print(f"inferred: {gauss_seidel.summary.describe()}")
     print(f"  L (current-iteration reads): {pattern.l_offsets}")
     print(f"  U (previous-iteration reads): {pattern.u_offsets}")
 
-    # The kernel: `iterations` in-place sweeps of
-    #     Y[i,j] = (B[i,j] + Y[i-1,j] + Y[i,j-1] + X[i,j+1] + X[i+1,j]) / 4
-    module = frontend.build_stencil_kernel(
-        pattern, (n, n), frontend.identity_body(4.0), iterations=iterations
-    )
+    module = gauss_seidel.build_module((n, n), iterations=iterations)
 
     options = CompileOptions(
         subdomain_sizes=(32, 64),  # wavefront-parallel sub-domains (§2.3)

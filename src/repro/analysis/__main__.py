@@ -49,6 +49,17 @@ Performance lint:
     ``CompileOptions.machine``, then ``$REPRO_MACHINE``, then the
     host-calibrated model).
 
+Frontend lint:
+
+``--frontend``
+    Lint the ``@stencil`` frontend corpus
+    (:mod:`repro.frontend.corpus`) instead of the IR pipelines: each
+    good entry's kernel is statically analyzed (FE001–FE012), built
+    through the FE012 pattern cross-check and gate-checked as IR; the
+    ``fe_mutants`` stem holds one must-fail kernel per FE code. Exit
+    status 1 on any error-severity finding — CI runs the examples
+    (must pass) and ``fe_mutants`` (must fail, inverted).
+
 Engine selection and coverage:
 
 ``--engine {auto,symbolic,enumerated}``
@@ -169,6 +180,11 @@ def main(argv: List[str] | None = None) -> int:
         "of the correctness gates",
     )
     parser.add_argument(
+        "--frontend", action="store_true",
+        help="lint the @stencil frontend corpus (FE001-FE012) instead "
+        "of the IR pipelines",
+    )
+    parser.add_argument(
         "--machine", choices=_machine_choices(), default=None,
         help="machine-model preset for --perf (default: the entry's "
         "CompileOptions.machine, then $REPRO_MACHINE, then the host)",
@@ -189,6 +205,10 @@ def main(argv: List[str] | None = None) -> int:
         parser.error("--perf is incompatible with --validate")
     if args.machine and not args.perf:
         parser.error("--machine requires --perf")
+    if args.frontend and (args.perf or args.validate or args.certificates):
+        parser.error("--frontend is incompatible with --perf/--validate")
+    if args.frontend:
+        return _frontend_main(args)
 
     corpus = build_corpus()
     if args.perf:
@@ -247,6 +267,57 @@ def main(argv: List[str] | None = None) -> int:
               f"from {len(stems)} example(s): {total} diagnostic(s)")
     if args.stats:
         _emit_stats(args.as_json)
+    return exit_code
+
+
+def _frontend_main(args) -> int:
+    """The ``--frontend`` mode: lint the ``@stencil`` kernel corpus."""
+    from repro.frontend.corpus import build_frontend_corpus
+
+    corpus = build_frontend_corpus()
+    stems = _resolve_stems(args.paths, list(corpus))
+    machine = args.as_json or args.github
+    exit_code = 0
+    total = 0
+    linted = 0
+    for stem in stems:
+        for entry in corpus[stem]:
+            linted += 1
+            try:
+                report = entry.run()
+            except Exception as exc:  # noqa: BLE001 - degrade to a finding
+                from repro.analysis.diagnostics import DiagnosticReport
+
+                report = DiagnosticReport()
+                report.diagnostics.append(Diagnostic(
+                    "RS009",
+                    f"internal frontend-analyzer crash: "
+                    f"{type(exc).__name__}: {exc}",
+                    severity="error",
+                ))
+            total += len(report.diagnostics)
+            failed = report.has_errors
+            if args.as_json:
+                for diag in report.diagnostics:
+                    _emit_json(diag, entry.name, entry.file)
+            elif args.github:
+                for diag in report.diagnostics:
+                    _emit_github(diag, entry.name, entry.file)
+            if not args.as_json:
+                verdict = "FAIL" if failed else "ok"
+                print(
+                    f"[{verdict}] {entry.name}: {entry.description} "
+                    f"-- {report.summary()}"
+                )
+                if report.diagnostics and not args.quiet and not machine:
+                    print(report.render())
+            if failed:
+                exit_code = 1
+    if not args.as_json:
+        print(
+            f"frontend-linted {linted} kernel(s) from {len(stems)} "
+            f"stem(s): {total} diagnostic(s)"
+        )
     return exit_code
 
 

@@ -14,7 +14,10 @@ fallbacks, quarantines, checkpoints and watchdog timeouts; ``PF0xx``
 codes belong to the static performance prover
 (:mod:`repro.analysis.perf`) — cache-capacity, halo-traffic, vector
 shape and wavefront-parallelism findings priced against a machine
-model. This module is the single source of truth for the code table:
+model; ``FE0xx`` codes belong to the Python ``@stencil`` frontend
+(:mod:`repro.frontend`) — kernel-semantics findings produced by the
+static analysis pass that runs over the user's Python AST *before* any
+IR is constructed. This module is the single source of truth for the code table:
 the README diagnostics tables are generated from :data:`REGISTRY` and a
 test asserts they match exactly (codes, canonical severities, one-line
 descriptions).
@@ -193,6 +196,42 @@ REGISTRY: Dict[str, DiagnosticInfo] = {
               "the static prediction's headline numbers plus why its "
               "confidence is reduced (cache-resident working set or an "
               "unprofiled wavefront)"),
+        _info("FE001", "unsupported kernel construct", "error",
+              "a statement or expression in the kernel body is outside "
+              "the supported @stencil subset"),
+        _info("FE002", "malformed kernel signature", "error",
+              "the kernel signature does not follow the "
+              "(out[, in], rhs, *indices) parameter convention"),
+        _info("FE003", "non-affine subscript", "error",
+              "an array subscript does not resolve to index variables "
+              "plus constant offsets (non-affine or data-dependent "
+              "indexing)"),
+        _info("FE004", "subscript rank mismatch", "error",
+              "an array subscript has a different arity than the "
+              "kernel's index variables"),
+        _info("FE005", "impure reference", "error",
+              "the kernel references an unknown name or closes over "
+              "non-constant state"),
+        _info("FE006", "update not in normal form", "error",
+              "the update is not in the (B + sum of weighted reads) / d "
+              "normal form of Eq. 2"),
+        _info("FE007", "invalid in-place target", "error",
+              "the kernel must contain exactly one plain assignment to "
+              "the output field"),
+        _info("FE008", "conflicting accesses", "error",
+              "the same relative offset is read twice, or tagged both "
+              "current- and previous-iteration"),
+        _info("FE009", "self-read of the output center", "error",
+              "the output field is read at the cell being written"),
+        _info("FE010", "non-constant coefficient", "error",
+              "a stencil coefficient or divisor does not fold to a "
+              "nonzero compile-time number"),
+        _info("FE011", "in-place schedule violation", "error",
+              "an inferred current-iteration (L) read is on the wrong "
+              "lexicographic side for the sweep (§2.1)"),
+        _info("FE012", "pattern cross-check mismatch", "error",
+              "the frontend's inferred L/U pattern disagrees with the "
+              "dependence engine's re-derivation from the built IR"),
     )
 }
 

@@ -23,9 +23,8 @@ from typing import Tuple
 
 import numpy as np
 
-from repro.core import frontend
-from repro.core.stencil import gauss_seidel_6pt_3d
-from repro.dialects import arith, cfd, func, linalg, scf, tensor
+from repro.dialects import arith, func, linalg, scf, tensor
+from repro.frontend import stencil
 from repro.ir import ModuleOp, OpBuilder
 from repro.ir.types import FunctionType, TensorType, f64
 
@@ -82,16 +81,19 @@ def build_heat3d_module(
     # Phase 2: Gauss-Seidel on dT:
     #   dT[i] = lam * (Rhs[i] + sum of the six dT neighbours)
     # in Eq. 2 normal form: d = 1/lam, neighbour contributions identity.
-    st = cfd.StencilOp.build(
-        tb, dt_cur, rhs.result(), dt_cur, gauss_seidel_6pt_3d()
-    )
+    # Written as a plain-Python @stencil kernel: the frontend infers the
+    # 6-point L/U split from the read offsets' signs and the emitted op
+    # is identical to the hand-built gauss_seidel_6pt_3d() version.
+    d = 1.0 / lam
 
-    def gs_body(builder, sargs):
-        d = arith.const_f64(builder, 1.0 / lam)
-        z = arith.const_f64(builder, 0.0)
-        return d, list(sargs[:-1]) + [z]
+    @stencil
+    def gauss_seidel(dt, rhs_f, i, j, k):
+        dt[i, j, k] = (rhs_f[i, j, k]
+                       + dt[i - 1, j, k] + dt[i, j - 1, k]
+                       + dt[i, j, k - 1] + dt[i, j, k + 1]
+                       + dt[i, j + 1, k] + dt[i + 1, j, k]) / d
 
-    frontend.attach_body(st, gs_body)
+    st = gauss_seidel.attach(tb, dt_cur, rhs.result(), dt_cur)
 
     # Phase 3: T += dT on the interior (margins = 1).
     upd = linalg.GenericOp.build(

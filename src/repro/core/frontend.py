@@ -68,6 +68,28 @@ def weighted_body(weights: Sequence[float], d: float) -> StencilBody:
     return body
 
 
+def center_weighted_body(d: float, center_coeff: float) -> StencilBody:
+    """Bare neighbour contributions plus a weighted center:
+    ``Y = (B + sum(neighbors) + center_coeff * x0) / d``.
+
+    The shape SOR folds into (see :func:`sor_body`), exposed directly so
+    frontends that infer a weighted center read can emit the exact same
+    body.
+    """
+
+    def body(builder: OpBuilder, args: List[Value]) -> Tuple[Value, List[Value]]:
+        nv = _center_count(args)
+        d_eff = arith.const_f64(builder, d)
+        coeff = arith.const_f64(builder, center_coeff)
+        contributions = list(args[: len(args) - nv])
+        for v in range(nv):
+            center = args[len(args) - nv + v]
+            contributions.append(arith.mulf(builder, coeff, center))
+        return d_eff, contributions
+
+    return body
+
+
 def sor_body(omega: float, d: float) -> StencilBody:
     """Successive Overrelaxation: blend the Gauss-Seidel update with the
     previous iterate: ``Y = (1-w) * X + w * (B + sum(neighbors)) / d``.
@@ -78,18 +100,7 @@ def sor_body(omega: float, d: float) -> StencilBody:
     so that ``(B + sum(n) + (1-omega)*(d/omega)*x0) * omega/d =
     omega*(B + sum(n))/d + (1-omega)*x0``.
     """
-
-    def body(builder: OpBuilder, args: List[Value]) -> Tuple[Value, List[Value]]:
-        nv = _center_count(args)
-        d_eff = arith.const_f64(builder, d / omega)
-        coeff = arith.const_f64(builder, (1.0 - omega) * d / omega)
-        contributions = list(args[: len(args) - nv])
-        for v in range(nv):
-            center = args[len(args) - nv + v]
-            contributions.append(arith.mulf(builder, coeff, center))
-        return d_eff, contributions
-
-    return body
+    return center_weighted_body(d / omega, (1.0 - omega) * d / omega)
 
 
 def _center_count(args: Sequence[Value]) -> int:

@@ -101,6 +101,14 @@ class CompileOptions:
         host calibration). ``None`` defers to the ``REPRO_MACHINE``
         environment variable, then the host-calibrated model. Part of
         the cache fingerprint like every other option.
+    frontend_version:
+        Version stamp of the frontend that produced the module
+        (:data:`repro.frontend.FRONTEND_VERSION`;
+        ``StencilProgram.compile`` fills it in). ``None`` for
+        hand-built IR. Carried as an option field so the mechanical
+        :meth:`cache_key` audit below folds it into the kernel-cache
+        fingerprint — a frontend behaviour change can never alias a
+        ``@stencil``-built kernel to a stale cached one.
     """
 
     subdomain_sizes: Optional[Tuple[int, ...]] = None
@@ -115,6 +123,7 @@ class CompileOptions:
     validate_passes: bool = False
     verify_engine: Optional[str] = None
     machine: Optional[str] = None
+    frontend_version: Optional[str] = None
 
     def describe(self) -> str:
         parts = []

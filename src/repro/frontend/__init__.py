@@ -1,0 +1,310 @@
+"""The Python ``@stencil`` frontend: plain kernels to verified IR.
+
+Write the update of Eq. 2 as an ordinary Python function and get back a
+:class:`StencilProgram` carrying the statically inferred §2.1 pattern::
+
+    from repro.frontend import stencil
+
+    @stencil
+    def kernel(u, b, i, j):
+        u[i, j] = (b[i, j] + u[i - 1, j] + u[i, j - 1]
+                   + u[i, j + 1] + u[i + 1, j]) / 4.0
+
+    module = kernel.build_module((64, 64), iterations=2)
+
+The decorator runs a **static semantic analysis over the Python AST**
+before any IR exists:
+
+1. every array subscript is resolved to a relative-offset vector
+   (non-affine or data-dependent indexing is rejected — FE003/FE004);
+2. the L/U in-place pattern attribute is inferred from the read-offset
+   sign structure exactly as §2.1 defines it (single-field form), or
+   checked against it (split ``(y, x, b, ...)`` form — FE009/FE011);
+3. purity and support constraints are proved (no closures over
+   mutables, no unsupported constructs, a single in-place target —
+   FE001/FE002/FE005/FE007), and the update must match the
+   ``(B + sum of weighted reads) / d`` normal form (FE006/FE008/FE010).
+
+All findings are stable ``FE001``–``FE012`` diagnostics through the
+shared registry (:mod:`repro.analysis.diagnostics`) with source-line
+carets; a rejected kernel raises :class:`FrontendError` at decoration
+time. The built IR is independently audited: the PR-2 dependence
+engine re-decodes the pattern attribute from the raw IR and any
+disagreement with the frontend's inference is a gating ``FE012``.
+
+Kernel forms
+------------
+
+* **single-field** ``def k(u, b, i, j)`` — ``u`` is read *and*
+  written (true in-place Gauss-Seidel/SOR); the L/U split is inferred.
+* **split** ``def k(y, x, b, i, j)`` — ``y`` is the output (reads
+  are current-iteration), ``x`` the previous iterate (reads are
+  previous-iteration); Jacobi and friends.
+
+Scalars may be closed over (``omega``, grid spacing, …) as long as
+they fold to compile-time numbers. ``@stencil(sweep=-1)`` analyzes a
+backward sweep; ``allow_initial_reads=True`` permits deliberate
+initial-content reads (the LU-SGS backward phase).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import inspect
+import textwrap
+from dataclasses import dataclass
+from typing import Callable, Mapping, Optional, Sequence, Tuple
+
+from repro.analysis.diagnostics import DiagnosticReport
+from repro.core.stencil import StencilPattern
+from repro.frontend.build import (
+    attach_summary_op,
+    build_summary_module,
+    cross_check_module,
+    cross_check_op,
+    pattern_for_summary,
+)
+from repro.frontend.diagnostics import (
+    FrontendError,
+    FrontendReporter,
+    SourceInfo,
+)
+from repro.frontend.pattern import KernelSummary, analyze_kernel
+from repro.frontend.visitor import visit_kernel
+from repro.ir import ModuleOp, OpBuilder
+
+#: Version stamp of the frontend's analysis + builder. Part of the
+#: kernel-cache fingerprint via ``CompileOptions.frontend_version`` so a
+#: behavioural change here can never alias to a stale cached kernel.
+FRONTEND_VERSION = "fe-1"
+
+__all__ = [
+    "FRONTEND_VERSION",
+    "FrontendError",
+    "KernelSummary",
+    "StencilProgram",
+    "analyze_function",
+    "analyze_source",
+    "stencil",
+    "stencil_from_source",
+]
+
+
+@dataclass
+class StencilProgram:
+    """An analyzed, buildable stencil kernel.
+
+    What ``@stencil`` returns: carries the inferred
+    :class:`KernelSummary`, the §2.1 :class:`StencilPattern` and the
+    (clean) analysis report, plus builders into IR and the compiled
+    pipeline. All IR built through it is FE012-audited on the way out.
+    """
+
+    name: str
+    summary: KernelSummary
+    pattern: StencilPattern
+    report: DiagnosticReport
+    src: SourceInfo
+
+    def _reporter(self) -> FrontendReporter:
+        return FrontendReporter(self.src, self.name)
+
+    def build_module(
+        self,
+        space_shape: Sequence[int],
+        nb_var: int = 1,
+        iterations: int = 1,
+        name: str = "kernel",
+        module: Optional[ModuleOp] = None,
+        _pattern_override: Optional[StencilPattern] = None,
+    ) -> ModuleOp:
+        """``func @name(X, B, Y0) -> Y`` — FE012-checked before return."""
+        built, _ = build_summary_module(
+            self.summary,
+            space_shape,
+            nb_var=nb_var,
+            iterations=iterations,
+            name=name,
+            module=module,
+            pattern_override=_pattern_override,
+        )
+        reporter = self._reporter()
+        cross_check_module(built, self.summary, reporter)
+        reporter.raise_if_errors()
+        return built
+
+    def attach(
+        self,
+        builder: OpBuilder,
+        x,
+        b,
+        y_init,
+        nb_var: int = 1,
+        _pattern_override: Optional[StencilPattern] = None,
+    ):
+        """Emit one ``cfd.stencilOp`` at the builder's insertion point.
+
+        For embedding the kernel into a larger hand-built program; the
+        emitted op is FE012-checked against the inferred summary.
+        """
+        op = attach_summary_op(
+            self.summary,
+            builder,
+            x,
+            b,
+            y_init,
+            nb_var=nb_var,
+            pattern_override=_pattern_override,
+        )
+        reporter = self._reporter()
+        cross_check_op(op, self.summary, reporter)
+        reporter.raise_if_errors()
+        return op
+
+    def compile(
+        self,
+        space_shape: Sequence[int],
+        options=None,
+        nb_var: int = 1,
+        iterations: int = 1,
+        entry: str = "kernel",
+    ):
+        """Build and run the full compilation pipeline.
+
+        Stamps :data:`FRONTEND_VERSION` into
+        ``CompileOptions.frontend_version`` (unless the caller already
+        set one) so frontend-built kernels occupy their own cache-key
+        space.
+        """
+        from repro.core.pipeline import CompileOptions, StencilCompiler
+
+        options = options or CompileOptions()
+        if options.frontend_version is None:
+            options = dataclasses.replace(
+                options, frontend_version=FRONTEND_VERSION
+            )
+        module = self.build_module(
+            space_shape, nb_var=nb_var, iterations=iterations, name=entry
+        )
+        return StencilCompiler(options).compile(module, entry=entry)
+
+
+def analyze_source(
+    source: str,
+    env: Optional[Mapping[str, object]] = None,
+    name: str = "",
+    rank: Optional[int] = None,
+    sweep: int = 1,
+    allow_initial_reads: bool = False,
+    filename: str = "<stencil>",
+    first_line: int = 1,
+) -> Tuple[Optional[StencilProgram], DiagnosticReport]:
+    """Analyze kernel source; never raises.
+
+    Returns ``(program, report)`` — ``program`` is ``None`` exactly when
+    the report carries error-severity findings.
+    """
+    raw, reporter = visit_kernel(
+        source,
+        env or {},
+        name,
+        rank=rank,
+        filename=filename,
+        first_line=first_line,
+    )
+    if raw is None:
+        return None, reporter.report
+    summary = analyze_kernel(
+        raw, reporter, sweep=sweep, allow_initial_reads=allow_initial_reads
+    )
+    if summary is None or reporter.has_errors:
+        return None, reporter.report
+    program = StencilProgram(
+        name=summary.name,
+        summary=summary,
+        pattern=pattern_for_summary(summary),
+        report=reporter.report,
+        src=reporter.src,
+    )
+    return program, reporter.report
+
+
+def analyze_function(
+    fn: Callable,
+    rank: Optional[int] = None,
+    sweep: int = 1,
+    allow_initial_reads: bool = False,
+) -> Tuple[Optional[StencilProgram], DiagnosticReport]:
+    """Analyze a live function object; never raises.
+
+    The environment visible to the kernel is the function's globals plus
+    its closure cells — captured *by value* at analysis time, which is
+    what makes "no closures over mutables" checkable at all.
+    """
+    try:
+        lines, first_line = inspect.getsourcelines(fn)
+    except (OSError, TypeError) as exc:
+        reporter = FrontendReporter(
+            SourceInfo(text=""), getattr(fn, "__name__", "kernel")
+        )
+        reporter.emit("FE001", f"kernel source is unavailable: {exc}")
+        return None, reporter.report
+    source = "".join(lines)
+    env = dict(getattr(fn, "__globals__", {}))
+    closure = getattr(fn, "__closure__", None)
+    if closure:
+        for var, cell in zip(fn.__code__.co_freevars, closure):
+            try:
+                env[var] = cell.cell_contents
+            except ValueError:  # an empty cell: still being defined
+                pass
+    return analyze_source(
+        source,
+        env,
+        name=fn.__name__,
+        rank=rank,
+        sweep=sweep,
+        allow_initial_reads=allow_initial_reads,
+        filename=fn.__code__.co_filename,
+        first_line=first_line,
+    )
+
+
+def stencil_from_source(
+    source: str,
+    env: Optional[Mapping[str, object]] = None,
+    **options,
+) -> StencilProgram:
+    """:func:`analyze_source` that raises :class:`FrontendError`."""
+    program, report = analyze_source(textwrap.dedent(source), env, **options)
+    if program is None:
+        raise FrontendError(report)
+    return program
+
+
+def stencil(
+    fn: Optional[Callable] = None,
+    *,
+    rank: Optional[int] = None,
+    sweep: int = 1,
+    allow_initial_reads: bool = False,
+):
+    """The decorator: kernel function → :class:`StencilProgram`.
+
+    Usable bare (``@stencil``) or parameterized
+    (``@stencil(rank=2, sweep=-1)``). Raises :class:`FrontendError`
+    with the full caret-annotated report when the analyzer rejects the
+    kernel.
+    """
+
+    def wrap(f: Callable) -> StencilProgram:
+        program, report = analyze_function(
+            f, rank=rank, sweep=sweep, allow_initial_reads=allow_initial_reads
+        )
+        if program is None:
+            raise FrontendError(report)
+        return program
+
+    if fn is not None:
+        return wrap(fn)
+    return wrap

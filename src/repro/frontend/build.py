@@ -1,0 +1,238 @@
+"""From a :class:`KernelSummary` to ``cfd.stencilOp`` IR.
+
+Parity by construction: the builder dispatches to the *same* body
+helpers the hand-written examples use (:func:`identity_body`,
+:func:`weighted_body`, :func:`center_weighted_body` from
+:mod:`repro.core.frontend`) and reuses :func:`build_stencil_kernel`, so
+a kernel written through ``@stencil`` prints — and therefore
+fingerprints (:func:`repro.codegen.cache.module_fingerprint`) —
+identically to its hand-built equivalent. Only summaries that mix bare
+and weighted reads fall back to the frontend-local
+:func:`general_body`.
+
+After construction the built IR is audited (``FE012``): the pattern
+attribute of every ``cfd.stencilOp`` is re-decoded by the PR-2
+dependence engine (:func:`repro.analysis.dependence.stencil_raw_attrs`
+— an independent implementation that never goes through
+:class:`StencilPattern`) and compared against the frontend's inferred
+summary. A disagreement means the frontend or the builder miscompiled
+the kernel, and it gates the pipeline: ``build_module`` raises.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+from repro.core.frontend import (
+    StencilBody,
+    attach_body,
+    build_stencil_kernel,
+    center_weighted_body,
+    identity_body,
+    weighted_body,
+)
+from repro.core.stencil import StencilPattern
+from repro.dialects import arith, cfd
+from repro.frontend.diagnostics import FrontendReporter
+from repro.frontend.pattern import KernelSummary
+from repro.ir import ModuleOp, OpBuilder
+from repro.ir.values import Value
+
+
+def pattern_for_summary(summary: KernelSummary) -> StencilPattern:
+    """The §2.1 pattern attribute of an analyzed kernel."""
+    return StencilPattern.from_offsets(
+        summary.rank,
+        l_offsets=summary.l_offsets,
+        u_offsets=summary.u_offsets,
+        sweep=summary.sweep,
+        allow_initial_reads=summary.allow_initial_reads,
+    )
+
+
+def general_body(
+    weights: Sequence[Optional[float]],
+    center_weight: Optional[float],
+    d: float,
+) -> StencilBody:
+    """Arbitrary mix of bare and weighted reads plus an optional center.
+
+    ``weights`` has one entry per access in pattern (row-major) order;
+    ``None`` keeps the access bare. ``center_weight=None`` contributes
+    zero for the center, matching :func:`identity_body`.
+    """
+
+    def body(builder: OpBuilder, args: List[Value]) -> Tuple[Value, List[Value]]:
+        nv = getattr(args, "nb_var", 1)
+        n_access = (len(args) - nv) // nv
+        if len(weights) != n_access:
+            raise ValueError(
+                f"{len(weights)} weights for {n_access} stencil accesses"
+            )
+        d_val = arith.const_f64(builder, d)
+        zero = None
+        if center_weight is None:
+            zero = arith.const_f64(builder, 0.0)
+        contributions: List[Value] = []
+        for a in range(n_access):
+            w = weights[a]
+            if w is None:
+                contributions.extend(args[a * nv:(a + 1) * nv])
+            else:
+                w_val = arith.const_f64(builder, w)
+                for v in range(nv):
+                    contributions.append(
+                        arith.mulf(builder, w_val, args[a * nv + v])
+                    )
+        if center_weight is None:
+            contributions += [zero] * nv
+        else:
+            cw = arith.const_f64(builder, center_weight)
+            for v in range(nv):
+                contributions.append(
+                    arith.mulf(builder, cw, args[len(args) - nv + v])
+                )
+        return d_val, contributions
+
+    return body
+
+
+def body_for_summary(
+    summary: KernelSummary, pattern: StencilPattern
+) -> StencilBody:
+    """Dispatch to the parity-preserving body helper for this summary."""
+    if summary.form == "identity":
+        return identity_body(summary.divisor)
+    if summary.form == "weighted":
+        return weighted_body(summary.access_weights(pattern), summary.divisor)
+    if summary.form == "center_weighted":
+        assert summary.center_weight is not None
+        return center_weighted_body(summary.divisor, summary.center_weight)
+    return general_body(
+        [summary.weights.get(o) for o, _ in pattern.accesses],
+        summary.center_weight,
+        summary.divisor,
+    )
+
+
+# ---------------------------------------------------------------------------
+# FE012: the independent pattern cross-check.
+# ---------------------------------------------------------------------------
+
+
+def cross_check_op(
+    op, summary: KernelSummary, reporter: FrontendReporter
+) -> None:
+    """Compare one op's raw pattern attr against the inferred summary.
+
+    Decoding goes through :func:`stencil_raw_attrs` — the dependence
+    engine's from-scratch attribute reader — so a builder bug cannot
+    hide behind the same code that introduced it.
+    """
+    from repro.analysis.dependence import stencil_raw_attrs
+
+    raw = stencil_raw_attrs(op)
+    if raw is None:
+        reporter.emit(
+            "FE012",
+            "built stencil op carries no decodable pattern attribute",
+        )
+        return
+    rank, l_offsets, u_offsets, sweep, allow_initial = raw
+    problems = []
+    if rank != summary.rank:
+        problems.append(f"rank {rank} != inferred {summary.rank}")
+    if set(l_offsets) != set(summary.l_offsets):
+        problems.append(
+            f"L {sorted(l_offsets)} != inferred {sorted(summary.l_offsets)}"
+        )
+    if set(u_offsets) != set(summary.u_offsets):
+        problems.append(
+            f"U {sorted(u_offsets)} != inferred {sorted(summary.u_offsets)}"
+        )
+    if sweep != summary.sweep:
+        problems.append(f"sweep {sweep} != inferred {summary.sweep}")
+    if allow_initial != summary.allow_initial_reads:
+        problems.append(
+            f"allow_initial_reads {allow_initial} != inferred "
+            f"{summary.allow_initial_reads}"
+        )
+    if problems:
+        reporter.emit(
+            "FE012",
+            "the dependence engine re-derived a different pattern from "
+            "the built IR: " + "; ".join(problems),
+        )
+
+
+def cross_check_module(
+    module: ModuleOp, summary: KernelSummary, reporter: FrontendReporter
+) -> int:
+    """FE012-audit every stencil op under ``module``; returns the count."""
+    checked = 0
+    for op in module.walk():
+        if op.name != cfd.StencilOp.OP_NAME:
+            continue
+        cross_check_op(op, summary, reporter)
+        checked += 1
+    if checked == 0:
+        reporter.emit(
+            "FE012",
+            "the built module contains no stencil op to cross-check",
+        )
+    return checked
+
+
+# ---------------------------------------------------------------------------
+# Module / op construction.
+# ---------------------------------------------------------------------------
+
+
+def build_summary_module(
+    summary: KernelSummary,
+    space_shape: Sequence[int],
+    nb_var: int = 1,
+    iterations: int = 1,
+    name: str = "kernel",
+    module: Optional[ModuleOp] = None,
+    pattern_override: Optional[StencilPattern] = None,
+) -> Tuple[ModuleOp, StencilPattern]:
+    """Build ``func @name(X, B, Y0) -> Y`` from an analyzed kernel.
+
+    ``pattern_override`` substitutes a different pattern attribute into
+    the IR while the summary keeps the inferred one — the tamper hook
+    the FE012 mutant corpus uses to prove the cross-check actually
+    fires. Production callers never pass it.
+    """
+    pattern = pattern_override or pattern_for_summary(summary)
+    body = body_for_summary(summary, pattern)
+    module = build_stencil_kernel(
+        pattern,
+        space_shape,
+        body,
+        nb_var=nb_var,
+        iterations=iterations,
+        name=name,
+        module=module,
+    )
+    return module, pattern
+
+
+def attach_summary_op(
+    summary: KernelSummary,
+    builder: OpBuilder,
+    x: Value,
+    b: Value,
+    y_init: Value,
+    nb_var: int = 1,
+    pattern_override: Optional[StencilPattern] = None,
+):
+    """Create + populate one ``cfd.stencilOp`` at the builder's point.
+
+    For embedding an analyzed kernel into a larger hand-built program
+    (e.g. one phase of the heat3d module).
+    """
+    pattern = pattern_override or pattern_for_summary(summary)
+    op = cfd.StencilOp.build(builder, x, b, y_init, pattern, nb_var)
+    attach_body(op, body_for_summary(summary, pattern))
+    return op

@@ -1,0 +1,251 @@
+"""The frontend lint corpus: ``python -m repro.analysis --frontend``.
+
+Two kinds of entries:
+
+* **good** stems mirroring the ported examples (``quickstart``,
+  ``sor_poisson``, ``heat3d_implicit``): the kernel must analyze
+  cleanly, build through the FE012 cross-check, and the built IR must
+  pass the PR-2 analysis gate — frontend output flows straight into
+  the existing gate stack;
+
+* the **fe_mutants** stem: one deliberately broken kernel per
+  ``FE001``–``FE012`` code. Every mutant must produce its expected
+  error — a frontend that silently accepts one of these has lost a
+  check, and CI runs this stem with an inverted exit-code expectation.
+
+There is intentionally no ``examples/fe_mutants.py``: directory
+resolution over ``examples/`` therefore never picks the must-fail stem
+up, exactly like the ``perf_demo`` corpus.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Tuple
+
+from repro.analysis.diagnostics import DiagnosticReport
+from repro.core.stencil import StencilPattern
+from repro.frontend import FrontendError, analyze_function, analyze_source
+
+#: SOR closure constants, shared with the ported example's derivation.
+_OMEGA = 1.5
+_SOR_D = 4.0 / _OMEGA
+_SOR_COEFF = (1.0 - _OMEGA) * 4.0 / _OMEGA
+
+#: Heat3d closure constant (`d = 1/lambda` of Fig. 9's normal form).
+_HEAT_D = 1.0 / 0.1
+
+
+def _gs5_kernel(u, b, i, j):
+    u[i, j] = (b[i, j] + u[i - 1, j] + u[i, j - 1]
+               + u[i, j + 1] + u[i + 1, j]) / 4.0
+
+
+def _sor_kernel(u, b, i, j):
+    u[i, j] = (b[i, j] + u[i - 1, j] + u[i, j - 1] + u[i, j + 1]
+               + u[i + 1, j] + _SOR_COEFF * u[i, j]) / _SOR_D
+
+
+def _jacobi_kernel(y, x, b, i, j):
+    y[i, j] = (b[i, j] + x[i - 1, j] + x[i, j - 1]
+               + x[i, j + 1] + x[i + 1, j]) / 4.0
+
+
+def _heat_gs_kernel(dt, rhs, i, j, k):
+    dt[i, j, k] = (rhs[i, j, k]
+                   + dt[i - 1, j, k] + dt[i, j - 1, k] + dt[i, j, k - 1]
+                   + dt[i, j, k + 1] + dt[i, j + 1, k]
+                   + dt[i + 1, j, k]) / _HEAT_D
+
+
+@dataclass(frozen=True)
+class FrontendEntry:
+    """One frontend-lintable kernel (or must-fail mutant)."""
+
+    name: str
+    description: str
+    run: Callable[[], DiagnosticReport]
+    file: str = "src/repro/frontend/corpus.py"
+    #: Codes the report must contain (mutants); empty for good entries.
+    expect_codes: Tuple[str, ...] = field(default=())
+
+
+def _good(
+    fn,
+    space_shape: Tuple[int, ...],
+    iterations: int = 1,
+) -> Callable[[], DiagnosticReport]:
+    """Analyze + build + FE012 + the PR-2 gate over the built IR."""
+
+    def run() -> DiagnosticReport:
+        program, report = analyze_function(fn)
+        if program is None:
+            return report
+        try:
+            module = program.build_module(space_shape, iterations=iterations)
+        except FrontendError as exc:
+            report.diagnostics.extend(exc.report.diagnostics)
+            return report
+        from repro.analysis.analyzer import AnalysisGate
+
+        gate = AnalysisGate(fail_fast=False)
+        gate(module, after_pass=None)
+        report.diagnostics.extend(gate.report.diagnostics)
+        return report
+
+    return run
+
+
+def _mutant(source: str, env=None, **options) -> Callable[[], DiagnosticReport]:
+    def run() -> DiagnosticReport:
+        _, report = analyze_source(source, env, **options)
+        return report
+
+    return run
+
+
+def _fe012_tamper() -> DiagnosticReport:
+    """A correct kernel whose built IR is tampered: the pattern attr is
+    swapped under the analyzer (one L tag moved to U), so only the
+    independent dependence-engine re-derivation can catch it."""
+    program, report = analyze_function(_gs5_kernel)
+    assert program is not None
+    tampered = StencilPattern.from_offsets(
+        2,
+        l_offsets=[(-1, 0)],
+        u_offsets=[(0, -1), (0, 1), (1, 0)],
+    )
+    try:
+        program.build_module((32, 32), _pattern_override=tampered)
+    except FrontendError as exc:
+        report.diagnostics.extend(exc.report.diagnostics)
+    return report
+
+
+#: source, expected code, description — one per FE code (FE012 is the
+#: tamper entry above: it needs the build path, not just source).
+_MUTANTS = (
+    (
+        "FE001", "loop statement in the kernel body",
+        "def k(u, b, i, j):\n"
+        "    for q in range(3):\n"
+        "        u[i, j] = (b[i, j] + u[i - 1, j]) / 4.0\n",
+        None,
+    ),
+    (
+        "FE002", "index variable declared before the field handles",
+        "def k(i, u, b, j):\n"
+        "    u[i, j] = (b[i, j] + u[i - 1, j]) / 4.0\n",
+        None,
+    ),
+    (
+        "FE003", "transposed (permuted) indexing",
+        "def k(u, b, i, j):\n"
+        "    u[i, j] = (b[i, j] + u[j, i]) / 4.0\n",
+        None,
+    ),
+    (
+        "FE004", "1-component subscript in a rank-2 kernel",
+        "def k(u, b, i, j):\n"
+        "    u[i, j] = (b[i, j] + u[i - 1]) / 4.0\n",
+        None,
+    ),
+    (
+        "FE005", "weight references an undefined name",
+        "def k(u, b, i, j):\n"
+        "    u[i, j] = (b[i, j] + alpha * u[i - 1, j]) / 4.0\n",
+        None,
+    ),
+    (
+        "FE006", "no division: not the (B + sum)/d normal form",
+        "def k(u, b, i, j):\n"
+        "    u[i, j] = b[i, j] + u[i - 1, j]\n",
+        None,
+    ),
+    (
+        "FE007", "two in-place updates",
+        "def k(u, b, i, j):\n"
+        "    u[i, j] = (b[i, j] + u[i - 1, j]) / 4.0\n"
+        "    u[i, j] = (b[i, j] + u[i, j - 1]) / 4.0\n",
+        None,
+    ),
+    (
+        "FE008", "the same offset is read twice",
+        "def k(u, b, i, j):\n"
+        "    u[i, j] = (b[i, j] + u[i - 1, j] + u[i - 1, j]) / 4.0\n",
+        None,
+    ),
+    (
+        "FE009", "the output is read at the written cell (split form)",
+        "def k(y, x, b, i, j):\n"
+        "    y[i, j] = (b[i, j] + x[i - 1, j] + y[i, j]) / 4.0\n",
+        None,
+    ),
+    (
+        "FE010", "captured weight is a list, not a number",
+        "def k(u, b, i, j):\n"
+        "    u[i, j] = (b[i, j] + w * u[i - 1, j]) / 4.0\n",
+        {"w": [1.0, 2.0]},
+    ),
+    (
+        "FE011", "declared current-iteration read on the future side",
+        "def k(y, x, b, i, j):\n"
+        "    y[i, j] = (b[i, j] + y[i + 1, j] + x[i - 1, j]) / 4.0\n",
+        None,
+    ),
+)
+
+
+def build_frontend_corpus() -> Dict[str, Tuple[FrontendEntry, ...]]:
+    """Stem -> frontend-lint entries (good stems + ``fe_mutants``)."""
+    corpus: Dict[str, Tuple[FrontendEntry, ...]] = {
+        "quickstart": (
+            FrontendEntry(
+                "quickstart[gs5]",
+                "5-point Gauss-Seidel via @stencil (L/U inferred)",
+                _good(_gs5_kernel, (64, 64), iterations=2),
+                file="examples/quickstart.py",
+            ),
+        ),
+        "sor_poisson": (
+            FrontendEntry(
+                "sor_poisson[sor]",
+                "SOR via @stencil (weighted center read)",
+                _good(_sor_kernel, (34, 34)),
+                file="examples/sor_poisson.py",
+            ),
+            FrontendEntry(
+                "sor_poisson[jacobi]",
+                "Jacobi via @stencil (split form, empty L)",
+                _good(_jacobi_kernel, (34, 34)),
+                file="examples/sor_poisson.py",
+            ),
+        ),
+        "heat3d_implicit": (
+            FrontendEntry(
+                "heat3d_implicit[gs6]",
+                "3D 6-point Gauss-Seidel via @stencil (Fig. 9 phase 2)",
+                _good(_heat_gs_kernel, (16, 16, 16)),
+                file="examples/heat3d_implicit.py",
+            ),
+        ),
+    }
+    mutants = [
+        FrontendEntry(
+            f"fe_mutants[{code}]",
+            description,
+            _mutant(source, env),
+            expect_codes=(code,),
+        )
+        for code, description, source, env in _MUTANTS
+    ]
+    mutants.append(
+        FrontendEntry(
+            "fe_mutants[FE012]",
+            "pattern attr tampered after inference (cross-check catch)",
+            _fe012_tamper,
+            expect_codes=("FE012",),
+        )
+    )
+    corpus["fe_mutants"] = tuple(mutants)
+    return corpus

@@ -1,0 +1,108 @@
+"""Frontend diagnostics: ``FE0xx`` findings with source-line carets.
+
+Every finding of the kernel-semantics analyzer points back at the
+user's *Python source*, not at IR: the :class:`Diagnostic` excerpt is
+the offending source line with a caret column marker, and ``op_path``
+is a ``file:line:col`` location, so the CLI / ``--github`` renderings
+land on the line the user actually wrote.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.analysis.diagnostics import Diagnostic, DiagnosticReport
+
+
+@dataclass
+class SourceInfo:
+    """The kernel's source snippet plus how it maps back to its file.
+
+    ``text`` is the dedented snippet handed to :func:`ast.parse`;
+    ``first_line`` is the file line number of the snippet's first line
+    and ``col_shift`` the number of columns stripped by dedenting, so
+    AST positions (snippet-relative) convert to file positions.
+    """
+
+    text: str
+    filename: str = "<stencil>"
+    first_line: int = 1
+    col_shift: int = 0
+    lines: List[str] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if not self.lines:
+            self.lines = self.text.splitlines()
+
+    def location(self, node: Optional[ast.AST]) -> str:
+        if node is None or not hasattr(node, "lineno"):
+            return self.filename
+        line = self.first_line + node.lineno - 1
+        col = node.col_offset + self.col_shift
+        return f"{self.filename}:{line}:{col + 1}"
+
+    def caret(self, node: Optional[ast.AST]) -> str:
+        """The source line of ``node`` with a ``^`` column marker."""
+        if node is None or not hasattr(node, "lineno"):
+            return ""
+        idx = node.lineno - 1
+        if not 0 <= idx < len(self.lines):
+            return ""
+        line = self.lines[idx]
+        marker = " " * node.col_offset + "^"
+        end_col = getattr(node, "end_col_offset", None)
+        if end_col is not None and getattr(node, "end_lineno", None) == node.lineno:
+            marker = " " * node.col_offset + "^" * max(1, end_col - node.col_offset)
+        return f"{line}\n{marker}"
+
+
+class FrontendError(Exception):
+    """Raised by ``@stencil`` when the analyzer finds errors.
+
+    Carries the full :class:`DiagnosticReport`; the message renders
+    every finding with its source-line caret.
+    """
+
+    def __init__(self, report: DiagnosticReport) -> None:
+        self.report = report
+        super().__init__(
+            f"@stencil kernel rejected ({report.summary()}):\n"
+            + report.render()
+        )
+
+
+class FrontendReporter:
+    """Collects frontend diagnostics against one source snippet."""
+
+    def __init__(self, src: SourceInfo, kernel_name: str = "") -> None:
+        self.src = src
+        self.kernel_name = kernel_name
+        self.report = DiagnosticReport()
+
+    def emit(
+        self,
+        code: str,
+        message: str,
+        node: Optional[ast.AST] = None,
+        severity: str = "error",
+    ) -> None:
+        where = self.kernel_name or "kernel"
+        self.report.diagnostics.append(
+            Diagnostic(
+                code=code,
+                message=message,
+                severity=severity,
+                op_path=f"@stencil[{where}] at {self.src.location(node)}",
+                excerpt=self.src.caret(node),
+            )
+        )
+
+    @property
+    def has_errors(self) -> bool:
+        return self.report.has_errors
+
+    def raise_if_errors(self) -> None:
+        if self.report.has_errors:
+            raise FrontendError(self.report)

@@ -1,0 +1,231 @@
+"""Offset and affine analysis over the kernel AST.
+
+The semantic core of the frontend analyzer: every array subscript must
+resolve to a *relative-offset vector* — per space dimension, the d-th
+index variable plus an integer constant (``i``, ``i - 1``, ``2 + j``…).
+Anything else is rejected statically:
+
+* a subscript component that scales, transposes or combines index
+  variables, or that depends on array *data* (``u[int(x[i, j]), j]``)
+  is non-affine → ``FE003``;
+* a subscript whose arity differs from the kernel's index-variable
+  count → ``FE004``;
+* names that resolve neither to a parameter nor to a captured numeric
+  constant → ``FE005``; captured non-numbers (lists, arrays, strings)
+  → ``FE010``.
+
+Scalar subexpressions (weights, the divisor) are folded over the
+captured environment with plain Python arithmetic, so a closure like
+``coeff = (1 - omega) * d / omega`` participates bit-identically to
+the hand-built IR's constants.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from typing import List, Mapping, Optional, Tuple
+
+from repro.frontend.diagnostics import FrontendReporter
+from repro.frontend.visitor import RawKernel
+
+Offset = Tuple[int, ...]
+
+
+@dataclass
+class Read:
+    """One resolved array access: ``field[... offset ...]`` times a weight.
+
+    ``weight is None`` means the term appeared *bare* (syntactic weight
+    1) — distinguished from an explicit ``1.0 *`` so the IR builder can
+    reproduce the hand-built body helpers op-for-op.
+    """
+
+    field: str
+    offset: Offset
+    weight: Optional[float]
+    node: ast.AST
+
+
+class _NotConstant(Exception):
+    """Internal: expression does not fold to a number."""
+
+    def __init__(self, node: ast.AST, reason: str) -> None:
+        self.node = node
+        self.reason = reason
+        super().__init__(reason)
+
+
+_BINOPS = {
+    ast.Add: lambda a, b: a + b,
+    ast.Sub: lambda a, b: a - b,
+    ast.Mult: lambda a, b: a * b,
+    ast.Div: lambda a, b: a / b,
+    ast.Pow: lambda a, b: a ** b,
+}
+
+
+def _fold(node: ast.expr, raw: RawKernel) -> float:
+    """Fold a scalar expression to a number over the captured env."""
+    if isinstance(node, ast.Constant):
+        if isinstance(node.value, bool) or not isinstance(
+            node.value, (int, float)
+        ):
+            raise _NotConstant(
+                node, f"literal {node.value!r} is not a number"
+            )
+        return node.value
+    if isinstance(node, ast.Name):
+        if node.id in raw.params:
+            raise _NotConstant(
+                node, f"parameter {node.id!r} is not a constant"
+            )
+        if node.id not in raw.env:
+            raise _NotConstant(node, f"unknown name {node.id!r}")
+        value = raw.env[node.id]
+        if isinstance(value, bool) or not isinstance(value, (int, float)):
+            raise _NotConstant(
+                node,
+                f"captured {node.id!r} is {type(value).__name__}, not a "
+                "number (kernels must not close over mutable state)",
+            )
+        return value
+    if isinstance(node, ast.UnaryOp) and isinstance(
+        node.op, (ast.USub, ast.UAdd)
+    ):
+        inner = _fold(node.operand, raw)
+        return -inner if isinstance(node.op, ast.USub) else inner
+    if isinstance(node, ast.BinOp) and type(node.op) in _BINOPS:
+        return _BINOPS[type(node.op)](
+            _fold(node.left, raw), _fold(node.right, raw)
+        )
+    raise _NotConstant(
+        node, f"{type(node).__name__} does not fold to a constant"
+    )
+
+
+def fold_constant(
+    node: ast.expr,
+    raw: RawKernel,
+    reporter: FrontendReporter,
+    what: str = "coefficient",
+) -> Optional[float]:
+    """Fold or emit the precise FE005/FE010 finding."""
+    try:
+        return _fold(node, raw)
+    except _NotConstant as exc:
+        if "unknown name" in exc.reason:
+            reporter.emit("FE005", exc.reason, exc.node)
+        elif "close over mutable" in exc.reason or "not a constant" in exc.reason:
+            code = "FE010" if "captured" in exc.reason else "FE005"
+            reporter.emit(code, f"{what}: {exc.reason}", exc.node)
+        else:
+            reporter.emit(
+                "FE010", f"{what} must be a compile-time number: {exc.reason}",
+                exc.node,
+            )
+        return None
+
+
+def _index_component(
+    expr: ast.expr, want_var: str, raw: RawKernel
+) -> Optional[int]:
+    """Resolve one subscript component to ``want_var + c`` → ``c``.
+
+    Returns ``None`` when the component is not a unit-coefficient
+    translation of the expected index variable (the caller emits the
+    FE003 with context).
+    """
+    if isinstance(expr, ast.Name) and expr.id == want_var:
+        return 0
+    if isinstance(expr, ast.BinOp) and isinstance(expr.op, (ast.Add, ast.Sub)):
+        sign = 1 if isinstance(expr.op, ast.Add) else -1
+        if isinstance(expr.left, ast.Name) and expr.left.id == want_var:
+            const = _fold_int(expr.right, raw)
+            return None if const is None else sign * const
+        if (
+            isinstance(expr.op, ast.Add)
+            and isinstance(expr.right, ast.Name)
+            and expr.right.id == want_var
+        ):
+            const = _fold_int(expr.left, raw)
+            return None if const is None else const
+    return None
+
+
+def _fold_int(expr: ast.expr, raw: RawKernel) -> Optional[int]:
+    try:
+        value = _fold(expr, raw)
+    except _NotConstant:
+        return None
+    if isinstance(value, float) and not value.is_integer():
+        return None
+    return int(value)
+
+
+def _subscript_elements(node: ast.Subscript) -> List[ast.expr]:
+    s = node.slice
+    if isinstance(s, ast.Tuple):
+        return list(s.elts)
+    return [s]
+
+
+def resolve_subscript(
+    node: ast.Subscript, raw: RawKernel, reporter: FrontendReporter
+) -> Optional[Offset]:
+    """Subscript → relative-offset vector, or FE003/FE004 findings."""
+    rank = len(raw.index_params)
+    elements = _subscript_elements(node)
+    if len(elements) != rank:
+        reporter.emit(
+            "FE004",
+            f"subscript has {len(elements)} component(s) but the kernel "
+            f"declares {rank} index variable(s) {raw.index_params}",
+            node,
+        )
+        return None
+    offset: List[int] = []
+    for d, (expr, var) in enumerate(zip(elements, raw.index_params)):
+        component = _index_component(expr, var, raw)
+        if component is None:
+            reporter.emit(
+                "FE003",
+                _affine_failure_reason(expr, var, d, raw),
+                expr,
+            )
+            return None
+        offset.append(component)
+    return tuple(offset)
+
+
+def _affine_failure_reason(
+    expr: ast.expr, want_var: str, dim: int, raw: RawKernel
+) -> str:
+    """A precise message for why a component is not ``var + const``."""
+    names = {
+        n.id
+        for n in ast.walk(expr)
+        if isinstance(n, ast.Name)
+    }
+    index_names = names & set(raw.index_params)
+    if any(isinstance(n, ast.Subscript) for n in ast.walk(expr)):
+        return (
+            f"data-dependent index in dimension {dim}: subscripts may "
+            "not appear inside subscripts"
+        )
+    if index_names and want_var not in index_names:
+        return (
+            f"dimension {dim} must index with {want_var!r} (+/- a "
+            f"constant); found {sorted(index_names)} — transposed or "
+            "permuted indexing is not a translation"
+        )
+    if not index_names:
+        return (
+            f"dimension {dim} must be {want_var!r} plus a constant "
+            "offset; absolute or constant-only indices are not relative "
+            "accesses"
+        )
+    return (
+        f"dimension {dim} is not an affine translation of {want_var!r} "
+        "(only unit-coefficient `var + const` indexing is supported)"
+    )

@@ -1,0 +1,400 @@
+"""L/U pattern inference: from resolved reads to a §2.1 pattern attr.
+
+Flattens the update's right-hand side against the Eq. 2 normal form
+
+    out[c] = (B[c] + sum_a w_a * reads_a) / d
+
+(``FE006`` when it does not match), then classifies every read:
+
+* **single-field form** ``def k(u, b, i, j)`` — the output and the
+  stencil input are the *same* handle, exactly the in-place situation
+  of §2.1, and the L/U split is **inferred from the sign structure**:
+  a read whose sweep-adjusted relative offset is lexicographically
+  negative hits a cell this sweep already updated (current-iteration
+  value → L), lexicographically positive hits a not-yet-updated cell
+  (previous-iteration value → U), and the center reads the value being
+  replaced (the previous iterate → the stencil center contribution).
+
+* **split form** ``def k(y, x, b, i, j)`` — the roles are explicit:
+  reads of ``y`` are declared current-iteration (L), reads of ``x``
+  previous-iteration (U). Declared L reads are *checked*, not trusted:
+  a lexicographically non-negative L offset cannot be scheduled by the
+  sweep (``FE011``, unless ``allow_initial_reads``), and reading the
+  output at the written cell is circular (``FE009``).
+
+Conflicts — the same offset read twice, or tagged both L and U —
+are ``FE008`` (downstream ``StencilPattern.from_offsets`` would
+silently prefer L, desynchronizing the weight list, so the frontend
+must reject them first).
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.frontend.diagnostics import FrontendReporter
+from repro.frontend.offsets import (
+    Offset,
+    Read,
+    fold_constant,
+    resolve_subscript,
+)
+from repro.frontend.visitor import RawKernel
+
+
+def lex_sign(offset: Offset) -> int:
+    """-1 / 0 / +1 for lexicographically negative / zero / positive."""
+    for c in offset:
+        if c < 0:
+            return -1
+        if c > 0:
+            return 1
+    return 0
+
+
+@dataclass
+class KernelSummary:
+    """Everything the analyzer proved about one ``@stencil`` kernel."""
+
+    name: str
+    rank: int
+    #: Parameter names by role; ``in_field`` equals ``out_field`` in the
+    #: single-field form.
+    out_field: str = ""
+    in_field: str = ""
+    rhs_field: str = ""
+    index_vars: Tuple[str, ...] = ()
+    single_field: bool = True
+    #: The subscript offset of the write (reads are re-based on it).
+    write_offset: Offset = ()
+    #: Inferred / declared L and U offsets, relative to the write.
+    l_offsets: List[Offset] = field(default_factory=list)
+    u_offsets: List[Offset] = field(default_factory=list)
+    #: Per-offset weight; ``None`` means the read appeared bare.
+    weights: Dict[Offset, Optional[float]] = field(default_factory=dict)
+    #: Weight of the center read (``None`` = the center is not read).
+    center_weight: Optional[float] = None
+    #: Whether the center read appeared bare (weight 1, implicit).
+    center_bare: bool = False
+    #: The divisor ``d`` of the normal form.
+    divisor: float = 1.0
+    sweep: int = 1
+    allow_initial_reads: bool = False
+    #: Which body-helper the builder dispatches to: ``identity`` /
+    #: ``weighted`` / ``center_weighted`` / ``general``.
+    form: str = "identity"
+
+    def access_weights(self, pattern) -> List[float]:
+        """Weights in the pattern's row-major access order."""
+        return [
+            1.0 if self.weights.get(o) is None else self.weights[o]
+            for o, _ in pattern.accesses
+        ]
+
+    def describe(self) -> str:
+        return (
+            f"rank={self.rank} L={sorted(self.l_offsets)} "
+            f"U={sorted(self.u_offsets)} d={self.divisor} "
+            f"sweep={self.sweep} form={self.form}"
+        )
+
+
+# ---------------------------------------------------------------------------
+# Term flattening: the (B + sum) / d normal form.
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class _Term:
+    """One additive term of the numerator: ``sign * [weight *] read``."""
+
+    node: ast.expr
+    sign: float
+    subscript: Optional[ast.Subscript] = None
+    weight_node: Optional[ast.expr] = None
+
+
+def _flatten_sum(node: ast.expr, sign: float, out: List[_Term]) -> None:
+    if isinstance(node, ast.BinOp) and isinstance(node.op, ast.Add):
+        _flatten_sum(node.left, sign, out)
+        _flatten_sum(node.right, sign, out)
+        return
+    if isinstance(node, ast.BinOp) and isinstance(node.op, ast.Sub):
+        _flatten_sum(node.left, sign, out)
+        _flatten_sum(node.right, -sign, out)
+        return
+    if isinstance(node, ast.UnaryOp) and isinstance(node.op, ast.USub):
+        _flatten_sum(node.operand, -sign, out)
+        return
+    if isinstance(node, ast.UnaryOp) and isinstance(node.op, ast.UAdd):
+        _flatten_sum(node.operand, sign, out)
+        return
+    out.append(_analyze_term(node, sign))
+
+
+def _analyze_term(node: ast.expr, sign: float) -> _Term:
+    """Split one term into (subscript, optional weight expression)."""
+    if isinstance(node, ast.Subscript):
+        return _Term(node, sign, subscript=node)
+    if isinstance(node, ast.BinOp) and isinstance(node.op, ast.Mult):
+        left_sub = isinstance(node.left, ast.Subscript)
+        right_sub = isinstance(node.right, ast.Subscript)
+        if left_sub and not right_sub:
+            return _Term(node, sign, subscript=node.left,
+                         weight_node=node.right)
+        if right_sub and not left_sub:
+            return _Term(node, sign, subscript=node.right,
+                         weight_node=node.left)
+    return _Term(node, sign)
+
+
+def _numerator_and_divisor(
+    raw: RawKernel, reporter: FrontendReporter
+) -> Optional[Tuple[ast.expr, float]]:
+    """Match ``rhs = numerator / d``; FE006/FE010 otherwise."""
+    rhs = raw.rhs
+    assert rhs is not None
+    if not (isinstance(rhs, ast.BinOp) and isinstance(rhs.op, ast.Div)):
+        reporter.emit(
+            "FE006",
+            "the update must be written as (B + sum of reads) / d — the "
+            "top-level operator is not a division",
+            rhs,
+        )
+        return None
+    divisor = fold_constant(rhs.right, raw, reporter, what="divisor d")
+    if divisor is None:
+        return None
+    if divisor == 0.0:
+        reporter.emit("FE010", "the divisor d folds to zero", rhs.right)
+        return None
+    return rhs.left, divisor
+
+
+# ---------------------------------------------------------------------------
+# The analysis proper.
+# ---------------------------------------------------------------------------
+
+
+def analyze_kernel(
+    raw: RawKernel,
+    reporter: FrontendReporter,
+    sweep: int = 1,
+    allow_initial_reads: bool = False,
+) -> Optional[KernelSummary]:
+    """Infer the :class:`KernelSummary` or return ``None`` with findings."""
+    fields = raw.field_params
+    single_field = len(fields) == 2
+    summary = KernelSummary(
+        name=raw.name,
+        rank=len(raw.index_params),
+        out_field=fields[0],
+        in_field=fields[0] if single_field else fields[1],
+        rhs_field=fields[-1],
+        index_vars=tuple(raw.index_params),
+        single_field=single_field,
+        sweep=sweep,
+        allow_initial_reads=allow_initial_reads,
+    )
+
+    assert raw.target is not None
+    if not (
+        isinstance(raw.target.value, ast.Name)
+        and raw.target.value.id == summary.out_field
+    ):
+        reporter.emit(
+            "FE007",
+            f"the in-place target must be the first field parameter "
+            f"{summary.out_field!r}",
+            raw.target,
+        )
+        return None
+    write_offset = resolve_subscript(raw.target, raw, reporter)
+    if write_offset is None:
+        return None
+    summary.write_offset = write_offset
+
+    matched = _numerator_and_divisor(raw, reporter)
+    if matched is None:
+        return None
+    numerator, summary.divisor = matched
+
+    terms: List[_Term] = []
+    _flatten_sum(numerator, 1.0, terms)
+    reads = _resolve_terms(terms, raw, summary, reporter)
+    if reads is None:
+        return None
+    if not _classify_reads(reads, raw, summary, reporter):
+        return None
+    _classify_form(summary)
+    return summary
+
+
+def _resolve_terms(
+    terms: List[_Term],
+    raw: RawKernel,
+    summary: KernelSummary,
+    reporter: FrontendReporter,
+) -> Optional[List[Read]]:
+    """Terms → :class:`Read` list, re-based on the write offset."""
+    reads: List[Read] = []
+    ok = True
+    for term in terms:
+        if term.subscript is None:
+            reporter.emit(
+                "FE006",
+                "every additive term must be a (optionally weighted) "
+                "field read — constant or compound terms are outside "
+                "the Eq. 2 normal form",
+                term.node,
+            )
+            ok = False
+            continue
+        base = term.subscript.value
+        if not (isinstance(base, ast.Name) and base.id in raw.field_params):
+            reporter.emit(
+                "FE005",
+                "subscripted object is not a kernel field parameter",
+                term.subscript,
+            )
+            ok = False
+            continue
+        offset = resolve_subscript(term.subscript, raw, reporter)
+        if offset is None:
+            ok = False
+            continue
+        weight: Optional[float] = None
+        if term.weight_node is not None:
+            weight = fold_constant(term.weight_node, raw, reporter)
+            if weight is None:
+                ok = False
+                continue
+        if term.sign < 0:
+            weight = -1.0 if weight is None else -weight
+        rel = tuple(o - w for o, w in zip(offset, summary.write_offset))
+        reads.append(Read(base.id, rel, weight, term.node))
+    return reads if ok else None
+
+
+def _classify_reads(
+    reads: List[Read],
+    raw: RawKernel,
+    summary: KernelSummary,
+    reporter: FrontendReporter,
+) -> bool:
+    """Assign every read to B / L / U / center; the §2.1 inference."""
+    center = tuple([0] * summary.rank)
+    ok = True
+    rhs_reads = 0
+    #: offset -> "L" | "U", to catch FE008 conflicts with context.
+    tagged: Dict[Offset, str] = {}
+    for read in reads:
+        if read.field == summary.rhs_field:
+            rhs_reads += 1
+            if read.offset != center or read.weight is not None:
+                reporter.emit(
+                    "FE006",
+                    f"the right-hand side {summary.rhs_field!r} must be "
+                    "read exactly once, bare, at the written cell",
+                    read.node,
+                )
+                ok = False
+            continue
+        if summary.single_field:
+            # The in-place handle: L/U from the sweep-adjusted sign.
+            sign = lex_sign(tuple(c * summary.sweep for c in read.offset))
+            role = "center" if read.offset == center else (
+                "L" if sign < 0 else "U"
+            )
+        elif read.field == summary.out_field:
+            if read.offset == center:
+                reporter.emit(
+                    "FE009",
+                    f"{summary.out_field!r} is read at the cell being "
+                    "written — the update would consume its own result",
+                    read.node,
+                )
+                ok = False
+                continue
+            role = "L"
+            sign = lex_sign(tuple(c * summary.sweep for c in read.offset))
+            if sign >= 0 and not summary.allow_initial_reads:
+                reporter.emit(
+                    "FE011",
+                    f"current-iteration read at offset {read.offset} is "
+                    "not on the already-swept side for sweep="
+                    f"{summary.sweep} — the traversal would read a "
+                    "future value (§2.1); pass allow_initial_reads=True "
+                    "only for deliberate initial-content reads",
+                    read.node,
+                )
+                ok = False
+                continue
+        else:  # the explicit previous-iterate handle
+            role = "center" if read.offset == center else "U"
+        if role == "center":
+            if summary.center_weight is not None or summary.center_bare:
+                reporter.emit(
+                    "FE008",
+                    "the center is read twice",
+                    read.node,
+                )
+                ok = False
+                continue
+            if read.weight is None:
+                summary.center_bare = True
+                summary.center_weight = 1.0
+            else:
+                summary.center_weight = read.weight
+            continue
+        if read.offset in tagged:
+            prior = tagged[read.offset]
+            detail = (
+                f"offset {read.offset} is read twice"
+                if prior == role
+                else f"offset {read.offset} is tagged both "
+                "current-iteration (L) and previous-iteration (U)"
+            )
+            reporter.emit("FE008", detail, read.node)
+            ok = False
+            continue
+        tagged[read.offset] = role
+        (summary.l_offsets if role == "L" else summary.u_offsets).append(
+            read.offset
+        )
+        summary.weights[read.offset] = read.weight
+    if rhs_reads != 1:
+        reporter.emit(
+            "FE006",
+            f"the right-hand side {summary.rhs_field!r} must be read "
+            f"exactly once (found {rhs_reads} reads)",
+            raw.rhs,
+        )
+        ok = False
+    if ok and not summary.l_offsets and not summary.u_offsets:
+        reporter.emit(
+            "FE006",
+            "a stencil needs at least one neighbour read of the field",
+            raw.rhs,
+        )
+        ok = False
+    return ok
+
+
+def _classify_form(summary: KernelSummary) -> None:
+    """Pick the body helper reproducing the hand-built IR op-for-op."""
+    all_bare = all(w is None for w in summary.weights.values())
+    all_weighted = all(w is not None for w in summary.weights.values())
+    if summary.center_weight is None:
+        if all_bare:
+            summary.form = "identity"
+        elif all_weighted:
+            summary.form = "weighted"
+        else:
+            summary.form = "general"
+    elif all_bare and not summary.center_bare:
+        summary.form = "center_weighted"
+    else:
+        summary.form = "general"

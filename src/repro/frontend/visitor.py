@@ -1,0 +1,320 @@
+"""The AST visitor: from a Python function to a validated raw kernel.
+
+This is the *syntactic* front half of the analyzer: it parses the
+kernel's source, checks the signature against the ``@stencil``
+parameter convention (``FE002``), enforces the single-assignment body
+shape (``FE001``/``FE007``) and classifies the parameters into field
+handles and index variables by how the body actually uses them. No
+offsets are resolved here — that is :mod:`repro.frontend.offsets` —
+and no IR exists yet anywhere near this code.
+"""
+
+from __future__ import annotations
+
+import ast
+import textwrap
+from dataclasses import dataclass, field
+from typing import List, Mapping, Optional
+
+from repro.frontend.diagnostics import FrontendReporter, SourceInfo
+
+
+@dataclass
+class RawKernel:
+    """The syntactically validated kernel, before offset resolution."""
+
+    name: str
+    src: SourceInfo
+    fndef: ast.FunctionDef
+    #: Every parameter name, in declaration order.
+    params: List[str] = field(default_factory=list)
+    #: Parameters the body subscripts: the field handles, in order.
+    field_params: List[str] = field(default_factory=list)
+    #: Parameters used as subscript indices: the space axes, in order.
+    index_params: List[str] = field(default_factory=list)
+    #: Captured constants: closure cells over globals (lookup-only).
+    env: Mapping[str, object] = field(default_factory=dict)
+    #: The single update statement.
+    target: Optional[ast.Subscript] = None
+    rhs: Optional[ast.expr] = None
+
+
+def parse_kernel_source(
+    source: str,
+    reporter_name: str,
+    filename: str = "<stencil>",
+    first_line: int = 1,
+) -> tuple:
+    """Parse ``source`` into ``(SourceInfo, FunctionDef | None, FrontendReporter)``."""
+    dedented = textwrap.dedent(source)
+    col_shift = 0
+    for raw, ded in zip(source.splitlines(), dedented.splitlines()):
+        if ded.strip():
+            col_shift = len(raw) - len(ded)
+            break
+    src = SourceInfo(
+        text=dedented, filename=filename, first_line=first_line,
+        col_shift=col_shift,
+    )
+    reporter = FrontendReporter(src, reporter_name)
+    try:
+        tree = ast.parse(dedented)
+    except SyntaxError as exc:
+        reporter.emit("FE001", f"kernel source does not parse: {exc.msg}")
+        return src, None, reporter
+    fndefs = [n for n in tree.body if isinstance(n, ast.FunctionDef)]
+    if len(fndefs) != 1:
+        reporter.emit(
+            "FE001",
+            f"expected exactly one function definition, found {len(fndefs)}",
+        )
+        return src, None, reporter
+    return src, fndefs[0], reporter
+
+
+def _check_signature(
+    fndef: ast.FunctionDef, reporter: FrontendReporter
+) -> List[str]:
+    """The parameter list, with FE002 findings for unsupported shapes."""
+    args = fndef.args
+    bad = []
+    if args.vararg or args.kwarg:
+        bad.append("*args/**kwargs")
+    if args.kwonlyargs:
+        bad.append("keyword-only parameters")
+    if args.defaults or args.kw_defaults:
+        bad.append("default values")
+    if args.posonlyargs:
+        bad.append("positional-only markers")
+    if bad:
+        reporter.emit(
+            "FE002",
+            "kernel parameters must be plain positional names; found "
+            + ", ".join(bad),
+            fndef,
+        )
+    params = [a.arg for a in args.args]
+    if len(params) < 3:
+        reporter.emit(
+            "FE002",
+            f"a kernel needs at least (out, rhs, index...) = 3 "
+            f"parameters, found {len(params)}",
+            fndef,
+        )
+    return params
+
+
+def _single_update(
+    fndef: ast.FunctionDef, reporter: FrontendReporter
+) -> Optional[ast.Assign]:
+    """The one plain assignment of the body (FE001/FE007 otherwise)."""
+    statements = list(fndef.body)
+    if (
+        statements
+        and isinstance(statements[0], ast.Expr)
+        and isinstance(statements[0].value, ast.Constant)
+        and isinstance(statements[0].value.value, str)
+    ):
+        statements = statements[1:]  # docstring
+    assigns: List[ast.Assign] = []
+    for stmt in statements:
+        if isinstance(stmt, ast.Assign):
+            assigns.append(stmt)
+        elif isinstance(stmt, (ast.AugAssign, ast.AnnAssign)):
+            reporter.emit(
+                "FE007",
+                "the in-place update must be a plain assignment "
+                "(augmented/annotated assignments are not supported)",
+                stmt,
+            )
+            return None
+        elif isinstance(stmt, ast.Pass):
+            continue
+        else:
+            reporter.emit(
+                "FE001",
+                f"unsupported statement in a @stencil kernel: "
+                f"{type(stmt).__name__}",
+                stmt,
+            )
+            return None
+    if len(assigns) != 1:
+        reporter.emit(
+            "FE007",
+            f"a kernel must contain exactly one in-place update "
+            f"assignment, found {len(assigns)}",
+            fndef if not assigns else assigns[1],
+        )
+        return None
+    assign = assigns[0]
+    if len(assign.targets) != 1 or not isinstance(
+        assign.targets[0], ast.Subscript
+    ):
+        reporter.emit(
+            "FE007",
+            "the assignment target must be a single subscripted field "
+            "(e.g. u[i, j] = ...)",
+            assign,
+        )
+        return None
+    return assign
+
+
+def _classify_params(
+    raw: RawKernel, rank: Optional[int], reporter: FrontendReporter
+) -> None:
+    """Split parameters into field handles and index variables by use.
+
+    A parameter the body *subscripts* is a field; a parameter appearing
+    as a bare name inside a subscript is an index variable. Fields must
+    precede indices in the declaration (the ``(out[, in], rhs, i, j,
+    ...)`` convention — declaration order assigns the roles), every
+    parameter must be used, and nothing may be both.
+    """
+    body_nodes = [raw.target, raw.rhs]
+    subscripted: List[str] = []
+    index_used: List[str] = []
+    for root in body_nodes:
+        if root is None:
+            continue
+        for node in ast.walk(root):
+            if isinstance(node, ast.Subscript) and isinstance(
+                node.value, ast.Name
+            ):
+                base = node.value.id
+                if base in raw.params and base not in subscripted:
+                    subscripted.append(base)
+                for inner in ast.walk(node.slice):
+                    if (
+                        isinstance(inner, ast.Name)
+                        and inner.id in raw.params
+                        and inner.id not in index_used
+                    ):
+                        index_used.append(inner.id)
+    fields = [p for p in raw.params if p in subscripted]
+    indices = [p for p in raw.params if p in index_used and p not in fields]
+    both = sorted(set(subscripted) & set(index_used))
+    if both:
+        reporter.emit(
+            "FE002",
+            f"parameter(s) {both} are used both as a field and as an "
+            "index variable",
+            raw.fndef,
+        )
+        return
+    unused = [p for p in raw.params if p not in fields and p not in indices]
+    if unused:
+        reporter.emit(
+            "FE002",
+            f"unused kernel parameter(s): {unused} (every parameter "
+            "must be a subscripted field or an index variable)",
+            raw.fndef,
+        )
+    # Every field handle must be declared before every index variable.
+    positions = {p: raw.params.index(p) for p in raw.params}
+    if fields and indices and not unused:
+        if max(positions[p] for p in fields) > min(
+            positions[p] for p in indices
+        ):
+            reporter.emit(
+                "FE002",
+                "kernel parameters must list the field handles first, "
+                f"then the index variables: fields {fields}, indices "
+                f"{indices}",
+                raw.fndef,
+            )
+    if len(fields) not in (2, 3):
+        reporter.emit(
+            "FE002",
+            f"a kernel subscripts {len(fields)} parameter(s); expected "
+            "2 (single-field in-place form: out, rhs) or 3 "
+            "(split form: out, in, rhs)",
+            raw.fndef,
+        )
+    if rank is not None and indices and len(indices) != rank:
+        reporter.emit(
+            "FE002",
+            f"@stencil(rank={rank}) but the kernel uses "
+            f"{len(indices)} index variable(s): {indices}",
+            raw.fndef,
+        )
+    if not indices:
+        reporter.emit(
+            "FE002",
+            "no index variables found: subscripts must be written "
+            "relative to the kernel's index parameters",
+            raw.fndef,
+        )
+    raw.field_params = fields
+    raw.index_params = indices
+
+
+def visit_kernel(
+    source: str,
+    env: Mapping[str, object],
+    name: str,
+    rank: Optional[int] = None,
+    filename: str = "<stencil>",
+    first_line: int = 1,
+) -> tuple:
+    """Parse + structurally validate; returns ``(RawKernel | None, reporter)``."""
+    src, fndef, reporter = parse_kernel_source(
+        source, name, filename=filename, first_line=first_line
+    )
+    if fndef is None:
+        return None, reporter
+    reporter.kernel_name = reporter.kernel_name or fndef.name
+    params = _check_signature(fndef, reporter)
+    if reporter.has_errors:
+        return None, reporter
+    raw = RawKernel(
+        name=name or fndef.name, src=src, fndef=fndef, params=params, env=env
+    )
+    assign = _single_update(fndef, reporter)
+    if assign is None:
+        return None, reporter
+    raw.target = assign.targets[0]  # type: ignore[assignment]
+    raw.rhs = assign.value
+    _walk_expression_whitelist(raw.rhs, reporter)
+    if reporter.has_errors:
+        return None, reporter
+    _classify_params(raw, rank, reporter)
+    if reporter.has_errors:
+        return None, reporter
+    return raw, reporter
+
+
+#: Expression node types the analyzer understands at all. Anything else
+#: is FE001 immediately, with a caret on the offending node.
+_ALLOWED_EXPR = (
+    ast.BinOp,
+    ast.UnaryOp,
+    ast.Subscript,
+    ast.Name,
+    ast.Constant,
+    ast.Tuple,
+    ast.Load,
+    ast.Add,
+    ast.Sub,
+    ast.Mult,
+    ast.Div,
+    ast.Pow,
+    ast.USub,
+    ast.UAdd,
+)
+
+
+def _walk_expression_whitelist(
+    node: Optional[ast.expr], reporter: FrontendReporter
+) -> None:
+    if node is None:
+        return
+    for inner in ast.walk(node):
+        if not isinstance(inner, _ALLOWED_EXPR):
+            reporter.emit(
+                "FE001",
+                f"unsupported expression in a @stencil kernel: "
+                f"{type(inner).__name__}",
+                inner if hasattr(inner, "lineno") else node,
+            )
+            return

@@ -158,6 +158,7 @@ class TestCacheKeyAudit:
         "validate_passes": True,
         "verify_engine": "symbolic",
         "machine": "py-numpy",
+        "frontend_version": "fe-test",
     }
 
     def test_alternates_cover_every_field(self):

@@ -1,7 +1,7 @@
 """README ⟷ registry parity: the diagnostics tables never drift.
 
 ``repro.analysis.diagnostics.REGISTRY`` is the single source of truth
-for every ``IP0xx``/``TV0xx``/``RS0xx``/``PF0xx`` code. The README tables are generated
+for every ``IP0xx``/``TV0xx``/``RS0xx``/``PF0xx``/``FE0xx`` code. The README tables are generated
 from it (``render_registry_table``); these tests parse them back out of
 the README and assert an exact match — codes, canonical severities and
 one-line descriptions — so adding or editing a code without updating
@@ -22,7 +22,7 @@ from repro.analysis.diagnostics import (
 
 README = Path(__file__).resolve().parent.parent / "README.md"
 
-_ROW = re.compile(r"^\| `((?:IP|TV|RS|PF)\d{3})` \| (\w+) \| (.+?) \|$")
+_ROW = re.compile(r"^\| `((?:IP|TV|RS|PF|FE)\d{3})` \| (\w+) \| (.+?) \|$")
 
 
 def _readme_rows():
@@ -40,13 +40,13 @@ class TestRegistry:
     def test_registry_is_well_formed(self):
         for code, info in REGISTRY.items():
             assert info.code == code
-            assert re.fullmatch(r"(IP|TV|RS|PF)\d{3}", code)
+            assert re.fullmatch(r"(IP|TV|RS|PF|FE)\d{3}", code)
             assert info.severity in SEVERITIES
             assert info.title and info.description
             assert "\n" not in info.description
 
     def test_codes_are_contiguous_per_prefix(self):
-        for prefix in ("IP", "TV", "RS", "PF"):
+        for prefix in ("IP", "TV", "RS", "PF", "FE"):
             nums = sorted(
                 int(c[2:]) for c in REGISTRY if c.startswith(prefix)
             )
@@ -64,6 +64,7 @@ class TestRegistry:
             + render_registry_table("TV")
             + render_registry_table("RS")
             + render_registry_table("PF")
+            + render_registry_table("FE")
         )
         codes = {m.group(1) for m in map(_ROW.match, rendered) if m}
         assert codes == set(REGISTRY)
@@ -92,6 +93,6 @@ class TestReadmeParity:
     def test_readme_rows_are_the_rendered_rows(self):
         """The README rows byte-match ``render_registry_table`` output."""
         text = README.read_text()
-        for prefix in ("IP", "TV", "RS", "PF"):
+        for prefix in ("IP", "TV", "RS", "PF", "FE"):
             for row in render_registry_table(prefix)[2:]:
                 assert row in text, f"rendered row missing from README: {row}"

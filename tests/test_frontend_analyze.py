@@ -1,0 +1,204 @@
+"""Unit tests for the @stencil static analyzer itself.
+
+Covers subscript resolution, L/U sign inference (§2.1), normal-form
+classification (Eq. 2), closure/global constant capture, and the
+source-caret rendering of frontend diagnostics.
+"""
+
+import pytest
+
+from repro.frontend import (
+    FrontendError,
+    analyze_source,
+    stencil,
+    stencil_from_source,
+)
+
+_GS5 = (
+    "def k(u, b, i, j):\n"
+    "    u[i, j] = (b[i, j] + u[i - 1, j] + u[i, j - 1]\n"
+    "               + u[i, j + 1] + u[i + 1, j]) / 4.0\n"
+)
+
+
+def _codes(report):
+    return [d.code for d in report.diagnostics]
+
+
+def test_single_field_sign_inference():
+    program, report = analyze_source(_GS5)
+    assert not report.diagnostics
+    s = program.summary
+    assert s.single_field
+    assert s.rank == 2
+    assert s.out_field == "u" and s.rhs_field == "b"
+    assert set(s.l_offsets) == {(-1, 0), (0, -1)}
+    assert set(s.u_offsets) == {(0, 1), (1, 0)}
+    assert s.divisor == 4.0
+    assert s.form == "identity"
+
+
+def test_split_form_all_reads_are_previous_iteration():
+    src = (
+        "def k(y, x, b, i, j):\n"
+        "    y[i, j] = (b[i, j] + x[i - 1, j] + x[i, j - 1]\n"
+        "               + x[i, j + 1] + x[i + 1, j]) / 4.0\n"
+    )
+    program, report = analyze_source(src)
+    assert not report.diagnostics
+    s = program.summary
+    assert not s.single_field
+    assert s.l_offsets == []
+    assert set(s.u_offsets) == {(-1, 0), (0, -1), (0, 1), (1, 0)}
+
+
+def test_split_form_declared_l_reads_are_checked():
+    # Reads of the output field on the already-swept side are legal L.
+    src = (
+        "def k(y, x, b, i, j):\n"
+        "    y[i, j] = (b[i, j] + y[i - 1, j] + x[i + 1, j]) / 4.0\n"
+    )
+    program, report = analyze_source(src)
+    assert not report.diagnostics
+    assert set(program.summary.l_offsets) == {(-1, 0)}
+    assert set(program.summary.u_offsets) == {(1, 0)}
+
+
+def test_weighted_center_and_closure_capture():
+    omega = 1.5
+    coeff = (1.0 - omega) * 4.0 / omega
+    d_eff = 4.0 / omega
+    src = (
+        "def k(u, b, i, j):\n"
+        "    u[i, j] = (b[i, j] + u[i - 1, j] + u[i, j - 1] + u[i, j + 1]\n"
+        "               + u[i + 1, j] + coeff * u[i, j]) / d_eff\n"
+    )
+    program, report = analyze_source(src, {"coeff": coeff, "d_eff": d_eff})
+    assert not report.diagnostics
+    s = program.summary
+    assert s.form == "center_weighted"
+    assert s.center_weight == pytest.approx(coeff)
+    assert s.divisor == pytest.approx(d_eff)
+
+
+def test_constant_expressions_fold():
+    src = (
+        "def k(u, b, i, j):\n"
+        "    u[i, j] = (b[i, j] + (2.0 * 0.25) * u[i - 1, j]\n"
+        "               + u[i + 1, j]) / (2.0 + 2.0)\n"
+    )
+    program, report = analyze_source(src)
+    assert not report.diagnostics
+    assert program.summary.divisor == 4.0
+    assert program.summary.weights[(-1, 0)] == pytest.approx(0.5)
+
+
+def test_non_affine_subscript_is_rejected():
+    src = (
+        "def k(u, b, i, j):\n"
+        "    u[i, j] = (b[i, j] + u[2 * i, j]) / 4.0\n"
+    )
+    _, report = analyze_source(src)
+    assert "FE003" in _codes(report)
+
+
+def test_data_dependent_subscript_is_rejected():
+    # A field value used inside an index: rejected at role classification
+    # (the field would have to double as an index variable).
+    src = (
+        "def k(u, b, i, j):\n"
+        "    u[i, j] = (b[i, j] + u[u[i, j - 1], j]) / 4.0\n"
+    )
+    _, report = analyze_source(src)
+    assert report.has_errors
+    assert set(_codes(report)) <= {"FE002", "FE003"}
+
+
+def test_composite_index_expression_is_rejected():
+    src = (
+        "def k(u, b, i, j):\n"
+        "    u[i, j] = (b[i, j] + u[i + j, j]) / 4.0\n"
+    )
+    _, report = analyze_source(src)
+    assert "FE003" in _codes(report)
+
+
+def test_rank_mismatch_is_rejected():
+    src = (
+        "def k(u, b, i, j):\n"
+        "    u[i, j] = (b[i, j] + u[i - 1, j, 0]) / 4.0\n"
+    )
+    _, report = analyze_source(src)
+    assert "FE004" in _codes(report)
+
+
+def test_unknown_name_is_impure_reference():
+    src = (
+        "def k(u, b, i, j):\n"
+        "    u[i, j] = (b[i, j] + alpha * u[i - 1, j]) / 4.0\n"
+    )
+    _, report = analyze_source(src)
+    assert "FE005" in _codes(report)
+
+
+def test_captured_non_number_is_rejected():
+    src = (
+        "def k(u, b, i, j):\n"
+        "    u[i, j] = (b[i, j] + w * u[i - 1, j]) / 4.0\n"
+    )
+    _, report = analyze_source(src, {"w": [1.0, 2.0]})
+    assert "FE010" in _codes(report)
+
+
+def test_zero_divisor_is_rejected():
+    src = (
+        "def k(u, b, i, j):\n"
+        "    u[i, j] = (b[i, j] + u[i - 1, j]) / (2.0 - 2.0)\n"
+    )
+    _, report = analyze_source(src)
+    assert "FE010" in _codes(report)
+
+
+def test_duplicate_read_is_conflicting_access():
+    src = (
+        "def k(u, b, i, j):\n"
+        "    u[i, j] = (b[i, j] + u[i - 1, j] + u[i - 1, j]) / 4.0\n"
+    )
+    _, report = analyze_source(src)
+    assert "FE008" in _codes(report)
+
+
+def test_diagnostics_carry_carets():
+    src = (
+        "def k(u, b, i, j):\n"
+        "    u[i, j] = (b[i, j] + u[j, i]) / 4.0\n"
+    )
+    _, report = analyze_source(src, filename="kernel.py")
+    (diag,) = [d for d in report.diagnostics if d.code == "FE003"]
+    assert "^" in diag.excerpt
+    assert "u[j, i]" in diag.excerpt
+    assert "kernel.py" in diag.op_path
+
+
+def test_decorator_raises_frontend_error_eagerly():
+    with pytest.raises(FrontendError) as exc:
+        @stencil
+        def bad(u, b, i, j):
+            u[i, j] = b[i, j] + u[i - 1, j]  # no division: not Eq. 2
+
+    assert any(d.code == "FE006" for d in exc.value.report.diagnostics)
+
+
+def test_stencil_from_source_backward_sweep():
+    program = stencil_from_source(_GS5, sweep=-1)
+    # Under a backward sweep the lexicographically *positive* reads are
+    # the already-updated (L) ones.
+    assert set(program.summary.l_offsets) == {(0, 1), (1, 0)}
+    assert set(program.summary.u_offsets) == {(-1, 0), (0, -1)}
+    assert program.pattern.sweep == -1
+
+
+def test_describe_mentions_l_and_u():
+    program = stencil_from_source(_GS5)
+    text = program.summary.describe()
+    assert "L" in text and "U" in text

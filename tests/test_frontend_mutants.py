@@ -1,0 +1,63 @@
+"""The must-fail mutant corpus: every FE code has a kernel that trips it.
+
+``build_frontend_corpus`` carries one deliberately broken kernel per
+FE001–FE012; each must produce exactly its expected code, and the good
+stems (the ported examples) must analyze, build through the FE012
+cross-check, and pass the analysis gate with zero diagnostics.
+"""
+
+import pytest
+
+from repro.analysis.diagnostics import REGISTRY
+from repro.frontend.corpus import build_frontend_corpus
+
+_CORPUS = build_frontend_corpus()
+_MUTANTS = _CORPUS["fe_mutants"]
+_GOOD = [
+    entry
+    for stem, entries in sorted(_CORPUS.items())
+    if stem != "fe_mutants"
+    for entry in entries
+]
+
+
+def test_corpus_covers_every_fe_code():
+    fe_codes = {c for c in REGISTRY if c.startswith("FE")}
+    expected = {code for entry in _MUTANTS for code in entry.expect_codes}
+    assert expected == fe_codes
+
+
+@pytest.mark.parametrize("entry", _MUTANTS, ids=lambda e: e.name)
+def test_mutant_fails_with_its_code(entry):
+    report = entry.run()
+    assert report.has_errors, f"{entry.name} analyzed clean"
+    codes = {d.code for d in report.diagnostics}
+    for code in entry.expect_codes:
+        assert code in codes, f"{entry.name}: expected {code}, got {codes}"
+
+
+@pytest.mark.parametrize("entry", _MUTANTS, ids=lambda e: e.name)
+def test_mutant_diagnostics_are_registered(entry):
+    report = entry.run()
+    for diag in report.diagnostics:
+        assert diag.code in REGISTRY
+
+
+@pytest.mark.parametrize("entry", _GOOD, ids=lambda e: e.name)
+def test_good_entry_is_clean(entry):
+    report = entry.run()
+    assert not report.diagnostics, [
+        f"{d.code}: {d.message}" for d in report.diagnostics
+    ]
+
+
+def test_mutant_reports_carry_source_locations():
+    # Source-level mutants must point at the offending construct: every
+    # frontend diagnostic carries a location and a caret excerpt.
+    for entry in _MUTANTS:
+        if entry.name.endswith("[FE012]"):
+            continue  # cross-check fires on IR, not on a source span
+        report = entry.run()
+        fe_diags = [d for d in report.diagnostics if d.code.startswith("FE")]
+        assert fe_diags
+        assert any("^" in (d.excerpt or "") for d in fe_diags), entry.name

@@ -1,0 +1,101 @@
+"""End-to-end: @stencil programs through the full compilation pipeline,
+the frontend-version cache fingerprint, the FE012 gate, and the
+``--frontend`` CLI.
+"""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.analysis.__main__ import main as analysis_main
+from repro.baselines import naive
+from repro.core.pipeline import CompileOptions
+from repro.core.stencil import StencilPattern
+from repro.frontend import FRONTEND_VERSION, FrontendError, stencil
+
+
+@stencil
+def _gs5(u, b, i, j):
+    u[i, j] = (b[i, j] + u[i - 1, j] + u[i, j - 1]
+               + u[i, j + 1] + u[i + 1, j]) / 4.0
+
+
+def test_program_compile_matches_naive_reference():
+    n, iterations = 34, 3
+    # validate_passes runs per-pass translation validation over the
+    # frontend-built IR: the CI frontend-lint job leans on this test as
+    # its full-pipeline leg.
+    options = CompileOptions(
+        subdomain_sizes=(16, 16), tile_sizes=(8, 8), fuse=True, vectorize=8,
+        validate_passes=True,
+    )
+    kernel = _gs5.compile((n, n), options=options, iterations=iterations)
+    rng = np.random.default_rng(7)
+    x = rng.standard_normal((1, n, n))
+    b = rng.standard_normal((1, n, n))
+    (y,) = kernel(x, b, x.copy())
+    expected = x[0].copy()
+    for _ in range(iterations):
+        expected = naive.gauss_seidel_sweep_python(
+            expected, b[0], _gs5.pattern, 4.0
+        )
+    assert float(np.abs(y[0] - expected).max()) < 1e-10
+
+
+def test_frontend_version_participates_in_cache_key():
+    base = CompileOptions()
+    stamped = dataclasses.replace(base, frontend_version=FRONTEND_VERSION)
+    assert base.cache_key() != stamped.cache_key()
+    assert FRONTEND_VERSION in stamped.cache_key()
+
+
+def test_compile_respects_explicit_frontend_version():
+    # A caller pinning its own frontend_version must not be overridden;
+    # compiling still works end-to-end.
+    options = CompileOptions(frontend_version="fe-custom", use_cache=False)
+    kernel = _gs5.compile((12, 12), options=options)
+    x = np.zeros((1, 12, 12))
+    (y,) = kernel(x, x, x.copy())
+    assert y.shape == (1, 12, 12)
+
+
+def test_fe012_tamper_gates_build():
+    tampered = StencilPattern.from_offsets(
+        2, l_offsets=[(-1, 0)], u_offsets=[(0, -1), (0, 1), (1, 0)]
+    )
+    with pytest.raises(FrontendError) as exc:
+        _gs5.build_module((16, 16), _pattern_override=tampered)
+    assert any(
+        d.code == "FE012" for d in exc.value.report.diagnostics
+    )
+
+
+def test_cli_frontend_examples_pass(capsys):
+    rc = analysis_main(["--frontend", "quickstart"])
+    out = capsys.readouterr().out
+    assert rc == 0
+    assert "frontend-linted" in out
+
+
+def test_cli_frontend_mutants_fail(capsys):
+    rc = analysis_main(["--frontend", "fe_mutants"])
+    out = capsys.readouterr().out
+    assert rc == 1
+    assert "FE012" in out
+
+
+def test_cli_frontend_rejects_other_modes(capsys):
+    with pytest.raises(SystemExit):
+        analysis_main(["--frontend", "--perf"])
+
+
+def test_cli_frontend_json_is_machine_readable(capsys):
+    import json
+
+    rc = analysis_main(["--frontend", "--json", "fe_mutants"])
+    out = capsys.readouterr().out
+    assert rc == 1
+    records = [json.loads(line) for line in out.splitlines() if line]
+    codes = {r["code"] for r in records}
+    assert {"FE001", "FE012"} <= codes

@@ -1,0 +1,107 @@
+"""Property test: the frontend's inferred L/U split always agrees with
+the dependence engine's independent re-derivation from the built IR.
+
+The frontend classifies reads from the *source* (AST sign structure,
+§2.1); :func:`repro.analysis.dependence.stencil_raw_attrs` re-decodes
+the L/U split from the *raw pattern attribute* of the emitted
+``cfd.stencilOp`` — a completely separate enumeration (row-major box
+positions re-centered by radii). Hypothesis drives randomly generated
+affine kernels through both and requires exact agreement; any
+disagreement is precisely what the gating FE012 cross-check exists to
+catch, so this property holding is what keeps FE012 silent on good
+kernels.
+"""
+
+import itertools
+
+from hypothesis import given, settings, strategies as st
+
+from repro.analysis.dependence import lex_sign, stencil_raw_attrs
+from repro.dialects import cfd
+from repro.frontend import stencil_from_source
+
+_INDEX_VARS = ("i", "j", "k")
+
+
+def _box_offsets(rank):
+    return [
+        off
+        for off in itertools.product((-1, 0, 1), repeat=rank)
+        if any(off)
+    ]
+
+
+def _subscript(offset):
+    parts = []
+    for var, c in zip(_INDEX_VARS, offset):
+        if c == 0:
+            parts.append(var)
+        elif c > 0:
+            parts.append(f"{var} + {c}")
+        else:
+            parts.append(f"{var} - {-c}")
+    return ", ".join(parts)
+
+
+_WEIGHTS = st.sampled_from([None, 0.5, 2.0, -1.5])
+
+
+@st.composite
+def _kernels(draw):
+    rank = draw(st.integers(min_value=1, max_value=3))
+    offsets = draw(
+        st.lists(
+            st.sampled_from(_box_offsets(rank)),
+            min_size=1,
+            max_size=6,
+            unique=True,
+        )
+    )
+    weights = [draw(_WEIGHTS) for _ in offsets]
+    center_weight = draw(st.sampled_from([None, 0.25, -2.0]))
+    divisor = draw(st.sampled_from([4.0, 6.0, 2.5]))
+    sweep = draw(st.sampled_from([1, -1]))
+    idx = ", ".join(_INDEX_VARS[:rank])
+    terms = [f"b[{idx}]"]
+    for off, w in zip(offsets, weights):
+        read = f"u[{_subscript(off)}]"
+        terms.append(read if w is None else f"({w!r}) * {read}")
+    if center_weight is not None:
+        terms.append(f"({center_weight!r}) * u[{idx}]")
+    src = (
+        f"def k(u, b, {idx}):\n"
+        f"    u[{idx}] = ({' + '.join(terms)}) / {divisor!r}\n"
+    )
+    return src, rank, offsets, sweep
+
+
+@given(_kernels())
+@settings(max_examples=60, deadline=None)
+def test_inferred_lu_matches_dependence_engine(case):
+    src, rank, offsets, sweep = case
+    program = stencil_from_source(src, sweep=sweep)
+
+    # What §2.1 demands: reads behind the sweep are current-iteration.
+    expected_l = {o for o in offsets if lex_sign(o) * sweep < 0}
+    expected_u = {o for o in offsets if lex_sign(o) * sweep > 0}
+    assert set(program.summary.l_offsets) == expected_l
+    assert set(program.summary.u_offsets) == expected_u
+
+    # Build the IR (the gating FE012 cross-check already runs inside) and
+    # re-derive the split from the raw attribute with the dependence
+    # engine — not the StencilPattern that produced it.
+    module = program.build_module(tuple([8] * rank))
+    ops = [
+        op
+        for op in module.walk()
+        if op.name == cfd.StencilOp.OP_NAME
+    ]
+    assert len(ops) == 1
+    raw = stencil_raw_attrs(ops[0])
+    assert raw is not None
+    raw_rank, raw_l, raw_u, raw_sweep, raw_initial = raw
+    assert raw_rank == rank
+    assert set(raw_l) == expected_l
+    assert set(raw_u) == expected_u
+    assert raw_sweep == sweep
+    assert raw_initial is False
