@@ -1,0 +1,247 @@
+"""PR10 acceptance bench: the async compile service.
+
+Three claims, written to ``results/BENCH_pr10_service.json``:
+
+* **warm vs cold**: with ``validate_passes=True`` a warm request (cache
+  hit keyed on the pipeline fingerprint) has p50 latency >= 10x faster
+  than a cold validated compile;
+* **throughput**: sustained requests/s for a cold sweep at 1 worker vs
+  2 workers, plus the warm-path throughput ceiling;
+* **overhead**: serving one compile through the service (fingerprint,
+  admission, single-flight, executor hop) costs <= 10% over calling
+  ``ResilientCompiler`` directly, faults off — robustness must be
+  near-free on the happy path.
+
+``REPRO_BENCH_SMOKE=1`` (the CI mode) shrinks request counts so the
+bench finishes in seconds while still exercising every code path.
+
+Timing method: overhead uses interleaved best-of-N rounds (alternating
+order per round) like the PR5 resilience bench, so a noisy neighbour
+hits both variants alike.
+"""
+
+import asyncio
+import json
+import os
+import time
+
+import numpy as np
+
+from repro.bench.harness import RESULTS_DIR, save_results
+from repro.codegen.cache import KernelCache
+from repro.codegen.certificates import CertificateMemo, set_default_memo
+from repro.core import frontend
+from repro.core.pipeline import CompileOptions
+from repro.core.stencil import gauss_seidel_5pt_2d
+from repro.ir.parser import parse_module
+from repro.ir.printer import print_module
+from repro.runtime.resilience.driver import ResilientCompiler
+from repro.service import CompileService, ServiceConfig
+from repro.service.stats import percentile
+
+SMOKE = os.environ.get("REPRO_BENCH_SMOKE") == "1"
+SHAPE = (16, 16)
+#: Distinct cold fingerprints per sweep (shape-varied modules).
+COLD_N = 4 if SMOKE else 10
+#: Warm repetitions against one fingerprint.
+WARM_N = 16 if SMOKE else 64
+OVERHEAD_ROUNDS = 4 if SMOKE else 8
+MAX_OVERHEAD = 0.10
+MIN_WARM_SPEEDUP = 10.0
+
+OPTIONS = CompileOptions(
+    subdomain_sizes=(8, 8), tile_sizes=(4, 4), fuse=True, vectorize=4,
+    check_level="after-pipeline", validate_passes=True,
+)
+
+
+def _module(idx=0):
+    return frontend.build_stencil_kernel(
+        gauss_seidel_5pt_2d(), (SHAPE[0] + 2 * idx, SHAPE[1]),
+        frontend.identity_body(4.0),
+    )
+
+
+def _service(**overrides):
+    config = ServiceConfig(**{
+        "options": OPTIONS, "max_queue": 2 * COLD_N + 4, **overrides,
+    })
+    return CompileService(config, cache=KernelCache())
+
+
+def _save_section(section, data):
+    path = RESULTS_DIR / "BENCH_pr10_service.json"
+    combined = json.loads(path.read_text()) if path.is_file() else {}
+    combined[section] = data
+    save_results("BENCH_pr10_service", combined)
+
+
+def test_warm_p50_at_least_10x_faster_than_cold():
+    set_default_memo(CertificateMemo())
+
+    async def scenario():
+        svc = _service()
+        cold = await asyncio.gather(
+            *[svc.compile(_module(i)) for i in range(COLD_N)]
+        )
+        warm = []
+        for _ in range(WARM_N):
+            warm.append(await svc.compile(_module(0)))
+        await svc.drain()
+        return svc, cold, warm
+
+    svc, cold, warm = asyncio.run(scenario())
+    assert all(r.ok for r in cold) and all(r.ok for r in warm)
+    assert svc.stats.cache_hits >= WARM_N
+    cold_p50 = percentile(sorted(r.latency for r in cold), 50)
+    warm_p50 = percentile(sorted(r.latency for r in warm), 50)
+    speedup = cold_p50 / warm_p50 if warm_p50 else float("inf")
+    _save_section("warm_vs_cold", {
+        "cold_p50_ms": cold_p50 * 1e3,
+        "warm_p50_ms": warm_p50 * 1e3,
+        "speedup": speedup,
+        "cold_requests": COLD_N,
+        "warm_requests": WARM_N,
+        "config": OPTIONS.describe(),
+        "validate_passes": True,
+        "budget_min_speedup": MIN_WARM_SPEEDUP,
+        "smoke": SMOKE,
+    })
+    print(
+        f"\nwarm vs cold (validated): cold p50 {cold_p50 * 1e3:.2f} ms, "
+        f"warm p50 {warm_p50 * 1e3:.3f} ms -> {speedup:.0f}x"
+    )
+    assert speedup >= MIN_WARM_SPEEDUP, (
+        f"warm p50 only {speedup:.1f}x faster than cold "
+        f"(need >= {MIN_WARM_SPEEDUP}x)"
+    )
+
+
+def test_sustained_throughput_one_vs_two_workers():
+    results = {}
+    for workers in (1, 2):
+        # Fresh certificate memo per configuration: otherwise the first
+        # sweep's certificates let the second skip validation entirely.
+        set_default_memo(CertificateMemo())
+        async def scenario():
+            svc = _service(workers=workers)
+            start = time.perf_counter()
+            cold = await asyncio.gather(
+                *[svc.compile(_module(i)) for i in range(COLD_N)]
+            )
+            cold_s = time.perf_counter() - start
+            start = time.perf_counter()
+            warm = await asyncio.gather(
+                *[svc.compile(_module(0)) for _ in range(WARM_N)]
+            )
+            warm_s = time.perf_counter() - start
+            await svc.drain()
+            return svc, cold, warm, cold_s, warm_s
+
+        svc, cold, warm, cold_s, warm_s = asyncio.run(scenario())
+        assert all(r.ok for r in cold) and all(r.ok for r in warm)
+        results[workers] = {
+            "cold_req_s": COLD_N / cold_s,
+            "warm_req_s": WARM_N / warm_s,
+            "cold_wall_s": cold_s,
+            "shed": dict(svc.stats.shed),
+        }
+        print(
+            f"\n{workers} worker(s): cold {COLD_N / cold_s:.1f} req/s, "
+            f"warm {WARM_N / warm_s:.0f} req/s"
+        )
+    _save_section("throughput", {
+        "workers": results,
+        "cold_requests": COLD_N,
+        "warm_requests": WARM_N,
+        "config": OPTIONS.describe(),
+        "smoke": SMOKE,
+    })
+    # Two workers must not be slower than one on an embarrassingly
+    # parallel cold sweep (allow 10% noise; the GIL bounds the upside).
+    assert results[2]["cold_req_s"] >= 0.9 * results[1]["cold_req_s"]
+
+
+def test_service_overhead_vs_direct_driver_within_budget():
+    """One uncached compile via the service vs ResilientCompiler
+    directly, interleaved best-of rounds, faults off."""
+    set_default_memo(CertificateMemo())
+    opts = CompileOptions(**{
+        **OPTIONS.__dict__, "use_cache": False,
+    })
+    pristine = print_module(_module(0))
+
+    def direct():
+        kernel, report = ResilientCompiler(opts).compile(
+            parse_module(pristine)
+        )
+        assert report.final == "compiled"
+
+    # A persistent service on a persistent loop — the deployed shape.
+    # Billing loop startup, thread-pool spawn and drain to a single
+    # request would measure lifecycle, not per-request overhead.
+    loop = asyncio.new_event_loop()
+    svc = CompileService(ServiceConfig(options=opts), cache=KernelCache())
+
+    def served():
+        resp = loop.run_until_complete(svc.compile(parse_module(pristine)))
+        assert resp.ok and resp.report.final == "compiled"
+
+    def sample(fn):
+        start = time.perf_counter()
+        fn()
+        return time.perf_counter() - start
+
+    sample(direct), sample(served)  # warmup
+    direct_s, served_s = [], []
+    for i in range(OVERHEAD_ROUNDS):
+        if i % 2 == 0:
+            direct_s.append(sample(direct))
+            served_s.append(sample(served))
+        else:
+            served_s.append(sample(served))
+            direct_s.append(sample(direct))
+    loop.run_until_complete(svc.drain())
+    loop.close()
+    best_direct, best_served = min(direct_s), min(served_s)
+    overhead = best_served / best_direct - 1.0
+    _save_section("service_overhead", {
+        "direct_ms": best_direct * 1e3,
+        "served_ms": best_served * 1e3,
+        "overhead_fraction": overhead,
+        "rounds": OVERHEAD_ROUNDS,
+        "config": opts.describe(),
+        "budget": MAX_OVERHEAD,
+        "smoke": SMOKE,
+    })
+    print(
+        f"\nservice overhead: direct {best_direct * 1e3:.1f} ms, "
+        f"served {best_served * 1e3:.1f} ms -> {overhead * 100:+.1f}%"
+    )
+    assert overhead <= MAX_OVERHEAD, (
+        f"service overhead {overhead * 100:.1f}% exceeds "
+        f"{MAX_OVERHEAD * 100:.0f}% budget"
+    )
+
+
+def test_numerics_unchanged_through_the_service():
+    """The served kernel computes exactly what the direct one does."""
+    from repro.codegen.interpreter import run_function
+
+    set_default_memo(CertificateMemo())
+    rng = np.random.default_rng(0)
+    full = (1,) + SHAPE
+    x, b = rng.standard_normal(full), rng.standard_normal(full)
+    (expected,) = run_function(_module(0), "kernel", x, b, x.copy())
+
+    async def scenario():
+        svc = _service()
+        resp = await svc.execute(
+            _module(0), lambda: (x.copy(), b.copy(), x.copy())
+        )
+        await svc.drain()
+        return resp
+
+    resp = asyncio.run(scenario())
+    assert resp.ok
+    np.testing.assert_allclose(resp.values[0], expected, rtol=1e-12)

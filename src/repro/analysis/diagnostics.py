@@ -168,6 +168,30 @@ REGISTRY: Dict[str, DiagnosticInfo] = {
               "a kernel without a clean parallel-safety certificate (or "
               "with a rebinding block body) executed its wavefront "
               "groups sequentially despite a multi-thread request"),
+        _info("RS012", "request rejected by admission control", "warning",
+              "the compile service's bounded queue was full (or the "
+              "admission stage faulted); the request was rejected with "
+              "a retry-after hint instead of queuing unboundedly"),
+        _info("RS013", "request deadline exceeded", "warning",
+              "a service request's deadline expired while queued or "
+              "mid-compile; the request was cancelled with a structured "
+              "response (a shared compilation continues for its other "
+              "waiters)"),
+        _info("RS014", "single-flight leader failed; waiter re-dispatched",
+              "warning",
+              "the leader compiling a fingerprint crashed or hung; one "
+              "waiter was promoted to re-dispatch the compilation "
+              "exactly once per round, so a crashed leader never "
+              "strands its waiters"),
+        _info("RS015", "compile request load-shed to a degraded "
+              "configuration", "warning",
+              "under queue pressure a new compile was admitted at a "
+              "weaker configuration on the degradation chain "
+              "(O2 -> O0 -> interpreter) instead of being rejected"),
+        _info("RS016", "request rejected: service draining", "note",
+              "a request arrived during graceful shutdown; it was "
+              "rejected immediately while in-flight requests were "
+              "allowed to finish"),
         _info("PF001", "working set exceeds the private cache", "error",
               "a tile's halo-inclusive working set is larger than the "
               "machine model's private (L2) cache, so every sweep "

@@ -219,9 +219,13 @@ class KernelCache:
             maybe_inject("cache.disk-write", fingerprint=fingerprint)
             self.disk_dir.mkdir(parents=True, exist_ok=True)
             # Atomic writes: a crash mid-write can never leave a torn
-            # entry under the final name.
+            # entry under the final name. The temp name is unique per
+            # writer (pid + thread), so concurrent writers of the same
+            # fingerprint never interleave on one temp file — last
+            # rename wins and every rename installs a complete entry.
+            suffix = f".{os.getpid()}.{threading.get_ident()}.tmp"
             for path, text in ((source_path, kernel.source), (meta_path, meta)):
-                tmp = path.with_name(path.name + ".tmp")
+                tmp = path.with_name(path.name + suffix)
                 tmp.write_text(text)
                 os.replace(tmp, path)
         except (OSError, InjectedFault):

@@ -15,13 +15,41 @@ the gate ran at, whether translation validation passed, and whether the
 parallel race check came back clean. A compile requesting *more*
 verification than the record covers runs the missing checks and widens
 the record.
+
+Disk tier (PR 10): with ``disk_dir`` set, every record is also written
+through to ``<disk_dir>/<fingerprint>.cert.json`` so a pipeline
+certified clean in one process never re-validates in another — the
+warm path of the compile service with ``validate_passes=True``. The
+tier is hardened exactly like the kernel cache's: entries are written
+atomically (temp file + rename) with a SHA-256 checksum of the
+certificate payload plus a schema version, loads validate both before
+trusting anything, and a truncated/corrupted/version-skewed entry is
+quarantined (moved to ``<disk_dir>/quarantine/``) and treated as a
+miss. I/O failures — including injected ``cache.disk-read`` /
+``cache.disk-write`` faults, which fire here with
+``kind="certificate"`` context — degrade the memo to memory-only; they
+never crash a compile.
 """
 
 from __future__ import annotations
 
+import hashlib
+import json
+import os
 import threading
 from dataclasses import dataclass, field
-from typing import Dict, Optional, Set
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Set, Tuple
+
+from repro.runtime.resilience.faults import InjectedFault, maybe_inject
+
+#: Bump when the on-disk certificate payload shape changes; skewed
+#: entries are quarantined like corrupted ones.
+CERT_SCHEMA_VERSION = 1
+
+
+class CorruptCertificateEntry(Exception):
+    """A disk certificate failed checksum/schema validation."""
 
 
 @dataclass
@@ -46,33 +74,88 @@ class Certificate:
             return bool(self.check_levels)
         return check_level in self.check_levels
 
+    def to_json(self) -> Dict[str, Any]:
+        """Canonical JSON payload (sorted, so the checksum is stable)."""
+        return {
+            "check_levels": sorted(self.check_levels),
+            "validated": self.validated,
+            "parallel_clean": self.parallel_clean,
+        }
+
+    @classmethod
+    def from_json(cls, data: Dict[str, Any]) -> "Certificate":
+        check_levels = data.get("check_levels")
+        if not isinstance(check_levels, list) or not all(
+            isinstance(c, str) for c in check_levels
+        ):
+            raise CorruptCertificateEntry("check_levels must be a string list")
+        validated = data.get("validated")
+        if not isinstance(validated, bool):
+            raise CorruptCertificateEntry("validated must be a bool")
+        parallel_clean = data.get("parallel_clean")
+        if parallel_clean is not None and not isinstance(parallel_clean, bool):
+            raise CorruptCertificateEntry("parallel_clean must be bool/null")
+        return cls(set(check_levels), validated, parallel_clean)
+
+
+def _payload_digest(payload: str) -> str:
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
 
 @dataclass
 class MemoStats:
     hits: int = 0
     misses: int = 0
     records: int = 0
+    #: Memory misses satisfied by the disk tier.
+    disk_hits: int = 0
+    #: Disk reads/writes that failed outright (I/O error or injected
+    #: fault); the memo degraded to memory-only for that operation.
+    disk_errors: int = 0
+    #: Disk entries that failed validation and were quarantined.
+    quarantined: int = 0
 
 
 class CertificateMemo:
-    """Thread-safe fingerprint -> :class:`Certificate` map."""
+    """Thread-safe fingerprint -> :class:`Certificate` map.
 
-    def __init__(self) -> None:
+    With ``disk_dir`` set, records write through to a checksummed disk
+    tier and memory misses fall through to it, so certificates survive
+    process boundaries (see the module docstring).
+    """
+
+    def __init__(self, disk_dir: Optional[Path] = None) -> None:
+        self.disk_dir = Path(disk_dir) if disk_dir else None
         self._entries: Dict[str, Certificate] = {}
         self.stats = MemoStats()
+        #: ``(fingerprint, reason)`` per quarantined disk entry.
+        self.quarantine_log: List[Tuple[str, str]] = []
         self._lock = threading.Lock()
 
     def get(self, fingerprint: str) -> Optional[Certificate]:
         with self._lock:
             cert = self._entries.get(fingerprint)
-            if cert is None:
-                self.stats.misses += 1
-            else:
+            if cert is not None:
                 self.stats.hits += 1
+                return cert
+        cert = self._load_from_disk(fingerprint)
+        with self._lock:
+            if cert is not None:
+                # A concurrent record may have widened the in-memory
+                # entry meanwhile; never narrow it with the disk copy.
+                existing = self._entries.get(fingerprint)
+                if existing is not None:
+                    cert = existing
+                else:
+                    self._entries[fingerprint] = cert
+                self.stats.hits += 1
+                self.stats.disk_hits += 1
+            else:
+                self.stats.misses += 1
             return cert
 
     def peek(self, fingerprint: str) -> Optional[Certificate]:
-        """Lookup without touching the hit/miss counters."""
+        """Lookup without touching the hit/miss counters (memory only)."""
         with self._lock:
             return self._entries.get(fingerprint)
 
@@ -96,16 +179,119 @@ class CertificateMemo:
                 cert.validated = True
             if parallel_clean is not None:
                 cert.parallel_clean = parallel_clean
-            return cert
+            snapshot = cert.to_json()
+        if self.disk_dir is not None:
+            self._store_to_disk(fingerprint, snapshot)
+        return cert
 
-    def clear(self) -> None:
+    def clear(self, disk: bool = False) -> None:
         with self._lock:
             self._entries.clear()
             self.stats = MemoStats()
+            self.quarantine_log = []
+        if disk and self.disk_dir is not None and self.disk_dir.is_dir():
+            for path in self.disk_dir.glob("*.cert.json"):
+                path.unlink(missing_ok=True)
 
     def __len__(self) -> int:
         with self._lock:
             return len(self._entries)
+
+    # ---- disk tier ------------------------------------------------------
+
+    def _path(self, fingerprint: str) -> Path:
+        assert self.disk_dir is not None
+        return self.disk_dir / f"{fingerprint}.cert.json"
+
+    def _store_to_disk(self, fingerprint: str, snapshot: Dict[str, Any]) -> None:
+        payload = json.dumps(snapshot, sort_keys=True)
+        text = json.dumps({
+            "schema": CERT_SCHEMA_VERSION,
+            "sha256": _payload_digest(payload),
+            "cert": snapshot,
+        }, sort_keys=True)
+        path = self._path(fingerprint)
+        try:
+            maybe_inject(
+                "cache.disk-write", fingerprint=fingerprint, kind="certificate"
+            )
+            self.disk_dir.mkdir(parents=True, exist_ok=True)
+            # Atomic write: a crash mid-write can never leave a torn
+            # certificate under the final name. Unique temp name per
+            # writer (pid + thread) so concurrent recorders of the same
+            # fingerprint never interleave on one temp file.
+            tmp = path.with_name(
+                f"{path.name}.{os.getpid()}.{threading.get_ident()}.tmp"
+            )
+            tmp.write_text(text)
+            os.replace(tmp, path)
+        except (OSError, InjectedFault):
+            with self._lock:
+                self.stats.disk_errors += 1  # degrade to memory-only
+
+    def _load_from_disk(self, fingerprint: str) -> Optional[Certificate]:
+        if self.disk_dir is None:
+            return None
+        path = self._path(fingerprint)
+        try:
+            maybe_inject(
+                "cache.disk-read", fingerprint=fingerprint, kind="certificate"
+            )
+        except InjectedFault:
+            with self._lock:
+                self.stats.disk_errors += 1
+            return None
+        if not path.exists():
+            return None  # clean miss: never recorded on disk
+        try:
+            wrapper = json.loads(path.read_text())
+            if wrapper.get("schema") != CERT_SCHEMA_VERSION:
+                raise CorruptCertificateEntry(
+                    f"schema skew: entry has {wrapper.get('schema')!r}, "
+                    f"current is {CERT_SCHEMA_VERSION!r}"
+                )
+            snapshot = wrapper.get("cert")
+            payload = json.dumps(snapshot, sort_keys=True)
+            if wrapper.get("sha256") != _payload_digest(payload):
+                raise CorruptCertificateEntry(
+                    "payload checksum mismatch (truncated or corrupted "
+                    "certificate)"
+                )
+            return Certificate.from_json(snapshot)
+        except Exception as exc:  # noqa: BLE001 - any bad entry is a miss
+            self._quarantine(fingerprint, f"{type(exc).__name__}: {exc}")
+            return None
+
+    def _quarantine(self, fingerprint: str, reason: str) -> None:
+        """Move a bad entry aside so it can fail at most once."""
+        with self._lock:
+            self.stats.quarantined += 1
+            self.quarantine_log.append((fingerprint, reason))
+        qdir = self.disk_dir / "quarantine"
+        path = self._path(fingerprint)
+        try:
+            if path.exists():
+                qdir.mkdir(parents=True, exist_ok=True)
+                os.replace(path, qdir / path.name)
+        except OSError:
+            try:  # cannot even move it: drop it so it never re-trips
+                path.unlink(missing_ok=True)
+            except OSError:
+                pass
+
+    def events(self) -> List[Any]:
+        """RS004 diagnostics for every quarantined certificate (lazy
+        import mirrors :meth:`repro.codegen.cache.KernelCache.events`)."""
+        from repro.analysis.diagnostics import Diagnostic
+
+        return [
+            Diagnostic(
+                "RS004",
+                f"quarantined disk certificate {fp[:12]}…: {reason}",
+                severity="warning",
+            )
+            for fp, reason in self.quarantine_log
+        ]
 
 
 _default_memo = CertificateMemo()

@@ -14,6 +14,8 @@ functions are deterministic and the snapshots are deep copies).
 
 from __future__ import annotations
 
+import os
+import threading
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Callable, Dict, List, Optional
@@ -113,7 +115,13 @@ class CheckpointManager:
         try:
             self.directory.mkdir(parents=True, exist_ok=True)
             path = self.directory / f"ckpt_{cp.step:08d}.npz"
-            tmp = path.with_name(path.name + ".tmp")
+            # Unique temp name per writer (pid + thread): concurrent
+            # managers checkpointing the same step into a shared
+            # directory never interleave on one temp file, so a reader
+            # only ever sees a complete .npz under the final name.
+            tmp = path.with_name(
+                f"{path.name}.{os.getpid()}.{threading.get_ident()}.tmp"
+            )
             with open(tmp, "wb") as fh:
                 np.savez(fh, **cp.arrays)
             tmp.replace(path)

@@ -180,6 +180,15 @@ class ResilientCompiler:
     watchdog_timeout:
         Wall-clock budget per kernel execution in
         :meth:`compile_and_run`; ``None`` disables the watchdog.
+    use_certificates:
+        Consult (and widen) the process-wide certificate memo
+        (:mod:`repro.codegen.certificates`) per attempt: a fingerprint
+        already certified clean skips the analysis gate and the
+        translation validator, and a clean verified attempt records its
+        certificate — so the compile service's warm path stays cheap
+        with ``validate_passes=True`` even across processes (the memo's
+        disk tier). The *kernel* cache is still never consulted, so
+        every pipeline fault site stays exercised.
     """
 
     def __init__(
@@ -188,12 +197,19 @@ class ResilientCompiler:
         max_retries: int = 2,
         backoff_base: float = 0.005,
         watchdog_timeout: Optional[float] = None,
+        use_certificates: bool = True,
     ) -> None:
         self.options = options or CompileOptions()
         self.max_retries = max_retries
         self.backoff_base = backoff_base
         self.watchdog_timeout = watchdog_timeout
+        self.use_certificates = use_certificates
         self._pristine: Optional[str] = None
+        #: The :class:`CompileOptions` that finally produced a kernel
+        #: (``None`` until :meth:`compile` succeeds, or when the
+        #: interpreter fallback engaged). The service uses this to key
+        #: degraded kernels under their *actual* configuration.
+        self.final_options: Optional[CompileOptions] = None
 
     # ---- compilation ----------------------------------------------------
 
@@ -209,6 +225,7 @@ class ResilientCompiler:
         report = RecoveryReport()
         pristine = print_module(module)
         self._pristine = pristine
+        self.final_options = None
         for step, (label, opts) in enumerate(degradation_chain(self.options)):
             if step:
                 report.degradations.append(label)
@@ -221,6 +238,7 @@ class ResilientCompiler:
             if kernel is not None:
                 report.final = "compiled"
                 report.final_options = opts.describe()
+                self.final_options = opts
                 return kernel, report
         report.add_event(
             "RS003",
@@ -269,14 +287,39 @@ class ResilientCompiler:
         from repro.codegen.executor import compile_function
 
         work = parse_module(pristine)
+        skip_gate = skip_tv = False
+        memo = fingerprint = None
+        wants_verification = opts.check_level != "off" or opts.validate_passes
+        if self.use_certificates and wants_verification:
+            from repro.codegen.cache import module_fingerprint
+            from repro.codegen.certificates import default_memo
+
+            fingerprint = module_fingerprint(work, entry, opts.cache_key())
+            memo = default_memo()
+            cert = memo.get(fingerprint)
+            if cert is not None:
+                skip_gate = (
+                    opts.check_level != "off"
+                    and cert.covers_gate(opts.check_level)
+                )
+                skip_tv = opts.validate_passes and cert.validated
         pm = ResilientPassManager.from_manager(
-            StencilCompiler(opts).build_pipeline(),
+            StencilCompiler(opts).build_pipeline(
+                skip_gate=skip_gate, skip_validation=skip_tv
+            ),
             max_retries=self.max_retries,
             backoff_base=self.backoff_base,
             report=report,
         )
         lowered = pm.run(work)
-        return compile_function(lowered, entry)
+        kernel = compile_function(lowered, entry)
+        if memo is not None:
+            memo.record(
+                fingerprint,
+                check_level=None if skip_gate else opts.check_level,
+                validated=opts.validate_passes and not skip_tv,
+            )
+        return kernel
 
     # ---- execution ------------------------------------------------------
 
@@ -307,6 +350,7 @@ class ResilientCompiler:
             )
             report.final = "interpreter"
             report.final_options = "interpreter"
+            self.final_options = None
             fallback = InterpreterKernel(self._pristine, entry)
             outcome = execute_kernel(fallback, *make_args())
             if outcome.ok:

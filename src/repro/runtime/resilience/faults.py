@@ -37,7 +37,7 @@ class FaultSite:
     """One named injection point compiled into production code."""
 
     name: str
-    category: str  # "pipeline" | "cache" | "executor" | "solver"
+    category: str  # "pipeline" | "cache" | "executor" | "parallel" | "service" | "solver"
     description: str
 
 
@@ -90,6 +90,22 @@ register_fault_site(
     "parallel.worker", "parallel",
     "a wavefront worker thread raises at block entry (exercises the "
     "sequential-degradation path of the parallel dispatcher)",
+)
+register_fault_site(
+    "service.queue", "service",
+    "the compile service's admission/queue stage fails while enqueuing "
+    "an accepted request (the request must be rejected explicitly, "
+    "never lost)",
+)
+register_fault_site(
+    "service.leader", "service",
+    "a single-flight leader crashes (or hangs) inside its compile job "
+    "before the pipeline runs (exercises loser-wakeup re-dispatch)",
+)
+register_fault_site(
+    "service.drain", "service",
+    "the graceful-drain path fails while finalizing an in-flight "
+    "request (drain must still complete without losing requests)",
 )
 register_fault_site(
     "solver.sweep", "solver",

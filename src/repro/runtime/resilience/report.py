@@ -80,6 +80,14 @@ class RecoveryReport:
         return "\n".join(lines)
 
     def to_json(self) -> Dict[str, Any]:
+        """A stable machine-consumable form; :meth:`from_json` inverts it.
+
+        The compile service aggregates per-request reports across
+        process boundaries, so this is a *contract*: every field is a
+        plain JSON type and the round trip
+        ``RecoveryReport.from_json(r.to_json()).to_json() == r.to_json()``
+        holds exactly (pinned by a test).
+        """
         return {
             "final": self.final,
             "final_options": self.final_options,
@@ -98,7 +106,41 @@ class RecoveryReport:
                     "code": d.code,
                     "severity": d.severity,
                     "message": d.message,
+                    "op_path": d.op_path,
+                    "excerpt": d.excerpt,
+                    "after_pass": d.after_pass,
                 }
                 for d in self.events
             ],
         }
+
+    @classmethod
+    def from_json(cls, data: Dict[str, Any]) -> "RecoveryReport":
+        """Rebuild a report from :meth:`to_json` output.
+
+        Tolerates the pre-PR-10 event shape (no ``op_path`` /
+        ``excerpt`` / ``after_pass`` keys) so archived reports stay
+        loadable.
+        """
+        report = cls(
+            final=data.get("final", ""),
+            final_options=data.get("final_options", ""),
+            degradations=list(data.get("degradations", [])),
+        )
+        for a in data.get("attempts", []):
+            report.attempts.append(AttemptRecord(
+                options=a.get("options", ""),
+                outcome=a.get("outcome", ""),
+                stage=a.get("stage", "compile"),
+                error=a.get("error", ""),
+            ))
+        for e in data.get("events", []):
+            report.events.append(Diagnostic(
+                e["code"],
+                e.get("message", ""),
+                severity=e.get("severity") or REGISTRY[e["code"]].severity,
+                op_path=e.get("op_path", ""),
+                excerpt=e.get("excerpt", ""),
+                after_pass=e.get("after_pass"),
+            ))
+        return report

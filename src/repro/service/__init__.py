@@ -1,0 +1,52 @@
+"""``repro.service`` — the async compile/execute service.
+
+A production front door over the compilation stack: single-flight
+dedup keyed on pipeline fingerprints, admission control with
+backpressure, degradation-chain load shedding, per-request deadlines,
+graceful drain, and a ServiceReport health surface. In-process API in
+:mod:`~repro.service.server`; ``python -m repro.service`` serves the
+same service over newline-JSON stdio or a TCP socket.
+
+Heavy modules load lazily (PEP 562) like the rest of the package.
+"""
+
+from typing import TYPE_CHECKING
+
+_EXPORTS = {
+    "CompileService": "repro.service.server",
+    "ServiceClosed": "repro.service.server",
+    "ServiceConfig": "repro.service.config",
+    "ServiceResponse": "repro.service.requests",
+    "STATUSES": "repro.service.requests",
+    "ServiceReport": "repro.service.stats",
+    "ServiceStats": "repro.service.stats",
+    "percentile": "repro.service.stats",
+    "handle_request": "repro.service.frontdoor",
+    "options_from_json": "repro.service.frontdoor",
+    "serve_socket": "repro.service.frontdoor",
+    "serve_stdio": "repro.service.frontdoor",
+}
+
+__all__ = sorted(_EXPORTS)
+
+if TYPE_CHECKING:  # pragma: no cover - static import surface
+    from repro.service.config import ServiceConfig
+    from repro.service.frontdoor import (
+        handle_request,
+        options_from_json,
+        serve_socket,
+        serve_stdio,
+    )
+    from repro.service.requests import STATUSES, ServiceResponse
+    from repro.service.server import CompileService, ServiceClosed
+    from repro.service.stats import ServiceReport, ServiceStats, percentile
+
+
+def __getattr__(name: str):
+    module_name = _EXPORTS.get(name)
+    if module_name is None:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    import importlib
+
+    module = importlib.import_module(module_name)
+    return getattr(module, name)

@@ -1,0 +1,54 @@
+"""``python -m repro.service`` — run the compile service front door.
+
+Stdio mode (default) speaks newline-delimited JSON on stdin/stdout;
+``--port`` serves the same protocol on a TCP socket instead. See
+:mod:`repro.service.frontdoor` for the wire protocol.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+
+from repro.service.config import ServiceConfig
+from repro.service.frontdoor import run_socket, run_stdio
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.service",
+        description="async stencil compile/execute service "
+        "(newline-JSON over stdio, or TCP with --port)",
+    )
+    parser.add_argument("--host", default="127.0.0.1",
+                        help="bind address for --port mode")
+    parser.add_argument("--port", type=int, default=None,
+                        help="serve a TCP socket instead of stdio")
+    parser.add_argument("--workers", type=int, default=2,
+                        help="compile/execute worker threads")
+    parser.add_argument("--max-queue", type=int, default=32,
+                        help="admission bound (RS012 beyond this)")
+    parser.add_argument("--deadline", type=float, default=None,
+                        help="default per-request deadline in seconds")
+    parser.add_argument("--compile-watchdog", type=float, default=None,
+                        help="wall-clock budget per leader compile job")
+    args = parser.parse_args(argv)
+
+    config = ServiceConfig(
+        workers=args.workers,
+        max_queue=args.max_queue,
+        default_deadline=args.deadline,
+        compile_watchdog=args.compile_watchdog,
+    )
+    try:
+        if args.port is not None:
+            asyncio.run(run_socket(args.host, args.port, config))
+        else:
+            asyncio.run(run_stdio(config))
+    except KeyboardInterrupt:
+        pass
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

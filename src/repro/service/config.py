@@ -1,0 +1,93 @@
+"""Configuration of the compile service (:class:`ServiceConfig`)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.core.pipeline import CompileOptions
+
+
+@dataclass
+class ServiceConfig:
+    """Tuning knobs of one :class:`~repro.service.server.CompileService`.
+
+    Attributes
+    ----------
+    options:
+        Default :class:`CompileOptions` for requests that do not carry
+        their own (the front door's per-request ``options`` override).
+    workers:
+        Size of the thread pool running compile/execute jobs. NumPy
+        slice kernels and the pipeline release the GIL rarely, so this
+        bounds CPU oversubscription, not just concurrency.
+    max_queue:
+        Admission bound: requests beyond ``max_queue`` pending are
+        rejected with RS012 and a retry-after hint instead of queuing
+        unboundedly.
+    shed_watermark:
+        Queue-pressure fraction (``pending / max_queue``) at or above
+        which newly admitted compiles are downgraded to ``opt_level=0``
+        (RS015) — the first step of the degradation chain.
+    shed_floor:
+        Pressure fraction at or above which new compiles skip
+        compilation entirely and are served by the reference
+        interpreter (RS015; slow but unconditionally available).
+    default_deadline:
+        Wall-clock budget per request in seconds (``None`` disables);
+        per-request deadlines override. Expiry produces an RS013
+        response; a shared compilation keeps running for other waiters.
+    max_retries:
+        Single-flight re-dispatch budget per request: how many times a
+        waiter may be promoted to a new leader after the previous
+        leader crashed (RS014).
+    backoff_base:
+        First re-dispatch backoff in seconds; doubles per attempt.
+    jitter:
+        Randomized fraction added to every backoff sleep (0.5 means up
+        to +50%), decorrelating retry stampedes across waiters.
+    pipeline_retries:
+        ``max_retries`` handed to the per-request
+        :class:`~repro.runtime.resilience.driver.ResilientCompiler`
+        (snapshot retries and degradation-chain attempts).
+    compile_watchdog:
+        Wall-clock budget for one leader compile job; a hung leader is
+        abandoned by the watchdog (RS006 inside the job) and its
+        waiters re-dispatch exactly once per round (RS014). ``None``
+        disables.
+    execute_watchdog:
+        Wall-clock budget per kernel execution (RS006). ``None``
+        disables.
+    latency_window:
+        How many request latencies (and per-request summaries) the
+        stats surface retains for the p50/p99 estimates.
+    """
+
+    options: CompileOptions = field(default_factory=CompileOptions)
+    workers: int = 2
+    max_queue: int = 32
+    shed_watermark: float = 0.5
+    shed_floor: float = 0.875
+    default_deadline: Optional[float] = None
+    max_retries: int = 2
+    backoff_base: float = 0.005
+    jitter: float = 0.5
+    pipeline_retries: int = 2
+    compile_watchdog: Optional[float] = None
+    execute_watchdog: Optional[float] = None
+    latency_window: int = 1024
+
+    def __post_init__(self) -> None:
+        if self.workers < 1:
+            raise ValueError("workers must be >= 1")
+        if self.max_queue < 1:
+            raise ValueError("max_queue must be >= 1")
+        if not (0.0 <= self.shed_watermark <= self.shed_floor):
+            raise ValueError(
+                "need 0 <= shed_watermark <= shed_floor "
+                f"(got {self.shed_watermark} / {self.shed_floor})"
+            )
+        if self.max_retries < 0 or self.pipeline_retries < 0:
+            raise ValueError("retry budgets must be >= 0")
+        if self.jitter < 0:
+            raise ValueError("jitter must be >= 0")

@@ -1,0 +1,218 @@
+"""The stdio/socket front door: newline-delimited JSON over
+:class:`~repro.service.server.CompileService`.
+
+Wire protocol (one JSON object per line, in either direction)::
+
+    -> {"op": "compile", "id": 7, "ir": "<module text>",
+        "entry": "kernel", "options": {"tile_sizes": [2, 2]},
+        "deadline": 2.0}
+    <- {"op": "compile", "id": 7, "status": "ok", ...}
+
+    -> {"op": "execute", "id": 8, "ir": "...", "args": [[[0.0, ...]]]}
+    <- {"op": "execute", "id": 8, "status": "ok",
+        "values": [[[...]]], ...}
+
+    -> {"op": "stats", "id": 9}
+    <- {"op": "stats", "id": 9, "report": {...}}
+
+    -> {"op": "drain", "id": 10}
+    <- {"op": "drain", "id": 10, "status": "drained"}
+
+``execute`` arguments arrive as nested lists and are materialized as
+float64 arrays; result values travel back the same way. Requests are
+dispatched concurrently — a slow compile does not block the next line
+from being read — so single-flight dedup and admission control apply
+across a pipelined client exactly as they do for in-process callers.
+A malformed line produces a structured ``{"status": "failed"}`` reply
+on that line's ``id`` (when one could be parsed) rather than killing
+the session.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import sys
+from dataclasses import fields as dataclass_fields
+from typing import Any, Dict, Optional, TextIO
+
+import numpy as np
+
+from repro.core.pipeline import CompileOptions
+from repro.ir.parser import parse_module
+from repro.service.config import ServiceConfig
+from repro.service.server import CompileService
+
+#: CompileOptions fields that are tuples in Python but lists in JSON.
+_TUPLE_FIELDS = ("subdomain_sizes", "tile_sizes")
+
+
+def options_from_json(data: Optional[Dict[str, Any]]) -> Optional[CompileOptions]:
+    """Build :class:`CompileOptions` from a wire dict (``None`` passes
+    through, meaning "use the service default"). Unknown keys are an
+    error — a typoed option silently ignored would compile the wrong
+    configuration."""
+    if data is None:
+        return None
+    known = {f.name for f in dataclass_fields(CompileOptions)}
+    unknown = set(data) - known
+    if unknown:
+        raise ValueError(f"unknown compile option(s): {sorted(unknown)}")
+    coerced = dict(data)
+    for name in _TUPLE_FIELDS:
+        if coerced.get(name) is not None:
+            coerced[name] = tuple(int(v) for v in coerced[name])
+    return CompileOptions(**coerced)
+
+
+def _json_values(values):
+    if values is None:
+        return None
+    out = []
+    for v in values:
+        out.append(v.tolist() if isinstance(v, np.ndarray) else v)
+    return out
+
+
+async def handle_request(
+    service: CompileService, request: Dict[str, Any]
+) -> Dict[str, Any]:
+    """Serve one decoded wire request; always returns a reply dict."""
+    op = request.get("op")
+    rid = request.get("id")
+    try:
+        if op == "stats":
+            return {"op": op, "id": rid,
+                    "report": service.report().to_json()}
+        if op == "drain":
+            await service.drain()
+            return {"op": op, "id": rid, "status": "drained"}
+        if op not in ("compile", "execute"):
+            raise ValueError(f"unknown op {op!r}")
+        module = parse_module(request["ir"])
+        entry = request.get("entry", "kernel")
+        options = options_from_json(request.get("options"))
+        deadline = request.get("deadline")
+        if op == "compile":
+            resp = await service.compile(
+                module, entry=entry, options=options, deadline=deadline
+            )
+        else:
+            arrays = [
+                np.asarray(a, dtype=np.float64) for a in request["args"]
+            ]
+            resp = await service.execute(
+                module,
+                lambda: tuple(np.array(a) for a in arrays),
+                entry=entry, options=options, deadline=deadline,
+            )
+        reply = resp.to_json()
+        reply["values"] = _json_values(reply.get("values"))
+        reply.update(op=op, id=rid)
+        return reply
+    except Exception as exc:  # noqa: BLE001 - protocol error boundary
+        return {
+            "op": op,
+            "id": rid,
+            "status": "failed",
+            "error": f"{type(exc).__name__}: {exc}",
+        }
+
+
+async def serve_stdio(
+    service: CompileService,
+    stdin: Optional[TextIO] = None,
+    stdout: Optional[TextIO] = None,
+) -> None:
+    """Serve newline-JSON requests from ``stdin`` until EOF, then drain.
+
+    Each line is dispatched as its own task so requests overlap; one
+    writer lock keeps reply lines whole.
+    """
+    stdin = stdin or sys.stdin
+    stdout = stdout or sys.stdout
+    loop = asyncio.get_running_loop()
+    write_lock = asyncio.Lock()
+    tasks: set = set()
+
+    async def dispatch(line: str) -> None:
+        try:
+            request = json.loads(line)
+        except json.JSONDecodeError as exc:
+            reply = {"status": "failed", "error": f"bad JSON: {exc}"}
+        else:
+            reply = await handle_request(service, request)
+        async with write_lock:
+            stdout.write(json.dumps(reply) + "\n")
+            stdout.flush()
+
+    while True:
+        line = await loop.run_in_executor(None, stdin.readline)
+        if not line:
+            break
+        if not line.strip():
+            continue
+        task = asyncio.ensure_future(dispatch(line))
+        tasks.add(task)
+        task.add_done_callback(tasks.discard)
+    if tasks:
+        await asyncio.gather(*tasks, return_exceptions=True)
+    await service.drain()
+
+
+async def serve_socket(
+    service: CompileService, host: str, port: int
+) -> asyncio.AbstractServer:
+    """Serve the same newline-JSON protocol over a TCP socket.
+
+    Returns the listening server; the caller owns its lifetime (see
+    ``python -m repro.service --port``).
+    """
+
+    async def on_connect(
+        reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        write_lock = asyncio.Lock()
+        tasks: set = set()
+
+        async def dispatch(raw: bytes) -> None:
+            try:
+                request = json.loads(raw.decode("utf-8"))
+            except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+                reply = {"status": "failed", "error": f"bad JSON: {exc}"}
+            else:
+                reply = await handle_request(service, request)
+            async with write_lock:
+                writer.write((json.dumps(reply) + "\n").encode("utf-8"))
+                await writer.drain()
+
+        try:
+            while True:
+                raw = await reader.readline()
+                if not raw:
+                    break
+                if not raw.strip():
+                    continue
+                task = asyncio.ensure_future(dispatch(raw))
+                tasks.add(task)
+                task.add_done_callback(tasks.discard)
+            if tasks:
+                await asyncio.gather(*tasks, return_exceptions=True)
+        finally:
+            writer.close()
+
+    return await asyncio.start_server(on_connect, host, port)
+
+
+async def run_stdio(config: Optional[ServiceConfig] = None) -> None:
+    service = CompileService(config)
+    await serve_stdio(service)
+
+
+async def run_socket(
+    host: str, port: int, config: Optional[ServiceConfig] = None
+) -> None:
+    service = CompileService(config)
+    server = await serve_socket(service, host, port)
+    async with server:
+        await server.serve_forever()

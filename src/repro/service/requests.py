@@ -1,0 +1,79 @@
+"""Request/response types of the compile service."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from repro.analysis.diagnostics import Diagnostic
+from repro.runtime.resilience.report import RecoveryReport
+
+#: Every terminal request state. The accounting invariant of the chaos
+#: suite: a submitted request always reaches exactly one of these.
+STATUSES = ("ok", "rejected", "deadline", "failed")
+
+
+@dataclass
+class ServiceResponse:
+    """The structured outcome of one service request.
+
+    ``status`` is one of :data:`STATUSES`:
+
+    * ``"ok"`` — a kernel was produced (possibly degraded: see
+      ``degraded_to`` and the attached per-request ``report``); for
+      execute requests ``values`` holds the results.
+    * ``"rejected"`` — admission control refused the request (RS012
+      backpressure with a ``retry_after`` hint, or RS016 draining).
+    * ``"deadline"`` — the request's deadline expired (RS013).
+    * ``"failed"`` — the request was admitted but could not be served
+      even by the fallbacks; ``diagnostics`` explains why.
+    """
+
+    status: str
+    request_id: int = 0
+    fingerprint: str = ""
+    kernel: Any = None
+    values: Optional[List[Any]] = None
+    #: The per-request resilient-compile audit trail (cold path only).
+    report: Optional[RecoveryReport] = None
+    #: Service-layer diagnostics (RS012–RS016, RS005/RS006 …).
+    diagnostics: List[Diagnostic] = field(default_factory=list)
+    #: Backpressure hint in seconds (RS012 rejections only).
+    retry_after: Optional[float] = None
+    #: Degradation label when the request was load-shed or the
+    #: degradation chain engaged ("opt_level -> O0", "interpreter", …).
+    degraded_to: Optional[str] = None
+    latency: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.status not in STATUSES:
+            raise ValueError(f"unknown response status {self.status!r}")
+
+    @property
+    def ok(self) -> bool:
+        return self.status == "ok"
+
+    def codes(self) -> List[str]:
+        """Every RS/IP/TV code attached to this response."""
+        codes = [d.code for d in self.diagnostics]
+        if self.report is not None:
+            codes.extend(self.report.codes())
+        return codes
+
+    def to_json(self) -> Dict[str, Any]:
+        """Wire form for the stdio/socket front door (no kernel object;
+        execute values are nested lists)."""
+        return {
+            "status": self.status,
+            "id": self.request_id,
+            "fingerprint": self.fingerprint,
+            "retry_after": self.retry_after,
+            "degraded_to": self.degraded_to,
+            "latency": self.latency,
+            "values": self.values,
+            "diagnostics": [
+                {"code": d.code, "severity": d.severity, "message": d.message}
+                for d in self.diagnostics
+            ],
+            "report": self.report.to_json() if self.report else None,
+        }

@@ -1,0 +1,148 @@
+"""The service's health/stats surface: :class:`ServiceStats` counters
+and the :class:`ServiceReport` audit trail.
+
+:class:`ServiceReport` mirrors
+:class:`~repro.runtime.resilience.report.RecoveryReport` one level up:
+where a ``RecoveryReport`` explains how one compile survived, a
+``ServiceReport`` explains how the *service* behaved across requests —
+every admission rejection, deadline expiry, single-flight re-dispatch
+and load-shed decision lands here as an RS-coded diagnostic, next to a
+stats snapshot (queue depth, in-flight, hit rates, degradation counts,
+p50/p99 latency).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from repro.analysis.diagnostics import REGISTRY, Diagnostic
+
+
+def percentile(sorted_samples: List[float], q: float) -> float:
+    """Nearest-rank percentile of an ascending list (0.0 when empty)."""
+    if not sorted_samples:
+        return 0.0
+    if not 0 <= q <= 100:
+        raise ValueError("q must be in [0, 100]")
+    rank = max(0, min(len(sorted_samples) - 1,
+                      int(round(q / 100.0 * (len(sorted_samples) - 1)))))
+    return sorted_samples[rank]
+
+
+@dataclass
+class ServiceStats:
+    """Live counters of one :class:`~repro.service.server.CompileService`.
+
+    Mutated only from the event loop (and read by :meth:`snapshot`), so
+    no locking is needed.
+    """
+
+    accepted: int = 0
+    completed: int = 0
+    failed: int = 0
+    rejected_backpressure: int = 0
+    rejected_draining: int = 0
+    deadlines_expired: int = 0
+    cache_hits: int = 0
+    single_flight_hits: int = 0
+    compiles_started: int = 0
+    compiles_succeeded: int = 0
+    redispatches: int = 0
+    executions: int = 0
+    #: Load-shed decisions per label ("opt_level -> O0", "interpreter").
+    shed: Dict[str, int] = field(default_factory=dict)
+    #: Degradation-chain steps taken inside compile jobs, per label.
+    degradations: Dict[str, int] = field(default_factory=dict)
+    latencies: List[float] = field(default_factory=list)
+
+    def observe_latency(self, seconds: float, window: int) -> None:
+        self.latencies.append(seconds)
+        if len(self.latencies) > window:
+            del self.latencies[: len(self.latencies) - window]
+
+    @property
+    def single_flight_hit_rate(self) -> float:
+        """Fraction of compile dispatches that joined an existing flight."""
+        total = self.single_flight_hits + self.compiles_started
+        return self.single_flight_hits / total if total else 0.0
+
+
+@dataclass
+class ServiceReport:
+    """A point-in-time, JSON-stable view of the service's behaviour.
+
+    ``events`` are the service-layer RS diagnostics, ``requests`` the
+    per-request summaries (bounded window), ``stats`` the counter
+    snapshot including queue depth and latency percentiles.
+    """
+
+    events: List[Diagnostic] = field(default_factory=list)
+    requests: List[Dict[str, Any]] = field(default_factory=list)
+    stats: Dict[str, Any] = field(default_factory=dict)
+
+    def add_event(
+        self, code: str, message: str, severity: Optional[str] = None
+    ) -> Diagnostic:
+        diag = Diagnostic(
+            code, message, severity=severity or REGISTRY[code].severity
+        )
+        self.events.append(diag)
+        return diag
+
+    def codes(self) -> List[str]:
+        return [d.code for d in self.events]
+
+    def render(self) -> str:
+        s = self.stats
+        lines = [
+            "service report: "
+            f"queue={s.get('queue_depth', 0)} inflight={s.get('inflight', 0)}"
+            f" completed={s.get('completed', 0)} failed={s.get('failed', 0)}"
+            f" rejected={s.get('rejected_backpressure', 0)}"
+            f"+{s.get('rejected_draining', 0)}"
+            f" deadline={s.get('deadlines_expired', 0)}",
+            f"  single-flight hit rate "
+            f"{100.0 * s.get('single_flight_hit_rate', 0.0):.1f}%"
+            f" (cache hits {s.get('cache_hits', 0)},"
+            f" compiles {s.get('compiles_started', 0)})",
+            f"  latency p50 {s.get('p50_latency', 0.0) * 1000:.2f} ms"
+            f" p99 {s.get('p99_latency', 0.0) * 1000:.2f} ms"
+            f" over {s.get('latency_samples', 0)} sample(s)",
+        ]
+        for label, n in sorted(s.get("shed", {}).items()):
+            lines.append(f"  shed[{label}]: {n}")
+        for label, n in sorted(s.get("degradations", {}).items()):
+            lines.append(f"  degraded[{label}]: {n}")
+        for diag in self.events:
+            lines.append("  " + diag.render().splitlines()[0])
+        return "\n".join(lines)
+
+    def to_json(self) -> Dict[str, Any]:
+        """Stable wire form; :meth:`from_json` inverts it exactly."""
+        return {
+            "stats": dict(self.stats),
+            "requests": [dict(r) for r in self.requests],
+            "events": [
+                {
+                    "code": d.code,
+                    "severity": d.severity,
+                    "message": d.message,
+                }
+                for d in self.events
+            ],
+        }
+
+    @classmethod
+    def from_json(cls, data: Dict[str, Any]) -> "ServiceReport":
+        report = cls(
+            requests=[dict(r) for r in data.get("requests", [])],
+            stats=dict(data.get("stats", {})),
+        )
+        for e in data.get("events", []):
+            report.events.append(Diagnostic(
+                e["code"],
+                e.get("message", ""),
+                severity=e.get("severity") or REGISTRY[e["code"]].severity,
+            ))
+        return report

@@ -144,3 +144,140 @@ class TestMemoSkipsVerification:
         k2 = StencilCompiler(options).compile(_module())
         (out2,) = k2(x.copy(), b.copy(), x.copy())
         assert np.array_equal(out1, out2)
+
+
+class TestDiskTier:
+    """The checksummed, quarantined disk tier (PR 10): certificates
+    survive process boundaries and corruption fails safe."""
+
+    def _cert_files(self, tmp_path):
+        return sorted(tmp_path.glob("*.cert.json"))
+
+    def test_record_writes_through_and_survives_restart(self, tmp_path):
+        memo = CertificateMemo(disk_dir=tmp_path)
+        memo.record("f" * 64, check_level="after-pipeline", validated=True)
+        assert len(self._cert_files(tmp_path)) == 1
+        # A "new process": fresh memo over the same directory.
+        reborn = CertificateMemo(disk_dir=tmp_path)
+        cert = reborn.get("f" * 64)
+        assert cert is not None
+        assert cert.covers_gate("after-pipeline")
+        assert cert.validated
+        assert reborn.stats.disk_hits == 1
+
+    def test_memory_tier_still_hits_first(self, tmp_path):
+        memo = CertificateMemo(disk_dir=tmp_path)
+        memo.record("a" * 64, validated=True)
+        self._cert_files(tmp_path)[0].unlink()  # disk gone
+        assert memo.get("a" * 64) is not None  # memory still serves
+        assert memo.stats.disk_hits == 0
+
+    def test_widening_rewrites_the_disk_entry(self, tmp_path):
+        memo = CertificateMemo(disk_dir=tmp_path)
+        memo.record("b" * 64, check_level="after-pipeline")
+        memo.record("b" * 64, validated=True)
+        reborn = CertificateMemo(disk_dir=tmp_path)
+        cert = reborn.get("b" * 64)
+        assert cert.covers_gate("after-pipeline") and cert.validated
+
+    def test_truncated_entry_quarantined_once(self, tmp_path):
+        memo = CertificateMemo(disk_dir=tmp_path)
+        memo.record("c" * 64, validated=True)
+        path = self._cert_files(tmp_path)[0]
+        path.write_text(path.read_text()[:20])  # torn write
+        reborn = CertificateMemo(disk_dir=tmp_path)
+        assert reborn.get("c" * 64) is None
+        assert reborn.stats.quarantined == 1
+        assert not self._cert_files(tmp_path)  # moved aside
+        assert (tmp_path / "quarantine" / path.name).exists()
+        # Quarantine is terminal: the next miss is clean, not a re-trip.
+        assert reborn.get("c" * 64) is None
+        assert reborn.stats.quarantined == 1
+        codes = [d.code for d in reborn.events()]
+        assert codes == ["RS004"]
+
+    def test_checksum_mismatch_quarantined(self, tmp_path):
+        import json as _json
+
+        memo = CertificateMemo(disk_dir=tmp_path)
+        memo.record("d" * 64, validated=True)
+        path = self._cert_files(tmp_path)[0]
+        wrapper = _json.loads(path.read_text())
+        wrapper["cert"]["validated"] = False  # flipped bit, stale sum
+        path.write_text(_json.dumps(wrapper))
+        reborn = CertificateMemo(disk_dir=tmp_path)
+        assert reborn.get("d" * 64) is None
+        assert reborn.stats.quarantined == 1
+        assert reborn.quarantine_log[0][1].startswith(
+            "CorruptCertificateEntry"
+        )
+
+    def test_schema_skew_quarantined(self, tmp_path):
+        import json as _json
+
+        memo = CertificateMemo(disk_dir=tmp_path)
+        memo.record("e" * 64, validated=True)
+        path = self._cert_files(tmp_path)[0]
+        wrapper = _json.loads(path.read_text())
+        wrapper["schema"] = 999
+        path.write_text(_json.dumps(wrapper))
+        reborn = CertificateMemo(disk_dir=tmp_path)
+        assert reborn.get("e" * 64) is None
+        assert reborn.stats.quarantined == 1
+
+    def test_injected_write_fault_degrades_to_memory_only(self, tmp_path):
+        from repro.runtime.resilience import FaultPlan, FaultSpec, injected
+
+        memo = CertificateMemo(disk_dir=tmp_path)
+        plan = FaultPlan([FaultSpec(
+            "cache.disk-write", at=1, match={"kind": "certificate"},
+        )])
+        with injected(plan):
+            memo.record("1" * 64, validated=True)
+        assert plan.fired
+        assert memo.stats.disk_errors == 1
+        assert not self._cert_files(tmp_path)  # nothing written
+        assert memo.get("1" * 64) is not None  # memory unaffected
+
+    def test_injected_read_fault_is_a_miss_not_a_crash(self, tmp_path):
+        from repro.runtime.resilience import FaultPlan, FaultSpec, injected
+
+        memo = CertificateMemo(disk_dir=tmp_path)
+        memo.record("2" * 64, validated=True)
+        reborn = CertificateMemo(disk_dir=tmp_path)
+        plan = FaultPlan([FaultSpec(
+            "cache.disk-read", at=1, match={"kind": "certificate"},
+        )])
+        with injected(plan):
+            assert reborn.get("2" * 64) is None
+        assert plan.fired
+        assert reborn.stats.disk_errors == 1
+        # The entry itself is intact: a clean read still hits.
+        assert reborn.get("2" * 64) is not None
+
+    def test_clear_disk_false_keeps_entries(self, tmp_path):
+        memo = CertificateMemo(disk_dir=tmp_path)
+        memo.record("3" * 64, validated=True)
+        memo.clear()
+        assert len(memo) == 0
+        assert memo.get("3" * 64) is not None  # reloaded from disk
+        memo.clear(disk=True)
+        memo.clear()
+        assert memo.get("3" * 64) is None
+
+    def test_validation_skipped_across_processes(self, tmp_path):
+        """The service's warm verified path: a validated pipeline in
+        'process one' never re-validates in 'process two'."""
+        options = _options(check_level="after-pipeline",
+                           validate_passes=True)
+        set_default_memo(CertificateMemo(disk_dir=tmp_path))
+        first = StencilCompiler(options)
+        first.compile(_module())
+        assert first.pass_manager.gate is not None
+        # Process two: fresh memo (same dir), fresh kernel cache.
+        set_default_memo(CertificateMemo(disk_dir=tmp_path))
+        set_default_cache(KernelCache())
+        second = StencilCompiler(options)
+        second.compile(_module())
+        assert second.pass_manager.gate is None  # certificate skipped it
+        assert default_memo().stats.disk_hits >= 1

@@ -203,6 +203,86 @@ def _chaos_parallel_worker(site):
     assert "RS010" in codes
 
 
+def _service(**overrides):
+    from repro.service import CompileService, ServiceConfig
+
+    config = ServiceConfig(**{
+        "options": OPTIONS, "backoff_base": 0.0, "max_retries": 4,
+        **overrides,
+    })
+    return CompileService(config, cache=KernelCache())
+
+
+def _chaos_service_queue(site):
+    """A faulted admission stage rejects explicitly — never loses."""
+    import asyncio
+
+    plan = FaultPlan.seeded(site, seed=SEED)
+
+    async def scenario():
+        svc = _service()
+        resps = [await svc.compile(_module()) for _ in range(6)]
+        await svc.drain()
+        return svc, resps
+
+    with injected(plan):
+        svc, resps = asyncio.run(scenario())
+    assert plan.fired, "the seeded fault never fired"
+    assert all(r.status in ("ok", "rejected") for r in resps)
+    rejected = [r for r in resps if r.status == "rejected"]
+    assert rejected, "the faulted admission was not rejected"
+    for r in rejected:
+        assert "RS012" in r.codes() and r.retry_after is not None
+
+
+def _chaos_service_leader(site):
+    """A crashed leader's waiters re-dispatch; every request succeeds."""
+    import asyncio
+
+    plan = FaultPlan.seeded(site, seed=SEED)
+
+    async def scenario():
+        svc = _service()
+        resps = []
+        for _ in range(4):
+            resps.extend(await asyncio.gather(
+                *[svc.compile(_module()) for _ in range(2)]
+            ))
+        await svc.drain()
+        return svc, resps
+
+    with injected(plan):
+        svc, resps = asyncio.run(scenario())
+    assert plan.fired
+    assert all(r.ok for r in resps)
+    assert svc.stats.redispatches >= 1
+    assert "RS014" in {d.code for d in svc._events}
+
+
+def _chaos_service_drain(site):
+    """A faulted drain path still finishes every in-flight request."""
+    import asyncio
+
+    plan = FaultPlan.seeded(site, seed=SEED)
+
+    async def one_round():
+        svc = _service()
+        task = asyncio.ensure_future(svc.compile(_module()))
+        while not svc._flights and not task.done():
+            await asyncio.sleep(0.001)
+        await svc.drain()
+        return svc, await task
+
+    with injected(plan):
+        for _ in range(4):
+            svc, resp = asyncio.run(one_round())
+            assert resp.ok
+            if plan.fired:
+                break
+    assert plan.fired
+    assert "RS009" in {d.code for d in svc._events}
+
+
 _SCENARIOS = {
     "pipeline.pass-run": _chaos_pipeline,
     "pipeline.verify": _chaos_pipeline,
@@ -212,6 +292,9 @@ _SCENARIOS = {
     "executor.execute": _chaos_executor,
     "executor.hang": _chaos_hang,
     "parallel.worker": _chaos_parallel_worker,
+    "service.queue": _chaos_service_queue,
+    "service.leader": _chaos_service_leader,
+    "service.drain": _chaos_service_drain,
     "solver.sweep": _chaos_solver,
     "solver.heat-step": _chaos_solver,
     "solver.lusgs-step": _chaos_solver,

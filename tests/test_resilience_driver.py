@@ -203,3 +203,50 @@ class TestReport:
         assert blob["final"] == "compiled"
         assert any(e["code"] == "RS001" for e in blob["events"])
         assert all(a["stage"] == "compile" for a in blob["attempts"])
+
+    def test_json_round_trip_is_stable(self):
+        """`from_json(to_json(r))` reproduces the report exactly — the
+        service ships these over the wire (PR 10)."""
+        from repro.runtime.resilience.report import RecoveryReport
+
+        plan = FaultPlan([FaultSpec("pipeline.pass-run", at=1)])
+        with injected(plan):
+            _, report = ResilientCompiler(
+                OPTIONS, backoff_base=0.0
+            ).compile(_module())
+        blob = report.to_json()
+        clone = RecoveryReport.from_json(blob)
+        assert clone.to_json() == blob
+        assert clone.final == report.final
+        assert clone.final_options == report.final_options
+        assert clone.degradations == report.degradations
+        assert clone.codes() == report.codes()
+        assert len(clone.attempts) == len(report.attempts)
+        for a, b in zip(clone.attempts, report.attempts):
+            assert (a.options, a.outcome, a.stage) == (
+                b.options, b.outcome, b.stage
+            )
+        # Event fields added in PR 10 survive the round trip too.
+        for d_clone, d_orig in zip(clone.events, report.events):
+            assert d_clone.code == d_orig.code
+            assert d_clone.op_path == d_orig.op_path
+            assert d_clone.after_pass == d_orig.after_pass
+
+    def test_from_json_tolerates_pre_service_payloads(self):
+        """Reports serialized before the service's extra event fields
+        existed still deserialize (missing keys default)."""
+        from repro.runtime.resilience.report import RecoveryReport
+
+        legacy = {
+            "final": "compiled",
+            "final_options": "vf=4,O2",
+            "degradations": [],
+            "attempts": [{"options": "vf=4,O2", "outcome": "ok",
+                          "stage": "compile", "error": ""}],
+            "events": [{"code": "RS001", "severity": "warning",
+                        "message": "retried"}],
+        }
+        clone = RecoveryReport.from_json(legacy)
+        assert clone.final == "compiled"
+        assert clone.codes() == ["RS001"]
+        assert not clone.events[0].op_path

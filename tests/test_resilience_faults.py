@@ -38,7 +38,8 @@ class TestRegistry:
     def test_every_site_has_category_and_description(self):
         for site in FAULT_SITES.values():
             assert site.category in (
-                "pipeline", "cache", "executor", "solver", "parallel"
+                "pipeline", "cache", "executor", "solver", "parallel",
+                "service",
             )
             assert site.description
 

@@ -1,0 +1,232 @@
+"""Chaos accounting for the compile service.
+
+The invariant under every injected fault: **no request is lost and no
+request is double-executed**. A submitted request reaches exactly one
+terminal state — it completes, completes degraded with the degradation
+recorded, or is rejected with an explicit RS012–RS016 diagnostic. The
+fault sites swept here are the service's own
+(``service.queue`` / ``service.leader`` / ``service.drain``) plus a
+hung leader abandoned by the watchdog; the pipeline/executor sites
+underneath are already swept by ``test_resilience_chaos.py`` and
+compose through :class:`ResilientCompiler` unchanged.
+
+Seeded like the rest of the chaos suite: ``$CHAOS_SEED`` (CI sweeps a
+matrix) fixes the firing invocation, so failures replay exactly.
+"""
+
+import asyncio
+import os
+
+import numpy as np
+import pytest
+
+from repro.codegen.cache import KernelCache
+from repro.codegen.interpreter import run_function
+from repro.core import frontend
+from repro.core.pipeline import CompileOptions
+from repro.core.stencil import gauss_seidel_5pt_2d
+from repro.runtime.resilience import FaultPlan, clear_plan, injected
+from repro.service import CompileService, ServiceConfig
+from repro.service.requests import STATUSES
+
+SEED = int(os.environ.get("CHAOS_SEED", "0"))
+SHAPE = (8, 8)
+OPTIONS = CompileOptions(
+    subdomain_sizes=(4, 4), tile_sizes=(2, 2), fuse=True, vectorize=4,
+    use_cache=False,
+)
+SERVICE_SITES = ("service.queue", "service.leader", "service.drain")
+
+
+@pytest.fixture(autouse=True)
+def _no_leaked_plan():
+    yield
+    clear_plan()
+
+
+def _module(shape=SHAPE):
+    return frontend.build_stencil_kernel(
+        gauss_seidel_5pt_2d(), shape, frontend.identity_body(4.0)
+    )
+
+
+def _service(**overrides):
+    config = ServiceConfig(**{
+        "options": OPTIONS, "backoff_base": 0.0, "max_retries": 4,
+        **overrides,
+    })
+    return CompileService(config, cache=KernelCache())
+
+
+def _assert_accounting(svc, resps, submitted):
+    """The invariant: every request terminal, explained, counted once."""
+    assert len(resps) == submitted, "a request was lost"
+    for r in resps:
+        assert r.status in STATUSES
+        if r.status == "rejected":
+            codes = set(r.codes())
+            assert codes & {"RS012", "RS016"}, (
+                f"rejection without an explicit diagnostic: {codes}"
+            )
+            if "RS012" in codes:
+                assert r.retry_after is not None
+        elif r.status == "deadline":
+            assert "RS013" in r.codes()
+        elif r.status == "failed":
+            assert r.codes(), "failure without a diagnostic"
+    st = svc.stats
+    terminal = (
+        st.completed + st.failed + st.rejected_backpressure
+        + st.rejected_draining + st.deadlines_expired
+    )
+    assert terminal == submitted, (
+        f"accounting leak: {terminal} terminal states for "
+        f"{submitted} requests\n{svc.report().render()}"
+    )
+    # Degradations that happened were recorded per request.
+    for r in resps:
+        if r.ok and r.degraded_to is not None:
+            assert set(r.codes()) & {"RS002", "RS003", "RS015"}, (
+                f"unrecorded degradation {r.degraded_to!r}"
+            )
+
+
+async def _mixed_workload(svc, rounds=4, width=3):
+    """Concurrent identical + distinct requests, several rounds."""
+    resps = []
+    submitted = 0
+    for i in range(rounds):
+        batch = [svc.compile(_module()) for _ in range(width)]
+        batch.append(svc.compile(_module((10, 8))))
+        submitted += len(batch)
+        resps.extend(await asyncio.gather(*batch))
+    await svc.drain()
+    return resps, submitted
+
+
+@pytest.mark.parametrize("site", SERVICE_SITES)
+def test_accounting_invariant_under_fault(site):
+    plan = FaultPlan.seeded(site, seed=SEED)
+
+    async def scenario():
+        if site == "service.drain":
+            # A fresh service per round (a drained service stays
+            # closed); each drain injects once per in-flight
+            # fingerprint, so four rounds guarantee the seeded plan
+            # fires within its window.
+            rounds = []
+            for _ in range(4):
+                svc = _service()
+                tasks = [
+                    asyncio.ensure_future(svc.compile(_module())),
+                    asyncio.ensure_future(svc.compile(_module((10, 8)))),
+                ]
+                while not svc._flights and not all(
+                    t.done() for t in tasks
+                ):
+                    await asyncio.sleep(0.001)
+                await svc.drain()
+                rounds.append((svc, await asyncio.gather(*tasks)))
+            return rounds
+        svc = _service()
+        resps, submitted = await _mixed_workload(svc)
+        return [(svc, resps)]
+
+    with injected(plan):
+        rounds = asyncio.run(scenario())
+    assert plan.fired, "the seeded fault never fired"
+    for svc, batch in rounds:
+        _assert_accounting(svc, batch, len(batch))
+    svc, resps = rounds[-1]
+    resps = [r for _, batch in rounds for r in batch]
+    events = {d.code for s, _ in rounds for d in s._events}
+    if site == "service.queue":
+        # The faulted admission became an explicit RS012 rejection.
+        assert svc.stats.rejected_backpressure >= 1
+    if site == "service.leader":
+        # The crashed leader's waiters re-dispatched exactly once per
+        # failure round and every request still succeeded.
+        assert svc.stats.redispatches >= 1
+        assert "RS014" in events
+        assert all(r.ok for r in resps)
+    if site == "service.drain":
+        # The injected drain fault became a finding, not a lost request.
+        assert "RS009" in events
+        assert all(r.ok for r in resps)
+
+
+def test_hung_leader_is_abandoned_and_redispatched():
+    """A leader that hangs is watchdog-killed; its waiters promote a
+    new leader and every request completes (RS014, exactly-once)."""
+    plan = FaultPlan.seeded(
+        "service.leader", seed=SEED, action="hang", hang_seconds=0.6
+    )
+
+    async def scenario():
+        svc = _service(compile_watchdog=0.1, workers=2)
+        resps = []
+        for _ in range(4):
+            resps.extend(await asyncio.gather(
+                *[svc.compile(_module()) for _ in range(3)]
+            ))
+        await svc.drain()
+        return svc, resps
+
+    with injected(plan):
+        svc, resps = asyncio.run(scenario())
+    assert plan.fired
+    assert all(r.ok for r in resps)
+    assert svc.stats.redispatches >= 1
+    _assert_accounting(svc, resps, len(resps))
+
+
+def test_results_correct_under_leader_faults():
+    """Fault-recovered compilations still compute the right answer."""
+    rng = np.random.default_rng(SEED)
+    full = (1,) + SHAPE
+    x, b = rng.standard_normal(full), rng.standard_normal(full)
+    (expected,) = run_function(_module(), "kernel", x, b, x.copy())
+    plan = FaultPlan.seeded("service.leader", seed=SEED)
+
+    async def scenario():
+        svc = _service()
+        resps = []
+        for _ in range(4):
+            resps.extend(await asyncio.gather(*[
+                svc.execute(
+                    _module(), lambda: (x.copy(), b.copy(), x.copy())
+                )
+                for _ in range(2)
+            ]))
+        await svc.drain()
+        return svc, resps
+
+    with injected(plan):
+        svc, resps = asyncio.run(scenario())
+    assert plan.fired
+    for r in resps:
+        assert r.ok
+        np.testing.assert_allclose(r.values[0], expected, rtol=1e-12)
+    # Executions happened exactly once per request: no double execution.
+    assert svc.stats.executions == len(resps)
+
+
+def test_deadline_storm_loses_nothing():
+    """Aggressive deadlines expire structurally; the rest complete."""
+
+    async def scenario():
+        svc = _service()
+        batch = [
+            svc.compile(_module(), deadline=1e-4 if i % 2 else None)
+            for i in range(8)
+        ]
+        resps = await asyncio.gather(*batch)
+        await svc.drain()
+        return svc, resps
+
+    svc, resps = asyncio.run(scenario())
+    _assert_accounting(svc, resps, 8)
+    assert any(r.status == "deadline" for r in resps)
+    assert any(r.ok for r in resps)
+    # The shared flight survived the impatient waiters.
+    assert svc.stats.compiles_started == 1

@@ -1,0 +1,259 @@
+"""The service front door (`repro.service.frontdoor`): wire-protocol
+handling, option coercion, the stdio loop, and the TCP socket server.
+"""
+
+import asyncio
+import io
+import json
+
+import numpy as np
+import pytest
+
+from repro.codegen.cache import KernelCache
+from repro.codegen.interpreter import run_function
+from repro.core import frontend
+from repro.core.pipeline import CompileOptions
+from repro.core.stencil import gauss_seidel_5pt_2d
+from repro.ir.printer import print_module
+from repro.service import (
+    CompileService,
+    ServiceConfig,
+    handle_request,
+    options_from_json,
+    serve_socket,
+    serve_stdio,
+)
+
+SHAPE = (8, 8)
+WIRE_OPTIONS = {"tile_sizes": [2, 2], "vectorize": 4}
+
+
+def _module(shape=SHAPE):
+    return frontend.build_stencil_kernel(
+        gauss_seidel_5pt_2d(), shape, frontend.identity_body(4.0)
+    )
+
+
+def _ir(shape=SHAPE):
+    return print_module(_module(shape))
+
+
+def _service():
+    return CompileService(ServiceConfig(), cache=KernelCache())
+
+
+def _inputs(seed=0):
+    rng = np.random.default_rng(seed)
+    full = (1,) + SHAPE
+    return rng.standard_normal(full), rng.standard_normal(full)
+
+
+class TestOptionsFromJson:
+    def test_none_passes_through(self):
+        assert options_from_json(None) is None
+
+    def test_lists_become_tuples(self):
+        opts = options_from_json(
+            {"subdomain_sizes": [4, 4], "tile_sizes": [2, 2]}
+        )
+        assert opts.subdomain_sizes == (4, 4)
+        assert opts.tile_sizes == (2, 2)
+        assert isinstance(opts, CompileOptions)
+
+    def test_unknown_key_is_an_error(self):
+        with pytest.raises(ValueError, match="unknown compile option"):
+            options_from_json({"opt_leval": 2})
+
+
+class TestHandleRequest:
+    def test_compile_and_execute(self):
+        x, b = _inputs()
+        (expected,) = run_function(_module(), "kernel", x, b, x.copy())
+
+        async def scenario():
+            svc = _service()
+            compiled = await handle_request(svc, {
+                "op": "compile", "id": 1, "ir": _ir(),
+                "options": WIRE_OPTIONS,
+            })
+            executed = await handle_request(svc, {
+                "op": "execute", "id": 2, "ir": _ir(),
+                "args": [x.tolist(), b.tolist(), x.tolist()],
+                "options": WIRE_OPTIONS,
+            })
+            await svc.drain()
+            return compiled, executed
+
+        compiled, executed = asyncio.run(scenario())
+        assert compiled["status"] == "ok" and compiled["id"] == 1
+        assert compiled["fingerprint"]
+        assert executed["status"] == "ok"
+        np.testing.assert_allclose(
+            np.asarray(executed["values"][0]), expected, rtol=1e-12
+        )
+        json.dumps(executed)  # the whole reply is JSON-serializable
+
+    def test_stats_and_drain_ops(self):
+        async def scenario():
+            svc = _service()
+            await handle_request(svc, {
+                "op": "compile", "id": 1, "ir": _ir(),
+                "options": WIRE_OPTIONS,
+            })
+            stats = await handle_request(svc, {"op": "stats", "id": 2})
+            drained = await handle_request(svc, {"op": "drain", "id": 3})
+            return stats, drained
+
+        stats, drained = asyncio.run(scenario())
+        assert stats["report"]["stats"]["completed"] == 1
+        assert drained["status"] == "drained"
+
+    def test_protocol_errors_are_structured(self):
+        async def scenario():
+            svc = _service()
+            bad_op = await handle_request(svc, {"op": "nope", "id": 1})
+            bad_opts = await handle_request(svc, {
+                "op": "compile", "id": 2, "ir": _ir(),
+                "options": {"bogus": 1},
+            })
+            bad_ir = await handle_request(svc, {
+                "op": "compile", "id": 3, "ir": "not ir at all",
+            })
+            await svc.drain()
+            return bad_op, bad_opts, bad_ir
+
+        bad_op, bad_opts, bad_ir = asyncio.run(scenario())
+        for reply in (bad_op, bad_opts, bad_ir):
+            assert reply["status"] == "failed"
+            assert reply["error"]
+        assert bad_op["id"] == 1 and bad_ir["id"] == 3
+
+    def test_deadline_travels_the_wire(self):
+        async def scenario():
+            svc = _service()
+            reply = await handle_request(svc, {
+                "op": "compile", "id": 1, "ir": _ir(),
+                "deadline": 1e-4,
+            })
+            await svc.drain()
+            return reply
+
+        reply = asyncio.run(scenario())
+        assert reply["status"] == "deadline"
+        assert any(d["code"] == "RS013" for d in reply["diagnostics"])
+
+
+class TestServeStdio:
+    def _run(self, lines):
+        stdin = io.StringIO("\n".join(lines) + "\n")
+        stdout = io.StringIO()
+        svc = _service()
+        asyncio.run(serve_stdio(svc, stdin=stdin, stdout=stdout))
+        replies = [
+            json.loads(line)
+            for line in stdout.getvalue().splitlines() if line.strip()
+        ]
+        return svc, replies
+
+    def test_serves_lines_until_eof_then_drains(self):
+        svc, replies = self._run([
+            json.dumps({"op": "compile", "id": 1, "ir": _ir(),
+                        "options": WIRE_OPTIONS}),
+            json.dumps({"op": "compile", "id": 2, "ir": _ir(),
+                        "options": WIRE_OPTIONS}),
+        ])
+        by_id = {r["id"]: r for r in replies}
+        assert by_id[1]["status"] == "ok"
+        assert by_id[2]["status"] == "ok"
+        assert svc._closed  # EOF drained the service
+
+    def test_bad_json_line_does_not_kill_the_session(self):
+        svc, replies = self._run([
+            "{this is not json",
+            json.dumps({"op": "compile", "id": 2, "ir": _ir(),
+                        "options": WIRE_OPTIONS}),
+        ])
+        failed = [r for r in replies if r["status"] == "failed"]
+        served = [r for r in replies if r["status"] == "ok"]
+        assert len(failed) == 1 and "bad JSON" in failed[0]["error"]
+        assert len(served) == 1 and served[0]["id"] == 2
+
+    def test_blank_lines_are_ignored(self):
+        svc, replies = self._run([
+            "",
+            json.dumps({"op": "stats", "id": 1}),
+            "   ",
+        ])
+        assert len(replies) == 1 and replies[0]["id"] == 1
+
+
+class TestServeSocket:
+    def test_socket_round_trip(self):
+        x, b = _inputs()
+        (expected,) = run_function(_module(), "kernel", x, b, x.copy())
+
+        async def scenario():
+            svc = _service()
+            server = await serve_socket(svc, "127.0.0.1", 0)
+            port = server.sockets[0].getsockname()[1]
+            reader, writer = await asyncio.open_connection(
+                "127.0.0.1", port
+            )
+            requests = [
+                {"op": "compile", "id": 1, "ir": _ir(),
+                 "options": WIRE_OPTIONS},
+                {"op": "execute", "id": 2, "ir": _ir(),
+                 "args": [x.tolist(), b.tolist(), x.tolist()],
+                 "options": WIRE_OPTIONS},
+            ]
+            for req in requests:
+                writer.write((json.dumps(req) + "\n").encode())
+            await writer.drain()
+            replies = {}
+            for _ in requests:
+                line = await asyncio.wait_for(reader.readline(), 60)
+                reply = json.loads(line)
+                replies[reply["id"]] = reply
+            writer.close()
+            server.close()
+            await server.wait_closed()
+            await svc.drain()
+            return replies
+
+        replies = asyncio.run(scenario())
+        assert replies[1]["status"] == "ok"
+        assert replies[2]["status"] == "ok"
+        np.testing.assert_allclose(
+            np.asarray(replies[2]["values"][0]), expected, rtol=1e-12
+        )
+
+    def test_single_flight_across_connections(self):
+        async def scenario():
+            svc = _service()
+            server = await serve_socket(svc, "127.0.0.1", 0)
+            port = server.sockets[0].getsockname()[1]
+
+            async def client(rid):
+                reader, writer = await asyncio.open_connection(
+                    "127.0.0.1", port
+                )
+                writer.write((json.dumps({
+                    "op": "compile", "id": rid, "ir": _ir(),
+                    "options": WIRE_OPTIONS,
+                }) + "\n").encode())
+                await writer.drain()
+                line = await asyncio.wait_for(reader.readline(), 60)
+                writer.close()
+                return json.loads(line)
+
+            replies = await asyncio.gather(*[client(i) for i in range(4)])
+            server.close()
+            await server.wait_closed()
+            await svc.drain()
+            return svc, replies
+
+        svc, replies = asyncio.run(scenario())
+        assert all(r["status"] == "ok" for r in replies)
+        # Four connections, one compilation: dedup spans the socket.
+        assert svc.stats.compiles_started == 1
+        assert svc.stats.single_flight_hits + svc.stats.cache_hits == 3
